@@ -1,0 +1,440 @@
+(* loseq — command-line front end.
+
+   Subcommands: check, psl, cost, gen, dfa, lint, suite, soc.
+   Run `loseq_cli --help`. *)
+
+open Loseq_core
+
+let pattern_conv =
+  let parse s =
+    match Parser.pattern s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg (Format.asprintf "%a" Parser.pp_error e))
+  in
+  Cmdliner.Arg.conv (parse, Pattern.pp)
+
+let pattern_arg =
+  let doc =
+    "The loose-ordering pattern, e.g. '{a, b} << start' or \
+     'start => read[100,60000] < irq within 60000'."
+  in
+  Cmdliner.Arg.(
+    required & pos 0 (some pattern_conv) None & info [] ~docv:"PATTERN" ~doc)
+
+(* ---- check ----------------------------------------------------------- *)
+
+let read_trace = function
+  | Some file when Filename.check_suffix file ".csv" -> Trace_io.load_csv file
+  | Some file ->
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      Trace.parse s
+  | None ->
+      let buf = Buffer.create 1024 in
+      (try
+         while true do
+           Buffer.add_channel buf stdin 1
+         done
+       with End_of_file -> ());
+      Trace.parse (Buffer.contents buf)
+
+let check_cmd =
+  let run pattern trace_file trace_inline strict final_time =
+    let trace_result =
+      match trace_inline with
+      | Some s -> Trace.parse s
+      | None -> read_trace trace_file
+    in
+    match trace_result with
+    | Error msg ->
+        Format.eprintf "trace error: %s@." msg;
+        1
+    | Ok trace -> (
+        let mode = if strict then Monitor.Strict else Monitor.Lenient in
+        let monitor = Monitor.create ~mode pattern in
+        let expected = ref (Monitor.acceptable monitor) in
+        let rec feed = function
+          | [] -> ()
+          | e :: rest -> (
+              match Monitor.step monitor e with
+              | Monitor.Running | Monitor.Satisfied ->
+                  expected := Monitor.acceptable monitor;
+                  feed rest
+              | Monitor.Violated _ -> ())
+        in
+        feed trace;
+        let final_time =
+          match final_time with
+          | Some ft -> ft
+          | None -> Trace.end_time trace
+        in
+        match Monitor.finalize monitor ~now:final_time with
+        | Monitor.Running ->
+            Format.printf "PASS (recognition in progress, no violation)@.";
+            0
+        | Monitor.Satisfied ->
+            Format.printf "PASS (property satisfied)@.";
+            0
+        | Monitor.Violated v ->
+            Format.printf "FAIL: %a@." Diag.pp_violation v;
+            if not (Name.Set.is_empty !expected) then
+              Format.printf "the monitor would have accepted: %a@."
+                Name.pp_set !expected;
+            1)
+  in
+  let open Cmdliner in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "file" ] ~docv:"FILE"
+          ~doc:"Trace file (events 'name' or 'name@time', whitespace separated); stdin by default.")
+  in
+  let trace_inline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "t"; "trace" ] ~docv:"TRACE" ~doc:"Inline trace.")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Reject non-alphabet events.")
+  in
+  let final_time =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "final-time" ] ~docv:"T"
+          ~doc:"Observation end time for deadline checks.")
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Run the Drct monitor on a trace")
+    Term.(
+      const run $ pattern_arg $ trace_file $ trace_inline $ strict
+      $ final_time)
+
+(* ---- psl ------------------------------------------------------------- *)
+
+let psl_cmd =
+  let run pattern size_only buchi =
+    let size = Loseq_psl.Translate.formula_size pattern in
+    Format.printf "formula size: %d nodes (+ lexer D = %d)@." size
+      (Loseq_psl.Translate.delta_cost pattern);
+    if not size_only then begin
+      match Loseq_psl.Translate.to_psl pattern with
+      | f ->
+          Format.printf "%a@." Loseq_psl.Psl.pp f;
+          if buchi then
+            Format.printf "Buchi automaton: %a@." Loseq_psl.Buchi.pp_stats
+              (Loseq_psl.Buchi.of_ltl f)
+      | exception Invalid_argument msg -> Format.printf "(not materialized: %s)@." msg
+    end;
+    0
+  in
+  let open Cmdliner in
+  let size_only =
+    Arg.(value & flag & info [ "size-only" ] ~doc:"Only report the size.")
+  in
+  let buchi =
+    Arg.(
+      value & flag
+      & info [ "buchi" ] ~doc:"Also translate to a Buchi automaton.")
+  in
+  Cmd.v
+    (Cmd.info "psl" ~doc:"Translate a pattern into PSL (Section 5)")
+    Term.(const run $ pattern_arg $ size_only $ buchi)
+
+(* ---- cost ------------------------------------------------------------ *)
+
+let fig6_rows =
+  [
+    ("(n << i, true)", "n <<! i", (80, 192), ("238+D", "896+D"));
+    ("(n[100,60K] << i, true)", "n[100,60000] <<! i", (80, 192),
+     ("4e11+D", "2e12+D"));
+    ("(({n1..n4},/\\) << i, false)", "{n1, n2, n3, n4} << i", (230, 1132),
+     ("1785+D", "6720+D"));
+    ("(({n1..n5},/\\) << i, false)", "{n1, n2, n3, n4, n5} << i", (280, 1568),
+     ("2142+D", "8064+D"));
+    ("(n1 => n2<n3<n4, T)", "n1 => n2 < n3 < n4 within 1000", (296, 1051),
+     ("1428+D", "5376+D"));
+    ("(n1 => n2[100,60K]<n3<n4, T)",
+     "n1 => n2[100,60000] < n3 < n4 within 1000", (296, 1051),
+     ("4e11+D", "2e12+D"));
+  ]
+
+let print_cost_line p =
+  let drct = Cost.drct p in
+  let via = Loseq_psl.Cost.via_psl p in
+  Format.printf
+    "  Drct:   %d ops/event, %d bits@.  ViaPSL: %d+D ops/event, %d+D bits \
+     (|f| = %d, D = %d)@."
+    drct.Cost.ops_per_event drct.Cost.space_bits via.Loseq_psl.Cost.ops_per_event
+    via.Loseq_psl.Cost.space_bits via.Loseq_psl.Cost.formula_size
+    via.Loseq_psl.Cost.delta
+
+let cost_cmd =
+  let run patterns =
+    (match patterns with
+    | [] ->
+        Format.printf
+          "Figure 6 configurations (paper values in parentheses):@.";
+        List.iter
+          (fun (label, src, (ops, bits), (via_ops, via_bits)) ->
+            let p = Parser.pattern_exn src in
+            Format.printf "@.%s   [%s]@." label src;
+            Format.printf "  paper:  Drct %d ops, %d bits; ViaPSL %s ops, %s \
+                           bits@." ops bits via_ops via_bits;
+            print_cost_line p)
+          fig6_rows
+    | ps ->
+        List.iter
+          (fun p ->
+            Format.printf "%a@." Pattern.pp p;
+            print_cost_line p)
+          ps);
+    0
+  in
+  let open Cmdliner in
+  let patterns =
+    Arg.(value & pos_all pattern_conv [] & info [] ~docv:"PATTERN")
+  in
+  Cmd.v
+    (Cmd.info "cost"
+       ~doc:"Print Drct/ViaPSL monitor costs (Fig. 6 by default)")
+    Term.(const run $ patterns)
+
+(* ---- gen ------------------------------------------------------------- *)
+
+let gen_cmd =
+  let run pattern rounds seed violating =
+    let rng = Random.State.make [| seed |] in
+    if violating then (
+      match Generate.violating rng pattern with
+      | Some tr ->
+          Format.printf "%s@." (Trace.to_string tr);
+          0
+      | None ->
+          Format.eprintf "no violating mutation found@.";
+          1)
+    else begin
+      Format.printf "%s@."
+        (Trace.to_string (Generate.valid ~rounds rng pattern));
+      0
+    end
+  in
+  let open Cmdliner in
+  let rounds =
+    Arg.(
+      value & opt int 3
+      & info [ "rounds" ] ~docv:"N" ~doc:"Recognition rounds to generate.")
+  in
+  let seed = Arg.(value & opt int 0x5eed & info [ "seed" ] ~docv:"SEED") in
+  let violating =
+    Arg.(
+      value & flag
+      & info [ "violating" ] ~doc:"Generate a violating trace instead.")
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:"Generate random traces from a pattern (stimuli generation)")
+    Term.(const run $ pattern_arg $ rounds $ seed $ violating)
+
+(* ---- lint ------------------------------------------------------------ *)
+
+let lint_cmd =
+  let run patterns =
+    let any_warning = ref false in
+    List.iter
+      (fun p ->
+        Format.printf "%a@." Pattern.pp p;
+        match Lint.lint p with
+        | [] -> Format.printf "  (clean)@."
+        | findings ->
+            List.iter
+              (fun f ->
+                if f.Lint.severity = Lint.Warning then any_warning := true;
+                Format.printf "  %a@." Lint.pp_finding f)
+              findings)
+      patterns;
+    if !any_warning then 1 else 0
+  in
+  let open Cmdliner in
+  let patterns =
+    Arg.(non_empty & pos_all pattern_conv [] & info [] ~docv:"PATTERN")
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc:"Flag suspicious (but legal) patterns")
+    Term.(const run $ patterns)
+
+(* ---- suite ----------------------------------------------------------- *)
+
+let suite_cmd =
+  let run file trace_file trace_inline final_time =
+    match Loseq_verif.Suite.load file with
+    | Error e ->
+        Format.eprintf "%a@." Loseq_verif.Suite.pp_error e;
+        2
+    | Ok suite -> (
+        let trace_result =
+          match trace_inline with
+          | Some s -> Trace.parse s
+          | None -> read_trace trace_file
+        in
+        match trace_result with
+        | Error msg ->
+            Format.eprintf "trace error: %s@." msg;
+            2
+        | Ok trace ->
+            let results =
+              Loseq_verif.Suite.check_trace ?final_time suite trace
+            in
+            List.iter
+              (fun (label, passed) ->
+                Format.printf "%-40s %s@." label
+                  (if passed then "PASS" else "FAIL"))
+              results;
+            if List.for_all snd results then 0 else 1)
+  in
+  let open Cmdliner in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"SUITE"
+          ~doc:"Property suite file ('name: pattern' per line).")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Trace file; stdin by default.")
+  in
+  let trace_inline =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "t"; "trace" ] ~docv:"TRACE" ~doc:"Inline trace.")
+  in
+  let final_time =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "final-time" ] ~docv:"T")
+  in
+  Cmd.v
+    (Cmd.info "suite" ~doc:"Check a property-suite file against a trace")
+    Term.(const run $ file $ trace_file $ trace_inline $ final_time)
+
+(* ---- dfa ------------------------------------------------------------- *)
+
+let dfa_cmd =
+  let run pattern dot minimize_flag max_states =
+    match Automaton.of_pattern ~max_states pattern with
+    | automaton ->
+        let automaton =
+          if minimize_flag then Automaton.minimize automaton else automaton
+        in
+        Format.printf "%a@." Automaton.pp_stats automaton;
+        if dot then print_string (Automaton.to_dot automaton);
+        0
+    | exception Automaton.Too_many_states n ->
+        Format.eprintf
+          "state space exceeds %d states (wide ranges make the explicit            product explode; that is what the modular monitors avoid)@."
+          n;
+        1
+  in
+  let open Cmdliner in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Print Graphviz source.")
+  in
+  let minimize_flag =
+    Arg.(value & flag & info [ "minimize" ] ~doc:"Minimize first.")
+  in
+  let max_states =
+    Arg.(value & opt int 4096 & info [ "max-states" ] ~docv:"N")
+  in
+  Cmd.v
+    (Cmd.info "dfa"
+       ~doc:"Materialize the monitor's explicit state machine")
+    Term.(const run $ pattern_arg $ dot $ minimize_flag $ max_states)
+
+(* ---- soc ------------------------------------------------------------- *)
+
+let soc_cmd =
+  let run presses bug slow_ipu seed verbose vcd =
+    let open Loseq_platform in
+    let cpu_bug =
+      match bug with
+      | Some "start-first" -> Some Cpu.Start_before_config
+      | Some "skip-size" -> Some Cpu.Skip_gl_size
+      | Some "double-addr" -> Some Cpu.Double_gl_addr
+      | Some other ->
+          Format.eprintf "unknown bug %S@." other;
+          exit 2
+      | None -> None
+    in
+    let config =
+      { Soc.default_config with presses; cpu_bug; slow_ipu; seed }
+    in
+    let soc = Soc.create ~config () in
+    let report = Soc.attach_standard_checkers soc in
+    Soc.run soc;
+    Loseq_verif.Report.finalize report;
+    if verbose then
+      Format.printf "trace (%d events):@.%s@.@."
+        (Loseq_verif.Tap.count (Soc.tap soc))
+        (Trace.to_string (Loseq_verif.Tap.trace (Soc.tap soc)));
+    (match vcd with
+    | Some path ->
+        Loseq_verif.Vcd.write ~path (Loseq_verif.Tap.trace (Soc.tap soc));
+        Format.printf "waveform dumped to %s@." path
+    | None -> ());
+    Loseq_verif.Report.print report;
+    Format.printf
+      "recognitions: %d, matches: %d, lock opened %d time(s)@."
+      (Ipu.recognitions (Soc.ipu soc))
+      (Cpu.matches_seen (Soc.cpu soc))
+      (Lock.open_count (Soc.lock soc));
+    if Loseq_verif.Report.all_passed report then 0 else 1
+  in
+  let open Cmdliner in
+  let presses =
+    Arg.(value & opt int 3 & info [ "presses" ] ~docv:"N" ~doc:"Button presses.")
+  in
+  let bug =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "bug" ] ~docv:"BUG"
+          ~doc:"Inject a firmware bug: start-first, skip-size, double-addr.")
+  in
+  let slow_ipu =
+    Arg.(value & flag & info [ "slow-ipu" ] ~doc:"Miss the recognition deadline.")
+  in
+  let seed = Arg.(value & opt int 0xface & info [ "seed" ] ~docv:"SEED") in
+  let verbose =
+    Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Dump the observed trace.")
+  in
+  let vcd =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE" ~doc:"Write the trace as a VCD waveform.")
+  in
+  Cmd.v
+    (Cmd.info "soc"
+       ~doc:"Simulate the access-control platform with monitors attached")
+    Term.(const run $ presses $ bug $ slow_ipu $ seed $ verbose $ vcd)
+
+let () =
+  let open Cmdliner in
+  let info =
+    Cmd.info "loseq_cli" ~version:"1.0.0"
+      ~doc:"Loose-ordering property monitoring for SystemC/TLM-style models"
+  in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ check_cmd; psl_cmd; cost_cmd; gen_cmd; dfa_cmd; lint_cmd;
+            suite_cmd; soc_cmd ]))

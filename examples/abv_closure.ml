@@ -1,0 +1,74 @@
+(* Closing the ABV loop of Fig. 1 around the case study:
+
+     properties file -> checkers -> simulation -> coverage -> better
+     stimuli -> measured latencies -> a justified deadline -> waveforms.
+
+   Run with: dune exec examples/abv_closure.exe *)
+
+open Loseq_core
+open Loseq_sim
+open Loseq_verif
+open Loseq_platform
+
+let properties_source =
+  "# IPU interface contract (paper, Section 3)\n\
+   config_before_start: {set_imgAddr, set_glAddr, set_glSize} << start\n\
+   config_every_round:  {set_imgAddr, set_glAddr, set_glSize} <<! start\n\
+   recognition_bounded: start => read_img[100,60000] < set_irq within \
+   60000000\n"
+
+let () =
+  (* 1. The team's property file. *)
+  let suite =
+    match Suite.parse properties_source with
+    | Ok suite -> suite
+    | Error e -> Format.kasprintf failwith "%a" Suite.pp_error e
+  in
+  Format.printf "loaded %d properties:@." (List.length suite);
+  List.iter
+    (fun (e : Suite.entry) ->
+      Format.printf "  %-22s %a@." e.Suite.label Pattern.pp e.Suite.pattern)
+    suite;
+
+  (* 2. Simulate the platform with every property attached, measuring
+        the start -> set_irq latency on the side. *)
+  let soc = Soc.create () in
+  let report = Suite.attach_all (Soc.tap soc) suite in
+  let latency =
+    Latency.create ~from:(Name.v "start") ~until:(Name.v "set_irq")
+      (Soc.tap soc)
+  in
+  Soc.run soc;
+  Report.finalize report;
+  Format.printf "@.simulation: %d events, properties %s@."
+    (Tap.count (Soc.tap soc))
+    (if Report.all_passed report then "all PASS" else "FAILED");
+
+  (* 3. Measured latencies justify (or challenge) the deadline. *)
+  (match Latency.summary latency with
+  | Some s ->
+      Format.printf "recognition latency: %a@." Latency.pp_summary s;
+      (match Latency.suggest_deadline (Latency.durations latency) with
+      | Some suggested ->
+          Format.printf
+            "suggested deadline (max + 50%%): %a; configured: %a@." Time.pp
+            (Time.ps suggested) Time.pp
+            (Soc.config soc).Soc.recognition_deadline
+      | None -> ())
+  | None -> Format.printf "no recognitions observed?!@.");
+
+  (* 4. The coverage improver: which generated stimuli exercise the
+        configuration property's recognizers best? *)
+  let config_property =
+    match Suite.find suite "config_every_round" with
+    | Some p -> p
+    | None -> assert false
+  in
+  let search = Explore.search ~budget:48 config_property in
+  Format.printf "@.coverage search over generator seeds:@.%a@."
+    Explore.pp_result search;
+
+  (* 5. Waveforms for the humans. *)
+  let path = Filename.temp_file "loseq_abv" ".vcd" in
+  Vcd.write ~path (Tap.trace (Soc.tap soc));
+  Format.printf "@.waveform written to %s (open with any VCD viewer)@." path

@@ -1,0 +1,217 @@
+type t = {
+  alphabet : Name.t array;
+  num_states : int;
+  initial : int;
+  transitions : int array array;
+  accepting : bool array;
+  sink : int option;
+}
+
+exception Too_many_states of int
+
+(* A monitor configuration, as observable state.  Violated
+   configurations all collapse onto one sink. *)
+type descriptor =
+  | Ok_config of int * Recognizer.state list list  (* active, states *)
+  | Satisfied_config
+  | Violated_config
+
+let descriptor monitor =
+  match Monitor.verdict monitor with
+  | Monitor.Violated _ -> Violated_config
+  | Monitor.Satisfied -> Satisfied_config
+  | Monitor.Running ->
+      Ok_config (Monitor.active_fragment monitor, Monitor.fragment_states monitor)
+
+(* Exploration works by replay: monitors are imperative and cannot be
+   cloned, so each state keeps a witness word that reaches it.  The
+   quadratic replay cost is irrelevant at the pattern sizes for which
+   materializing a product automaton makes sense at all. *)
+let of_pattern ?(max_states = 4096) p =
+  Wellformed.check_exn p;
+  let alphabet = Array.of_list (Name.Set.elements (Pattern.alpha p)) in
+  let replay word =
+    let monitor = Monitor.create p in
+    List.iter
+      (fun name -> ignore (Monitor.step_name ~time:0 monitor name))
+      (List.rev word);
+    monitor
+  in
+  let index = Hashtbl.create 64 in
+  let states = ref [] in
+  let count = ref 0 in
+  let intern descr witness_rev =
+    match Hashtbl.find_opt index descr with
+    | Some i -> (i, false)
+    | None ->
+        let i = !count in
+        incr count;
+        if i >= max_states then raise (Too_many_states i);
+        Hashtbl.replace index descr i;
+        states := (i, descr, witness_rev) :: !states;
+        (i, true)
+  in
+  let initial_descr = descriptor (replay []) in
+  let initial, _ = intern initial_descr [] in
+  let transitions = ref [] in
+  let rec explore frontier =
+    match frontier with
+    | [] -> ()
+    | (i, witness_rev) :: rest ->
+        let row =
+          Array.map
+            (fun letter ->
+              let monitor = replay witness_rev in
+              ignore (Monitor.step_name ~time:0 monitor letter);
+              let target_descr = descriptor monitor in
+              let j, fresh = intern target_descr (letter :: witness_rev) in
+              if fresh then (j, Some (letter :: witness_rev)) else (j, None))
+            alphabet
+        in
+        transitions := (i, Array.map fst row) :: !transitions;
+        let discovered =
+          Array.to_list row
+          |> List.filter_map (fun (j, witness) ->
+                 Option.map (fun w -> (j, w)) witness)
+        in
+        explore (discovered @ rest)
+  in
+  explore [ (initial, []) ];
+  let n = !count in
+  let table = Array.make n [||] in
+  List.iter (fun (i, row) -> table.(i) <- row) !transitions;
+  let accepting = Array.make n true in
+  let sink = ref None in
+  List.iter
+    (fun (i, descr, _) ->
+      match descr with
+      | Violated_config ->
+          accepting.(i) <- false;
+          sink := Some i
+      | Ok_config _ | Satisfied_config -> ())
+    !states;
+  { alphabet; num_states = n; initial; transitions = table; accepting;
+    sink = !sink }
+
+let letter_index t name =
+  let rec loop i =
+    if i >= Array.length t.alphabet then None
+    else if Name.equal t.alphabet.(i) name then Some i
+    else loop (i + 1)
+  in
+  loop 0
+
+let accepts t word =
+  let state = ref t.initial in
+  List.iter
+    (fun name ->
+      match letter_index t name with
+      | Some l -> state := t.transitions.(!state).(l)
+      | None -> () (* foreign events are invisible, as in the monitor *))
+    word;
+  t.accepting.(!state)
+
+(* Moore partition refinement. *)
+let minimize t =
+  let n = t.num_states in
+  let k = Array.length t.alphabet in
+  let block = Array.init n (fun i -> if t.accepting.(i) then 0 else 1) in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* Signature of a state: its block plus the blocks of its
+       successors. *)
+    let signatures =
+      Array.init n (fun i ->
+          (block.(i), Array.init k (fun l -> block.(t.transitions.(i).(l)))))
+    in
+    let table = Hashtbl.create n in
+    let next = ref 0 in
+    let new_block = Array.make n 0 in
+    for i = 0 to n - 1 do
+      match Hashtbl.find_opt table signatures.(i) with
+      | Some b -> new_block.(i) <- b
+      | None ->
+          Hashtbl.replace table signatures.(i) !next;
+          new_block.(i) <- !next;
+          incr next
+    done;
+    if new_block <> block then changed := true;
+    Array.blit new_block 0 block 0 n
+  done;
+  let num_blocks = 1 + Array.fold_left max 0 block in
+  let transitions =
+    Array.init num_blocks (fun _ -> Array.make k 0)
+  in
+  let accepting = Array.make num_blocks false in
+  let sink = ref None in
+  for i = 0 to n - 1 do
+    let b = block.(i) in
+    accepting.(b) <- t.accepting.(i);
+    for l = 0 to k - 1 do
+      transitions.(b).(l) <- block.(t.transitions.(i).(l))
+    done
+  done;
+  (match t.sink with Some s -> sink := Some block.(s) | None -> ());
+  {
+    alphabet = t.alphabet;
+    num_states = num_blocks;
+    initial = block.(t.initial);
+    transitions;
+    accepting;
+    sink = !sink;
+  }
+
+let equivalent a b =
+  Array.length a.alphabet = Array.length b.alphabet
+  && Array.for_all2 Name.equal a.alphabet b.alphabet
+  &&
+  let seen = Hashtbl.create 64 in
+  let rec walk pairs =
+    match pairs with
+    | [] -> true
+    | (i, j) :: rest ->
+        if Hashtbl.mem seen (i, j) then walk rest
+        else begin
+          Hashtbl.replace seen (i, j) ();
+          if a.accepting.(i) <> b.accepting.(j) then false
+          else
+            let successors =
+              List.init (Array.length a.alphabet) (fun l ->
+                  (a.transitions.(i).(l), b.transitions.(j).(l)))
+            in
+            walk (successors @ rest)
+        end
+  in
+  walk [ (a.initial, b.initial) ]
+
+let pp_stats ppf t =
+  Format.fprintf ppf "%d states over %d letters (%d accepting%s)"
+    t.num_states
+    (Array.length t.alphabet)
+    (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.accepting)
+    (match t.sink with Some _ -> ", violation sink" | None -> "")
+
+let to_dot t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph monitor {\n  rankdir=LR;\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  init [shape=point]; init -> s%d;\n" t.initial);
+  for i = 0 to t.num_states - 1 do
+    if t.sink <> Some i then
+      Buffer.add_string buf
+        (Printf.sprintf "  s%d [shape=%s];\n" i
+           (if t.accepting.(i) then "circle" else "doublecircle"))
+  done;
+  for i = 0 to t.num_states - 1 do
+    if t.sink <> Some i then
+      Array.iteri
+        (fun l j ->
+          if t.sink <> Some j then
+            Buffer.add_string buf
+              (Printf.sprintf "  s%d -> s%d [label=\"%s\"];\n" i j
+                 (Name.to_string t.alphabet.(l))))
+        t.transitions.(i)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,47 @@
+(** Explicit monitor automata.
+
+    The modular Drct monitors never materialize their product state
+    space — that is the point of the paper's construction.  This module
+    {e does} materialize it (for small patterns): the reachable
+    configurations of a {!Monitor} form a DFA over the pattern alphabet,
+    with a single absorbing rejecting sink for violations.
+
+    Uses: counting states (quantifying the explosion the modular
+    encoding avoids), language-level equivalence checks between
+    patterns, minimization, and Graphviz export for documentation and
+    debugging.
+
+    The deadline of a timed pattern is a quantitative constraint outside
+    DFA-land; the extracted automaton is the {e untimed shape} of the
+    concatenated ordering (every event at time 0). *)
+
+type t = {
+  alphabet : Name.t array;
+  num_states : int;
+  initial : int;
+  transitions : int array array;  (** [transitions.(state).(letter)] *)
+  accepting : bool array;  (** no violation in this configuration *)
+  sink : int option;  (** the absorbing violation state, if reachable *)
+}
+
+exception Too_many_states of int
+
+val of_pattern : ?max_states:int -> Pattern.t -> t
+(** Explore the monitor's reachable configurations ([max_states]
+    defaults to 4096; {!Too_many_states} beyond — e.g. wide ranges whose
+    counters are part of the state).  Raises {!Wellformed.Ill_formed} on
+    ill-formed patterns. *)
+
+val accepts : t -> Name.t list -> bool
+(** Run the word; accepted iff the final state is accepting (i.e. the
+    monitor would not have reported a violation). *)
+
+val minimize : t -> t
+(** Moore partition refinement; the result is reachable-minimal. *)
+
+val equivalent : t -> t -> bool
+(** Language equivalence (requires equal alphabets; product walk). *)
+
+val pp_stats : Format.formatter -> t -> unit
+val to_dot : t -> string
+(** Graphviz source; violation sink omitted for readability. *)

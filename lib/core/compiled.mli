@@ -1,0 +1,44 @@
+(** Compiled monitors: the production fast path.
+
+    {!Monitor} keeps the paper's structure literally — one recognizer
+    object per range, name sets, classification by set membership.  This
+    module compiles a pattern once into flat integer tables (interned
+    names, per-name category rows, counter and state arrays) so that a
+    step is a handful of array reads: the form a deployment inside a
+    simulation kernel would actually use.
+
+    Verdict-level behaviour is identical to {!Monitor} (property-tested
+    by the suite); only diagnostics are coarser (reason and position,
+    no per-range detail). *)
+
+type verdict =
+  | Running
+  | Satisfied
+  | Violated of { reason : Diag.reason; time : int; index : int }
+
+type t
+
+val compile : Pattern.t -> t
+(** Raises {!Wellformed.Ill_formed}. *)
+
+val pattern : t -> Pattern.t
+
+val id_of_name : t -> Name.t -> int option
+(** Interned id, [None] for names outside the alphabet. *)
+
+val step_id : t -> id:int -> time:int -> verdict
+(** Fastest path: pre-interned name.  Raises [Invalid_argument] on an
+    id out of range. *)
+
+val step : t -> Trace.event -> verdict
+(** Interns and delegates to {!step_id}; foreign names are ignored. *)
+
+val check_time : t -> now:int -> verdict
+val finalize : t -> now:int -> verdict
+val verdict : t -> verdict
+val reset : t -> unit
+(** Back to the initial configuration (monitors are reusable across
+    runs without re-compiling). *)
+
+val run : Pattern.t -> Trace.t -> verdict
+val accepts : ?final_time:int -> Pattern.t -> Trace.t -> bool

@@ -1,0 +1,92 @@
+type t = {
+  range : Pattern.range;
+  fragment_index : int;
+  connective : Pattern.connective;
+  before : Name.Set.t;
+  current : Name.Set.t;
+  accept : Name.Set.t;
+  after : Name.Set.t;
+}
+
+type category = Self | Current | Before | Accept | After | Outside
+
+let of_ordering ~terminators ordering =
+  let alphas = Array.of_list (List.map Pattern.alpha_fragment ordering) in
+  let q = Array.length alphas in
+  let union_range lo hi =
+    let acc = ref Name.Set.empty in
+    for k = lo to hi do
+      acc := Name.Set.union !acc alphas.(k)
+    done;
+    !acc
+  in
+  List.mapi
+    (fun k (f : Pattern.fragment) ->
+      let before = union_range 0 (k - 1) in
+      let accept = if k = q - 1 then terminators else alphas.(k + 1) in
+      let after_raw =
+        let beyond = union_range (k + 2) (q - 1) in
+        if k = q - 1 then beyond else Name.Set.union beyond terminators
+      in
+      (* Names already forbidden as [B], or owned by the fragment itself
+         (a timed pattern's terminators are the first fragment's own
+         alphabet), are not stored again in [Af]. *)
+      let after =
+        Name.Set.diff (Name.Set.diff after_raw before) alphas.(k)
+      in
+      List.map
+        (fun (r : Pattern.range) ->
+          {
+            range = r;
+            fragment_index = k;
+            connective = f.connective;
+            before;
+            current = Name.Set.remove r.name alphas.(k);
+            accept;
+            after;
+          })
+        f.ranges)
+    ordering
+
+let terminators = function
+  | Pattern.Antecedent a -> Name.Set.singleton a.trigger
+  | Pattern.Timed g -> (
+      match g.premise with
+      | first :: _ -> Pattern.alpha_fragment first
+      | [] -> Name.Set.empty)
+
+let of_pattern p =
+  of_ordering ~terminators:(terminators p) (Pattern.body_ordering p)
+
+let classify ctx name =
+  if Name.equal name ctx.range.name then Self
+  else if Name.Set.mem name ctx.current then Current
+  else if Name.Set.mem name ctx.accept then Accept
+  else if Name.Set.mem name ctx.before then Before
+  else if Name.Set.mem name ctx.after then After
+  else Outside
+
+let size ctx =
+  Name.Set.cardinal ctx.before
+  + Name.Set.cardinal ctx.current
+  + Name.Set.cardinal ctx.accept
+  + Name.Set.cardinal ctx.after
+
+let pp_category ppf cat =
+  Format.pp_print_string ppf
+    (match cat with
+    | Self -> "n"
+    | Current -> "C"
+    | Before -> "B"
+    | Accept -> "Ac"
+    | After -> "Af"
+    | Outside -> "outside")
+
+let equal_category (a : category) b = a = b
+
+let pp ppf ctx =
+  Format.fprintf ppf
+    "@[<h>range %a: s=%s B=%a C=%a Ac=%a Af=%a@]" Pattern.pp_range ctx.range
+    (match ctx.connective with Pattern.All -> "/\\" | Pattern.Any -> "\\/")
+    Name.pp_set ctx.before Name.pp_set ctx.current Name.pp_set ctx.accept
+    Name.pp_set ctx.after

@@ -1,0 +1,57 @@
+(** Recognition contexts — the attribute grammar of Fig. 4.
+
+    Each range of a pattern is attributed with the tuple
+    [(B, C, Ac, Af, s)] that parameterizes its recognizer (Fig. 5):
+
+    - [B] ("before"): names of earlier fragments, forbidden while this
+      range is being recognized;
+    - [C] ("current"): names of the other ranges of the same fragment,
+      allowed at block boundaries;
+    - [Ac] ("accept"): names that stop the recognition of this fragment
+      and start the next one — the alphabet of the following fragment,
+      or the terminators for the last fragment;
+    - [Af] ("after"): names of fragments beyond the next one (plus the
+      terminators when this is not the last fragment), always forbidden;
+    - [s]: the connective of the parent fragment.
+
+    Terminators close the whole ordering: the antecedent trigger [{i}],
+    or — for the concatenated [P·Q] ordering of a timed implication —
+    the alphabet of [P]'s first fragment (a new round's first event). *)
+
+type t = {
+  range : Pattern.range;
+  fragment_index : int;  (** 0-based position of the parent fragment *)
+  connective : Pattern.connective;  (** [s] *)
+  before : Name.Set.t;  (** [B] *)
+  current : Name.Set.t;  (** [C] *)
+  accept : Name.Set.t;  (** [Ac] *)
+  after : Name.Set.t;  (** [Af] *)
+}
+
+type category =
+  | Self  (** the range's own name [n] *)
+  | Current  (** in [C] *)
+  | Before  (** in [B] *)
+  | Accept  (** in [Ac] *)
+  | After  (** in [Af] *)
+  | Outside  (** not in [α] — ignored by default *)
+
+val of_ordering : terminators:Name.Set.t -> Pattern.ordering -> t list list
+(** [of_ordering ~terminators l] attributes every range of [l]; result
+    is indexed by fragment then by range, in syntactic order. *)
+
+val of_pattern : Pattern.t -> t list list
+(** Contexts for {!Pattern.body_ordering}, with the terminators implied
+    by the root pattern. *)
+
+val terminators : Pattern.t -> Name.Set.t
+
+val classify : t -> Name.t -> category
+
+val size : t -> int
+(** [|B| + |C| + |Ac| + |Af|] — the stored-context size used by the
+    space cost model. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_category : Format.formatter -> category -> unit
+val equal_category : category -> category -> bool

@@ -1,0 +1,36 @@
+type t = { ops_per_event : int; space_bits : int }
+
+let is_timed = function Pattern.Timed _ -> true | Pattern.Antecedent _ -> false
+
+let context_size p =
+  List.fold_left
+    (fun acc ctxs ->
+      List.fold_left (fun acc ctx -> acc + Context.size ctx) acc ctxs)
+    0 (Context.of_pattern p)
+
+let drct p =
+  let timed = if is_timed p then 1 else 0 in
+  let names = Pattern.name_count p in
+  let ranges = Pattern.range_count p in
+  let stored = context_size p in
+  let ops_per_event = 30 + (50 * names) + (66 * timed) in
+  let numerator = 4 + (480 * ranges) + (92 * stored) in
+  let space_bits = ((numerator + 1) / 3) + (11 * timed) in
+  { ops_per_event; space_bits }
+
+let time_theta = Pattern.max_fragment_width
+let space_theta p = Pattern.name_count p
+let max_counter = Pattern.max_hi
+
+let measured p tr =
+  let ops = ref 0 in
+  let monitor = Monitor.create ~ops p in
+  List.iter (fun e -> ignore (Monitor.step monitor e)) tr;
+  let events = max 1 (Trace.length tr) in
+  {
+    ops_per_event = !ops / events;
+    space_bits = Monitor.space_bits monitor;
+  }
+
+let pp ppf c =
+  Format.fprintf ppf "%d ops/event, %d bits" c.ops_per_event c.space_bits

@@ -1,0 +1,38 @@
+(** Cost model for the Drct monitors (paper, Section 7).
+
+    Two kinds of numbers are produced:
+
+    - {e analytic} costs, from a closed-form model calibrated on the six
+      configurations of Fig. 6.  The model reproduces the paper's Drct
+      column exactly:
+      [ops = 30 + 50·S + 66·timed] and
+      [bits = round((4 + 480·R + 92·X) / 3) + 11·timed], where [S] is
+      the total number of names, [R] the number of ranges and [X] the
+      total stored-context size [Σ (|B|+|C|+|Ac|+|Af|)];
+    - {e asymptotic} parameters, the paper's Θ-expressions:
+      time [Θ(maxᵢ |α(Fᵢ)|)] and space [Θ(Σᵢ |α(Fᵢ)|)], with counter
+      values bounded by [max vᵢ].
+
+    Measured values from the actual OCaml monitors are available through
+    {!Monitor.ops} and {!Monitor.space_bits}. *)
+
+type t = { ops_per_event : int; space_bits : int }
+
+val drct : Pattern.t -> t
+(** Analytic model (see above). *)
+
+val time_theta : Pattern.t -> int
+(** [maxᵢ |α(Fᵢ)|] — the Drct per-event time parameter. *)
+
+val space_theta : Pattern.t -> int
+(** [Σᵢ |α(Fᵢ)|] — the Drct space parameter. *)
+
+val max_counter : Pattern.t -> int
+(** [max vᵢ] — the largest value a recognizer counter can hold. *)
+
+val measured : Pattern.t -> Trace.t -> t
+(** Run the real monitor on [tr] and report the mean number of executed
+    elementary operations per event, and the monitor's actual storage
+    bits. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+type reason =
+  | Before_name
+  | After_name
+  | Overflow of Pattern.range
+  | Underflow of Pattern.range
+  | Reentered of Pattern.range
+  | Missing of Pattern.range
+  | Empty_fragment
+  | Trigger_early
+  | Deadline_miss of { started : int; deadline : int; now : int }
+  | Late_conclusion of { deadline : int; at : int }
+  | Foreign of Name.t
+
+type violation = {
+  name : Name.t option;
+  time : int;
+  index : int;
+  fragment : int;
+  reason : reason;
+}
+
+let pp_reason ppf = function
+  | Before_name -> Format.pp_print_string ppf "name of an earlier fragment"
+  | After_name -> Format.pp_print_string ppf "name of a later fragment"
+  | Overflow r ->
+      Format.fprintf ppf "more than %d occurrence(s) of %a" r.hi Name.pp
+        r.name
+  | Underflow r ->
+      Format.fprintf ppf "block of %a ended before %d occurrence(s)" Name.pp
+        r.name r.lo
+  | Reentered r ->
+      Format.fprintf ppf "second block for range %a" Pattern.pp_range r
+  | Missing r ->
+      Format.fprintf ppf "required range %a never occurred" Pattern.pp_range r
+  | Empty_fragment ->
+      Format.pp_print_string ppf "disjunctive fragment matched no range"
+  | Trigger_early ->
+      Format.pp_print_string ppf "trigger before its antecedent was observed"
+  | Deadline_miss { started; deadline; now } ->
+      Format.fprintf ppf
+        "conclusion not finished by t=%d (premise ended at %d, checked at %d)"
+        deadline started now
+  | Late_conclusion { deadline; at } ->
+      Format.fprintf ppf "conclusion event at t=%d after deadline t=%d" at
+        deadline
+  | Foreign n -> Format.fprintf ppf "foreign event %a" Name.pp n
+
+let pp_violation ppf v =
+  Format.fprintf ppf "@[<h>violation at t=%d" v.time;
+  (match v.name with
+  | Some n -> Format.fprintf ppf " on %a (event #%d)" Name.pp n v.index
+  | None -> ());
+  Format.fprintf ppf ", fragment %d: %a@]" v.fragment pp_reason v.reason
+
+let violation_to_string v = Format.asprintf "%a" pp_violation v
+
+let equal_reason (a : reason) (b : reason) = a = b

@@ -1,0 +1,241 @@
+type outcome =
+  | Progress
+  | Advanced of int
+  | Completed
+  | Ignored
+  | Fault of { fragment : int; reason : Diag.reason }
+
+type t = {
+  fragments : Recognizer.t array array;
+  owners : (Name.t, int) Hashtbl.t;
+  terminators : Name.Set.t;
+  ops : int ref;
+  mutable active : int;
+}
+
+let create ?(ops = ref 0) ~terminators ordering =
+  let contexts = Context.of_ordering ~terminators ordering in
+  let fragments =
+    Array.of_list
+      (List.map
+         (fun ctxs ->
+           Array.of_list (List.map (fun ctx -> Recognizer.create ~ops ctx) ctxs))
+         contexts)
+  in
+  let owners = Hashtbl.create 16 in
+  List.iteri
+    (fun i (f : Pattern.fragment) ->
+      List.iter
+        (fun (r : Pattern.range) -> Hashtbl.replace owners r.name i)
+        f.ranges)
+    ordering;
+  { fragments; owners; terminators; ops; active = -1 }
+
+let tick t n = t.ops := !(t.ops) + n
+
+let reset t =
+  Array.iter (fun frag -> Array.iter Recognizer.reset frag) t.fragments;
+  t.active <- 0;
+  Array.iter Recognizer.start t.fragments.(0)
+
+let reset_with t name =
+  Array.iter (fun frag -> Array.iter Recognizer.reset frag) t.fragments;
+  t.active <- 0;
+  Array.iter
+    (fun r ->
+      let category = Context.classify (Recognizer.context r) name in
+      Recognizer.start_with r category)
+    t.fragments.(0)
+
+let active t = t.active
+
+let fragment_states t i =
+  Array.to_list (Array.map Recognizer.state t.fragments.(i))
+
+let owner t name = Hashtbl.find_opt t.owners name
+
+let fragment_connective t i =
+  (Recognizer.context t.fragments.(i).(0)).Context.connective
+
+(* Step every recognizer of the active fragment on an event of its own
+   alphabet; only [Quiet] or [Err] can come back. *)
+let step_within t name =
+  let frag = t.fragments.(t.active) in
+  let fault = ref None in
+  Array.iter
+    (fun r ->
+      tick t 1;
+      let category = Context.classify (Recognizer.context r) name in
+      match Recognizer.step r category with
+      | Recognizer.Quiet -> ()
+      | Recognizer.Err reason ->
+          if !fault = None then
+            fault := Some (Fault { fragment = t.active; reason })
+      | Recognizer.Ok | Recognizer.Nok ->
+          (* [Accept] is impossible: the event is in the fragment's own
+             alphabet. *)
+          assert false)
+    frag;
+  match !fault with Some f -> f | None -> Progress
+
+(* Deliver [Accept] to every recognizer of the active fragment and
+   combine the verdicts: any [err] fails; a disjunctive fragment further
+   needs at least one [ok] (an all-[nok] fragment matched the empty
+   word). *)
+let complete_active t =
+  let frag = t.fragments.(t.active) in
+  let fault = ref None in
+  let oks = ref 0 in
+  Array.iter
+    (fun r ->
+      tick t 1;
+      match Recognizer.step r Context.Accept with
+      | Recognizer.Ok -> incr oks
+      | Recognizer.Nok -> ()
+      | Recognizer.Err reason ->
+          if !fault = None then
+            fault := Some (Fault { fragment = t.active; reason })
+      | Recognizer.Quiet -> assert false)
+    frag;
+  match !fault with
+  | Some f -> Error f
+  | None ->
+      if !oks = 0 && fragment_connective t t.active = Pattern.Any then
+        Error (Fault { fragment = t.active; reason = Diag.Empty_fragment })
+      else Ok ()
+
+let start_fragment_with t i name =
+  t.active <- i;
+  Array.iter
+    (fun r ->
+      tick t 1;
+      let category = Context.classify (Recognizer.context r) name in
+      Recognizer.start_with r category)
+    t.fragments.(i)
+
+let step t name =
+  if t.active < 0 then invalid_arg "Engine.step: engine is idle";
+  tick t 2;
+  let last = Array.length t.fragments - 1 in
+  let owner = Hashtbl.find_opt t.owners name in
+  match owner with
+  | Some f when f = t.active -> step_within t name
+  | _ -> (
+      if t.active = last && Name.Set.mem name t.terminators then
+        match complete_active t with
+        | Ok () ->
+            t.active <- -1;
+            Completed
+        | Error fault -> fault
+      else
+        match owner with
+        | Some f when f = t.active + 1 -> (
+            match complete_active t with
+            | Ok () ->
+                start_fragment_with t f name;
+                Advanced f
+            | Error fault -> fault)
+        | Some f when f < t.active ->
+            Fault { fragment = t.active; reason = Diag.Before_name }
+        | Some _ -> Fault { fragment = t.active; reason = Diag.After_name }
+        | None ->
+            if Name.Set.mem name t.terminators then
+              Fault { fragment = t.active; reason = Diag.Trigger_early }
+            else Ignored)
+
+let active_min_complete t =
+  t.active >= 0
+  &&
+  let frag = t.fragments.(t.active) in
+  let oks = ref 0 in
+  let viable =
+    Array.for_all
+      (fun r ->
+        match Recognizer.would_accept r with
+        | Recognizer.Ok ->
+            incr oks;
+            true
+        | Recognizer.Nok -> true
+        | Recognizer.Err _ -> false
+        | Recognizer.Quiet -> assert false)
+      frag
+  in
+  viable && !oks > 0
+
+(* Would stepping [name] avoid a fault right now?  Mirrors [step]
+   without mutating. *)
+let name_acceptable t last name =
+  match Hashtbl.find_opt t.owners name with
+  | Some f when f = t.active ->
+      Array.for_all
+        (fun r ->
+          match
+            (Context.classify (Recognizer.context r) name, Recognizer.state r)
+          with
+          | Context.Self, (Recognizer.Waiting | Recognizer.Waiting_started) ->
+              true
+          | Context.Self, Recognizer.Counting c ->
+              c < (Recognizer.context r).Context.range.Pattern.hi
+          | Context.Self, Recognizer.Done_counting _ -> false
+          | Context.Current, Recognizer.Counting c ->
+              c >= (Recognizer.context r).Context.range.Pattern.lo
+          | Context.Current,
+            ( Recognizer.Waiting | Recognizer.Waiting_started
+            | Recognizer.Done_counting _ ) ->
+              true
+          | (Context.Self | Context.Current),
+            (Recognizer.Idle | Recognizer.Failed) ->
+              false
+          | ( ( Context.Before | Context.Accept | Context.After
+              | Context.Outside ),
+              _ ) ->
+              (* Impossible for a name of the active fragment. *)
+              false)
+        t.fragments.(t.active)
+  | Some f when f = t.active + 1 -> active_min_complete t
+  | Some _ -> false
+  | None ->
+      t.active = last
+      && Name.Set.mem name t.terminators
+      && active_min_complete t
+
+let acceptable t =
+  if t.active < 0 then Name.Set.empty
+  else begin
+    let last = Array.length t.fragments - 1 in
+    let candidates =
+      Hashtbl.fold (fun name _ acc -> Name.Set.add name acc) t.owners
+        t.terminators
+    in
+    Name.Set.filter
+      (fun name ->
+        if
+          t.active = last
+          && Name.Set.mem name t.terminators
+          && Hashtbl.mem t.owners name
+        then active_min_complete t
+        else name_acceptable t last name)
+      candidates
+  end
+
+let space_bits ?name_bits t =
+  let bits_for n =
+    let rec loop n acc = if n = 0 then max acc 1 else loop (n lsr 1) (acc + 1) in
+    loop n 0
+  in
+  Array.fold_left
+    (fun acc frag ->
+      Array.fold_left
+        (fun acc r -> acc + Recognizer.space_bits ?name_bits r)
+        acc frag)
+    (bits_for (Array.length t.fragments + 1))
+    t.fragments
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>active fragment: %d" t.active;
+  Array.iteri
+    (fun i frag ->
+      Format.fprintf ppf "@,F%d:" i;
+      Array.iter (fun r -> Format.fprintf ppf " %a" Recognizer.pp r) frag)
+    t.fragments;
+  Format.fprintf ppf "@]"

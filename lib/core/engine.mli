@@ -1,0 +1,55 @@
+(** Recognizer for a loose-ordering: the synchronous product of the range
+    recognizers of the active fragment, composed sequentially across
+    fragments (paper, Section 6).
+
+    Only the recognizers of the active fragment execute on each event —
+    this is what gives the Drct monitors their
+    [Θ(maxᵢ |α(Fᵢ)|)] per-event time. *)
+
+type outcome =
+  | Progress  (** event consumed within the active fragment *)
+  | Advanced of int
+      (** active fragment completed; the event started fragment [i] *)
+  | Completed
+      (** a terminator completed the whole ordering; all recognizers are
+          idle — call {!reset} or {!reset_with} to start a new round *)
+  | Ignored  (** event outside [α ∪ terminators] *)
+  | Fault of { fragment : int; reason : Diag.reason }
+
+type t
+
+val create : ?ops:int ref -> terminators:Name.Set.t -> Pattern.ordering -> t
+(** The engine is created idle; call {!reset} before stepping. *)
+
+val reset : t -> unit
+(** Start a round with no simultaneous event: the first fragment's
+    recognizers enter [Waiting]. *)
+
+val reset_with : t -> Name.t -> unit
+(** Start a round on an event (the terminator that closed the previous
+    round of a timed pattern, which is also the new round's first
+    event).  Raises [Invalid_argument] if the name is not in the first
+    fragment's alphabet. *)
+
+val step : t -> Name.t -> outcome
+
+val active : t -> int
+(** 0-based index of the active fragment; [-1] when idle. *)
+
+val fragment_states : t -> int -> Recognizer.state list
+val owner : t -> Name.t -> int option
+(** Index of the fragment whose alphabet contains the name. *)
+
+val active_min_complete : t -> bool
+(** The active fragment could complete right now (every recognizer would
+    answer [ok]/[nok] to an [Accept], with at least one [ok]). *)
+
+val acceptable : t -> Name.Set.t
+(** The names whose {!step} would not fault in the current
+    configuration: continuations of the active fragment's open block,
+    first occurrences of its other ranges, and — when the fragment could
+    complete — the next fragment's names (or the terminators).  Empty
+    when the engine is idle. *)
+
+val space_bits : ?name_bits:int -> t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,206 @@
+let shuffle rng l =
+  let arr = Array.of_list l in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let run_length ?(max_run = 8) rng (r : Pattern.range) =
+  let hi = min r.hi (r.lo + max_run) in
+  r.lo + Random.State.int rng (hi - r.lo + 1)
+
+let fragment_word ?max_run rng (f : Pattern.fragment) =
+  let chosen =
+    match f.connective with
+    | Pattern.All -> f.ranges
+    | Pattern.Any ->
+        let picked =
+          List.filter (fun _ -> Random.State.bool rng) f.ranges
+        in
+        if picked = [] then [ List.nth f.ranges (Random.State.int rng (List.length f.ranges)) ]
+        else picked
+  in
+  List.concat_map
+    (fun (r : Pattern.range) ->
+      List.init (run_length ?max_run rng r) (fun _ -> r.name))
+    (shuffle rng chosen)
+
+let ordering_word ?max_run rng ordering =
+  List.concat_map (fragment_word ?max_run rng) ordering
+
+(* Timestamp a name list starting just after [from], with random gaps. *)
+let timestamp rng ~from names =
+  let time = ref from in
+  List.map
+    (fun name ->
+      time := !time + 1 + Random.State.int rng 4;
+      { Trace.name; time = !time })
+    names
+
+(* Timestamp a timed round: premise events close enough together that
+   re-arming the deadline never comes too late (the clock may already be
+   running after an early minimal premise match), then conclusion events
+   spread inside the deadline window that opens at the last premise
+   event. *)
+let timestamp_timed rng ~from (g : Pattern.timed) p_names q_names =
+  (* All premise events of a round fit inside one deadline-sized window:
+     the clock may already be armed by an early minimal match (e.g. one
+     branch of a disjunctive fragment), and every later premise event
+     must still beat that earliest possible deadline. *)
+  let p_events =
+    let t0 = from + 1 + Random.State.int rng 4 in
+    let np = List.length p_names in
+    List.mapi
+      (fun k name ->
+        let time = if k = 0 then t0 else t0 + (g.deadline * k / np) in
+        { Trace.name; time })
+      p_names
+  in
+  let start = match List.rev p_events with e :: _ -> e.Trace.time | [] -> from in
+  let n = List.length q_names in
+  let q_events =
+    List.mapi
+      (fun k name ->
+        let time = start + (g.deadline * (k + 1) / (n + 1)) in
+        { Trace.name; time })
+      q_names
+  in
+  p_events @ q_events
+
+let valid ?(rounds = 3) ?max_run rng p =
+  match p with
+  | Pattern.Antecedent a ->
+      let rounds = if a.repeated then rounds else 1 in
+      let rec loop from acc k =
+        if k = 0 then List.concat (List.rev acc)
+        else
+          let word = ordering_word ?max_run rng a.body @ [ a.trigger ] in
+          let events = timestamp rng ~from word in
+          let from = Trace.end_time events in
+          loop from (events :: acc) (k - 1)
+      in
+      loop 0 [] rounds
+  | Pattern.Timed g ->
+      let rec loop from acc k =
+        if k = 0 then List.concat (List.rev acc)
+        else
+          let p_names = ordering_word ?max_run rng g.premise in
+          let q_names = ordering_word ?max_run rng g.conclusion in
+          let events = timestamp_timed rng ~from g p_names q_names in
+          let from = Trace.end_time events in
+          loop from (events :: acc) (k - 1)
+      in
+      loop 0 [] rounds
+
+type mutation =
+  | Swap_adjacent
+  | Drop_event
+  | Duplicate_event
+  | Inject_trigger
+  | Overflow_run
+  | Delay_conclusion
+
+let mutations = function
+  | Pattern.Antecedent _ ->
+      [ Swap_adjacent; Drop_event; Duplicate_event; Inject_trigger;
+        Overflow_run ]
+  | Pattern.Timed _ ->
+      [ Swap_adjacent; Drop_event; Duplicate_event; Overflow_run;
+        Delay_conclusion ]
+
+(* Re-timestamp after a structural mutation so the trace stays
+   chronological; antecedent semantics ignores time anyway. *)
+let retime tr =
+  List.mapi (fun i (e : Trace.event) -> { e with Trace.time = i + 1 }) tr
+
+let split_at k l =
+  let rec loop acc k = function
+    | rest when k = 0 -> (List.rev acc, rest)
+    | [] -> (List.rev acc, [])
+    | x :: rest -> loop (x :: acc) (k - 1) rest
+  in
+  loop [] k l
+
+let mutate rng mutation p tr =
+  let len = List.length tr in
+  if len = 0 then tr
+  else
+    match mutation with
+    | Swap_adjacent when len >= 2 ->
+        let k = Random.State.int rng (len - 1) in
+        let before, rest = split_at k tr in
+        (match rest with
+        | a :: b :: after -> retime (before @ (b :: a :: after))
+        | [ _ ] | [] -> tr)
+    | Swap_adjacent -> tr
+    | Drop_event ->
+        let k = Random.State.int rng len in
+        let before, rest = split_at k tr in
+        (match rest with
+        | _ :: after -> retime (before @ after)
+        | [] -> tr)
+    | Duplicate_event ->
+        let k = Random.State.int rng len in
+        let before, rest = split_at k tr in
+        (match rest with
+        | e :: after -> retime (before @ (e :: e :: after))
+        | [] -> tr)
+    | Inject_trigger -> (
+        match p with
+        | Pattern.Antecedent a ->
+            let k = Random.State.int rng (len + 1) in
+            let before, after = split_at k tr in
+            retime (before @ (Trace.event a.trigger :: after))
+        | Pattern.Timed _ -> tr)
+    | Overflow_run -> (
+        (* Repeat some event [hi] extra times: the run it belongs to
+           overflows its range. *)
+        let k = Random.State.int rng len in
+        let before, rest = split_at k tr in
+        match rest with
+        | e :: after -> (
+            let ranges =
+              List.concat_map
+                (fun (f : Pattern.fragment) -> f.ranges)
+                (Pattern.body_ordering p)
+            in
+            match
+              List.find_opt
+                (fun (r : Pattern.range) -> Name.equal r.name e.Trace.name)
+                ranges
+            with
+            | Some r ->
+                let copies = List.init (r.hi + 1) (fun _ -> e) in
+                retime (before @ (e :: copies) @ after)
+            | None -> tr)
+        | [] -> tr)
+    | Delay_conclusion -> (
+        match p with
+        | Pattern.Timed g ->
+            (* Push every conclusion event of the last round beyond the
+               deadline window. *)
+            let q_alpha = Pattern.alpha_ordering g.conclusion in
+            let delay = g.deadline + 1 in
+            List.map
+              (fun (e : Trace.event) ->
+                if Name.Set.mem e.name q_alpha then
+                  { e with Trace.time = e.time + delay }
+                else e)
+              tr
+        | Pattern.Antecedent _ -> tr)
+
+let violating ?(attempts = 50) rng p =
+  let candidates = mutations p in
+  let pick l = List.nth l (Random.State.int rng (List.length l)) in
+  let rec loop k =
+    if k = 0 then None
+    else
+      let base = valid ~rounds:(1 + Random.State.int rng 3) rng p in
+      let tr = mutate rng (pick candidates) p base in
+      if Trace.is_chronological tr && not (Semantics.holds p tr) then Some tr
+      else loop (k - 1)
+  in
+  loop attempts

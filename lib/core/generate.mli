@@ -1,0 +1,47 @@
+(** Random sequence generation from loose-ordering patterns.
+
+    This implements the paper's announced future work ("a translation of
+    the patterns into some code for generating random sequences"),
+    closing the ABV loop of Fig. 1: the same pattern drives both the
+    stimuli generator and the assertion checker.
+
+    All generators are deterministic functions of the supplied
+    [Random.State.t]. *)
+
+val fragment_word : ?max_run:int -> Random.State.t -> Pattern.fragment ->
+  Name.t list
+(** A word of [L(F)]: a random admissible subset of ranges ([∧]: all),
+    shuffled, each with a random count in [[lo, min hi (lo+max_run)]]
+    ([max_run] defaults to 8; it caps huge ranges like [n[100,60000]]
+    while still exercising the bounds). *)
+
+val ordering_word : ?max_run:int -> Random.State.t -> Pattern.ordering ->
+  Name.t list
+(** A word of [L(F1 < ... < Fq)]. *)
+
+val valid : ?rounds:int -> ?max_run:int -> Random.State.t -> Pattern.t ->
+  Trace.t
+(** A trace satisfying the pattern: [rounds] (default 3) complete
+    recognition rounds.  Timestamps increase randomly; for a timed
+    pattern the conclusion of each round is scheduled within its
+    deadline. *)
+
+type mutation =
+  | Swap_adjacent  (** exchange two adjacent events *)
+  | Drop_event  (** remove one event *)
+  | Duplicate_event  (** repeat one event in place *)
+  | Inject_trigger  (** insert the antecedent trigger at a random spot *)
+  | Overflow_run  (** extend a block beyond its upper bound *)
+  | Delay_conclusion  (** push a round's conclusion past the deadline *)
+
+val mutations : Pattern.t -> mutation list
+(** The mutations applicable to this kind of pattern. *)
+
+val mutate : Random.State.t -> mutation -> Pattern.t -> Trace.t -> Trace.t
+(** Apply one mutation (the result is not guaranteed to violate the
+    pattern — check with {!Semantics.holds}). *)
+
+val violating : ?attempts:int -> Random.State.t -> Pattern.t -> Trace.t option
+(** Generate a trace that violates the pattern, by mutating valid traces
+    until {!Semantics.holds} rejects one (up to [attempts] tries,
+    default 50). *)

@@ -1,0 +1,49 @@
+let names = List.map Name.v
+
+let config_before_commit ?(repeated = false) ~registers ~commit () =
+  Pattern.antecedent ~repeated
+    [ Pattern.fragment (List.map Pattern.range (names registers)) ]
+    ~trigger:(Name.v commit)
+
+let handshake ~req ~ack ~within =
+  Pattern.timed
+    [ Pattern.single (Name.v req) ]
+    [ Pattern.single (Name.v ack) ]
+    ~deadline:within
+
+let burst ~trigger ~beat ~lo ~hi ~done_ ~within =
+  Pattern.timed
+    [ Pattern.single (Name.v trigger) ]
+    [
+      Pattern.fragment [ Pattern.range ~lo ~hi (Name.v beat) ];
+      Pattern.single (Name.v done_);
+    ]
+    ~deadline:within
+
+let any_of_before ?(repeated = false) ~choices ~trigger () =
+  Pattern.antecedent ~repeated
+    [
+      Pattern.fragment ~connective:Pattern.Any
+        (List.map Pattern.range (names choices));
+    ]
+    ~trigger:(Name.v trigger)
+
+let staged_startup ~stages ~go =
+  Pattern.antecedent
+    (List.map
+       (fun stage -> Pattern.fragment (List.map Pattern.range (names stage)))
+       stages)
+    ~trigger:(Name.v go)
+
+let axi_write ?(aw = "aw_valid") ?(w = "w_valid") ?(b = "b_valid") ~within ()
+    =
+  Pattern.timed
+    [ Pattern.fragment (List.map Pattern.range (names [ aw; w ])) ]
+    [ Pattern.single (Name.v b) ]
+    ~deadline:within
+
+let producer_consumer ~push ~pop ~depth =
+  if depth < 1 then invalid_arg "Idioms.producer_consumer: depth must be >= 1";
+  Pattern.antecedent ~repeated:true
+    [ Pattern.fragment [ Pattern.range ~lo:1 ~hi:depth (Name.v push) ] ]
+    ~trigger:(Name.v pop)

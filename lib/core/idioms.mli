@@ -1,0 +1,56 @@
+(** A library of recurring loose-ordering property shapes.
+
+    Hardware interface contracts keep re-using the same few shapes: some
+    configuration in any order before a commit point, a request followed
+    by a bounded burst and a completion, independent channels that must
+    all deliver before a response.  This module names those shapes once,
+    so property suites read as intent rather than as raw patterns.
+
+    All functions raise [Invalid_argument]/{!Wellformed.Ill_formed} like
+    the underlying {!Pattern} constructors when given nonsense (empty
+    register lists, duplicate names, negative deadlines...). *)
+
+val config_before_commit :
+  ?repeated:bool -> registers:string list -> commit:string -> unit -> Pattern.t
+(** The case study's Example 2 shape: every [register] written at least
+    once, any order, before [commit].  [repeated] (default false)
+    demands a fresh configuration before every commit. *)
+
+val handshake : req:string -> ack:string -> within:int -> Pattern.t
+(** [(req ⇒ ack, within)] — every request acknowledged in time. *)
+
+val burst :
+  trigger:string ->
+  beat:string ->
+  lo:int ->
+  hi:int ->
+  done_:string ->
+  within:int ->
+  Pattern.t
+(** The case study's Example 3 shape:
+    [(trigger ⇒ beat[lo,hi] < done_, within)]. *)
+
+val any_of_before :
+  ?repeated:bool -> choices:string list -> trigger:string -> unit -> Pattern.t
+(** At least one of [choices] (in any combination) must precede
+    [trigger] — a disjunctive antecedent. *)
+
+val staged_startup : stages:string list list -> go:string -> Pattern.t
+(** Bring-up in phases: each stage is a set of actions in any order, the
+    stages strictly ordered, all before [go].  E.g.
+    [staged_startup ~stages:[["pll_en"]; ["clk_a"; "clk_b"]] ~go:"release_reset"]. *)
+
+val axi_write :
+  ?aw:string -> ?w:string -> ?b:string -> within:int -> unit -> Pattern.t
+(** The AXI4-Lite write transaction as a loose-ordering: the address
+    ([aw], default ["aw_valid"]) and data ([w], default ["w_valid"])
+    handshakes happen in either order, then the response ([b], default
+    ["b_valid"]) follows within the deadline:
+    [({aw, w}, ∧) ⇒ b within t]. *)
+
+val producer_consumer :
+  push:string -> pop:string -> depth:int -> Pattern.t
+(** A FIFO of capacity [depth] must be popped before it can have been
+    pushed more than [depth] times in a row:
+    [(push[1,depth] << pop, repeated)] — each pop requires between 1 and
+    [depth] preceding pushes since the last pop. *)

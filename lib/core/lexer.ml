@@ -1,0 +1,88 @@
+type token =
+  | NAME of string
+  | INT of int
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | PIPE
+  | LT
+  | LTLT
+  | LTLTBANG
+  | IMPLIES
+  | WITHIN
+  | EOF
+
+type located = { token : token; position : int }
+
+exception Lex_error of { message : string; position : int }
+
+let error position fmt =
+  Format.kasprintf (fun message -> raise (Lex_error { message; position })) fmt
+
+let is_name_char = function
+  | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '.' | '-' -> true
+  | _ -> false
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+let tokenize src =
+  let n = String.length src in
+  let rec scan i acc =
+    if i >= n then List.rev ({ token = EOF; position = n } :: acc)
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> scan (i + 1) acc
+      | '{' -> scan (i + 1) ({ token = LBRACE; position = i } :: acc)
+      | '}' -> scan (i + 1) ({ token = RBRACE; position = i } :: acc)
+      | '[' -> scan (i + 1) ({ token = LBRACKET; position = i } :: acc)
+      | ']' -> scan (i + 1) ({ token = RBRACKET; position = i } :: acc)
+      | ',' -> scan (i + 1) ({ token = COMMA; position = i } :: acc)
+      | '|' -> scan (i + 1) ({ token = PIPE; position = i } :: acc)
+      | '=' ->
+          if i + 1 < n && src.[i + 1] = '>' then
+            scan (i + 2) ({ token = IMPLIES; position = i } :: acc)
+          else error i "expected '=>'"
+      | '<' ->
+          if i + 2 < n && src.[i + 1] = '<' && src.[i + 2] = '!' then
+            scan (i + 3) ({ token = LTLTBANG; position = i } :: acc)
+          else if i + 1 < n && src.[i + 1] = '<' then
+            scan (i + 2) ({ token = LTLT; position = i } :: acc)
+          else scan (i + 1) ({ token = LT; position = i } :: acc)
+      | c when is_digit c ->
+          let j = ref i in
+          while !j < n && is_digit src.[!j] do
+            incr j
+          done;
+          let text = String.sub src i (!j - i) in
+          (match int_of_string_opt text with
+          | Some value -> scan !j ({ token = INT value; position = i } :: acc)
+          | None -> error i "number %s out of range" text)
+      | c when is_name_char c ->
+          let j = ref i in
+          while !j < n && is_name_char src.[!j] do
+            incr j
+          done;
+          let text = String.sub src i (!j - i) in
+          let token = if text = "within" then WITHIN else NAME text in
+          scan !j ({ token; position = i } :: acc)
+      | c -> error i "unexpected character %C" c
+  in
+  scan 0 []
+
+let pp_token ppf = function
+  | NAME s -> Format.fprintf ppf "name %s" s
+  | INT n -> Format.fprintf ppf "integer %d" n
+  | LBRACE -> Format.pp_print_string ppf "'{'"
+  | RBRACE -> Format.pp_print_string ppf "'}'"
+  | LBRACKET -> Format.pp_print_string ppf "'['"
+  | RBRACKET -> Format.pp_print_string ppf "']'"
+  | COMMA -> Format.pp_print_string ppf "','"
+  | PIPE -> Format.pp_print_string ppf "'|'"
+  | LT -> Format.pp_print_string ppf "'<'"
+  | LTLT -> Format.pp_print_string ppf "'<<'"
+  | LTLTBANG -> Format.pp_print_string ppf "'<<!'"
+  | IMPLIES -> Format.pp_print_string ppf "'=>'"
+  | WITHIN -> Format.pp_print_string ppf "keyword 'within'"
+  | EOF -> Format.pp_print_string ppf "end of input"

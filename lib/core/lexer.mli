@@ -1,0 +1,28 @@
+(** Tokenizer for the concrete pattern syntax (see {!Parser}). *)
+
+type token =
+  | NAME of string
+  | INT of int
+  | LBRACE  (** [{] *)
+  | RBRACE  (** [}] *)
+  | LBRACKET  (** [[] *)
+  | RBRACKET  (** []] *)
+  | COMMA  (** [,] *)
+  | PIPE  (** [|] *)
+  | LT  (** [<] *)
+  | LTLT  (** [<<] *)
+  | LTLTBANG  (** [<<!] *)
+  | IMPLIES  (** [=>] *)
+  | WITHIN  (** keyword [within] *)
+  | EOF
+
+type located = { token : token; position : int }
+(** [position] is a 0-based byte offset into the source. *)
+
+exception Lex_error of { message : string; position : int }
+
+val tokenize : string -> located list
+(** Raises {!Lex_error} on an unexpected character or malformed
+    number. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,112 @@
+type severity = Info | Warning
+
+type finding = { severity : severity; code : string; message : string }
+
+let finding severity code fmt =
+  Format.kasprintf (fun message -> { severity; code; message }) fmt
+
+(* Lower bound on the number of events a full match of the ordering
+   needs. *)
+let min_events ordering =
+  List.fold_left
+    (fun acc (f : Pattern.fragment) ->
+      acc
+      +
+      match f.connective with
+      | Pattern.All ->
+          List.fold_left (fun a (r : Pattern.range) -> a + r.lo) 0 f.ranges
+      | Pattern.Any ->
+          List.fold_left
+            (fun a (r : Pattern.range) -> min a r.lo)
+            max_int f.ranges)
+    0 ordering
+
+(* Estimated explicit product state count: each range contributes
+   roughly its counter span plus its waiting states; capped to avoid
+   overflow theatrics. *)
+let state_estimate p =
+  let cap = 1_000_000_000 in
+  List.fold_left
+    (fun acc (f : Pattern.fragment) ->
+      List.fold_left
+        (fun acc (r : Pattern.range) ->
+          let states = r.hi + 3 in
+          if acc > cap / states then cap else acc * states)
+        acc f.ranges)
+    1 (Pattern.body_ordering p)
+
+let lint p =
+  Wellformed.check_exn p;
+  let ordering = Pattern.body_ordering p in
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  List.iter
+    (fun (f : Pattern.fragment) ->
+      (match (f.connective, f.ranges) with
+      | Pattern.Any, [ r ] ->
+          add
+            (finding Warning "singleton-disjunction"
+               "fragment {%a | } has a single range; '|' and ',' are \
+                equivalent here - was a larger choice intended?"
+               Pattern.pp_range r)
+      | (Pattern.Any | Pattern.All), _ -> ());
+      List.iter
+        (fun (r : Pattern.range) ->
+          let width = r.hi - r.lo + 1 in
+          if width > 1024 then
+            add
+              (finding Warning "wide-range"
+                 "range %a expands to %d PSL names; any PSL-based flow \
+                  will explode (the Drct monitor is unaffected)"
+                 Pattern.pp_range r width);
+          if r.hi > 100_000 then
+            add
+              (finding Info "huge-counter"
+                 "range %a needs a %d-bit counter" Pattern.pp_range r
+                 (let rec bits n acc =
+                    if n = 0 then acc else bits (n lsr 1) (acc + 1)
+                  in
+                  bits r.hi 0)))
+        f.ranges)
+    ordering;
+  (match p with
+  | Pattern.Timed g ->
+      let needed = min_events g.conclusion in
+      if g.deadline = 0 then
+        add
+          (finding Warning "zero-deadline"
+             "deadline 0 forces the whole conclusion to happen at the \
+              premise's final timestamp")
+      else if needed > 1 && g.deadline < needed - 1 then
+        add
+          (finding Warning "tight-deadline"
+             "the conclusion needs at least %d events but the deadline \
+              allows only %d time units - satisfiable only with \
+              simultaneous events"
+             needed g.deadline)
+  | Pattern.Antecedent a ->
+      if not a.repeated then
+        add
+          (finding Info "unbounded-trigger"
+             "non-repeated antecedent: after the first '%a' the property \
+              never fails again (use '<<!' to check every occurrence)"
+             Name.pp a.trigger));
+  let states = state_estimate p in
+  if states > 64 then
+    add
+      (finding Info "state-space"
+         "an explicit product monitor would need ~%d states; the modular \
+          monitors stay at %d stored bits"
+         states (Cost.drct p).Cost.space_bits);
+  let order = function Warning -> 0 | Info -> 1 in
+  List.stable_sort
+    (fun a b -> compare (order a.severity) (order b.severity))
+    (List.rev !findings)
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s[%s]: %s"
+    (match f.severity with Warning -> "warning" | Info -> "info")
+    f.code f.message
+
+let pp ppf findings =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_finding ppf findings

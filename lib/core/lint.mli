@@ -1,0 +1,40 @@
+(** A linter for loose-ordering patterns.
+
+    Well-formedness ({!Wellformed}) rejects meaningless patterns; the
+    linter flags {e legal but suspicious} ones — specifications that are
+    weaker, stricter or more expensive than their author probably
+    intended.  Codes are stable strings suitable for suppression lists
+    in build tooling. *)
+
+type severity = Info | Warning
+
+type finding = {
+  severity : severity;
+  code : string;  (** e.g. ["wide-range"] *)
+  message : string;
+}
+
+val lint : Pattern.t -> finding list
+(** Findings in a stable order (warnings first).  Raises
+    {!Wellformed.Ill_formed} on an ill-formed pattern.
+
+    Current checks:
+    - [singleton-disjunction] (warning): a [∨] fragment with one range
+      is the same as [∧] — probably a typo for a larger choice;
+    - [zero-deadline] (warning): a deadline of 0 forces the whole
+      conclusion to share the premise's last timestamp;
+    - [tight-deadline] (warning): the conclusion needs at least [k]
+      events but the deadline allows fewer time units than [k-1] —
+      satisfiable only with simultaneous events;
+    - [wide-range] (warning): a range wider than 1024 makes any
+      PSL-based toolchain infeasible (the paper's point) — harmless for
+      the Drct monitors but worth knowing;
+    - [huge-counter] (info): a bound above 100000 costs extra counter
+      bits;
+    - [state-space] (info): estimated explicit product states, when the
+      modular monitor is replaced by a materialized DFA;
+    - [unbounded-trigger] (info): a non-repeated antecedent stops
+      checking after the first trigger — often [<<!] was meant. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+val pp : Format.formatter -> finding list -> unit

@@ -1,0 +1,237 @@
+type verdict = Running | Satisfied | Violated of Diag.violation
+type mode = Lenient | Strict
+
+type kind =
+  | Antecedent_kind of { repeated : bool }
+  | Timed_kind of { premise_last : int; last : int; deadline : int }
+
+type t = {
+  pattern : Pattern.t;
+  alpha : Name.Set.t;
+  engine : Engine.t;
+  kind : kind;
+  mode : mode;
+  ops : int ref;
+  mutable verdict : verdict;
+  mutable index : int;  (* events consumed *)
+  mutable last_time : int;
+  mutable started : int option;  (* timed: latest end-of-premise stamp *)
+  mutable q_done : bool;  (* timed: conclusion minimally recognized *)
+}
+
+let create ?(mode = Lenient) ?(ops = ref 0) pattern =
+  Wellformed.check_exn pattern;
+  let kind =
+    match pattern with
+    | Pattern.Antecedent a -> Antecedent_kind { repeated = a.repeated }
+    | Pattern.Timed g ->
+        Timed_kind
+          {
+            premise_last = List.length g.premise - 1;
+            last = List.length g.premise + List.length g.conclusion - 1;
+            deadline = g.deadline;
+          }
+  in
+  let engine =
+    Engine.create ~ops
+      ~terminators:(Context.terminators pattern)
+      (Pattern.body_ordering pattern)
+  in
+  Engine.reset engine;
+  {
+    pattern;
+    alpha = Pattern.alpha pattern;
+    engine;
+    kind;
+    mode;
+    ops;
+    verdict = Running;
+    index = 0;
+    last_time = 0;
+    started = None;
+    q_done = false;
+  }
+
+let pattern t = t.pattern
+let verdict t = t.verdict
+
+let violate t ?name ~time ~index reason =
+  let v =
+    {
+      Diag.name;
+      time;
+      index;
+      fragment = max (Engine.active t.engine) 0;
+      reason;
+    }
+  in
+  t.verdict <- Violated v;
+  t.verdict
+
+let armed_deadline t =
+  match (t.kind, t.started) with
+  | Timed_kind { deadline; _ }, Some started when not t.q_done ->
+      Some (started, started + deadline)
+  | Timed_kind _, (Some _ | None) | Antecedent_kind _, _ -> None
+
+let check_time t ~now =
+  match t.verdict with
+  | Satisfied | Violated _ -> t.verdict
+  | Running -> (
+      match armed_deadline t with
+      | Some (started, deadline) when now > deadline ->
+          violate t ~time:deadline ~index:(-1)
+            (Diag.Deadline_miss { started; deadline; now })
+      | Some _ | None -> t.verdict)
+
+let next_deadline t =
+  match t.verdict with
+  | Satisfied | Violated _ -> None
+  | Running -> Option.map snd (armed_deadline t)
+
+(* After an event was consumed without fault, refresh the timed state:
+   re-arm the deadline while the premise keeps min-completing, latch the
+   conclusion's first min-completion. *)
+let refresh_timed t ~premise_last ~last ~time =
+  let active = Engine.active t.engine in
+  if active = premise_last && Engine.active_min_complete t.engine then
+    t.started <- Some time
+  else if
+    active = last && (not t.q_done) && Engine.active_min_complete t.engine
+  then t.q_done <- true
+
+let step t (e : Trace.event) =
+  match t.verdict with
+  | Satisfied | Violated _ -> t.verdict
+  | Running -> (
+      if not (Name.Set.mem e.name t.alpha) then
+        match t.mode with
+        | Lenient -> t.verdict
+        | Strict ->
+            violate t ~name:e.name ~time:e.time ~index:t.index
+              (Diag.Foreign e.name)
+      else begin
+        let index = t.index in
+        t.index <- t.index + 1;
+        t.last_time <- e.time;
+        (* Deadline checks come first: time reaching the deadline with an
+           unfinished conclusion is a violation no matter what the event
+           is, and conclusion events beyond the deadline arrive too
+           late even if the conclusion already min-completed. *)
+        let late =
+          match (t.kind, armed_deadline t) with
+          | _, Some (started, deadline) when e.time > deadline ->
+              Some
+                (violate t ~name:e.name ~time:e.time ~index
+                   (Diag.Deadline_miss { started; deadline; now = e.time }))
+          | Timed_kind { premise_last; deadline; _ }, None -> (
+              match t.started with
+              | Some started
+                when t.q_done
+                     && e.time > started + deadline
+                     && (match Engine.owner t.engine e.name with
+                        | Some f -> f > premise_last
+                        | None -> false) ->
+                  Some
+                    (violate t ~name:e.name ~time:e.time ~index
+                       (Diag.Late_conclusion
+                          { deadline = started + deadline; at = e.time }))
+              | Some _ | None -> None)
+          | (Antecedent_kind _ | Timed_kind _), (Some _ | None) -> None
+        in
+        match late with
+        | Some verdict -> verdict
+        | None -> (
+            match Engine.step t.engine e.name with
+            | Engine.Fault { fragment; reason } ->
+                let v =
+                  { Diag.name = Some e.name; time = e.time; index; fragment;
+                    reason }
+                in
+                t.verdict <- Violated v;
+                t.verdict
+            | Engine.Ignored ->
+                (* Alphabet events always have an owner or are
+                   terminators. *)
+                assert false
+            | Engine.Completed -> (
+                match t.kind with
+                | Antecedent_kind { repeated } ->
+                    if repeated then (
+                      Engine.reset t.engine;
+                      t.verdict)
+                    else (
+                      t.verdict <- Satisfied;
+                      t.verdict)
+                | Timed_kind { premise_last; last; _ } ->
+                    (* The terminator is also the first event of the next
+                       round. *)
+                    Engine.reset_with t.engine e.name;
+                    t.started <- None;
+                    t.q_done <- false;
+                    refresh_timed t ~premise_last ~last ~time:e.time;
+                    t.verdict)
+            | Engine.Progress | Engine.Advanced _ -> (
+                match t.kind with
+                | Antecedent_kind _ -> t.verdict
+                | Timed_kind { premise_last; last; _ } ->
+                    refresh_timed t ~premise_last ~last ~time:e.time;
+                    t.verdict))
+      end)
+
+let step_name ?time t name =
+  let time = match time with Some time -> time | None -> t.last_time in
+  step t { Trace.name; time }
+
+let finalize t ~now = check_time t ~now
+
+let run ?mode ?final_time pattern tr =
+  let t = create ?mode pattern in
+  let rec feed = function
+    | [] -> ()
+    | e :: rest -> (
+        match step t e with
+        | Running | Satisfied -> feed rest
+        | Violated _ -> ())
+    in
+  feed tr;
+  let final_time =
+    match final_time with Some ft -> ft | None -> Trace.end_time tr
+  in
+  finalize t ~now:final_time
+
+let accepts ?final_time pattern tr =
+  match run ?final_time pattern tr with
+  | Running | Satisfied -> true
+  | Violated _ -> false
+
+let ops t = !(t.ops)
+let reset_ops t = t.ops := 0
+
+let space_bits t =
+  let timed_bits =
+    match t.kind with
+    | Timed_kind _ -> (2 * 64) + 2 (* start/stop stamps + 2 status flags *)
+    | Antecedent_kind _ -> 2 (* satisfied + repeated flags *)
+  in
+  Engine.space_bits t.engine + timed_bits
+
+let acceptable t =
+  match t.verdict with
+  | Satisfied -> t.alpha
+  | Violated _ -> Name.Set.empty
+  | Running -> Engine.acceptable t.engine
+
+let active_fragment t = Engine.active t.engine
+
+let fragment_states t =
+  List.init (Pattern.fragment_count t.pattern) (Engine.fragment_states t.engine)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>monitor for %a@,verdict: %s@,%a@]" Pattern.pp
+    t.pattern
+    (match t.verdict with
+    | Running -> "running"
+    | Satisfied -> "satisfied"
+    | Violated v -> Diag.violation_to_string v)
+    Engine.pp t.engine

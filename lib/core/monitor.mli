@@ -1,0 +1,86 @@
+(** Direct SystemC-style monitors for loose-ordering patterns
+    (the paper's Drct strategy, Section 6).
+
+    A monitor consumes the timed event stream observed at a component's
+    interface and reports a {!verdict}.  Violations are reported as soon
+    as a prefix can no longer be extended into a correct behaviour
+    (safety semantics); the timed-implication deadline additionally
+    needs either timed events or {!check_time}/{!finalize} polls to be
+    detected, exactly like the [sc_time]-based monitor of the paper.
+
+    Timed-implication semantics (the paper leaves corner cases open; see
+    DESIGN.md): the deadline clock starts — and re-arms — at every
+    premise event after which the premise is minimally recognized ("the
+    end of P"); the conclusion must reach its own minimal recognition
+    within [t] time units of that point, and every event of the
+    conclusion's occurrence must also happen within the deadline. *)
+
+type verdict =
+  | Running  (** no violation so far; obligations may be pending *)
+  | Satisfied
+      (** non-repeated antecedent discharged: no violation can ever occur *)
+  | Violated of Diag.violation
+
+type mode =
+  | Lenient  (** events outside [α(pattern)] are ignored (default) *)
+  | Strict  (** events outside [α(pattern)] are violations *)
+
+type t
+
+val create : ?mode:mode -> ?ops:int ref -> Pattern.t -> t
+(** Raises {!Wellformed.Ill_formed} on an ill-formed pattern. *)
+
+val pattern : t -> Pattern.t
+val verdict : t -> verdict
+
+val step : t -> Trace.event -> verdict
+(** Consume one event.  After a verdict other than {!Running}, further
+    events are ignored and the verdict is sticky. *)
+
+val step_name : ?time:int -> t -> Name.t -> verdict
+(** [step_name m n] is [step m { name = n; time }]; [time] defaults to
+    the time of the previous event (0 initially). *)
+
+val check_time : t -> now:int -> verdict
+(** Report a deadline miss if simulation time [now] exceeds an armed
+    deadline with the conclusion unfinished.  No-op on antecedents. *)
+
+val next_deadline : t -> int option
+(** The earliest simulation time at which {!check_time} could report a
+    violation — for scheduling a timeout in a simulation host. *)
+
+val finalize : t -> now:int -> verdict
+(** End of observation at time [now]: a final {!check_time}. *)
+
+val run : ?mode:mode -> ?final_time:int -> Pattern.t -> Trace.t -> verdict
+(** Feed a whole trace then {!finalize} (at the trace's end time by
+    default). *)
+
+val accepts : ?final_time:int -> Pattern.t -> Trace.t -> bool
+(** [accepts p tr] is [true] iff {!run} does not report a violation. *)
+
+val ops : t -> int
+(** Elementary operations executed so far (the paper's time metric). *)
+
+val reset_ops : t -> unit
+
+val space_bits : t -> int
+(** Bits of monitor storage (the paper's space metric): recognizer
+    states, counters, stored contexts, the active-fragment index and —
+    for timed patterns — the two time stamps. *)
+
+val active_fragment : t -> int
+(** 0-based index of the active fragment ([-1] once satisfied). *)
+
+val fragment_states : t -> Recognizer.state list list
+(** Current recognizer states, per fragment then per range — exposed
+    for coverage collection. *)
+
+val acceptable : t -> Name.Set.t
+(** The alphabet names the monitor would tolerate as the next event: the
+    whole alphabet once satisfied, nothing once violated, and otherwise
+    the continuations the recognizers allow.  Time is not modelled: for
+    a timed pattern an "acceptable" event can still miss the deadline if
+    it arrives too late. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,32 @@
+type t = string
+
+let valid_char = function
+  | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '.' | '-' -> true
+  | _ -> false
+
+let v s =
+  if String.length s = 0 then invalid_arg "Name.v: empty name";
+  String.iter
+    (fun c ->
+      if not (valid_char c) then
+        invalid_arg (Printf.sprintf "Name.v: invalid character %C in %S" c s))
+    s;
+  s
+
+let to_string s = s
+let equal = String.equal
+let compare = String.compare
+let hash = Hashtbl.hash
+let pp = Format.pp_print_string
+
+module Set = Set.Make (String)
+module Map = Map.Make (String)
+
+let set_of_list names = Set.of_list names
+
+let pp_set ppf set =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp)
+    (Set.elements set)

@@ -1,0 +1,24 @@
+(** Interface action names.
+
+    A name designates one observable action on the input/output interface
+    [(I, O)] of a TL component (e.g. [set_imgAddr], [start], [read_img]).
+    Patterns, traces and monitors are all written over names. *)
+
+type t = private string
+
+val v : string -> t
+(** [v s] is the name [s].  Raises [Invalid_argument] if [s] is empty or
+    contains characters outside [A-Za-z0-9_.-] (names must be printable
+    identifiers so that the concrete syntax round-trips). *)
+
+val to_string : t -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_of_list : t list -> Set.t
+val pp_set : Format.formatter -> Set.t -> unit

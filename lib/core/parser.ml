@@ -1,0 +1,162 @@
+type error = { message : string; position : int }
+
+let pp_error ppf e =
+  Format.fprintf ppf "parse error at offset %d: %s" e.position e.message
+
+exception Fail of error
+
+let token_string token = Format.asprintf "%a" Lexer.pp_token token
+
+let fail position fmt =
+  Format.kasprintf (fun message -> raise (Fail { message; position })) fmt
+
+(* A mutable cursor over the token list keeps the recursive-descent
+   rules short. *)
+type cursor = { mutable tokens : Lexer.located list }
+
+let peek cur =
+  match cur.tokens with
+  | t :: _ -> t
+  | [] -> { Lexer.token = Lexer.EOF; position = 0 }
+
+let advance cur =
+  match cur.tokens with _ :: rest -> cur.tokens <- rest | [] -> ()
+
+let expect cur token describe =
+  let t = peek cur in
+  if t.Lexer.token = token then advance cur
+  else
+    fail t.Lexer.position "expected %s, found %s" describe
+      (token_string t.Lexer.token)
+
+let parse_name cur =
+  let t = peek cur in
+  match t.Lexer.token with
+  | Lexer.NAME s -> (
+      advance cur;
+      match Name.v s with
+      | name -> name
+      | exception Invalid_argument msg -> fail t.Lexer.position "%s" msg)
+  | other ->
+      fail t.Lexer.position "expected a name, found %s" (token_string other)
+
+let parse_int cur =
+  let t = peek cur in
+  match t.Lexer.token with
+  | Lexer.INT n ->
+      advance cur;
+      n
+  | other ->
+      fail t.Lexer.position "expected an integer, found %s"
+        (token_string other)
+
+let parse_range cur =
+  let t = peek cur in
+  let name = parse_name cur in
+  match (peek cur).Lexer.token with
+  | Lexer.LBRACKET -> (
+      advance cur;
+      let lo = parse_int cur in
+      expect cur Lexer.COMMA "','";
+      let hi = parse_int cur in
+      expect cur Lexer.RBRACKET "']'";
+      match Pattern.range ~lo ~hi name with
+      | r -> r
+      | exception Invalid_argument msg -> fail t.Lexer.position "%s" msg)
+  | _ -> Pattern.range name
+
+let parse_fragment cur =
+  match (peek cur).Lexer.token with
+  | Lexer.LBRACE -> (
+      let open_pos = (peek cur).Lexer.position in
+      advance cur;
+      let first = parse_range cur in
+      let rec more connective acc =
+        match (peek cur).Lexer.token with
+        | Lexer.COMMA when connective <> Some Pattern.Any ->
+            advance cur;
+            more (Some Pattern.All) (parse_range cur :: acc)
+        | Lexer.PIPE when connective <> Some Pattern.All ->
+            advance cur;
+            more (Some Pattern.Any) (parse_range cur :: acc)
+        | Lexer.COMMA | Lexer.PIPE ->
+            fail (peek cur).Lexer.position
+              "cannot mix ',' and '|' in one fragment"
+        | Lexer.RBRACE ->
+            advance cur;
+            (connective, List.rev acc)
+        | _ ->
+            fail (peek cur).Lexer.position
+              "expected ',', '|' or '}' in fragment"
+      in
+      let connective, ranges = more None [ first ] in
+      let connective = Option.value connective ~default:Pattern.All in
+      match Pattern.fragment ~connective ranges with
+      | f -> f
+      | exception Invalid_argument msg -> fail open_pos "%s" msg)
+  | _ -> Pattern.fragment [ parse_range cur ]
+
+let parse_ordering cur =
+  let rec loop acc =
+    match (peek cur).Lexer.token with
+    | Lexer.LT ->
+        advance cur;
+        loop (parse_fragment cur :: acc)
+    | _ -> List.rev acc
+  in
+  loop [ parse_fragment cur ]
+
+let check_wellformed position p =
+  match Wellformed.check p with
+  | Ok () -> p
+  | Error errs ->
+      fail position "%s"
+        (String.concat "; " (List.map Wellformed.error_to_string errs))
+
+let parse_pattern cur =
+  let start_pos = (peek cur).Lexer.position in
+  let first = parse_ordering cur in
+  let t = peek cur in
+  match t.Lexer.token with
+  | Lexer.LTLT | Lexer.LTLTBANG ->
+      let repeated = t.Lexer.token = Lexer.LTLTBANG in
+      advance cur;
+      let trigger = parse_name cur in
+      expect cur Lexer.EOF "end of input";
+      check_wellformed start_pos
+        (Pattern.antecedent ~repeated first ~trigger)
+  | Lexer.IMPLIES -> (
+      advance cur;
+      let conclusion = parse_ordering cur in
+      expect cur Lexer.WITHIN "keyword 'within'";
+      let deadline = parse_int cur in
+      expect cur Lexer.EOF "end of input";
+      match Pattern.timed first conclusion ~deadline with
+      | p -> check_wellformed start_pos p
+      | exception Invalid_argument msg -> fail t.Lexer.position "%s" msg)
+  | other ->
+      fail t.Lexer.position "expected '<<', '<<!' or '=>', found %s"
+        (token_string other)
+
+let with_cursor f src =
+  match Lexer.tokenize src with
+  | tokens -> (
+      let cur = { tokens } in
+      match f cur with v -> Ok v | exception Fail e -> Error e)
+  | exception Lexer.Lex_error { message; position } ->
+      Error { message; position }
+
+let pattern src = with_cursor parse_pattern src
+
+let ordering src =
+  with_cursor
+    (fun cur ->
+      let o = parse_ordering cur in
+      expect cur Lexer.EOF "end of input";
+      o)
+    src
+
+let pattern_exn src =
+  match pattern src with
+  | Ok p -> p
+  | Error e -> invalid_arg (Format.asprintf "%a" pp_error e)

@@ -1,0 +1,33 @@
+(** Parser for the concrete pattern syntax.
+
+    Grammar (whitespace-insensitive):
+    {v
+    pattern   ::= ordering "<<" name            non-repeated antecedent
+                | ordering "<<!" name           repeated antecedent
+                | ordering "=>" ordering "within" int
+    ordering  ::= fragment ("<" fragment)*
+    fragment  ::= range
+                | "{" range ("," range)* "}"    conjunctive (∧)
+                | "{" range ("|" range)+ "}"    disjunctive (∨)
+    range     ::= name ("[" int "," int "]")?   bounds default to [1,1]
+    v}
+
+    Examples:
+    - [{set_imgAddr, set_glAddr, set_glSize} << start]
+    - [start => read_img[100,60000] < set_irq within 60000]
+    - [{n1, n2} < {n3[2,8] | n4} < n5 << i] (the Fig. 4 property)
+
+    The printer {!Pattern.pp} emits this same syntax, and parsing is a
+    left inverse of printing. *)
+
+type error = { message : string; position : int }
+
+val pp_error : Format.formatter -> error -> unit
+
+val pattern : string -> (Pattern.t, error) result
+(** Parse and well-formedness-check a pattern. *)
+
+val ordering : string -> (Pattern.ordering, error) result
+
+val pattern_exn : string -> Pattern.t
+(** Raises [Invalid_argument] with the rendered error. *)

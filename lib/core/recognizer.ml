@@ -1,0 +1,120 @@
+type state =
+  | Idle
+  | Waiting
+  | Waiting_started
+  | Counting of int
+  | Done_counting of int
+  | Failed
+
+type output = Quiet | Ok | Nok | Err of Diag.reason
+
+type t = { ctx : Context.t; mutable state : state; ops : int ref }
+
+let create ?(ops = ref 0) ctx = { ctx; state = Idle; ops }
+let context t = t.ctx
+let state t = t.state
+let tick t n = t.ops := !(t.ops) + n
+
+let start t =
+  tick t 1;
+  t.state <- Waiting
+
+let start_with t category =
+  tick t 2;
+  match category with
+  | Context.Self -> t.state <- Counting 1
+  | Context.Current -> t.state <- Waiting_started
+  | Context.Before | Context.Accept | Context.After | Context.Outside ->
+      invalid_arg "Recognizer.start_with: starting event must be in α(F)"
+
+let range t = t.ctx.Context.range
+
+(* The automaton of Fig. 5.  [ok]/[nok] send the recognizer back to s0;
+   [err] is absorbing until [reset]. *)
+let step t category =
+  tick t 3;
+  let fail reason =
+    t.state <- Failed;
+    Err reason
+  in
+  let finish output =
+    t.state <- Idle;
+    output
+  in
+  let r = range t in
+  let disjunctive = t.ctx.Context.connective = Pattern.Any in
+  match (t.state, category) with
+  | (Idle | Failed), _ ->
+      invalid_arg "Recognizer.step: recognizer is not running"
+  | _, Context.Outside -> Quiet
+  | Waiting, Context.Self ->
+      t.state <- Counting 1;
+      Quiet
+  | Waiting, Context.Current ->
+      t.state <- Waiting_started;
+      Quiet
+  | Waiting, Context.Accept ->
+      if disjunctive then finish Nok else fail (Diag.Missing r)
+  | Waiting, Context.Before -> fail Diag.Before_name
+  | Waiting, Context.After -> fail Diag.After_name
+  | Waiting_started, Context.Self ->
+      t.state <- Counting 1;
+      Quiet
+  | Waiting_started, Context.Current -> Quiet
+  | Waiting_started, Context.Accept ->
+      if disjunctive then finish Nok else fail (Diag.Missing r)
+  | Waiting_started, Context.Before -> fail Diag.Before_name
+  | Waiting_started, Context.After -> fail Diag.After_name
+  | Counting c, Context.Self ->
+      tick t 1;
+      if c >= r.hi then fail (Diag.Overflow r)
+      else (
+        t.state <- Counting (c + 1);
+        Quiet)
+  | Counting c, Context.Current ->
+      tick t 1;
+      if c >= r.lo then (
+        t.state <- Done_counting c;
+        Quiet)
+      else fail (Diag.Underflow r)
+  | Counting c, Context.Accept ->
+      tick t 1;
+      if c >= r.lo then finish Ok else fail (Diag.Underflow r)
+  | Counting _, Context.Before -> fail Diag.Before_name
+  | Counting _, Context.After -> fail Diag.After_name
+  | Done_counting _, Context.Self -> fail (Diag.Reentered r)
+  | Done_counting _, Context.Current -> Quiet
+  | Done_counting _, Context.Accept -> finish Ok
+  | Done_counting _, Context.Before -> fail Diag.Before_name
+  | Done_counting _, Context.After -> fail Diag.After_name
+
+let would_accept t =
+  let r = range t in
+  let disjunctive = t.ctx.Context.connective = Pattern.Any in
+  match t.state with
+  | Idle | Failed -> invalid_arg "Recognizer.would_accept: not running"
+  | Waiting | Waiting_started ->
+      if disjunctive then Nok else Err (Diag.Missing r)
+  | Counting c -> if c >= r.lo then Ok else Err (Diag.Underflow r)
+  | Done_counting _ -> Ok
+
+let reset t = t.state <- Idle
+
+let counter_bits t =
+  let rec bits n acc = if n = 0 then max acc 1 else bits (n lsr 1) (acc + 1) in
+  bits (range t).hi 0
+
+let space_bits ?(name_bits = 8) t =
+  3 + counter_bits t + (Context.size t.ctx * name_bits)
+
+let pp_state ppf = function
+  | Idle -> Format.pp_print_string ppf "s0/idle"
+  | Waiting -> Format.pp_print_string ppf "s1/waiting"
+  | Waiting_started -> Format.pp_print_string ppf "s2/waiting-started"
+  | Counting c -> Format.fprintf ppf "s3/counting(%d)" c
+  | Done_counting c -> Format.fprintf ppf "s4/done(%d)" c
+  | Failed -> Format.pp_print_string ppf "s5/error"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%a in %a@]" Pattern.pp_range (range t) pp_state
+    t.state

@@ -1,0 +1,64 @@
+(** Elementary recognizer for a range with context — the Fig. 5 automaton.
+
+    States (paper names in parentheses):
+    - {!Idle} (s0): not started;
+    - {!Waiting} (s1): started, no name of the parent fragment seen yet;
+    - {!Waiting_started} (s2): started, another range of the fragment has
+      begun, this one still waits for its first occurrence;
+    - [Counting c] (s3): counting consecutive occurrences, [cpt = c];
+    - [Done_counting c] (s4): the block ended with an admissible count,
+      another range of the fragment is running;
+    - {!Failed} (s5): error (absorbing).
+
+    Inputs are pre-classified event {{!Context.category}categories};
+    outputs mirror the automaton's [ok]/[nok]/[err] wires.  The [ops]
+    counter passed at creation is incremented by every elementary
+    operation the recognizer executes (the paper's time metric). *)
+
+type state =
+  | Idle
+  | Waiting
+  | Waiting_started
+  | Counting of int
+  | Done_counting of int
+  | Failed
+
+type output =
+  | Quiet  (** still recognizing *)
+  | Ok  (** block recognized; recognizer returned to {!Idle} *)
+  | Nok  (** skipped (disjunctive fragment); returned to {!Idle} *)
+  | Err of Diag.reason  (** violation; recognizer in {!Failed} *)
+
+type t
+
+val create : ?ops:int ref -> Context.t -> t
+val context : t -> Context.t
+val state : t -> state
+
+val start : t -> unit
+(** Bare [start] (s0 → s1): the fragment becomes active with no
+    simultaneous event. *)
+
+val start_with : t -> Context.category -> unit
+(** [start ∧ event]: the fragment becomes active on the event that
+    stopped the previous fragment.  [Self] enters [Counting 1],
+    [Current] enters {!Waiting_started} (s0 → s3 / s0 → s2). *)
+
+val step : t -> Context.category -> output
+(** Consume one classified event.  Stepping an {!Idle} recognizer, or a
+    {!Failed} one, is a programming error and raises
+    [Invalid_argument]. *)
+
+val would_accept : t -> output
+(** The output {!step} would produce on an [Accept] event, without
+    changing the state — used for min-completion tests. *)
+
+val reset : t -> unit
+(** Back to {!Idle}. *)
+
+val space_bits : ?name_bits:int -> t -> int
+(** Bits of storage: 3 (state tag) + counter width + stored context
+    names at [name_bits] each (default 8). *)
+
+val pp_state : Format.formatter -> state -> unit
+val pp : Format.formatter -> t -> unit

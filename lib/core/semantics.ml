@@ -1,0 +1,244 @@
+type run = { name : Name.t; count : int }
+
+let runs word =
+  let rec loop acc current = function
+    | [] -> List.rev (match current with None -> acc | Some r -> r :: acc)
+    | n :: rest -> (
+        match current with
+        | Some r when Name.equal r.name n ->
+            loop acc (Some { r with count = r.count + 1 }) rest
+        | Some r -> loop (r :: acc) (Some { name = n; count = 1 }) rest
+        | None -> loop acc (Some { name = n; count = 1 }) rest)
+  in
+  loop [] None word
+
+let distinct_names rs =
+  let rec loop seen = function
+    | [] -> true
+    | r :: rest ->
+        (not (Name.Set.mem r.name seen)) && loop (Name.Set.add r.name seen) rest
+  in
+  loop Name.Set.empty rs
+
+let range_of_fragment (f : Pattern.fragment) name =
+  List.find_opt (fun (r : Pattern.range) -> Name.equal r.name name) f.ranges
+
+(* [w ∈ L(f)]: one block per contributing range, blocks in any order. *)
+let match_fragment (f : Pattern.fragment) word =
+  let rs = runs word in
+  rs <> []
+  && distinct_names rs
+  && List.for_all
+       (fun run ->
+         match range_of_fragment f run.name with
+         | Some range -> run.count >= range.lo && run.count <= range.hi
+         | None -> false)
+       rs
+  &&
+  match f.connective with
+  | Pattern.Any -> true
+  | Pattern.All -> List.length rs = List.length f.ranges
+
+(* Index of the fragment owning each name; names are globally unique in a
+   well-formed ordering, so the map is a function. *)
+let fragment_index_map ordering =
+  let map = Hashtbl.create 16 in
+  List.iteri
+    (fun i (f : Pattern.fragment) ->
+      List.iter
+        (fun (r : Pattern.range) -> Hashtbl.replace map r.name i)
+        f.ranges)
+    ordering;
+  map
+
+(* Group a run list into (fragment index, runs) segments; [None] when a
+   name is foreign or the indices ever decrease. *)
+let segments ordering rs =
+  let index = fragment_index_map ordering in
+  let rec loop acc current_idx current = function
+    | [] ->
+        let acc =
+          if current = [] then acc else (current_idx, List.rev current) :: acc
+        in
+        Some (List.rev acc)
+    | run :: rest -> (
+        match Hashtbl.find_opt index run.name with
+        | None -> None
+        | Some i ->
+            if i < current_idx then None
+            else if i = current_idx then loop acc i (run :: current) rest
+            else
+              let acc =
+                if current = [] then acc
+                else (current_idx, List.rev current) :: acc
+              in
+              loop acc i [ run ] rest)
+  in
+  loop [] (-1) [] rs
+
+let word_of_runs rs =
+  List.concat_map (fun r -> List.init r.count (fun _ -> r.name)) rs
+
+let match_ordering ordering word =
+  match segments ordering (runs word) with
+  | None -> false
+  | Some segs ->
+      List.length segs = List.length ordering
+      && List.for_all2
+           (fun (idx, rs) (i, f) -> idx = i && match_fragment f (word_of_runs rs))
+           segs
+           (List.mapi (fun i f -> (i, f)) ordering)
+
+(* A partially-read fragment is viable when blocks are distinct, every
+   closed block (all but the last) already reached its bounds, and the
+   open block has not overflowed. *)
+let viable_fragment_prefix (f : Pattern.fragment) rs =
+  let rec loop = function
+    | [] -> true
+    | [ last ] -> (
+        match range_of_fragment f last.name with
+        | Some range -> last.count <= range.hi
+        | None -> false)
+    | closed :: rest -> (
+        match range_of_fragment f closed.name with
+        | Some range ->
+            closed.count >= range.lo && closed.count <= range.hi && loop rest
+        | None -> false)
+  in
+  distinct_names rs && loop rs
+
+let viable_prefix ordering word =
+  match segments ordering (runs word) with
+  | None -> false
+  | Some [] -> true
+  | Some segs -> (
+      (* Segment indices must be exactly 0..m with every fragment before
+         the open one fully matched. *)
+      let rec check expected = function
+        | [] -> true
+        | [ (idx, rs) ] ->
+            idx = expected
+            && viable_fragment_prefix (List.nth ordering idx) rs
+        | (idx, rs) :: rest ->
+            idx = expected
+            && match_fragment (List.nth ordering idx) (word_of_runs rs)
+            && check (expected + 1) rest
+      in
+      match List.length segs with
+      | m when m > List.length ordering -> false
+      | _ -> check 0 segs)
+
+let min_complete_prefix ordering events =
+  let rec loop consumed = function
+    | [] -> None
+    | (e : Trace.event) :: rest ->
+        let consumed = e.name :: consumed in
+        if match_ordering ordering (List.rev consumed) then Some e.time
+        else loop consumed rest
+  in
+  loop [] events
+
+(* Split a name list around each occurrence of [trigger]:
+   [(complete segments, trailing segment)]. *)
+let split_on_trigger trigger word =
+  let rec loop segs current = function
+    | [] -> (List.rev segs, List.rev current)
+    | n :: rest ->
+        if Name.equal n trigger then loop (List.rev current :: segs) [] rest
+        else loop segs (n :: current) rest
+  in
+  loop [] [] word
+
+let holds_antecedent (a : Pattern.antecedent) word =
+  let complete, trailing = split_on_trigger a.trigger word in
+  if a.repeated then
+    List.for_all (match_ordering a.body) complete
+    && viable_prefix a.body trailing
+  else
+    match complete with
+    | [] -> viable_prefix a.body trailing
+    | first :: _ -> match_ordering a.body first
+
+(* Split the events of a timed pattern into recognition rounds: a new
+   round begins whenever the fragment index decreases. *)
+let rounds ordering events =
+  let index = fragment_index_map ordering in
+  let rec loop acc current prev_idx = function
+    | [] -> List.rev (List.rev current :: acc)
+    | (e : Trace.event) :: rest -> (
+        match Hashtbl.find_opt index e.name with
+        | None -> loop acc (e :: current) prev_idx rest
+        | Some i ->
+            if i < prev_idx then loop (List.rev current :: acc) [ e ] i rest
+            else loop acc (e :: current) i rest)
+  in
+  match loop [] [] (-1) events with [ [] ] -> [] | rs -> rs
+
+let holds_timed (g : Pattern.timed) events ~final_time =
+  let pq = g.premise @ g.conclusion in
+  let premise_alpha = Pattern.alpha_ordering g.premise in
+  (* Timing discipline of a round (see DESIGN.md): the deadline clock is
+     armed — and re-armed — by every premise event after which the
+     premise is minimally recognized; once armed, any event arriving
+     past the deadline with the conclusion unfinished is a violation
+     (so a late premise extension cannot resurrect an expired clock),
+     and so is a conclusion event arriving past the deadline. *)
+  let round_timing_ok ~final round =
+    let deadline = ref None in
+    let q_complete = ref false in
+    let p_rev = ref [] in
+    let q_rev = ref [] in
+    let violated = ref false in
+    List.iter
+      (fun (e : Trace.event) ->
+        if not !violated then begin
+          let is_premise = Name.Set.mem e.name premise_alpha in
+          (match !deadline with
+          | Some dl when e.time > dl ->
+              if (not !q_complete) || not is_premise then violated := true
+          | Some _ | None -> ());
+          if not !violated then
+            if is_premise then begin
+              p_rev := e.name :: !p_rev;
+              if match_ordering g.premise (List.rev !p_rev) then
+                deadline := Some (e.time + g.deadline)
+            end
+            else begin
+              q_rev := e.name :: !q_rev;
+              if
+                (not !q_complete)
+                && match_ordering g.conclusion (List.rev !q_rev)
+              then q_complete := true
+            end
+        end)
+      round;
+    (not !violated)
+    &&
+    match (!deadline, !q_complete) with
+    | Some dl, false when final -> final_time <= dl
+    | Some _, false -> false (* complete rounds always finish Q *)
+    | (Some _ | None), _ -> true
+  in
+  let round_ok ~final round =
+    let word = List.map (fun (e : Trace.event) -> e.Trace.name) round in
+    let shape_ok =
+      if final then viable_prefix pq word else match_ordering pq word
+    in
+    shape_ok && round_timing_ok ~final round
+  in
+  let rec check = function
+    | [] -> true
+    | [ last ] -> round_ok ~final:true last
+    | round :: rest -> round_ok ~final:false round && check rest
+  in
+  check (rounds pq events)
+
+let holds ?final_time p tr =
+  Wellformed.check_exn p;
+  let tr = Trace.restrict (Pattern.alpha p) tr in
+  let final_time =
+    match final_time with Some t -> t | None -> Trace.end_time tr
+  in
+  match p with
+  | Pattern.Antecedent a -> holds_antecedent a (Trace.names tr)
+  | Pattern.Timed g -> holds_timed g tr ~final_time

@@ -1,0 +1,42 @@
+(** Declarative trace semantics of loose-ordering patterns.
+
+    This module is the reference oracle: a direct, executable reading of
+    the definitions of Section 4, written independently of the monitor
+    automata so that the two can be cross-validated (as the paper
+    validates its recognizers against a Lustre reference).
+
+    Because alphabets of ranges and fragments are pairwise disjoint in a
+    well-formed pattern, the decomposition of a word into range blocks
+    and fragment segments is unique, which makes the semantics
+    deterministic and cheap to decide.
+
+    All functions assume (and {!holds} checks via {!Wellformed}) a
+    well-formed pattern.  Traces are interpreted on the pattern alphabet:
+    events outside [α] are discarded first. *)
+
+type run = { name : Name.t; count : int }
+(** A maximal run of equal consecutive names. *)
+
+val runs : Name.t list -> run list
+(** [runs w] is the unique decomposition of [w] into maximal runs. *)
+
+val match_fragment : Pattern.fragment -> Name.t list -> bool
+(** [match_fragment f w]: [w ∈ L(f)] (Definition 2). *)
+
+val match_ordering : Pattern.ordering -> Name.t list -> bool
+(** [match_ordering l w]: [w ∈ L(l)] (Definition 3). *)
+
+val viable_prefix : Pattern.ordering -> Name.t list -> bool
+(** [viable_prefix l w]: some extension of [w] is in [L(l)] — i.e. a
+    monitor reading [w] has not yet failed nor finished. *)
+
+val min_complete_prefix : Pattern.ordering -> Trace.event list -> int option
+(** [min_complete_prefix l events] is the timestamp of the earliest event
+    at which the prefix read so far is a complete match of [l] ("the
+    recognition of [l] is finished"), if any. *)
+
+val holds : ?final_time:int -> Pattern.t -> Trace.t -> bool
+(** [holds p tr] is [true] iff the monitor for [p] reports no violation
+    after consuming [tr] and then observing simulation time reach
+    [final_time] (default: the trace's end time) without further events.
+    Raises {!Wellformed.Ill_formed} on an ill-formed pattern. *)

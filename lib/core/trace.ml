@@ -1,0 +1,68 @@
+type event = { name : Name.t; time : int }
+type t = event list
+
+let event ?(time = 0) name = { name; time }
+let of_names names = List.mapi (fun i name -> { name; time = i }) names
+let of_strings ss = of_names (List.map Name.v ss)
+let names tr = List.map (fun e -> e.name) tr
+let length = List.length
+
+let end_time tr =
+  match List.rev tr with [] -> 0 | last :: _ -> last.time
+
+let is_chronological tr =
+  let rec loop prev = function
+    | [] -> true
+    | e :: rest -> e.time >= prev && e.time >= 0 && loop e.time rest
+  in
+  loop 0 tr
+
+let restrict alpha tr = List.filter (fun e -> Name.Set.mem e.name alpha) tr
+
+let append a b =
+  let shift = end_time a + 1 in
+  a @ List.map (fun e -> { e with time = e.time + shift }) b
+
+let pp_event ppf e = Format.fprintf ppf "%a@@%d" Name.pp e.name e.time
+
+let pp ppf tr =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_space ppf ())
+    pp_event ppf tr
+
+let to_string tr = Format.asprintf "@[<h>%a@]" pp tr
+
+let parse s =
+  let tokens =
+    String.split_on_char ' ' s
+    |> List.concat_map (String.split_on_char '\n')
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun tok -> tok <> "")
+  in
+  let parse_token prev_time tok =
+    match String.index_opt tok '@' with
+    | None -> (
+        match Name.v tok with
+        | name -> Ok { name; time = prev_time + 1 }
+        | exception Invalid_argument msg -> Error msg)
+    | Some at -> (
+        let name_str = String.sub tok 0 at in
+        let time_str = String.sub tok (at + 1) (String.length tok - at - 1) in
+        match (Name.v name_str, int_of_string_opt time_str) with
+        | name, Some time when time >= 0 -> Ok { name; time }
+        | _, (Some _ | None) ->
+            Error (Printf.sprintf "invalid timestamp in %S" tok)
+        | exception Invalid_argument msg -> Error msg)
+  in
+  let rec loop prev_time acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: rest -> (
+        match parse_token prev_time tok with
+        | Error _ as e -> e
+        | Ok e ->
+            if e.time < prev_time then
+              Error
+                (Printf.sprintf "trace is not chronological at %S" tok)
+            else loop e.time (e :: acc) rest)
+  in
+  loop (-1) [] tokens

@@ -1,0 +1,48 @@
+(** Observed event sequences.
+
+    A trace is the sequence of interface events seen by a monitor.  Only
+    one name occurs at a time (the models are asynchronous, paper
+    Section 4); each event carries the simulation timestamp at which it
+    was observed.  Times are non-negative integers in an arbitrary unit
+    (the simulation kernel uses picoseconds) and must be non-decreasing
+    along a trace. *)
+
+type event = { name : Name.t; time : int }
+type t = event list
+
+val event : ?time:int -> Name.t -> event
+(** [event n] is [n] at time [0]. *)
+
+val of_names : Name.t list -> t
+(** [of_names ns] timestamps the events [0, 1, 2, ...]. *)
+
+val of_strings : string list -> t
+(** [of_strings ss] is [of_names (List.map Name.v ss)]. *)
+
+val names : t -> Name.t list
+val length : t -> int
+val end_time : t -> int
+(** [end_time tr] is the time of the last event, or [0] on an empty
+    trace. *)
+
+val is_chronological : t -> bool
+(** Times are non-decreasing. *)
+
+val restrict : Name.Set.t -> t -> t
+(** [restrict alpha tr] keeps only the events whose name is in [alpha]
+    (monitors observe the projection of the system trace on their
+    pattern's alphabet). *)
+
+val append : t -> t -> t
+(** [append a b] concatenates and shifts [b]'s timestamps so the result
+    is chronological ([b]'s first event lands one unit after [a]'s
+    last). *)
+
+val pp_event : Format.formatter -> event -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+(** [parse s] reads a whitespace-separated list of events, each either a
+    bare [name] or [name@time]; untimed events get the previous time + 1
+    (starting at 0). *)

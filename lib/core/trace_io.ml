@@ -1,0 +1,116 @@
+let to_csv trace =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "time,name\n";
+  List.iter
+    (fun (e : Trace.event) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d,%s\n" e.time (Name.to_string e.name)))
+    trace;
+  Buffer.contents buf
+
+let of_csv source =
+  let lines = String.split_on_char '\n' source in
+  let rec loop lineno prev acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' || trimmed = "time,name" then
+          loop (lineno + 1) prev acc rest
+        else
+          match String.index_opt trimmed ',' with
+          | None ->
+              Error (Printf.sprintf "line %d: expected 'time,name'" lineno)
+          | Some comma -> (
+              let time_str = String.trim (String.sub trimmed 0 comma) in
+              let name_str =
+                String.trim
+                  (String.sub trimmed (comma + 1)
+                     (String.length trimmed - comma - 1))
+              in
+              match (int_of_string_opt time_str, Name.v name_str) with
+              | Some time, name when time >= prev ->
+                  loop (lineno + 1) time
+                    ({ Trace.name; time } :: acc)
+                    rest
+              | Some _, _ ->
+                  Error
+                    (Printf.sprintf "line %d: timestamps must not decrease"
+                       lineno)
+              | None, _ ->
+                  Error (Printf.sprintf "line %d: bad timestamp %S" lineno time_str)
+              | exception Invalid_argument msg ->
+                  Error (Printf.sprintf "line %d: %s" lineno msg)))
+  in
+  loop 1 min_int [] lines
+
+let save_csv ~path trace =
+  let oc = open_out path in
+  output_string oc (to_csv trace);
+  close_out oc
+
+let load_csv path =
+  match open_in path with
+  | ic ->
+      let n = in_channel_length ic in
+      let source = really_input_string ic n in
+      close_in ic;
+      of_csv source
+  | exception Sys_error msg -> Error msg
+
+let merge traces =
+  (* k-way stable merge: always take from the earliest-timestamped head,
+     preferring the leftmost list on ties. *)
+  let rec pick best_idx idx = function
+    | [] -> best_idx
+    | [] :: rest -> pick best_idx (idx + 1) rest
+    | ((e : Trace.event) :: _) :: rest ->
+        let better =
+          match best_idx with
+          | None -> true
+          | Some (_, best_time) -> e.time < best_time
+        in
+        pick (if better then Some (idx, e.time) else best_idx) (idx + 1) rest
+  in
+  let rec loop acc lists =
+    match pick None 0 lists with
+    | None -> List.rev acc
+    | Some (idx, _) ->
+        let event = List.hd (List.nth lists idx) in
+        let lists =
+          List.mapi (fun i l -> if i = idx then List.tl l else l) lists
+        in
+        loop (event :: acc) lists
+  in
+  loop [] traces
+
+let window ~from ~until trace =
+  List.filter
+    (fun (e : Trace.event) -> e.time >= from && e.time <= until)
+    trace
+
+let rename mapping trace =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (src, dst) -> Hashtbl.replace table src (Name.v dst))
+    mapping;
+  List.map
+    (fun (e : Trace.event) ->
+      match Hashtbl.find_opt table (Name.to_string e.name) with
+      | Some name -> { e with Trace.name }
+      | None -> e)
+    trace
+
+let counts trace =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Trace.event) ->
+      Hashtbl.replace table e.name
+        (1 + Option.value ~default:0 (Hashtbl.find_opt table e.name)))
+    trace;
+  Hashtbl.fold (fun name count acc -> (name, count) :: acc) table []
+  |> List.sort (fun (a, _) (b, _) -> Name.compare a b)
+
+let duration trace =
+  match trace with
+  | [] | [ _ ] -> 0
+  | (first : Trace.event) :: _ -> Trace.end_time trace - first.time

@@ -1,0 +1,35 @@
+(** Trace import/export and manipulation.
+
+    Real verification flows pull event logs out of simulators, loggers
+    or bus analyzers and massage them before checking: CSV is the
+    exchange format, component traces get merged on the time axis, and
+    recorder names get mapped onto a property's alphabet. *)
+
+val to_csv : Trace.t -> string
+(** ["time,name\n"] header plus one row per event. *)
+
+val of_csv : string -> (Trace.t, string) result
+(** Accepts the {!to_csv} format (header optional, blank lines and [#]
+    comments ignored).  Events must be chronological. *)
+
+val save_csv : path:string -> Trace.t -> unit
+val load_csv : string -> (Trace.t, string) result
+
+val merge : Trace.t list -> Trace.t
+(** Stable merge on timestamps: ties keep the order of the input lists
+    (earlier list first), matching how a tap would have interleaved
+    simultaneous observations. *)
+
+val window : from:int -> until:int -> Trace.t -> Trace.t
+(** Events with [from <= time <= until]. *)
+
+val rename : (string * string) list -> Trace.t -> Trace.t
+(** Map recorder names onto a property alphabet; unmapped names pass
+    through.  Raises [Invalid_argument] on an invalid target name. *)
+
+val counts : Trace.t -> (Name.t * int) list
+(** Occurrence counts, sorted by name. *)
+
+val duration : Trace.t -> int
+(** [last time - first time] ([0] for traces with fewer than 2
+    events). *)

@@ -1,0 +1,57 @@
+type error = Shared_name of Name.t | Trigger_in_body of Name.t
+
+let pp_error ppf = function
+  | Shared_name n ->
+      Format.fprintf ppf "name %a is used by two ranges of the pattern"
+        Name.pp n
+  | Trigger_in_body n ->
+      Format.fprintf ppf "trigger %a also appears in the antecedent body"
+        Name.pp n
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+(* Every range name must be globally unique within the pattern: uniqueness
+   inside a fragment and disjointness between fragments are then both
+   implied, so a single duplicate scan covers all Fig. 3 constraints. *)
+let duplicates ordering =
+  let seen = Hashtbl.create 16 in
+  let dups = ref [] in
+  List.iter
+    (fun (f : Pattern.fragment) ->
+      List.iter
+        (fun (r : Pattern.range) ->
+          if Hashtbl.mem seen r.name then (
+            if not (List.exists (Name.equal r.name) !dups) then
+              dups := r.name :: !dups)
+          else Hashtbl.add seen r.name ())
+        f.ranges)
+    ordering;
+  List.rev !dups
+
+let check p =
+  let ordering = Pattern.body_ordering p in
+  let shared = List.map (fun n -> Shared_name n) (duplicates ordering) in
+  let trigger_errors =
+    match p with
+    | Pattern.Antecedent a
+      when Name.Set.mem a.trigger (Pattern.alpha_ordering a.body) ->
+        [ Trigger_in_body a.trigger ]
+    | Pattern.Antecedent _ | Pattern.Timed _ -> []
+  in
+  match shared @ trigger_errors with [] -> Ok () | errs -> Error errs
+
+let is_well_formed p = Result.is_ok (check p)
+
+exception Ill_formed of Pattern.t * error list
+
+let check_exn p =
+  match check p with Ok () -> () | Error errs -> raise (Ill_formed (p, errs))
+
+let () =
+  Printexc.register_printer (function
+    | Ill_formed (p, errs) ->
+        Some
+          (Format.asprintf "@[<v>ill-formed pattern %a:@,%a@]" Pattern.pp p
+             (Format.pp_print_list pp_error)
+             errs)
+    | _ -> None)

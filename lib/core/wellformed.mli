@@ -1,0 +1,34 @@
+(** Well-formedness of loose-ordering patterns (paper, Fig. 3, right column).
+
+    The structural constraints are:
+    - ranges of a fragment use pairwise distinct names
+      ([i ≠ j ⟹ α(Ri) ∩ α(Rj) = ∅]);
+    - fragments of a loose-ordering use pairwise disjoint alphabets
+      ([i ≠ j ⟹ α(Fi) ∩ α(Fj) = ∅]), including across the [P]/[Q] parts of
+      a timed implication;
+    - the trigger [i] of an antecedent does not appear in its body
+      ([α(P) ∩ {i} = ∅]).
+
+    Bound validity ([1 ≤ u ≤ v], non-negative deadline, non-empty
+    fragments/orderings) is already enforced by the {!Pattern}
+    constructors. *)
+
+type error =
+  | Shared_name of Name.t
+      (** a name appears in two ranges or two fragments of the pattern *)
+  | Trigger_in_body of Name.t
+      (** the antecedent trigger also appears in [P] *)
+
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+val check : Pattern.t -> (unit, error list) result
+(** [check p] is [Ok ()] when [p] is a well-formed formula, and
+    [Error errs] listing every violated constraint otherwise. *)
+
+val is_well_formed : Pattern.t -> bool
+
+exception Ill_formed of Pattern.t * error list
+
+val check_exn : Pattern.t -> unit
+(** [check_exn p] raises {!Ill_formed} when [check p] is an [Error]. *)

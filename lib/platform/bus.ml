@@ -1,0 +1,50 @@
+open Loseq_sim
+
+type mapping = { base : int; size : int; dest : Tlm.target }
+type t = { name : string; latency : Time.t; mutable maps : mapping list }
+
+let create ?(name = "Bus") ?(latency = Time.ns 5) () =
+  { name; latency; maps = [] }
+
+let overlaps a b =
+  a.base < b.base + b.size && b.base < a.base + a.size
+
+let map t ~base ~size dest =
+  if base < 0 || size <= 0 then invalid_arg "Bus.map: bad region";
+  let m = { base; size; dest } in
+  List.iter
+    (fun existing ->
+      if overlaps m existing then
+        invalid_arg
+          (Printf.sprintf "Bus.map: region 0x%x+0x%x overlaps %s" base size
+             existing.dest.Tlm.target_name))
+    t.maps;
+  t.maps <- m :: t.maps
+
+let decode t address =
+  List.find_map
+    (fun m ->
+      if address >= m.base && address < m.base + m.size then
+        Some (m.dest, address - m.base)
+      else None)
+    t.maps
+
+let target t =
+  let b_transport (p : Tlm.payload) delay =
+    let delay = Time.add delay t.latency in
+    match decode t p.address with
+    | None ->
+        p.response <- Tlm.Address_error;
+        delay
+    | Some (dest, local) ->
+        let routed = { p with Tlm.address = local } in
+        let delay = dest.Tlm.b_transport routed delay in
+        p.response <- routed.Tlm.response;
+        delay
+  in
+  { Tlm.target_name = t.name; b_transport }
+
+let mappings t =
+  t.maps
+  |> List.map (fun m -> (m.base, m.size, m.dest.Tlm.target_name))
+  |> List.sort compare

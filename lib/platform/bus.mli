@@ -1,0 +1,22 @@
+(** The interconnect (Bus): address-decoding router between TLM
+    initiators and targets. *)
+
+open Loseq_sim
+
+type t
+
+val create : ?name:string -> ?latency:Time.t -> unit -> t
+(** [latency] (default 5 ns) is charged per routed transaction. *)
+
+val map : t -> base:int -> size:int -> Tlm.target -> unit
+(** Map [target] at [[base, base+size)].  Raises [Invalid_argument] on
+    overlaps.  The routed payload carries the target-local address. *)
+
+val target : t -> Tlm.target
+(** The socket initiators bind to. *)
+
+val decode : t -> int -> (Tlm.target * int) option
+(** [(target, local address)] for a global address. *)
+
+val mappings : t -> (int * int * string) list
+(** [(base, size, target name)], sorted by base. *)

@@ -1,0 +1,227 @@
+open Loseq_sim
+open Loseq_verif
+
+type bug = Start_before_config | Skip_gl_size | Double_gl_addr
+
+type addresses = {
+  mem_base : int;
+  ipu_base : int;
+  sen_base : int;
+  gpio_base : int;
+  intc_base : int;
+  tmr1_base : int;
+  tmr2_base : int;
+  lcdc_base : int;
+  lock_base : int;
+}
+
+type t = {
+  kernel : Kernel.t;
+  tap : Tap.t;
+  bus : Tlm.initiator;
+  irq : Kernel.event;
+  addr : addresses;
+  bug : bug option;
+  gallery_size : int;
+  relock_ns : int;
+  mutable recognitions : int;
+  mutable matches : int;
+  mutable heartbeats : int;
+}
+
+let irq_lines =
+  object
+    method gpio = 0
+    method ipu = 1
+    method tmr2 = 2
+    method tmr1 = 3
+  end
+
+(* Firmware memory layout (offsets into MEM). *)
+let gallery_offset = 0x1000
+let image_offset = 0x40000
+let framebuffer_offset = 0x80000
+
+(* Synchronized loosely-timed accesses: the accumulated transaction
+   delay is consumed immediately. *)
+let rd t address =
+  let v, delay = Tlm.read_word t.bus address in
+  Kernel.wait_for t.kernel delay;
+  v
+
+let wr t address v =
+  let delay = Tlm.write_word t.bus address v in
+  Kernel.wait_for t.kernel delay
+
+(* The signature the sensor writes for capture [k] (see Sensor). *)
+let capture_signature k = ((0x1000 + k) * 31) land 0x3fffffff
+
+(* Wait until INTC shows pending work; poll as a lost-wakeup safety
+   net. *)
+let rec wait_pending t =
+  let pending = rd t t.addr.intc_base in
+  if pending <> 0 then pending
+  else begin
+    (match Kernel.wait_timeout t.irq (Time.us 50) with
+    | `Event | `Timeout -> ());
+    wait_pending t
+  end
+
+let ack_intc t mask = wr t (t.addr.intc_base + 0x8) mask
+
+let configure_ipu t =
+  let set_img () = wr t t.addr.ipu_base (t.addr.mem_base + image_offset)
+  and set_gl () = wr t (t.addr.ipu_base + 0x4) (t.addr.mem_base + gallery_offset)
+  and set_size () = wr t (t.addr.ipu_base + 0x8) t.gallery_size in
+  let start () = wr t (t.addr.ipu_base + 0xC) 1 in
+  let rng = Kernel.rng t.kernel in
+  match t.bug with
+  | None ->
+      (* The loose ordering in action: any order of the three writes is
+         correct, and the firmware genuinely varies it. *)
+      List.iter
+        (fun f -> f ())
+        (Stimuli.shuffle rng [ set_img; set_gl; set_size ]);
+      start ()
+  | Some Start_before_config ->
+      start ();
+      set_img ();
+      set_gl ();
+      set_size ()
+  | Some Skip_gl_size ->
+      set_img ();
+      set_gl ();
+      start ()
+  | Some Double_gl_addr ->
+      set_img ();
+      set_gl ();
+      set_size ();
+      set_gl ();
+      start ()
+
+let capture_image t =
+  wr t t.addr.sen_base (t.addr.mem_base + image_offset);
+  wr t (t.addr.sen_base + 0x4) 16;
+  wr t (t.addr.sen_base + 0x8) 1;
+  let rec poll () =
+    let status = rd t (t.addr.sen_base + 0xC) in
+    if status <> 2 then begin
+      Kernel.wait_for t.kernel (Time.us 1);
+      poll ()
+    end
+  in
+  poll ()
+
+let handle_tmr2 t = wr t t.addr.lock_base 0
+
+(* TMR1 is the periodic system tick: acknowledge and count.  Its only
+   purpose at this abstraction level is realistic interleaved interrupt
+   traffic (the monitors must ignore it). *)
+let handle_tmr1 t =
+  t.heartbeats <- t.heartbeats + 1;
+  wr t (t.addr.tmr1_base + 0x8) 0
+
+let rec await_ipu t =
+  let pending = wait_pending t in
+  let ipu_bit = 1 lsl irq_lines#ipu in
+  let tmr1_bit = 1 lsl irq_lines#tmr1 in
+  let tmr2_bit = 1 lsl irq_lines#tmr2 in
+  if pending land tmr2_bit <> 0 then begin
+    ack_intc t tmr2_bit;
+    handle_tmr2 t
+  end;
+  if pending land tmr1_bit <> 0 then begin
+    ack_intc t tmr1_bit;
+    handle_tmr1 t
+  end;
+  if pending land ipu_bit <> 0 then ack_intc t ipu_bit
+  else begin
+    (* Ack anything else (e.g. a second button press mid-recognition is
+       dropped, as in the real firmware). *)
+    ack_intc t (pending land lnot (ipu_bit lor tmr1_bit lor tmr2_bit));
+    await_ipu t
+  end
+
+let do_recognition t =
+  capture_image t;
+  configure_ipu t;
+  await_ipu t;
+  t.recognitions <- t.recognitions + 1;
+  let result = rd t (t.addr.ipu_base + 0x14) in
+  if result = 1 then begin
+    t.matches <- t.matches + 1;
+    Tap.emit t.tap "cpu_grant";
+    wr t t.addr.lock_base 1;
+    wr t t.addr.tmr2_base t.relock_ns;
+    wr t (t.addr.tmr2_base + 0x4) 1
+  end
+  else Tap.emit t.tap "cpu_deny"
+
+let write_gallery t =
+  (* Even-numbered captures match an enrolled face. *)
+  for i = 0 to t.gallery_size - 1 do
+    let signature =
+      if i mod 2 = 0 then capture_signature i
+      else 0x7f000000 lor i
+    in
+    wr t (t.addr.mem_base + gallery_offset + (i * 64)) signature
+  done
+
+let boot t () =
+  (* Enable interrupt lines, bring up the display, start the system
+     tick, enroll the gallery. *)
+  wr t (t.addr.intc_base + 0x4) 0xff;
+  wr t t.addr.lcdc_base (t.addr.mem_base + framebuffer_offset);
+  wr t (t.addr.lcdc_base + 0x4) 200_000;
+  wr t (t.addr.lcdc_base + 0x8) 1;
+  wr t t.addr.tmr1_base 100_000;
+  wr t (t.addr.tmr1_base + 0x4) 0b11;
+  write_gallery t;
+  Tap.emit t.tap "cpu_ready";
+  let gpio_bit = 1 lsl irq_lines#gpio in
+  let tmr1_bit = 1 lsl irq_lines#tmr1 in
+  let tmr2_bit = 1 lsl irq_lines#tmr2 in
+  let rec serve () =
+    let pending = wait_pending t in
+    if pending land tmr2_bit <> 0 then begin
+      ack_intc t tmr2_bit;
+      handle_tmr2 t
+    end;
+    if pending land tmr1_bit <> 0 then begin
+      ack_intc t tmr1_bit;
+      handle_tmr1 t
+    end;
+    if pending land gpio_bit <> 0 then begin
+      ack_intc t gpio_bit;
+      wr t (t.addr.gpio_base + 0x4) 0;
+      do_recognition t
+    end;
+    let other = pending land lnot (gpio_bit lor tmr1_bit lor tmr2_bit) in
+    if other <> 0 then ack_intc t other;
+    serve ()
+  in
+  serve ()
+
+let create ?bug ?(gallery_size = 120) ?(relock_ns = 500_000) kernel tap ~bus
+    ~irq addresses =
+  let t =
+    {
+      kernel;
+      tap;
+      bus;
+      irq;
+      addr = addresses;
+      bug;
+      gallery_size;
+      relock_ns;
+      recognitions = 0;
+      matches = 0;
+      heartbeats = 0;
+    }
+  in
+  Kernel.spawn ~name:"CPU" kernel (boot t);
+  t
+
+let recognitions_done t = t.recognitions
+let matches_seen t = t.matches
+let heartbeats_seen t = t.heartbeats

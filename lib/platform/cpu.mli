@@ -1,0 +1,55 @@
+(** CPU with its embedded software model.
+
+    The firmware implements the access-control flow: on a button press
+    it captures an image with the sensor, configures the IPU — writing
+    the three configuration registers in a {e random order} (the
+    loose-ordering the paper's properties allow) — starts recognition,
+    and on the IPU interrupt opens the lock on a match, arming TMR2 to
+    relock the door.
+
+    Fault injection ({!bug}) produces the ordering/timing violations the
+    monitors must catch. *)
+
+open Loseq_sim
+open Loseq_verif
+
+type bug =
+  | Start_before_config  (** write [CTRL] before the three registers *)
+  | Skip_gl_size  (** forget [GL_SIZE] *)
+  | Double_gl_addr  (** write [GL_ADDR] twice before [start] *)
+
+type addresses = {
+  mem_base : int;
+  ipu_base : int;
+  sen_base : int;
+  gpio_base : int;
+  intc_base : int;
+  tmr1_base : int;
+  tmr2_base : int;
+  lcdc_base : int;
+  lock_base : int;
+}
+
+type t
+
+val create :
+  ?bug:bug ->
+  ?gallery_size:int ->
+  ?relock_ns:int ->
+  Kernel.t ->
+  Tap.t ->
+  bus:Tlm.initiator ->
+  irq:Kernel.event ->
+  addresses ->
+  t
+(** [gallery_size] (default 120) entries of 64 bytes each are indexed;
+    [relock_ns] (default 500_000) is the TMR2 relock delay. *)
+
+val recognitions_done : t -> int
+val matches_seen : t -> int
+
+val heartbeats_seen : t -> int
+(** Periodic TMR1 system-tick interrupts the firmware has serviced. *)
+
+val irq_lines : < gpio : int ; ipu : int ; tmr1 : int ; tmr2 : int >
+(** INTC line assignment the firmware assumes. *)

@@ -1,0 +1,28 @@
+open Loseq_verif
+
+type t = {
+  name : string;
+  tap : Tap.t;
+  on_irq : unit -> unit;
+  mutable status : int;
+  mutable press_count : int;
+}
+
+let create ?(name = "GPIO") kernel tap ~on_irq =
+  ignore kernel;
+  { name; tap; on_irq; status = 0; press_count = 0 }
+
+let press t button =
+  t.status <- (1 lsl 31) lor (button land 0xff);
+  t.press_count <- t.press_count + 1;
+  Tap.emit t.tap "button";
+  t.on_irq ()
+
+let presses t = t.press_count
+
+let regs t =
+  Mmio.target ~name:t.name
+    [
+      Mmio.reg ~offset:0x0 ~read:(fun () -> t.status) "STATUS";
+      Mmio.reg ~offset:0x4 ~write:(fun _ -> t.status <- 0) "ACK";
+    ]

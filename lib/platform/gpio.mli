@@ -1,0 +1,19 @@
+(** Button handler (GPIO).
+
+    The testbench presses buttons with {!press}; the device latches the
+    button id, emits a [button] event on the observation tap and raises
+    its interrupt.  Register map: [0x0 STATUS] (last button id + valid
+    bit 31, ro), [0x4 ACK] (any write clears). *)
+
+open Loseq_sim
+open Loseq_verif
+
+type t
+
+val create : ?name:string -> Kernel.t -> Tap.t -> on_irq:(unit -> unit) -> t
+
+val press : t -> int -> unit
+(** May be called from processes or callbacks. *)
+
+val presses : t -> int
+val regs : t -> Tlm.target

@@ -1,0 +1,42 @@
+open Loseq_sim
+
+type t = {
+  name : string;
+  line_count : int;
+  mutable pending_mask : int;
+  mutable enable_mask : int;
+  irq : Kernel.event;
+}
+
+let create ?(name = "INTC") ~lines kernel =
+  if lines <= 0 || lines > 30 then invalid_arg "Intc.create: bad line count";
+  {
+    name;
+    line_count = lines;
+    pending_mask = 0;
+    enable_mask = (1 lsl lines) - 1;
+    irq = Kernel.event ~name:(name ^ ".irq") kernel;
+  }
+
+let lines t = t.line_count
+
+let raise_line t i =
+  if i < 0 || i >= t.line_count then invalid_arg "Intc.raise_line: bad line";
+  t.pending_mask <- t.pending_mask lor (1 lsl i);
+  if t.pending_mask land t.enable_mask <> 0 then Kernel.notify t.irq
+
+let pending t = t.pending_mask land t.enable_mask
+let irq_event t = t.irq
+
+let regs t =
+  Mmio.target ~name:t.name
+    [
+      Mmio.reg ~offset:0x0 ~read:(fun () -> pending t) "STATUS";
+      Mmio.reg ~offset:0x4
+        ~read:(fun () -> t.enable_mask)
+        ~write:(fun v -> t.enable_mask <- v land ((1 lsl t.line_count) - 1))
+        "ENABLE";
+      Mmio.reg ~offset:0x8
+        ~write:(fun v -> t.pending_mask <- t.pending_mask land lnot v)
+        "ACK";
+    ]

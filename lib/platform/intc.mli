@@ -1,0 +1,24 @@
+(** Interrupt controller (INTC).
+
+    Devices raise numbered lines; the CPU waits on {!irq_event}, reads
+    [STATUS] (pending ∧ enabled), and acknowledges with [ACK]
+    (write-one-to-clear).  Register map: [0x0 STATUS] (ro), [0x4 ENABLE]
+    (rw), [0x8 ACK] (wo). *)
+
+open Loseq_sim
+
+type t
+
+val create : ?name:string -> lines:int -> Kernel.t -> t
+val lines : t -> int
+
+val raise_line : t -> int -> unit
+(** Device side.  Raises [Invalid_argument] on a bad line number. *)
+
+val pending : t -> int
+(** Bitmask of pending-and-enabled lines. *)
+
+val irq_event : t -> Kernel.event
+(** Notified whenever a pending-and-enabled line is raised. *)
+
+val regs : t -> Tlm.target

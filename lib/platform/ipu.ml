@@ -1,0 +1,111 @@
+open Loseq_sim
+open Loseq_verif
+
+type t = {
+  name : string;
+  kernel : Kernel.t;
+  tap : Tap.t;
+  bus : Tlm.initiator;
+  on_irq : unit -> unit;
+  analysis_lo : Time.t;
+  analysis_hi : Time.t;
+  start_requested : Kernel.event;
+  mutable img_addr : int;
+  mutable gl_addr : int;
+  mutable gl_size : int;
+  mutable status : int;  (* 0 idle, 1 busy, 2 done *)
+  mutable result : int;
+  mutable runs : int;
+}
+
+let interface_alpha =
+  [ "set_imgAddr"; "set_glAddr"; "set_glSize"; "start"; "read_img"; "set_irq" ]
+
+(* Signature of an image region: a word checksum over its first words.
+   Gallery entries are 64-byte records whose first word is the
+   signature. *)
+let image_signature t addr =
+  let word, _ = Tlm.read_word t.bus addr in
+  word
+
+let behaviour t () =
+  let rec loop () =
+    Kernel.wait t.start_requested;
+    t.status <- 1;
+    t.runs <- t.runs + 1;
+    let target_signature = image_signature t t.img_addr in
+    let matched = ref false in
+    (* Read the whole gallery: the paper's read_img[100,60000] burst. *)
+    for i = 0 to t.gl_size - 1 do
+      let entry_addr = t.gl_addr + (i * 64) in
+      let signature, _ = Tlm.read_word t.bus entry_addr in
+      Tap.emit t.tap "read_img";
+      if signature = target_signature then matched := true;
+      (* Loose-timed per-image analysis. *)
+      Kernel.wait_loose t.kernel t.analysis_lo t.analysis_hi
+    done;
+    t.result <- (if !matched then 1 else 0);
+    t.status <- 2;
+    Tap.emit t.tap "set_irq";
+    t.on_irq ();
+    loop ()
+  in
+  loop ()
+
+let create ?(name = "IPU") ?(analysis = (Time.ns 90, Time.ns 110)) kernel tap
+    ~bus ~on_irq =
+  let analysis_lo, analysis_hi = analysis in
+  let t =
+    {
+      name;
+      kernel;
+      tap;
+      bus;
+      on_irq;
+      analysis_lo;
+      analysis_hi;
+      start_requested = Kernel.event ~name:(name ^ ".start") kernel;
+      img_addr = 0;
+      gl_addr = 0;
+      gl_size = 0;
+      status = 0;
+      result = 0;
+      runs = 0;
+    }
+  in
+  Kernel.spawn ~name kernel (behaviour t);
+  t
+
+let regs t =
+  let emit_and name setter v =
+    setter v;
+    Tap.emit t.tap name
+  in
+  Mmio.target ~name:t.name
+    [
+      Mmio.reg ~offset:0x00
+        ~read:(fun () -> t.img_addr)
+        ~write:(emit_and "set_imgAddr" (fun v -> t.img_addr <- v))
+        "IMG_ADDR";
+      Mmio.reg ~offset:0x04
+        ~read:(fun () -> t.gl_addr)
+        ~write:(emit_and "set_glAddr" (fun v -> t.gl_addr <- v))
+        "GL_ADDR";
+      Mmio.reg ~offset:0x08
+        ~read:(fun () -> t.gl_size)
+        ~write:(emit_and "set_glSize" (fun v -> t.gl_size <- max 0 v))
+        "GL_SIZE";
+      Mmio.reg ~offset:0x0C
+        ~write:(fun v ->
+          if v land 1 = 1 then begin
+            t.status <- 1;
+            Tap.emit t.tap "start";
+            Kernel.notify_immediate t.start_requested
+          end)
+        "CTRL";
+      Mmio.reg ~offset:0x10 ~read:(fun () -> t.status) "STATUS";
+      Mmio.reg ~offset:0x14 ~read:(fun () -> t.result) "RESULT";
+    ]
+
+let recognitions t = t.runs
+let last_match t = t.result = 1

@@ -1,0 +1,41 @@
+(** Image Processing Unit (IPU) — the component whose interface the
+    paper's properties specify (Section 3).
+
+    Inputs (register writes, each emitting its interface event on the
+    tap): [0x00 IMG_ADDR] → [set_imgAddr], [0x04 GL_ADDR] →
+    [set_glAddr], [0x08 GL_SIZE] → [set_glSize], [0x0C CTRL] (write 1)
+    → [start].  Outputs: every gallery fetch over the bus emits
+    [read_img]; completion emits [set_irq] and raises the interrupt
+    line.  Read-only: [0x10 STATUS] (0 idle, 1 busy, 2 done),
+    [0x14 RESULT] (1 when a gallery entry matched the captured image).
+
+    Recognition is synthetic — a signature comparison between the
+    captured image region and each gallery entry — but its interface
+    behaviour (event order, counts and loose timing) is the paper's:
+    after [start], between [gl_size] reads in a row, then one
+    interrupt. *)
+
+open Loseq_sim
+open Loseq_verif
+
+type t
+
+val create :
+  ?name:string ->
+  ?analysis:Time.t * Time.t ->
+  Kernel.t ->
+  Tap.t ->
+  bus:Tlm.initiator ->
+  on_irq:(unit -> unit) ->
+  t
+(** [analysis] is the loose-timed per-image processing window, default
+    [(90 ns, 110 ns)] — slow it down to make the timed property's
+    deadline miss. *)
+
+val regs : t -> Tlm.target
+val recognitions : t -> int
+val last_match : t -> bool
+
+val interface_alpha : string list
+(** The observable interface names, for documentation and coverage:
+    [set_imgAddr; set_glAddr; set_glSize; start; read_img; set_irq]. *)

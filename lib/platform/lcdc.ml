@@ -1,0 +1,76 @@
+open Loseq_sim
+open Loseq_verif
+
+type t = {
+  name : string;
+  kernel : Kernel.t;
+  tap : Tap.t;
+  bus : Tlm.initiator;
+  enabled_change : Kernel.event;
+  mutable fb_addr : int;
+  mutable period_ns : int;
+  mutable on : bool;
+  mutable refresh_count : int;
+}
+
+let behaviour t () =
+  let rec loop () =
+    if not t.on then begin
+      Kernel.wait t.enabled_change;
+      loop ()
+    end
+    else begin
+      for i = 0 to 7 do
+        ignore (Tlm.read_word t.bus (t.fb_addr + (4 * i)))
+      done;
+      t.refresh_count <- t.refresh_count + 1;
+      Tap.emit t.tap "lcdc_refresh";
+      Kernel.wait_loose t.kernel
+        (Time.ns (t.period_ns * 9 / 10))
+        (Time.ns (t.period_ns * 11 / 10));
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?(name = "LCDC") kernel tap ~bus =
+  let t =
+    {
+      name;
+      kernel;
+      tap;
+      bus;
+      enabled_change = Kernel.event ~name:(name ^ ".enable") kernel;
+      fb_addr = 0;
+      period_ns = 100_000;
+      on = false;
+      refresh_count = 0;
+    }
+  in
+  Kernel.spawn ~name kernel (behaviour t);
+  t
+
+let regs t =
+  Mmio.target ~name:t.name
+    [
+      Mmio.reg ~offset:0x0
+        ~read:(fun () -> t.fb_addr)
+        ~write:(fun v -> t.fb_addr <- v)
+        "FB_ADDR";
+      Mmio.reg ~offset:0x4
+        ~read:(fun () -> t.period_ns)
+        ~write:(fun v -> t.period_ns <- max 1_000 v)
+        "PERIOD";
+      Mmio.reg ~offset:0x8
+        ~read:(fun () -> if t.on then 1 else 0)
+        ~write:(fun v ->
+          let enable = v land 1 = 1 in
+          if enable <> t.on then begin
+            t.on <- enable;
+            Kernel.notify_immediate t.enabled_change
+          end)
+        "CTRL";
+    ]
+
+let refreshes t = t.refresh_count
+let enabled t = t.on

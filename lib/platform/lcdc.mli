@@ -1,0 +1,15 @@
+(** LCD controller (LCDC).
+
+    While enabled, periodically reads a strip of the framebuffer over
+    the bus (emitting [lcdc_refresh]).  Register map: [0x0 FB_ADDR]
+    (rw), [0x4 PERIOD] (ns, rw), [0x8 CTRL] (bit 0 enable). *)
+
+open Loseq_sim
+open Loseq_verif
+
+type t
+
+val create : ?name:string -> Kernel.t -> Tap.t -> bus:Tlm.initiator -> t
+val regs : t -> Tlm.target
+val refreshes : t -> int
+val enabled : t -> bool

@@ -1,0 +1,40 @@
+open Loseq_sim
+open Loseq_verif
+
+type t = {
+  name : string;
+  tap : Tap.t;
+  changed : Kernel.event;
+  mutable door_open : bool;
+  mutable opens : int;
+}
+
+let create ?(name = "LOCK") kernel tap =
+  {
+    name;
+    tap;
+    changed = Kernel.event ~name:(name ^ ".changed") kernel;
+    door_open = false;
+    opens = 0;
+  }
+
+let is_open t = t.door_open
+let changed t = t.changed
+let open_count t = t.opens
+
+let set t v =
+  if v <> t.door_open then begin
+    t.door_open <- v;
+    if v then t.opens <- t.opens + 1;
+    Tap.emit t.tap (if v then "lock_open" else "lock_close");
+    Kernel.notify t.changed
+  end
+
+let regs t =
+  Mmio.target ~name:t.name
+    [
+      Mmio.reg ~offset:0x0
+        ~read:(fun () -> if t.door_open then 1 else 0)
+        ~write:(fun v -> set t (v land 1 = 1))
+        "CTRL";
+    ]

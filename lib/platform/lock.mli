@@ -1,0 +1,15 @@
+(** Door lock actuator (LOCK).
+
+    Register map: [0x0 CTRL] (1 opens, 0 closes, rw).  State changes
+    emit [lock_open] / [lock_close] on the tap. *)
+
+open Loseq_sim
+open Loseq_verif
+
+type t
+
+val create : ?name:string -> Kernel.t -> Tap.t -> t
+val is_open : t -> bool
+val changed : t -> Kernel.event
+val open_count : t -> int
+val regs : t -> Tlm.target

@@ -1,0 +1,44 @@
+open Loseq_sim
+
+type t = { name : string; bytes : Bytes.t; latency : Time.t }
+
+let create ?(name = "MEM") ?(latency = Time.ns 20) ~size () =
+  if size <= 0 then invalid_arg "Memory.create: size must be positive";
+  { name; bytes = Bytes.make size '\000'; latency }
+
+let size m = Bytes.length m.bytes
+
+let in_range m address len =
+  address >= 0 && len >= 0 && address + len <= Bytes.length m.bytes
+
+let read_byte m address = Char.code (Bytes.get m.bytes address)
+let write_byte m address v = Bytes.set m.bytes address (Char.chr (v land 0xff))
+
+let read_word m address =
+  read_byte m address
+  lor (read_byte m (address + 1) lsl 8)
+  lor (read_byte m (address + 2) lsl 16)
+  lor (read_byte m (address + 3) lsl 24)
+
+let write_word m address v =
+  write_byte m address v;
+  write_byte m (address + 1) (v lsr 8);
+  write_byte m (address + 2) (v lsr 16);
+  write_byte m (address + 3) (v lsr 24)
+
+let fill m ~pos ~len f =
+  for i = 0 to len - 1 do
+    write_byte m (pos + i) (f i)
+  done
+
+let target m =
+  let b_transport (p : Tlm.payload) delay =
+    let len = Bytes.length p.data in
+    (if not (in_range m p.address len) then p.response <- Tlm.Address_error
+     else
+       match p.command with
+       | Tlm.Read -> Bytes.blit m.bytes p.address p.data 0 len
+       | Tlm.Write -> Bytes.blit p.data 0 m.bytes p.address len);
+    Time.add delay m.latency
+  in
+  { Tlm.target_name = m.name; b_transport }

@@ -1,0 +1,21 @@
+(** System memory (MEM): a byte-addressed TLM target with direct
+    backdoor access for testbenches and models. *)
+
+open Loseq_sim
+
+type t
+
+val create : ?name:string -> ?latency:Time.t -> size:int -> unit -> t
+(** [latency] defaults to 20 ns per transaction. *)
+
+val size : t -> int
+val target : t -> Tlm.target
+
+(** Backdoor access (no simulated time): *)
+
+val read_byte : t -> int -> int
+val write_byte : t -> int -> int -> unit
+val read_word : t -> int -> int
+val write_word : t -> int -> int -> unit
+val fill : t -> pos:int -> len:int -> (int -> int) -> unit
+(** [fill mem ~pos ~len f] writes byte [f i] at [pos + i]. *)

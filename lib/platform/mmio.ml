@@ -1,0 +1,39 @@
+open Loseq_sim
+
+type reg = {
+  offset : int;
+  reg_name : string;
+  read : unit -> int;
+  write : (int -> unit) option;
+}
+
+let reg ~offset ?read ?write name =
+  {
+    offset;
+    reg_name = name;
+    read = (match read with Some f -> f | None -> fun () -> 0);
+    write;
+  }
+
+let target ?(latency = Time.ns 10) ~name regs =
+  let table = Hashtbl.create 8 in
+  List.iter (fun r -> Hashtbl.replace table r.offset r) regs;
+  let b_transport (p : Tlm.payload) delay =
+    let delay = Time.add delay latency in
+    (if Bytes.length p.data <> 4 || p.address mod 4 <> 0 then
+       p.response <- Tlm.Command_error
+     else
+       match Hashtbl.find_opt table p.address with
+       | None -> p.response <- Tlm.Address_error
+       | Some r -> (
+           match p.command with
+           | Tlm.Read -> Tlm.set_word p (r.read ())
+           | Tlm.Write -> (
+               match r.write with
+               | Some f -> f (Tlm.get_word p)
+               | None -> p.response <- Tlm.Command_error)));
+    delay
+  in
+  { Tlm.target_name = name; b_transport }
+
+let name_of r = r.reg_name

@@ -1,0 +1,22 @@
+(** Memory-mapped register banks: the common shape of every peripheral's
+    TLM target. *)
+
+open Loseq_sim
+
+type reg
+
+val reg :
+  offset:int ->
+  ?read:(unit -> int) ->
+  ?write:(int -> unit) ->
+  string ->
+  reg
+(** A 32-bit register.  Omitted [read] yields 0; omitted [write] makes
+    writes a [Command_error]. *)
+
+val target : ?latency:Time.t -> name:string -> reg list -> Tlm.target
+(** Word-aligned, word-sized accesses only; unknown offsets answer
+    [Address_error].  [latency] (default 10 ns) is added to the
+    transported delay. *)
+
+val name_of : reg -> string

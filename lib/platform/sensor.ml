@@ -1,0 +1,79 @@
+open Loseq_sim
+open Loseq_verif
+
+type t = {
+  name : string;
+  kernel : Kernel.t;
+  tap : Tap.t;
+  bus : Tlm.initiator;
+  capture_requested : Kernel.event;
+  mutable dma_addr : int;
+  mutable size_words : int;
+  mutable status : int;  (* 0 idle, 1 busy, 2 done *)
+  mutable capture_count : int;
+}
+
+let behaviour t () =
+  let rec loop () =
+    Kernel.wait t.capture_requested;
+    t.status <- 1;
+    Tap.emit t.tap "sen_capture";
+    (* Loose-timed exposure, then DMA the synthetic frame word by
+       word; pixel data is a deterministic function of the capture
+       ordinal so that runs are reproducible. *)
+    Kernel.wait_loose t.kernel (Time.us 2) (Time.us 5);
+    let seed = 0x1000 + t.capture_count in
+    for i = 0 to t.size_words - 1 do
+      ignore
+        (Tlm.write_word t.bus (t.dma_addr + (4 * i)) ((seed * 31) + i));
+      if i mod 16 = 15 then
+        Kernel.wait_loose t.kernel (Time.ns 50) (Time.ns 150)
+    done;
+    t.capture_count <- t.capture_count + 1;
+    t.status <- 2;
+    Tap.emit t.tap "sen_done";
+    loop ()
+  in
+  loop ()
+
+let create ?(name = "SEN") kernel tap ~bus =
+  let t =
+    {
+      name;
+      kernel;
+      tap;
+      bus;
+      capture_requested = Kernel.event ~name:(name ^ ".capture") kernel;
+      dma_addr = 0;
+      size_words = 16;
+      status = 0;
+      capture_count = 0;
+    }
+  in
+  Kernel.spawn ~name kernel (behaviour t);
+  t
+
+let regs t =
+  Mmio.target ~name:t.name
+    [
+      Mmio.reg ~offset:0x0
+        ~read:(fun () -> t.dma_addr)
+        ~write:(fun v -> t.dma_addr <- v)
+        "DMA_ADDR";
+      Mmio.reg ~offset:0x4
+        ~read:(fun () -> t.size_words)
+        ~write:(fun v -> t.size_words <- max 1 v)
+        "SIZE";
+      Mmio.reg ~offset:0x8
+        ~write:(fun v ->
+          if v land 1 = 1 then begin
+            (* Mark busy synchronously so a poll right after the trigger
+               cannot observe a stale "done". *)
+            t.status <- 1;
+            Kernel.notify_immediate t.capture_requested
+          end)
+        "CTRL";
+      Mmio.reg ~offset:0xC ~read:(fun () -> t.status) "STATUS";
+    ]
+
+let captures t = t.capture_count

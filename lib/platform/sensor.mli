@@ -1,0 +1,19 @@
+(** Image sensor (SEN).
+
+    On capture it DMA-writes a synthetic image into memory through the
+    bus, with loose-timed progress, then flags completion.  Register
+    map: [0x0 DMA_ADDR] (rw), [0x4 SIZE] (words, rw), [0x8 CTRL]
+    (write 1 to capture), [0xC STATUS] (0 idle, 1 busy, 2 done). *)
+
+open Loseq_sim
+open Loseq_verif
+
+type t
+
+val create :
+  ?name:string -> Kernel.t -> Tap.t -> bus:Tlm.initiator -> t
+(** [bus] must already be bound (or be bound before the first
+    capture). *)
+
+val regs : t -> Tlm.target
+val captures : t -> int

@@ -1,0 +1,72 @@
+open Loseq_sim
+
+type t = {
+  name : string;
+  kernel : Kernel.t;
+  on_expire : unit -> unit;
+  restarted : Kernel.event;
+  mutable load_ns : int;
+  mutable enabled : bool;
+  mutable periodic : bool;
+  mutable status : int;
+  mutable generation : int;
+  mutable expired : int;
+}
+
+let start_countdown t =
+  let gen = t.generation in
+  Kernel.spawn t.kernel (fun () ->
+      let rec tick () =
+        Kernel.wait_for t.kernel (Time.ns t.load_ns);
+        if t.generation = gen && t.enabled then begin
+          t.status <- t.status lor 1;
+          t.expired <- t.expired + 1;
+          t.on_expire ();
+          if t.periodic then tick () else t.enabled <- false
+        end
+      in
+      if t.load_ns > 0 then tick ())
+
+let write_ctrl t v =
+  t.generation <- t.generation + 1;
+  t.periodic <- v land 2 <> 0;
+  t.enabled <- v land 1 <> 0;
+  if t.enabled then begin
+    Kernel.notify t.restarted;
+    start_countdown t
+  end
+
+let create ?(name = "TMR") kernel ~on_expire =
+  {
+    name;
+    kernel;
+    on_expire;
+    restarted = Kernel.event ~name:(name ^ ".restart") kernel;
+    load_ns = 0;
+    enabled = false;
+    periodic = false;
+    status = 0;
+    generation = 0;
+    expired = 0;
+  }
+
+let regs t =
+  Mmio.target ~name:t.name
+    [
+      Mmio.reg ~offset:0x0
+        ~read:(fun () -> t.load_ns)
+        ~write:(fun v -> t.load_ns <- max 0 v)
+        "LOAD";
+      Mmio.reg ~offset:0x4
+        ~read:(fun () ->
+          (if t.enabled then 1 else 0) lor if t.periodic then 2 else 0)
+        ~write:(fun v -> write_ctrl t v)
+        "CTRL";
+      Mmio.reg ~offset:0x8
+        ~read:(fun () -> t.status)
+        ~write:(fun _ -> t.status <- 0)
+        "STATUS";
+    ]
+
+let expired_count t = t.expired
+let running t = t.enabled

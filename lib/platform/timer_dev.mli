@@ -1,0 +1,15 @@
+(** Programmable timers (TMR1, TMR2).
+
+    Register map: [0x0 LOAD] (duration in ns, rw), [0x4 CTRL]
+    (bit 0 enable, bit 1 periodic; writing with bit 0 set (re)starts the
+    countdown), [0x8 STATUS] (bit 0 expired; any write clears).
+    Expiry invokes [on_expire] (typically an INTC line). *)
+
+open Loseq_sim
+
+type t
+
+val create : ?name:string -> Kernel.t -> on_expire:(unit -> unit) -> t
+val regs : t -> Tlm.target
+val expired_count : t -> int
+val running : t -> bool

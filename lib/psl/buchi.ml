@@ -1,0 +1,342 @@
+open Loseq_core
+
+type label = { pos : Name.Set.t; neg : Name.Set.t }
+
+type t = {
+  num_states : int;
+  initial : int list;
+  labels : label array;
+  successors : int list array;
+  accepting : bool array;
+}
+
+let enabled label a =
+  (Name.Set.is_empty label.pos || Name.Set.equal label.pos (Name.Set.singleton a))
+  && not (Name.Set.mem a label.neg)
+
+(* ---- GPVW tableau ---------------------------------------------------- *)
+
+module Fset = Set.Make (struct
+  type t = Psl.t
+
+  let compare = Stdlib.compare
+end)
+
+type node = {
+  id : int;
+  mutable incoming : int list;  (* 0 is the virtual initial marker *)
+  mutable new_ : Fset.t;
+  mutable old : Fset.t;
+  mutable next : Fset.t;
+}
+
+let contradicts old f =
+  match f with
+  | Psl.Atom _ -> Fset.mem (Psl.Not f) old
+  | Psl.Not (Psl.Atom _ as a) -> Fset.mem a old
+  | Psl.False -> true
+  | _ -> false
+
+(* Collect the Until subformulas of an NNF formula: one generalized
+   acceptance set per Until. *)
+let rec untils acc f =
+  match f with
+  | Psl.True | Psl.False | Psl.Atom _ -> acc
+  | Psl.Not g | Psl.Next g | Psl.Always g | Psl.Eventually g -> untils acc g
+  | Psl.And gs | Psl.Or gs -> List.fold_left untils acc gs
+  | Psl.Implies (g, h) | Psl.Release (g, h) -> untils (untils acc g) h
+  | Psl.Until (g, h) -> Fset.add f (untils (untils acc g) h)
+
+let gpvw phi =
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    !counter
+  in
+  let nodes : node list ref = ref [] in
+  (* Dedup on (old, next), keyed structurally: the tableau revisits the
+     same node shape constantly and a linear scan dominates the whole
+     construction. *)
+  let index : (Psl.t list * Psl.t list, node) Hashtbl.t =
+    Hashtbl.create 256
+  in
+  let key nd = (Fset.elements nd.old, Fset.elements nd.next) in
+  let rec expand nd =
+    match Fset.choose_opt nd.new_ with
+    | None -> (
+        match Hashtbl.find_opt index (key nd) with
+        | Some other -> other.incoming <- nd.incoming @ other.incoming
+        | None ->
+            nodes := nd :: !nodes;
+            Hashtbl.replace index (key nd) nd;
+            expand
+              {
+                id = fresh ();
+                incoming = [ nd.id ];
+                new_ = nd.next;
+                old = Fset.empty;
+                next = Fset.empty;
+              })
+    | Some f -> (
+        nd.new_ <- Fset.remove f nd.new_;
+        match f with
+        | Psl.False -> ()
+        | Psl.True ->
+            nd.old <- Fset.add f nd.old;
+            expand nd
+        | Psl.Atom _ | Psl.Not (Psl.Atom _) ->
+            if contradicts nd.old f then ()
+            else (
+              nd.old <- Fset.add f nd.old;
+              expand nd)
+        | Psl.Not _ | Psl.Implies _ | Psl.Always _ | Psl.Eventually _ ->
+            invalid_arg "Buchi.gpvw: formula not in negation normal form"
+        | Psl.And gs ->
+            (* The conjunction itself joins [old]: acceptance tests for
+               [Until (_, h)] look [h] up there, and [h] may well be a
+               conjunction. *)
+            nd.old <- Fset.add f nd.old;
+            nd.new_ <-
+              List.fold_left
+                (fun acc g ->
+                  if Fset.mem g nd.old then acc else Fset.add g acc)
+                nd.new_ gs;
+            expand nd
+        | Psl.Or gs ->
+            List.iter
+              (fun g ->
+                expand
+                  {
+                    id = fresh ();
+                    incoming = nd.incoming;
+                    new_ =
+                      (if Fset.mem g nd.old then nd.new_
+                       else Fset.add g nd.new_);
+                    old = Fset.add f nd.old;
+                    next = nd.next;
+                  })
+              gs
+        | Psl.Next g ->
+            nd.old <- Fset.add f nd.old;
+            nd.next <- Fset.add g nd.next;
+            expand nd
+        | Psl.Until (g, h) ->
+            let left =
+              {
+                id = fresh ();
+                incoming = nd.incoming;
+                new_ = (if Fset.mem g nd.old then nd.new_ else Fset.add g nd.new_);
+                old = Fset.add f nd.old;
+                next = Fset.add f nd.next;
+              }
+            and right =
+              {
+                id = fresh ();
+                incoming = nd.incoming;
+                new_ = (if Fset.mem h nd.old then nd.new_ else Fset.add h nd.new_);
+                old = Fset.add f nd.old;
+                next = nd.next;
+              }
+            in
+            expand left;
+            expand right
+        | Psl.Release (g, h) ->
+            let left =
+              {
+                id = fresh ();
+                incoming = nd.incoming;
+                new_ =
+                  (let acc =
+                     if Fset.mem h nd.old then nd.new_ else Fset.add h nd.new_
+                   in
+                   acc);
+                old = Fset.add f nd.old;
+                next = Fset.add f nd.next;
+              }
+            and right =
+              {
+                id = fresh ();
+                incoming = nd.incoming;
+                new_ =
+                  (let acc =
+                     if Fset.mem g nd.old then nd.new_ else Fset.add g nd.new_
+                   in
+                   if Fset.mem h nd.old then acc else Fset.add h acc);
+                old = Fset.add f nd.old;
+                next = nd.next;
+              }
+            in
+            expand left;
+            expand right)
+  in
+  expand
+    {
+      id = fresh ();
+      incoming = [ 0 ];
+      new_ = Fset.singleton phi;
+      old = Fset.empty;
+      next = Fset.empty;
+    };
+  !nodes
+
+let label_of_old old =
+  Fset.fold
+    (fun f acc ->
+      match f with
+      | Psl.Atom a -> { acc with pos = Name.Set.add a acc.pos }
+      | Psl.Not (Psl.Atom a) -> { acc with neg = Name.Set.add a acc.neg }
+      | _ -> acc)
+    old
+    { pos = Name.Set.empty; neg = Name.Set.empty }
+
+let of_ltl phi =
+  let phi = Psl.nnf phi in
+  let tableau = gpvw phi in
+  let accept_formulas = Fset.elements (untils Fset.empty phi) in
+  let k = max 1 (List.length accept_formulas) in
+  (* Generalized acceptance: for each Until(g,h), the nodes where the
+     Until is absent from [old] or [h] is present. *)
+  let in_fset i nd =
+    match List.nth_opt accept_formulas i with
+    | None -> true (* no Untils: every node is accepting *)
+    | Some (Psl.Until (_, h) as u) ->
+        (not (Fset.mem u nd.old)) || Fset.mem h nd.old
+    | Some _ -> assert false
+  in
+  let arr = Array.of_list tableau in
+  let n = Array.length arr in
+  let index_of = Hashtbl.create 16 in
+  Array.iteri (fun i nd -> Hashtbl.replace index_of nd.id i) arr;
+  (* Degeneralization with the usual counter: states (node, c); moving
+     out of a node in F_c bumps the counter; accepting = F_0 x {0}. *)
+  let num_states = n * k in
+  let state i c = (i * k) + c in
+  let labels = Array.make num_states { pos = Name.Set.empty; neg = Name.Set.empty } in
+  let successors = Array.make num_states [] in
+  let accepting = Array.make num_states false in
+  let initial = ref [] in
+  Array.iteri
+    (fun j nd ->
+      let lbl = label_of_old nd.old in
+      for c = 0 to k - 1 do
+        labels.(state j c) <- lbl
+      done;
+      List.iter
+        (fun src_id ->
+          if src_id = 0 then initial := state j 0 :: !initial
+          else
+            match Hashtbl.find_opt index_of src_id with
+            | None -> ()
+            | Some i ->
+                for c = 0 to k - 1 do
+                  let c' = if in_fset c arr.(i) then (c + 1) mod k else c in
+                  successors.(state i c) <- state j c' :: successors.(state i c)
+                done)
+        nd.incoming)
+    arr;
+  for j = 0 to n - 1 do
+    if in_fset 0 arr.(j) then accepting.(state j 0) <- true
+  done;
+  {
+    num_states;
+    initial = List.sort_uniq compare !initial;
+    labels;
+    successors;
+    accepting;
+  }
+
+let size t =
+  ( t.num_states,
+    Array.fold_left (fun acc l -> acc + List.length l) 0 t.successors )
+
+(* ---- Lasso acceptance ------------------------------------------------ *)
+
+(* Shared accepting-lasso search: a graph of integer nodes, a successor
+   function, initial nodes and an accepting predicate.  The language is
+   non-empty iff a non-trivial cycle through an accepting node is
+   reachable. *)
+let has_accepting_lasso ~initial ~succs ~accepting =
+  let reachable = Hashtbl.create 64 in
+  let rec dfs = function
+    | [] -> ()
+    | q :: rest ->
+        if Hashtbl.mem reachable q then dfs rest
+        else begin
+          Hashtbl.replace reachable q ();
+          dfs (succs q @ rest)
+        end
+  in
+  dfs initial;
+  let cycle_back q0 =
+    let seen = Hashtbl.create 64 in
+    let rec go = function
+      | [] -> false
+      | q :: rest ->
+          let ss = succs q in
+          if List.mem q0 ss then true
+          else
+            let fresh =
+              List.filter
+                (fun q' ->
+                  if Hashtbl.mem seen q' then false
+                  else begin
+                    Hashtbl.replace seen q' ();
+                    true
+                  end)
+                ss
+            in
+            go (fresh @ rest)
+    in
+    go [ q0 ]
+  in
+  let found = ref false in
+  Hashtbl.iter
+    (fun q () -> if (not !found) && accepting q && cycle_back q then found := true)
+    reachable;
+  !found
+
+let accepts_lasso t ~prefix ~cycle =
+  if cycle = [] then invalid_arg "Buchi.accepts_lasso: empty cycle";
+  let u = Array.of_list prefix and v = Array.of_list cycle in
+  let nu = Array.length u and nv = Array.length v in
+  let n = nu + nv in
+  let letter i = if i < nu then u.(i) else v.(i - nu) in
+  let succ_pos i = if i + 1 < n then i + 1 else nu in
+  (* Product of the automaton with the lasso: state (q, i) exists when
+     the letter at position i enables q's label. *)
+  let encode q i = (q * n) + i in
+  let succs code =
+    let q = code / n and i = code mod n in
+    if not (enabled t.labels.(q) (letter i)) then []
+    else List.map (fun q' -> encode q' (succ_pos i)) t.successors.(q)
+  in
+  (* A product state is live only if its own label is enabled; encode
+     that by filtering at expansion time (dead states have no
+     successors, and initial states must be live). *)
+  let initial =
+    List.filter_map
+      (fun q ->
+        if n > 0 && enabled t.labels.(q) (letter 0) then Some (encode q 0)
+        else None)
+      t.initial
+  in
+  let accepting code =
+    let q = code / n and i = code mod n in
+    t.accepting.(q) && i >= nu && enabled t.labels.(q) (letter i)
+  in
+  has_accepting_lasso ~initial ~succs ~accepting
+
+let is_empty t ~alphabet =
+  let other = Name.v "other.event" in
+  let letters = other :: alphabet in
+  let live q = List.exists (fun a -> enabled t.labels.(q) a) letters in
+  let succs q = if live q then List.filter live t.successors.(q) else [] in
+  let initial = List.filter live t.initial in
+  not
+    (has_accepting_lasso ~initial ~succs ~accepting:(fun q -> t.accepting.(q)))
+
+let pp_stats ppf t =
+  let states, transitions = size t in
+  Format.fprintf ppf "%d states, %d transitions, %d accepting" states
+    transitions
+    (Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.accepting)

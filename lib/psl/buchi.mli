@@ -1,0 +1,45 @@
+(** LTL to Büchi automata, GPVW-style.
+
+    The paper validated its PSL encodings with SPOT's LTL→TGBA
+    translator; this module plays that role offline.  It implements the
+    classic tableau construction of Gerth, Peled, Vardi and Wolper
+    (PSTV'95) producing a generalized Büchi automaton, degeneralized
+    with the usual counter construction.
+
+    Letters are interface events: exactly one name per step.  A
+    transition labeled with positive literals [pos] and negative
+    literals [neg] is enabled by name [a] iff [pos ⊆ {a}] and
+    [a ∉ neg]. *)
+
+open Loseq_core
+
+type label = { pos : Name.Set.t; neg : Name.Set.t }
+
+type t = {
+  num_states : int;
+  initial : int list;
+  labels : label array;
+      (** [labels.(q)] constrains the letter read while the run is in
+          [q]: a run [q0 q1 ...] over [w] requires [enabled labels.(qi)
+          w(i)] at every step *)
+  successors : int list array;
+  accepting : bool array;
+}
+
+val of_ltl : Psl.t -> t
+(** Translate (the negation normal form of) a formula. *)
+
+val enabled : label -> Name.t -> bool
+
+val size : t -> int * int
+(** [(states, transitions)]. *)
+
+val accepts_lasso : t -> prefix:Name.t list -> cycle:Name.t list -> bool
+(** Does the automaton accept the ultimately-periodic word [u·v^ω]?
+    Raises [Invalid_argument] on an empty cycle. *)
+
+val is_empty : t -> alphabet:Name.t list -> bool
+(** Language emptiness over one-name-per-step words built from
+    [alphabet] plus one fresh name standing for "any other event". *)
+
+val pp_stats : Format.formatter -> t -> unit

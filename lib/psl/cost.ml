@@ -1,0 +1,53 @@
+open Loseq_core
+
+type t = {
+  ops_per_event : int;
+  space_bits : int;
+  delta : int;
+  formula_size : int;
+}
+
+(* Calibration on Fig. 6 row 1, whose encoding has 26 nodes. *)
+let k_time_num, k_time_den = (238, 26)
+let k_space_num, k_space_den = (896, 26)
+
+let scale num den size = ((size * num) + (den / 2)) / den
+
+let via_psl p =
+  let formula_size = Translate.formula_size p in
+  {
+    ops_per_event = scale k_time_num k_time_den formula_size;
+    space_bits = scale k_space_num k_space_den formula_size;
+    delta = Translate.delta_cost p;
+    formula_size;
+  }
+
+let theta_time p =
+  let ordering = Pattern.body_ordering p in
+  let widths =
+    List.map
+      (fun (f : Pattern.fragment) ->
+        List.fold_left
+          (fun acc r -> acc + Translate.expansion_width r)
+          0 f.ranges)
+      ordering
+  in
+  let squares =
+    List.fold_left
+      (fun acc (f : Pattern.fragment) ->
+        List.fold_left
+          (fun acc r ->
+            let w = Translate.expansion_width r in
+            acc + (w * w))
+          acc f.ranges)
+      0 ordering
+  in
+  let rec consecutive acc = function
+    | a :: (b :: _ as rest) -> consecutive (acc + (a * b)) rest
+    | [ _ ] | [] -> acc
+  in
+  squares + consecutive 0 widths
+
+let pp ppf c =
+  Format.fprintf ppf "%d+D ops/event, %d+D bits (|f|=%d, D=%d)"
+    c.ops_per_event c.space_bits c.formula_size c.delta

@@ -1,0 +1,83 @@
+open Loseq_core
+
+(* Keep residuals small: the plain smart constructors flatten, and we
+   additionally deduplicate juxtaposed identical conjuncts/disjuncts
+   (progression of [Always]/[Until] re-emits the original formula every
+   step, so duplicates are the norm). *)
+let dedup fs = List.sort_uniq Stdlib.compare fs
+
+let and_simplified fs =
+  match Psl.and_ fs with
+  | Psl.And gs -> (
+      match dedup gs with [ g ] -> g | gs -> Psl.And gs)
+  | f -> f
+
+let or_simplified fs =
+  match Psl.or_ fs with
+  | Psl.Or gs -> (
+      match dedup gs with [ g ] -> g | gs -> Psl.Or gs)
+  | f -> f
+
+let progress ?(steps = ref 0) formula letter =
+  let rec go f =
+    incr steps;
+    match f with
+    | Psl.True -> Psl.True
+    | Psl.False -> Psl.False
+    | Psl.Atom a -> if Name.equal a letter then Psl.True else Psl.False
+    | Psl.Not f -> Psl.not_ (go f)
+    | Psl.And fs -> and_simplified (List.map go fs)
+    | Psl.Or fs -> or_simplified (List.map go fs)
+    | Psl.Implies (f, g) -> or_simplified [ Psl.not_ (go f); go g ]
+    | Psl.Next f -> f
+    | Psl.Until (f, g) ->
+        (* f U! g  =  g ∨ (f ∧ X(f U! g)) *)
+        or_simplified [ go g; and_simplified [ go f; Psl.Until (f, g) ] ]
+    | Psl.Release (f, g) ->
+        (* f R g  =  g ∧ (f ∨ X(f R g)) *)
+        and_simplified [ go g; or_simplified [ go f; Psl.Release (f, g) ] ]
+    | Psl.Always f -> and_simplified [ go f; Psl.Always f ]
+    | Psl.Eventually f -> or_simplified [ go f; Psl.Eventually f ]
+  in
+  go formula
+
+type verdict = Running of Psl.t | Satisfied | Violated
+
+type t = {
+  mutable residual : Psl.t;
+  steps : int ref;
+  mutable peak : int;
+}
+
+let verdict_of = function
+  | Psl.True -> Satisfied
+  | Psl.False -> Violated
+  | f -> Running f
+
+let create formula =
+  { residual = formula; steps = ref 0; peak = Psl.size formula }
+
+let step t letter =
+  (match t.residual with
+  | Psl.True | Psl.False -> ()
+  | f ->
+      let f' = progress ~steps:t.steps f letter in
+      t.residual <- f';
+      t.peak <- max t.peak (Psl.size f'));
+  verdict_of t.residual
+
+let verdict t = verdict_of t.residual
+let residual t = t.residual
+let weak_accept t = t.residual <> Psl.False
+let steps t = !(t.steps)
+let peak_size t = t.peak
+
+let run formula word =
+  let t = create formula in
+  List.iter (fun letter -> ignore (step t letter)) word;
+  t
+
+let monitor_pattern p word =
+  let formula = Translate.to_psl p in
+  let encoded = Translate.expand_trace p word in
+  weak_accept (run formula encoded)

@@ -1,0 +1,54 @@
+(** An executable PSL monitor, by formula progression
+    (Havelund–Roşu-style rewriting).
+
+    This makes the ViaPSL strategy of the paper {e runnable}, not just
+    costed: the Section-5 encoding of a pattern can be monitored online
+    by rewriting the formula through each event, and its per-event work
+    (rewrite steps, residual formula size) can be measured and compared
+    against the Drct monitors — an empirical version of Fig. 6.
+
+    Progression satisfies the identity
+    [eval f w  =  eval (progress* f w) ε] (strong finite-trace
+    semantics), which the suite property-tests on random formulas; and
+    on the Section-5 encodings, "residual conclusively falsified"
+    coincides with the weak-evaluation rejection used elsewhere, which
+    the suite also tests. *)
+
+open Loseq_core
+
+val progress : ?steps:int ref -> Psl.t -> Name.t -> Psl.t
+(** One step of progression.  [steps], when provided, is incremented by
+    the number of AST nodes visited — the time metric. *)
+
+type verdict =
+  | Running of Psl.t  (** residual obligation *)
+  | Satisfied  (** residual [True]: no extension can violate *)
+  | Violated  (** residual [False]: no extension can satisfy *)
+
+type t
+
+val create : Psl.t -> t
+val step : t -> Name.t -> verdict
+val verdict : t -> verdict
+
+val residual : t -> Psl.t
+(** Current obligation ([True]/[False] once decided). *)
+
+val weak_accept : t -> bool
+(** Would the monitor accept if observation stopped now?  [true] unless
+    the residual is conclusively falsified ([False]); pending
+    obligations are impartially kept open, as a monitor must. *)
+
+val steps : t -> int
+(** Total rewrite steps executed — the measured ViaPSL time metric. *)
+
+val peak_size : t -> int
+(** Largest residual formula seen — the measured ViaPSL space metric. *)
+
+val run : Psl.t -> Name.t list -> t
+(** Feed a whole word. *)
+
+val monitor_pattern : Pattern.t -> Name.t list -> bool
+(** Convenience: progress the Section-5 encoding of a pattern through
+    the (run-length re-encoded) word and return {!weak_accept}.  Raises
+    like {!Translate.to_psl} on over-wide ranges. *)

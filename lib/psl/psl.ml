@@ -1,0 +1,210 @@
+open Loseq_core
+
+type t =
+  | True
+  | False
+  | Atom of Name.t
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Implies of t * t
+  | Next of t
+  | Until of t * t
+  | Release of t * t
+  | Always of t
+  | Eventually of t
+
+let atom s = Atom (Name.v s)
+let name n = Atom n
+
+let not_ = function
+  | True -> False
+  | False -> True
+  | Not f -> f
+  | f -> Not f
+
+let and_ fs =
+  let fs =
+    List.concat_map (function And gs -> gs | True -> [] | f -> [ f ]) fs
+  in
+  if List.mem False fs then False
+  else match fs with [] -> True | [ f ] -> f | fs -> And fs
+
+let or_ fs =
+  let fs =
+    List.concat_map (function Or gs -> gs | False -> [] | f -> [ f ]) fs
+  in
+  if List.mem True fs then True
+  else match fs with [] -> False | [ f ] -> f | fs -> Or fs
+
+let implies f g = if f = True then g else if f = False then True else Implies (f, g)
+let next f = Next f
+let until f g = Until (f, g)
+let release f g = Release (f, g)
+let always = function True -> True | f -> Always f
+let eventually = function True -> True | f -> Eventually f
+
+let rec size = function
+  | True | False | Atom _ -> 1
+  | Not f | Next f | Always f | Eventually f -> 1 + size f
+  | And fs | Or fs -> 1 + List.fold_left (fun acc f -> acc + size f) 0 fs
+  | Implies (f, g) | Until (f, g) | Release (f, g) -> 1 + size f + size g
+
+let rec atoms = function
+  | True | False -> Name.Set.empty
+  | Atom n -> Name.Set.singleton n
+  | Not f | Next f | Always f | Eventually f -> atoms f
+  | And fs | Or fs ->
+      List.fold_left (fun acc f -> Name.Set.union acc (atoms f)) Name.Set.empty
+        fs
+  | Implies (f, g) | Until (f, g) | Release (f, g) ->
+      Name.Set.union (atoms f) (atoms g)
+
+let rec nnf f =
+  match f with
+  | True | False | Atom _ -> f
+  | And fs -> And (List.map nnf fs)
+  | Or fs -> Or (List.map nnf fs)
+  | Implies (f, g) -> Or [ nnf (Not f); nnf g ]
+  | Next f -> Next (nnf f)
+  | Until (f, g) -> Until (nnf f, nnf g)
+  | Release (f, g) -> Release (nnf f, nnf g)
+  | Always f -> Release (False, nnf f)
+  | Eventually f -> Until (True, nnf f)
+  | Not g -> (
+      match g with
+      | True -> False
+      | False -> True
+      | Atom _ -> Not g
+      | Not h -> nnf h
+      | And fs -> Or (List.map (fun h -> nnf (Not h)) fs)
+      | Or fs -> And (List.map (fun h -> nnf (Not h)) fs)
+      | Implies (h, k) -> And [ nnf h; nnf (Not k) ]
+      | Next h -> Next (nnf (Not h))
+      | Until (h, k) -> Release (nnf (Not h), nnf (Not k))
+      | Release (h, k) -> Until (nnf (Not h), nnf (Not k))
+      | Always h -> Until (True, nnf (Not h))
+      | Eventually h -> Release (False, nnf (Not h)))
+
+(* Strong ([weak = false]) or weak finite-trace semantics; a position at
+   or beyond the word's end has no events, so step obligations resolve
+   to [weak]. *)
+let rec eval_gen ~weak f w i =
+  let n = Array.length w in
+  match f with
+  | True -> true
+  | False -> false
+  | Atom a -> i < n && Name.equal w.(i) a
+  | Not f -> not (eval_gen ~weak f w i)
+  | And fs -> List.for_all (fun f -> eval_gen ~weak f w i) fs
+  | Or fs -> List.exists (fun f -> eval_gen ~weak f w i) fs
+  | Implies (f, g) -> (not (eval_gen ~weak f w i)) || eval_gen ~weak g w i
+  | Next f -> if i + 1 < n then eval_gen ~weak f w (i + 1) else weak
+  | Until (f, g) ->
+      let rec search j =
+        if j >= n then weak
+        else if eval_gen ~weak g w j then true
+        else eval_gen ~weak f w j && search (j + 1)
+      in
+      search i
+  | Release (f, g) ->
+      let rec search j =
+        if j >= n then true
+        else
+          eval_gen ~weak g w j
+          && (eval_gen ~weak f w j || search (j + 1))
+      in
+      search i
+  | Always f ->
+      let rec search j = j >= n || (eval_gen ~weak f w j && search (j + 1)) in
+      search i
+  | Eventually f ->
+      let rec search j =
+        if j >= n then weak else eval_gen ~weak f w j || search (j + 1)
+      in
+      search i
+
+let eval_at f w i = eval_gen ~weak:false f w i
+let eval f w = eval_at f w 0
+let eval_weak f w = eval_gen ~weak:true f w 0
+
+(* Ultimately-periodic words: evaluate each subformula as a boolean
+   vector over the [|u| + |v|] distinct positions, the successor of the
+   last position wrapping to the start of the cycle.  Least fixpoints
+   (Until, Eventually) start from false, greatest fixpoints (Release,
+   Always) from true; [n] sweeps reach the fixpoint. *)
+let eval_lasso f ~prefix ~cycle =
+  if cycle = [] then invalid_arg "Psl.eval_lasso: empty cycle";
+  let u = Array.of_list prefix and v = Array.of_list cycle in
+  let nu = Array.length u and nv = Array.length v in
+  let n = nu + nv in
+  let letter i = if i < nu then u.(i) else v.(i - nu) in
+  let succ i = if i + 1 < n then i + 1 else nu in
+  let rec vec f =
+    match f with
+    | True -> Array.make n true
+    | False -> Array.make n false
+    | Atom a -> Array.init n (fun i -> Name.equal (letter i) a)
+    | Not f -> Array.map not (vec f)
+    | And fs ->
+        let vs = List.map vec fs in
+        Array.init n (fun i -> List.for_all (fun v -> v.(i)) vs)
+    | Or fs ->
+        let vs = List.map vec fs in
+        Array.init n (fun i -> List.exists (fun v -> v.(i)) vs)
+    | Implies (f, g) ->
+        let vf = vec f and vg = vec g in
+        Array.init n (fun i -> (not vf.(i)) || vg.(i))
+    | Next f ->
+        let vf = vec f in
+        Array.init n (fun i -> vf.(succ i))
+    | Until (f, g) -> fixpoint ~init:false (vec f) (vec g)
+    | Release (f, g) ->
+        (* f R g  ≡  ¬(¬f U ¬g) *)
+        Array.map not
+          (fixpoint ~init:false (Array.map not (vec f)) (Array.map not (vec g)))
+    | Always f -> vec (Release (False, f))
+    | Eventually f -> vec (Until (True, f))
+  and fixpoint ~init vf vg =
+    let res = Array.make n init in
+    for _sweep = 0 to n do
+      for i = n - 1 downto 0 do
+        res.(i) <- vg.(i) || (vf.(i) && res.(succ i))
+      done
+    done;
+    res
+  in
+  (vec f).(0)
+
+let rec pp ppf = function
+  | True -> Format.pp_print_string ppf "true"
+  | False -> Format.pp_print_string ppf "false"
+  | Atom n -> Name.pp ppf n
+  | Not f -> Format.fprintf ppf "!%a" pp_paren f
+  | And fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " && ")
+           pp)
+        fs
+  | Or fs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " || ")
+           pp)
+        fs
+  | Implies (f, g) -> Format.fprintf ppf "(%a -> %a)" pp f pp g
+  | Next f -> Format.fprintf ppf "next %a" pp_paren f
+  | Until (f, g) -> Format.fprintf ppf "(%a until! %a)" pp f pp g
+  | Release (f, g) -> Format.fprintf ppf "(%a release %a)" pp f pp g
+  | Always f -> Format.fprintf ppf "always %a" pp_paren f
+  | Eventually f -> Format.fprintf ppf "eventually! %a" pp_paren f
+
+and pp_paren ppf f =
+  match f with
+  | True | False | Atom _ | And _ | Or _ | Implies _ | Until _ | Release _ ->
+      pp ppf f
+  | Not _ | Next _ | Always _ | Eventually _ -> Format.fprintf ppf "(%a)" pp f
+
+let to_string f = Format.asprintf "%a" pp f
+let equal (a : t) (b : t) = a = b

@@ -1,0 +1,86 @@
+(** A PSL 1.1 / LTL core.
+
+    This is the target language of the ViaPSL translation strategy
+    (paper, Section 5).  Formulas are interpreted over sequences of
+    interface events — at each step exactly one name occurs (the trace
+    semantics used for TL models in the paper and in Pierre & Ferro's
+    monitor framework).
+
+    Three semantics are provided:
+    - {!eval}: finite traces, with strong [next]/[until!] (a pending
+      strong obligation at the end of the trace falsifies the formula);
+    - {!eval_weak}: finite traces where pending obligations are
+      discharged (the "neutral" finite-trace view used when a monitor
+      has simply not failed yet);
+    - {!eval_lasso}: ultimately-periodic infinite words, the semantics
+      against which the {!Buchi} translation is validated. *)
+
+open Loseq_core
+
+type t =
+  | True
+  | False
+  | Atom of Name.t  (** the event at this step is this name *)
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Implies of t * t
+  | Next of t  (** strong [X] *)
+  | Until of t * t  (** strong [until!] *)
+  | Release of t * t  (** dual of {!Until} *)
+  | Always of t  (** [G] *)
+  | Eventually of t  (** [F!] *)
+
+(** {1 Smart constructors} (perform cheap simplifications) *)
+
+val atom : string -> t
+val name : Name.t -> t
+val not_ : t -> t
+val and_ : t list -> t
+val or_ : t list -> t
+val implies : t -> t -> t
+val next : t -> t
+val until : t -> t -> t
+val release : t -> t -> t
+val always : t -> t
+val eventually : t -> t
+
+(** {1 Structure} *)
+
+val size : t -> int
+(** Number of AST nodes — the formula-size parameter of the ViaPSL
+    monitor cost model. *)
+
+val atoms : t -> Name.Set.t
+val nnf : t -> t
+(** Negation normal form over
+    [{True, False, Atom, Not Atom, And, Or, Next, Until, Release}].
+    Preserves the infinite-word (lasso) semantics — which is what the
+    {!Buchi} translation consumes.  On finite traces, pushing a negation
+    through a strong [Next] is not neutral ([¬X f ≠ X ¬f] at the last
+    position), so only negated-[Next]-free formulas keep their finite
+    verdicts. *)
+
+(** {1 Semantics} *)
+
+val eval_at : t -> Name.t array -> int -> bool
+(** [eval_at f w i]: [w, i ⊨ f] with strong finite-trace semantics;
+    positions [>= Array.length w] do not exist. *)
+
+val eval : t -> Name.t array -> bool
+(** [eval f w = eval_at f w 0]; the empty word satisfies only formulas
+    with no step obligation. *)
+
+val eval_weak : t -> Name.t array -> bool
+(** Finite-trace evaluation where obligations pending at the end of the
+    word are considered discharged: [Next]/[Until]/[Eventually] holding
+    "beyond the end" count as true.  This matches a monitor that has
+    not yet reported a violation. *)
+
+val eval_lasso : t -> prefix:Name.t list -> cycle:Name.t list -> bool
+(** [eval_lasso f ~prefix:u ~cycle:v]: [u·v^ω ⊨ f].  Raises
+    [Invalid_argument] on an empty cycle. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,290 @@
+open Loseq_core
+
+let expansion_width (r : Pattern.range) = r.hi - r.lo + 1
+let needs_expansion (r : Pattern.range) = not (r.lo = 1 && r.hi = 1)
+
+let expanded_name (r : Pattern.range) k =
+  Name.v (Name.to_string r.name ^ "." ^ string_of_int k)
+
+let invalid_name r = expanded_name r 0
+
+let max_materialized_width = 100_000
+
+let expanded_names r =
+  if not (needs_expansion r) then [ r.Pattern.name ]
+  else if expansion_width r > max_materialized_width then
+    invalid_arg "Translate.expanded_names: range too wide to materialize"
+  else List.init (expansion_width r) (fun k -> expanded_name r (r.lo + k))
+
+let ranges_of p =
+  List.concat_map
+    (fun (f : Pattern.fragment) -> f.ranges)
+    (Pattern.body_ordering p)
+
+let expand_trace p names =
+  let table = Hashtbl.create 16 in
+  List.iter
+    (fun (r : Pattern.range) -> Hashtbl.replace table r.name r)
+    (ranges_of p);
+  let encode_run ~last (run : Semantics.run) =
+    match Hashtbl.find_opt table run.name with
+    | Some r when needs_expansion r ->
+        if run.count >= r.lo && run.count <= r.hi then
+          if last then
+            (* The lexer only emits a run once it is closed by a
+               different event; a trailing in-bounds run is still open
+               and therefore withheld. *)
+            []
+          else [ expanded_name r run.count ]
+        else if run.count > r.hi then [ invalid_name r ]
+        else if last then [] (* still open, may yet reach [lo] *)
+        else [ invalid_name r ]
+    | Some _ | None -> List.init run.count (fun _ -> run.name)
+  in
+  let rec encode = function
+    | [] -> []
+    | [ run ] -> encode_run ~last:true run
+    | run :: rest -> encode_run ~last:false run @ encode rest
+  in
+  encode (Semantics.runs names)
+
+(* The six clause families share a small description of the pattern:
+   the concatenated ordering, the reset point and its size, and whether
+   clauses apply to every round ([repeated]) or only before the first
+   reset. *)
+type info = {
+  ordering : Pattern.ordering;
+  reset : Psl.t Lazy.t;  (* lazy: may reference huge expansions *)
+  sz_reset : int;
+  repeated : bool;
+  extra_atom : bool;  (* antecedent trigger enlarges α(A) *)
+}
+
+let sz_or m = if m = 1 then 1 else m + 1
+
+let info_of p =
+  match p with
+  | Pattern.Antecedent a ->
+      {
+        ordering = a.body;
+        reset = lazy (Psl.name a.trigger);
+        sz_reset = 1;
+        repeated = a.repeated;
+        extra_atom = true;
+      }
+  | Pattern.Timed g ->
+      let last =
+        match List.rev g.conclusion with
+        | f :: _ -> f
+        | [] -> assert false
+      in
+      let m_last =
+        List.fold_left
+          (fun acc r -> acc + expansion_width r)
+          0 last.Pattern.ranges
+      in
+      {
+        ordering = g.premise @ g.conclusion;
+        reset =
+          lazy
+            (Psl.or_
+               (List.concat_map
+                  (fun r -> List.map Psl.name (expanded_names r))
+                  last.Pattern.ranges));
+        sz_reset = sz_or m_last;
+        repeated = true;
+        extra_atom = false;
+      }
+
+let fragment_width (f : Pattern.fragment) =
+  List.fold_left (fun acc r -> acc + expansion_width r) 0 f.ranges
+
+let weak_until f g = Psl.release g (Psl.or_ [ f; g ])
+
+(* [scope] closes a clause body: over every round for repeated patterns,
+   or only up to the first reset otherwise. *)
+let scope inf body =
+  if inf.repeated then Psl.always body
+  else weak_until body (Lazy.force inf.reset)
+
+let sz_scoped inf sz_body =
+  if inf.repeated then 1 + sz_body else 2 + (2 * inf.sz_reset) + sz_body
+
+(** {2 Formula construction} *)
+
+let check_width ~max_width p =
+  List.iter
+    (fun r ->
+      if expansion_width r > max_width then
+        invalid_arg
+          (Format.asprintf
+             "Translate.to_psl: range %a is wider than %d; its quadratic \
+              PSL encoding would not fit in memory (use formula_size)"
+             Pattern.pp_range r max_width))
+    (ranges_of p)
+
+let to_psl ?(max_width = 256) p =
+  Wellformed.check_exn p;
+  check_width ~max_width p;
+  let inf = info_of p in
+  let reset = Lazy.force inf.reset in
+  let fragments = Array.of_list inf.ordering in
+  let expanded_fragment f =
+    List.concat_map expanded_names f.Pattern.ranges
+  in
+  let all_names = List.concat_map expanded_fragment (Array.to_list fragments) in
+  let alpha_a =
+    all_names
+    @
+    match p with Pattern.Antecedent a -> [ a.trigger ] | Pattern.Timed _ -> []
+  in
+  let clauses = ref [] in
+  let emit c = clauses := c :: !clauses in
+  (* Asynch: names are mutually exclusive at every step. *)
+  let rec pairs = function
+    | [] -> ()
+    | x :: rest ->
+        List.iter
+          (fun y ->
+            emit (Psl.always (Psl.not_ (Psl.and_ [ Psl.name x; Psl.name y ]))))
+          rest;
+        pairs rest
+  in
+  pairs alpha_a;
+  (* MaxOne: each name at most once per round. *)
+  List.iter
+    (fun x ->
+      emit
+        (scope inf
+           (Psl.implies (Psl.name x)
+              (Psl.next (Psl.until (Psl.not_ (Psl.name x)) reset)))))
+    all_names;
+  (* Range: at most one re-encoded name per range per round. *)
+  List.iter
+    (fun r ->
+      let names = expanded_names r in
+      List.iter
+        (fun x ->
+          List.iter
+            (fun y ->
+              if not (Name.equal x y) then
+                emit
+                  (scope inf
+                     (Psl.implies (Psl.name x)
+                        (Psl.until (Psl.not_ (Psl.name y)) reset))))
+            names)
+        names)
+    (ranges_of p);
+  (* Order: a fragment's names freeze the previous fragment's names. *)
+  for k = 1 to Array.length fragments - 1 do
+    List.iter
+      (fun x ->
+        List.iter
+          (fun y ->
+            emit
+              (scope inf
+                 (Psl.implies (Psl.name x)
+                    (Psl.until (Psl.not_ (Psl.name y)) reset))))
+          (expanded_fragment fragments.(k - 1)))
+      (expanded_fragment fragments.(k))
+  done;
+  (* BeforeI: the reset point can occur only after the whole ordering;
+     one clause per conjunctive range, one per disjunctive fragment. *)
+  let before_after_groups =
+    List.concat_map
+      (fun (f : Pattern.fragment) ->
+        match f.connective with
+        | Pattern.All -> List.map (fun r -> expanded_names r) f.ranges
+        | Pattern.Any -> [ expanded_fragment f ])
+      inf.ordering
+  in
+  List.iter
+    (fun group ->
+      emit
+        (Psl.until
+           (Psl.not_ reset)
+           (Psl.or_ (List.map Psl.name group))))
+    before_after_groups;
+  (* AfterI: after each reset point the ordering must be observed again
+     before the next one (repeated patterns only). *)
+  if inf.repeated then
+    List.iter
+      (fun group ->
+        let disjuncts =
+          List.map
+            (fun x -> Psl.until (Psl.not_ reset) (Psl.name x))
+            group
+        in
+        emit
+          (Psl.always
+             (Psl.implies reset (Psl.next (Psl.or_ disjuncts)))))
+      before_after_groups;
+  (* Forbid: out-of-bounds runs, marked [n.0] by the lexer. *)
+  List.iter
+    (fun r ->
+      if needs_expansion r then
+        emit (scope inf (Psl.not_ (Psl.name (invalid_name r)))))
+    (ranges_of p);
+  match List.rev !clauses with
+  | [ c ] -> c
+  | cs -> Psl.And cs
+
+(** {2 Closed-form size} *)
+
+let formula_size p =
+  Wellformed.check_exn p;
+  let inf = info_of p in
+  let fragments = Array.of_list inf.ordering in
+  let widths = Array.map fragment_width fragments in
+  let m_body = Array.fold_left ( + ) 0 widths in
+  let m_alpha = m_body + if inf.extra_atom then 1 else 0 in
+  let ranges = ranges_of p in
+  let total = ref 0 in
+  let count = ref 0 in
+  let add n sz =
+    total := !total + (n * sz);
+    count := !count + n
+  in
+  (* Asynch *)
+  add (m_alpha * (m_alpha - 1) / 2) 5;
+  (* MaxOne *)
+  add m_body (sz_scoped inf (6 + inf.sz_reset));
+  (* Range *)
+  List.iter
+    (fun r ->
+      let w = expansion_width r in
+      add (w * (w - 1)) (sz_scoped inf (5 + inf.sz_reset)))
+    ranges;
+  (* Order *)
+  for k = 1 to Array.length fragments - 1 do
+    add (widths.(k) * widths.(k - 1)) (sz_scoped inf (5 + inf.sz_reset))
+  done;
+  (* BeforeI / AfterI groups *)
+  let groups =
+    List.concat_map
+      (fun (f : Pattern.fragment) ->
+        match f.Pattern.connective with
+        | Pattern.All -> List.map expansion_width f.ranges
+        | Pattern.Any -> [ fragment_width f ])
+      inf.ordering
+  in
+  List.iter (fun w -> add 1 (2 + inf.sz_reset + sz_or w)) groups;
+  if inf.repeated then
+    List.iter
+      (fun w ->
+        let disjunct = 2 + inf.sz_reset in
+        let sz_disjunction =
+          if w = 1 then 1 + disjunct else 1 + (w * (1 + disjunct))
+        in
+        add 1 (2 + inf.sz_reset + 1 + sz_disjunction))
+      groups;
+  (* Forbid *)
+  List.iter
+    (fun r -> if needs_expansion r then add 1 (sz_scoped inf 2))
+    ranges;
+  if !count = 1 then !total else !total + 1
+
+let delta_cost p =
+  List.fold_left
+    (fun acc r -> if needs_expansion r then acc + expansion_width r else acc)
+    0 (ranges_of p)

@@ -1,0 +1,71 @@
+(** Translation of loose-ordering patterns into PSL (paper, Section 5).
+
+    The translation has two pieces:
+
+    - a {e lexical re-encoding} of ranges: a maximal run of [k]
+      consecutive occurrences of [n] becomes a single occurrence of the
+      fresh name [n.k] ("treat sequences of consecutive occurrences of a
+      range's name as new elements").  A range [n[u,v]] therefore
+      contributes the [v-u+1] names [n.u .. n.v]; runs outside the
+      bounds map to the distinguished invalid name [n.0], which the
+      formula forbids.  Ranges [n[1,1]] are not re-encoded.  The cost of
+      this preprocessing step is the paper's [Δ];
+    - six families of LTL clauses over the re-encoded alphabet:
+      {e Asynch} (mutual exclusion of names), {e MaxOne} (each name at
+      most once per round), {e Range} (at most one name per range per
+      round — the quadratically exploding family), {e Order} (a
+      fragment's names freeze the previous fragment's), {e BeforeI} (the
+      reset point only after the whole ordering) and {e AfterI} (the
+      ordering again before each later reset point, repeated patterns
+      only).
+
+    Where the paper's sketch is ambiguous we deviate minimally and
+    document it here: disjunctive fragments get disjunctive
+    {e BeforeI}/{e AfterI} clauses; non-repeated antecedents relativize
+    every clause to the region before the first trigger with a weak
+    until ([φ W i ≡ i R (φ ∨ i)]); for timed implications — whose
+    quantitative deadline PSL 1.1 cannot express, as the paper also
+    notes — the reset point is the disjunction of the conclusion's last
+    fragment's names and the translation captures the untimed
+    concatenation [P·Q]. *)
+
+open Loseq_core
+
+val expansion_width : Pattern.range -> int
+(** [v - u + 1] — the paper's [(vᵢ - uᵢ + 1)] parameter. *)
+
+val needs_expansion : Pattern.range -> bool
+(** [false] exactly for [n[1,1]]. *)
+
+val expanded_names : Pattern.range -> Name.t list
+(** [E(R)]: the names the range contributes to the re-encoded alphabet.
+    Raises [Invalid_argument] when wider than 100_000 (materializing a
+    [n[100,60000]] alphabet is the explosion the paper measures; callers
+    wanting only its size must use {!expansion_width}). *)
+
+val invalid_name : Pattern.range -> Name.t
+(** The [n.0] marker for out-of-bounds runs. *)
+
+val expand_trace : Pattern.t -> Name.t list -> Name.t list
+(** The lexical analyzer [Δ]: collapse runs of re-encoded range names.
+    Names outside the pattern alphabet pass through unchanged.  A
+    trailing run that is still open (it could grow within its bounds) is
+    withheld, as an online lexer only emits a run once a different event
+    closes it; a trailing run already above its upper bound is emitted
+    as the invalid marker immediately. *)
+
+val to_psl : ?max_width:int -> Pattern.t -> Psl.t
+(** Build the PSL encoding.  Raises [Invalid_argument] if some range is
+    wider than [max_width] (default 256) — the quadratic families would
+    materialize billions of clauses, which is precisely the point of the
+    paper's comparison. *)
+
+val formula_size : Pattern.t -> int
+(** Closed-form size of {!to_psl}'s result (node count), computed
+    without materializing the formula, so it works for
+    [n[100,60000]]-style ranges.  Agrees exactly with
+    [Psl.size (to_psl p)] whenever the latter is buildable. *)
+
+val delta_cost : Pattern.t -> int
+(** [Δ]: the cost of the run-length lexer, modeled as the size of the
+    re-encoded alphabet it must recognize. *)

@@ -1,0 +1,52 @@
+type 'a t = {
+  items : 'a Queue.t;
+  capacity : int;
+  data_written : Kernel.event;
+  data_read : Kernel.event;
+}
+
+let create ?(name = "fifo") ?(capacity = 16) kernel () =
+  if capacity <= 0 then invalid_arg "Fifo.create: capacity must be positive";
+  {
+    items = Queue.create ();
+    capacity;
+    data_written = Kernel.event ~name:(name ^ ".written") kernel;
+    data_read = Kernel.event ~name:(name ^ ".read") kernel;
+  }
+
+let length f = Queue.length f.items
+let capacity f = f.capacity
+
+let rec put f x =
+  if Queue.length f.items >= f.capacity then begin
+    Kernel.wait f.data_read;
+    put f x
+  end
+  else begin
+    Queue.add x f.items;
+    Kernel.notify f.data_written
+  end
+
+let rec get f =
+  match Queue.take_opt f.items with
+  | Some x ->
+      Kernel.notify f.data_read;
+      x
+  | None ->
+      Kernel.wait f.data_written;
+      get f
+
+let try_put f x =
+  if Queue.length f.items >= f.capacity then false
+  else begin
+    Queue.add x f.items;
+    Kernel.notify f.data_written;
+    true
+  end
+
+let try_get f =
+  match Queue.take_opt f.items with
+  | Some x ->
+      Kernel.notify f.data_read;
+      Some x
+  | None -> None

@@ -1,0 +1,18 @@
+(** Bounded blocking FIFO channels ([sc_fifo] analogue). *)
+
+type 'a t
+
+val create : ?name:string -> ?capacity:int -> Kernel.t -> unit -> 'a t
+(** [capacity] defaults to 16 and must be positive. *)
+
+val length : 'a t -> int
+val capacity : 'a t -> int
+
+val put : 'a t -> 'a -> unit
+(** Process-context: blocks while full. *)
+
+val get : 'a t -> 'a
+(** Process-context: blocks while empty. *)
+
+val try_put : 'a t -> 'a -> bool
+val try_get : 'a t -> 'a option

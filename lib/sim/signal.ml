@@ -1,0 +1,35 @@
+type 'a t = {
+  signal_name : string;
+  mutable value : 'a;
+  changed : Kernel.event;
+  mutable observers : ('a -> unit) list;
+}
+
+let create ?(name = "signal") kernel value =
+  {
+    signal_name = name;
+    value;
+    changed = Kernel.event ~name:(name ^ ".changed") kernel;
+    observers = [];
+  }
+
+let name s = s.signal_name
+let read s = s.value
+
+let write s v =
+  if s.value <> v then begin
+    s.value <- v;
+    Kernel.notify s.changed;
+    List.iter (fun f -> f v) (List.rev s.observers)
+  end
+
+let changed s = s.changed
+
+let rec wait_until s predicate =
+  if predicate s.value then s.value
+  else begin
+    Kernel.wait s.changed;
+    wait_until s predicate
+  end
+
+let on_change s f = s.observers <- f :: s.observers

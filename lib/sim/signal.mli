@@ -1,0 +1,22 @@
+(** Typed signals with value-changed events ([sc_signal] analogue). *)
+
+type 'a t
+
+val create : ?name:string -> Kernel.t -> 'a -> 'a t
+val name : 'a t -> string
+val read : 'a t -> 'a
+
+val write : 'a t -> 'a -> unit
+(** Delta-notifies {!changed} when the new value differs (structural
+    equality). *)
+
+val changed : 'a t -> Kernel.event
+
+val wait_until : 'a t -> ('a -> bool) -> 'a
+(** Process-context: wait (over value changes) until the predicate
+    holds; returns the satisfying value.  Returns immediately if it
+    already holds. *)
+
+val on_change : 'a t -> ('a -> unit) -> unit
+(** Callback invoked after every effective write (observer hook for
+    monitor taps). *)

@@ -1,0 +1,53 @@
+type t = int
+
+let zero = 0
+
+let scaled label n =
+  if n < 0 then invalid_arg (Printf.sprintf "Time.%s: negative time" label)
+
+let ps n =
+  scaled "ps" n;
+  n
+
+let ns n =
+  scaled "ns" n;
+  n * 1_000
+
+let us n =
+  scaled "us" n;
+  n * 1_000_000
+
+let ms n =
+  scaled "ms" n;
+  n * 1_000_000_000
+
+let sec n =
+  scaled "sec" n;
+  n * 1_000_000_000_000
+
+let to_ps t = t
+let to_ns_float t = float_of_int t /. 1_000.
+let add = ( + )
+let sub a b = Stdlib.max 0 (a - b)
+let mul t k = t * k
+let compare = Stdlib.compare
+let equal = Int.equal
+let ( <= ) = Stdlib.( <= )
+let ( < ) = Stdlib.( < )
+let min = Stdlib.min
+let max = Stdlib.max
+
+let pp ppf t =
+  let units = [ (1_000_000_000_000, "s"); (1_000_000_000, "ms");
+                (1_000_000, "us"); (1_000, "ns"); (1, "ps") ] in
+  let rec pick = function
+    | [ (_, u) ] -> (1, u)
+    | (scale, u) :: rest -> if t mod scale = 0 then (scale, u) else pick rest
+    | [] -> (1, "ps")
+  in
+  if t = 0 then Format.pp_print_string ppf "0 s"
+  else
+    let scale, unit_name = pick units in
+    Format.fprintf ppf "%d %s" (t / scale) unit_name
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,34 @@
+(** Simulation time, in the style of [sc_core::sc_time].
+
+    Internally a number of picoseconds (63-bit, enough for ~100 days of
+    simulated time). *)
+
+type t = private int
+
+val zero : t
+val ps : int -> t
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val sec : int -> t
+
+val to_ps : t -> int
+val to_ns_float : t -> float
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** Saturates at {!zero}. *)
+
+val mul : t -> int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val pp : Format.formatter -> t -> unit
+(** Prints with the most compact exact unit, e.g. [90 ns] or
+    [1500 ps]. *)
+
+val to_string : t -> string

@@ -1,0 +1,83 @@
+type command = Read | Write
+type response = Ok_response | Address_error | Command_error
+
+type payload = {
+  command : command;
+  address : int;
+  data : bytes;
+  mutable response : response;
+}
+
+let payload command ~address ~length =
+  {
+    command;
+    address;
+    data = Bytes.make length '\000';
+    response = Ok_response;
+  }
+
+type target = {
+  target_name : string;
+  b_transport : payload -> Time.t -> Time.t;
+}
+
+type initiator = { initiator_name : string; mutable peer : target option }
+
+let initiator ?(name = "initiator") () = { initiator_name = name; peer = None }
+
+let bind ini target =
+  match ini.peer with
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Tlm.bind: initiator %s already bound"
+           ini.initiator_name)
+  | None -> ini.peer <- Some target
+
+let transport ini p delay =
+  match ini.peer with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Tlm.transport: initiator %s is unbound"
+           ini.initiator_name)
+  | Some target -> target.b_transport p delay
+
+let get_word p =
+  let b i = Char.code (Bytes.get p.data i) in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+let set_word p v =
+  Bytes.set p.data 0 (Char.chr (v land 0xff));
+  Bytes.set p.data 1 (Char.chr ((v lsr 8) land 0xff));
+  Bytes.set p.data 2 (Char.chr ((v lsr 16) land 0xff));
+  Bytes.set p.data 3 (Char.chr ((v lsr 24) land 0xff))
+
+let check p =
+  match p.response with
+  | Ok_response -> ()
+  | Address_error ->
+      failwith (Printf.sprintf "TLM address error at 0x%x" p.address)
+  | Command_error ->
+      failwith (Printf.sprintf "TLM command error at 0x%x" p.address)
+
+let read_word ini address =
+  let p = payload Read ~address ~length:4 in
+  let delay = transport ini p Time.zero in
+  check p;
+  (get_word p, delay)
+
+let write_word ini address value =
+  let p = payload Write ~address ~length:4 in
+  set_word p value;
+  let delay = transport ini p Time.zero in
+  check p;
+  delay
+
+let pp_response ppf r =
+  Format.pp_print_string ppf
+    (match r with
+    | Ok_response -> "ok"
+    | Address_error -> "address-error"
+    | Command_error -> "command-error")
+
+let pp_command ppf c =
+  Format.pp_print_string ppf (match c with Read -> "read" | Write -> "write")

@@ -1,0 +1,51 @@
+(** A TLM-2.0-style loosely-timed transport layer.
+
+    Generic payloads carry a command, an address and a data buffer;
+    initiator sockets are bound to targets implementing blocking
+    transport ([b_transport]).  The annotated delay is threaded through
+    the call, as in TLM's loosely-timed coding style. *)
+
+type command = Read | Write
+
+type response =
+  | Ok_response
+  | Address_error
+  | Command_error
+
+type payload = {
+  command : command;
+  address : int;
+  data : bytes;  (** read: filled by the target; write: read by it *)
+  mutable response : response;
+}
+
+val payload : command -> address:int -> length:int -> payload
+
+type target = {
+  target_name : string;
+  b_transport : payload -> Time.t -> Time.t;
+      (** [b_transport p delay] processes [p] and returns the
+          accumulated delay *)
+}
+
+type initiator
+
+val initiator : ?name:string -> unit -> initiator
+val bind : initiator -> target -> unit
+(** Raises [Invalid_argument] when already bound. *)
+
+val transport : initiator -> payload -> Time.t -> Time.t
+(** Raises [Invalid_argument] when unbound. *)
+
+(** {1 Word helpers} (32-bit little-endian convenience layer) *)
+
+val read_word : initiator -> int -> int * Time.t
+(** [(value, delay)]; raises [Failure] on a non-[Ok_response]. *)
+
+val write_word : initiator -> int -> int -> Time.t
+
+val get_word : payload -> int
+val set_word : payload -> int -> unit
+
+val pp_response : Format.formatter -> response -> unit
+val pp_command : Format.formatter -> command -> unit

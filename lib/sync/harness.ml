@@ -1,0 +1,66 @@
+open Loseq_core
+
+let wires_of_category ~start category =
+  let w = { Range_node.quiet with start } in
+  match category with
+  | None -> w
+  | Some Context.Self -> { w with n = true }
+  | Some Context.Current -> { w with c = true }
+  | Some Context.Before -> { w with b = true }
+  | Some Context.Accept -> { w with ac = true }
+  | Some Context.After -> { w with af = true }
+  | Some Context.Outside -> w
+
+let output_of_recognizer = function
+  | Recognizer.Quiet -> { Range_node.ok = false; nok = false; err = false }
+  | Recognizer.Ok -> { Range_node.ok = true; nok = false; err = false }
+  | Recognizer.Nok -> { Range_node.ok = false; nok = true; err = false }
+  | Recognizer.Err _ -> { Range_node.ok = false; nok = false; err = true }
+
+(* A synthetic context for a standalone range: categories are injected
+   directly, so the name sets are placeholders. *)
+let synthetic_context ~u ~v ~disjunctive =
+  let name = Name.v "n" in
+  let ordering =
+    [
+      Pattern.fragment
+        ~connective:(if disjunctive then Pattern.Any else Pattern.All)
+        [ Pattern.range ~lo:u ~hi:v name ];
+    ]
+  in
+  match Context.of_ordering ~terminators:(Name.Set.singleton (Name.v "i")) ordering with
+  | [ [ ctx ] ] -> ctx
+  | _ -> assert false
+
+let agree ~u ~v ~disjunctive categories =
+  let ctx = synthetic_context ~u ~v ~disjunctive in
+  let recognizer = Recognizer.create ctx in
+  let node = Range_node.node ~u ~v ~disjunctive in
+  Recognizer.start recognizer;
+  let (_ : Range_node.outputs) =
+    Stream.step node (wires_of_category ~start:true None)
+  in
+  let rec drive i = function
+    | [] -> Ok true
+    | category :: rest ->
+        let reference_out =
+          Stream.step node (wires_of_category ~start:false (Some category))
+        in
+        let production_out =
+          output_of_recognizer (Recognizer.step recognizer category)
+        in
+        if production_out <> reference_out then
+          Error
+            (Printf.sprintf
+               "instant %d: production (ok=%b nok=%b err=%b) vs reference \
+                (ok=%b nok=%b err=%b)"
+               i production_out.Range_node.ok production_out.Range_node.nok
+               production_out.Range_node.err reference_out.Range_node.ok
+               reference_out.Range_node.nok reference_out.Range_node.err)
+        else if
+          production_out.Range_node.ok || production_out.Range_node.nok
+          || production_out.Range_node.err
+        then Ok true
+        else drive (i + 1) rest
+  in
+  drive 0 categories

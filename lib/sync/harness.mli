@@ -1,0 +1,23 @@
+(** Cross-validation harness between the production recognizer
+    ({!Loseq_core.Recognizer}) and the synchronous reference
+    ({!Range_node}). *)
+
+open Loseq_core
+
+val wires_of_category : start:bool -> Context.category option -> Range_node.wires
+(** Encode a classified event (or pure [start]) on the boolean wires. *)
+
+val output_of_recognizer : Recognizer.output -> Range_node.outputs
+
+val agree :
+  u:int ->
+  v:int ->
+  disjunctive:bool ->
+  Context.category list ->
+  (bool, string) result
+(** Drive both implementations with the same category sequence (the
+    recognizer is started bare first; the node receives a [start]
+    instant).  [Ok true] when every instant produced identical outputs
+    and equivalent states; [Error msg] describes the first divergence.
+    The sequence stops early — still agreeing — at the first [ok], [nok]
+    or [err]. *)

@@ -1,0 +1,57 @@
+type wires = {
+  start : bool;
+  n : bool;
+  b : bool;
+  c : bool;
+  ac : bool;
+  af : bool;
+}
+
+type outputs = { ok : bool; nok : bool; err : bool }
+
+type state = S0 | S1 | S2 | S3 of int | S4 of int | S5
+
+let quiet = { start = false; n = false; b = false; c = false; ac = false;
+              af = false }
+
+let none = { ok = false; nok = false; err = false }
+let ok_out = { ok = true; nok = false; err = false }
+let nok_out = { ok = false; nok = true; err = false }
+let err_out = { ok = false; nok = false; err = true }
+
+(* The transition relation of Fig. 5, one clause per labeled edge. *)
+let transition ~u ~v ~disjunctive state (w : wires) =
+  match state with
+  | S0 ->
+      if w.start && w.n then (S3 1, none)
+      else if w.start && w.c then (S2, none)
+      else if w.start then (S1, none)
+      else (S0, none)
+  | S1 ->
+      if w.n then (S3 1, none)
+      else if w.c then (S2, none)
+      else if w.ac then if disjunctive then (S0, nok_out) else (S5, err_out)
+      else if w.b || w.af then (S5, err_out)
+      else (S1, none)
+  | S2 ->
+      if w.n then (S3 1, none)
+      else if w.c then (S2, none)
+      else if w.ac then if disjunctive then (S0, nok_out) else (S5, err_out)
+      else if w.b || w.af then (S5, err_out)
+      else (S2, none)
+  | S3 cpt ->
+      if w.n then if cpt = v then (S5, err_out) else (S3 (cpt + 1), none)
+      else if w.c then if cpt >= u then (S4 cpt, none) else (S5, err_out)
+      else if w.ac then if cpt >= u then (S0, ok_out) else (S5, err_out)
+      else if w.b || w.af then (S5, err_out)
+      else (S3 cpt, none)
+  | S4 cpt ->
+      if w.n then (S5, err_out)
+      else if w.c then (S4 cpt, none)
+      else if w.ac then (S0, ok_out)
+      else if w.b || w.af then (S5, err_out)
+      else (S4 cpt, none)
+  | S5 -> (S5, none)
+
+let node ~u ~v ~disjunctive =
+  Stream.create ~init:S0 ~step:(transition ~u ~v ~disjunctive)

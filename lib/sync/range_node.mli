@@ -1,0 +1,40 @@
+(** An independent, wire-level transcription of the Fig. 5 elementary
+    recognizer, written as a synchronous node over boolean input wires —
+    exactly the shape of the paper's Lustre reference implementation.
+
+    Inputs are the wires [{start, n, B, C, Ac, Af}] (at most one of
+    [n, B, C, Ac, Af] is true per instant — asynchronous event
+    interleaving); outputs are the wires [{ok, nok, err}].
+
+    The production {!Loseq_core.Recognizer} is cross-validated against
+    this node by the test suite, mirroring the paper's methodology. *)
+
+type wires = {
+  start : bool;
+  n : bool;  (** the range's own name *)
+  b : bool;  (** a name of [B] *)
+  c : bool;  (** a name of [C] *)
+  ac : bool;  (** a name of [Ac] *)
+  af : bool;  (** a name of [Af] *)
+}
+
+type outputs = { ok : bool; nok : bool; err : bool }
+
+type state =
+  | S0  (** idle *)
+  | S1  (** started, waiting for the first [n] *)
+  | S2  (** started, another range of the fragment is running *)
+  | S3 of int  (** counting, [cpt] *)
+  | S4 of int  (** done counting *)
+  | S5  (** error *)
+
+val node : u:int -> v:int -> disjunctive:bool -> (wires, outputs) Stream.node
+(** The recognizer for [n[u,v]] whose parent fragment has semantics
+    [∨] when [disjunctive]. *)
+
+val quiet : wires
+(** All wires low. *)
+
+val transition : u:int -> v:int -> disjunctive:bool -> state -> wires ->
+  state * outputs
+(** The raw transition function, for state-space exploration tests. *)

@@ -1,0 +1,39 @@
+type ('i, 'o) node = {
+  step_fn : 'i -> 'o;
+  reset_fn : unit -> unit;
+}
+
+let create ~init ~step =
+  let state = ref init in
+  {
+    step_fn =
+      (fun i ->
+        let state', o = step !state i in
+        state := state';
+        o);
+    reset_fn = (fun () -> state := init);
+  }
+
+let step node i = node.step_fn i
+let run node inputs = List.map node.step_fn inputs
+let reset node = node.reset_fn ()
+
+let compose a b =
+  {
+    step_fn = (fun i -> b.step_fn (a.step_fn i));
+    reset_fn =
+      (fun () ->
+        a.reset_fn ();
+        b.reset_fn ());
+  }
+
+let parallel a b =
+  {
+    step_fn = (fun i -> (a.step_fn i, b.step_fn i));
+    reset_fn =
+      (fun () ->
+        a.reset_fn ();
+        b.reset_fn ());
+  }
+
+let fby init = create ~init ~step:(fun prev i -> (i, prev))

@@ -1,0 +1,27 @@
+(** A miniature synchronous-node interpreter, in the spirit of Lustre.
+
+    The paper programmed its recognizer constructions in Lustre to check
+    them against the intuitive semantics with automatic testing; this
+    module provides the corresponding executable-Mealy-machine substrate
+    so the same methodology applies here (see {!Range_node} and the
+    cross-validation tests). *)
+
+type ('i, 'o) node
+
+val create : init:'s -> step:('s -> 'i -> 's * 'o) -> ('i, 'o) node
+(** A Mealy machine with hidden state. *)
+
+val step : ('i, 'o) node -> 'i -> 'o
+val run : ('i, 'o) node -> 'i list -> 'o list
+val reset : ('i, 'o) node -> unit
+(** Back to the initial state. *)
+
+val compose : ('a, 'b) node -> ('b, 'c) node -> ('a, 'c) node
+(** Sequential composition (same instant). *)
+
+val parallel : ('a, 'b) node -> ('a, 'c) node -> ('a, 'b * 'c) node
+(** Synchronous product: both nodes step on every instant. *)
+
+val fby : 'a -> ('a, 'a) node
+(** Unit delay: output the previous input ([init] first) — Lustre's
+    [init fby x]. *)

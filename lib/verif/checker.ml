@@ -1,0 +1,106 @@
+open Loseq_core
+open Loseq_sim
+
+type t = {
+  name : string;
+  tap : Tap.t;
+  monitor : Monitor.t;
+  coverage : Coverage.t;
+  mutable events_seen : int;
+  mutable timeout : Kernel.handle option;
+  mutable violation_hooks : (Diag.violation -> unit) list;
+  mutable violation_reported : bool;
+}
+
+let report_if_violated t =
+  match Monitor.verdict t.monitor with
+  | Monitor.Violated v when not t.violation_reported ->
+      t.violation_reported <- true;
+      Coverage.record_violation t.coverage;
+      List.iter (fun hook -> hook v) (List.rev t.violation_hooks)
+  | Monitor.Violated _ | Monitor.Running | Monitor.Satisfied -> ()
+
+(* Keep exactly one kernel timeout scheduled at the monitor's next
+   deadline; fire a [check_time] just past it. *)
+let reschedule_timeout t =
+  (match t.timeout with
+  | Some handle ->
+      Kernel.cancel handle;
+      t.timeout <- None
+  | None -> ());
+  match Monitor.next_deadline t.monitor with
+  | None -> ()
+  | Some deadline_ps ->
+      let kernel = Tap.kernel t.tap in
+      let at = Time.ps (deadline_ps + 1) in
+      if Time.( < ) (Kernel.now kernel) at then
+        t.timeout <-
+          Some
+            (Kernel.schedule_at kernel ~at (fun () ->
+                 let now = Time.to_ps (Kernel.now kernel) in
+                 ignore (Monitor.check_time t.monitor ~now);
+                 report_if_violated t))
+
+let on_event t event =
+  t.events_seen <- t.events_seen + 1;
+  Coverage.observe_event t.coverage event;
+  let before = Monitor.verdict t.monitor in
+  let after = Monitor.step t.monitor event in
+  Coverage.observe_states t.coverage (Monitor.fragment_states t.monitor);
+  (match (before, after) with
+  | Monitor.Running, Monitor.Satisfied -> Coverage.record_round t.coverage
+  | Monitor.Running, Monitor.Running
+    when Monitor.active_fragment t.monitor = 0 ->
+      (* Heuristic: a repeated pattern restarting its first fragment has
+         just closed a round; counted precisely enough for coverage. *)
+      ()
+  | _, (Monitor.Running | Monitor.Satisfied | Monitor.Violated _) -> ());
+  report_if_violated t;
+  reschedule_timeout t
+
+let attach ?mode ?name tap pattern =
+  let monitor = Monitor.create ?mode pattern in
+  let name =
+    match name with Some n -> n | None -> Pattern.to_string pattern
+  in
+  let t =
+    {
+      name;
+      tap;
+      monitor;
+      coverage = Coverage.create pattern;
+      events_seen = 0;
+      timeout = None;
+      violation_hooks = [];
+      violation_reported = false;
+    }
+  in
+  Coverage.observe_states t.coverage (Monitor.fragment_states monitor);
+  Tap.subscribe tap (on_event t);
+  t
+
+let name t = t.name
+let pattern t = Monitor.pattern t.monitor
+let monitor t = t.monitor
+let verdict t = Monitor.verdict t.monitor
+
+let finalize t =
+  let now = Tap.now_ps t.tap in
+  let verdict = Monitor.finalize t.monitor ~now in
+  report_if_violated t;
+  verdict
+
+let passed t =
+  match Monitor.verdict t.monitor with
+  | Monitor.Running | Monitor.Satisfied -> true
+  | Monitor.Violated _ -> false
+
+let on_violation t hook = t.violation_hooks <- hook :: t.violation_hooks
+let events_seen t = t.events_seen
+let coverage t = t.coverage
+
+let pp_verdict ppf = function
+  | Monitor.Running -> Format.pp_print_string ppf "pass (running)"
+  | Monitor.Satisfied -> Format.pp_print_string ppf "pass (satisfied)"
+  | Monitor.Violated v ->
+      Format.fprintf ppf "FAIL: %a" Diag.pp_violation v

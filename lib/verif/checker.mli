@@ -1,0 +1,34 @@
+(** Assertion checkers: monitors hosted in a simulation.
+
+    A checker subscribes a {!Loseq_core.Monitor} to a {!Tap}, drives it
+    with the observed events, and — for timed-implication patterns —
+    keeps a timeout scheduled in the kernel so that a deadline miss is
+    reported at the moment the deadline elapses, even if no further
+    event arrives (the [sc_time]-based mechanism of the paper's
+    Section 6 monitors). *)
+
+open Loseq_core
+
+type t
+
+val attach : ?mode:Monitor.mode -> ?name:string -> Tap.t -> Pattern.t -> t
+(** Raises {!Wellformed.Ill_formed} on an ill-formed pattern. *)
+
+val name : t -> string
+val pattern : t -> Pattern.t
+val monitor : t -> Monitor.t
+val verdict : t -> Monitor.verdict
+
+val finalize : t -> Monitor.verdict
+(** Final deadline check at the current simulation time; call when the
+    simulation is over. *)
+
+val passed : t -> bool
+(** No violation (after {!finalize}d or mid-run). *)
+
+val on_violation : t -> (Diag.violation -> unit) -> unit
+(** Called once, when the monitor first reports a violation. *)
+
+val events_seen : t -> int
+val coverage : t -> Coverage.t
+val pp_verdict : Format.formatter -> Monitor.verdict -> unit

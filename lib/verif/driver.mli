@@ -1,0 +1,48 @@
+(** Pattern-directed stimulus drivers.
+
+    {!Stimuli.replay} re-emits abstract events on a tap; a {e driver}
+    goes the last mile of the paper's "full integration of
+    loose-orderings in an ABV framework": each pattern name is bound to
+    a real action (typically a TLM register write), and a kernel process
+    executes a pattern-conforming random sequence of those actions with
+    loose-timed gaps.  The same pattern then generates the stimulus
+    {e and} checks the component's reaction. *)
+
+open Loseq_core
+open Loseq_sim
+
+type t
+
+val create : Kernel.t -> t
+
+val bind : t -> string -> (unit -> unit) -> unit
+(** Associate a pattern name with the action that performs it.  Actions
+    run in process context and may block (e.g. synchronized TLM
+    transports).  Rebinding replaces. *)
+
+val bound : t -> Name.t -> bool
+
+exception Unbound of Name.t
+
+val drive :
+  ?seed:int ->
+  ?rounds:int ->
+  ?gap:Time.t * Time.t ->
+  t ->
+  Pattern.t ->
+  unit
+(** Spawn a process that generates a satisfying sequence for the pattern
+    ({!Loseq_core.Generate.valid}) and performs the bound action of each
+    event, waiting a loose-timed [gap] (default 100–300 ns) between
+    actions.  Raises {!Unbound} immediately if some alphabet name has no
+    binding, and {!Wellformed.Ill_formed} on a bad pattern.
+
+    Note: the generated sequence satisfies the pattern's {e ordering};
+    with a timed pattern, whether deadlines hold depends on the gaps and
+    the actions' own delays — that is the device's job to honour and the
+    checker's job to judge. *)
+
+val drive_sequence : ?gap:Time.t * Time.t -> t -> Name.t list -> unit
+(** Drive an explicit sequence (e.g. a mutated, violating one). *)
+
+val actions_performed : t -> int

@@ -1,0 +1,100 @@
+open Loseq_core
+
+type candidate = {
+  seed : int;
+  rounds : int;
+  coverage : float;
+  events : int;
+}
+
+type result = {
+  best : candidate;
+  selected : candidate list;
+  achieved : float;
+  tried : int;
+}
+
+let score p trace =
+  let coverage = Coverage.create p in
+  let monitor = Monitor.create p in
+  Coverage.observe_states coverage (Monitor.fragment_states monitor);
+  List.iter
+    (fun e ->
+      Coverage.observe_event coverage e;
+      ignore (Monitor.step monitor e);
+      Coverage.observe_states coverage (Monitor.fragment_states monitor))
+    trace;
+  coverage
+
+module Pair_set = Set.Make (struct
+  type t = int * string
+
+  let compare = compare
+end)
+
+let search ?(budget = 64) ?(max_rounds = 3) p =
+  Wellformed.check_exn p;
+  if budget <= 0 then invalid_arg "Explore.search: budget must be positive";
+  let candidates =
+    List.init budget (fun seed ->
+        let rounds = 1 + (seed mod max_rounds) in
+        let rng = Random.State.make [| seed |] in
+        let trace = Generate.valid ~rounds rng p in
+        let coverage = score p trace in
+        ( {
+            seed;
+            rounds;
+            coverage = Coverage.states_covered coverage;
+            events = Trace.length trace;
+          },
+          Pair_set.of_list (Coverage.visited coverage),
+          Coverage.reachable coverage ))
+  in
+  let best =
+    List.fold_left
+      (fun acc (c, _, _) ->
+        if c.coverage > acc.coverage then c else acc)
+      (let c, _, _ = List.hd candidates in
+       c)
+      candidates
+  in
+  let reachable =
+    match candidates with (_, _, r) :: _ -> max 1 r | [] -> 1
+  in
+  (* Greedy set cover over the visited-state sets. *)
+  let rec pick chosen covered remaining =
+    let gain (_, states, _) =
+      Pair_set.cardinal (Pair_set.diff states covered)
+    in
+    match
+      List.filter (fun c -> gain c > 0) remaining
+      |> List.sort (fun a b -> compare (gain b) (gain a))
+    with
+    | [] -> (List.rev chosen, covered)
+    | ((c, states, _) as winner) :: _ ->
+        pick (c :: chosen)
+          (Pair_set.union covered states)
+          (List.filter (fun x -> x != winner) remaining)
+  in
+  let selected, covered = pick [] Pair_set.empty candidates in
+  {
+    best;
+    selected;
+    achieved = float_of_int (Pair_set.cardinal covered) /. float_of_int reachable;
+    tried = budget;
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "@[<v>tried %d seeds; best single trace covers %.0f%% (seed %d, %d \
+     round(s), %d events)@,%d trace(s) selected for %.0f%% combined \
+     coverage:@]"
+    r.tried
+    (100. *. r.best.coverage)
+    r.best.seed r.best.rounds r.best.events (List.length r.selected)
+    (100. *. r.achieved);
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "@,  seed %-6d %d round(s), %3d events, %.0f%%"
+        c.seed c.rounds c.events (100. *. c.coverage))
+    r.selected

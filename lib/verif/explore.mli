@@ -1,0 +1,36 @@
+(** Coverage-driven stimuli search — the "Coverage Improver" box of the
+    verification framework (paper, Fig. 1).
+
+    Random stimuli rarely inhabit every recognizer state (deep counting
+    states, disjunctive skips, ...).  This module searches the seed
+    space of the pattern-driven generator, scores each candidate trace
+    by the recognizer states it inhabits, and greedily assembles a small
+    set of seeds whose {e union} maximizes coverage — the regression set
+    a verification engineer would keep. *)
+
+open Loseq_core
+
+type candidate = {
+  seed : int;
+  rounds : int;
+  coverage : float;  (** single-trace state coverage *)
+  events : int;
+}
+
+type result = {
+  best : candidate;  (** highest single-trace coverage *)
+  selected : candidate list;
+      (** greedy set whose union achieves [achieved] *)
+  achieved : float;  (** union state coverage of [selected] *)
+  tried : int;
+}
+
+val score : Pattern.t -> Trace.t -> Coverage.t
+(** Run the monitor over the trace and collect its state coverage. *)
+
+val search : ?budget:int -> ?max_rounds:int -> Pattern.t -> result
+(** Try [budget] (default 64) generator seeds, each with 1..[max_rounds]
+    (default 3) recognition rounds.  Raises {!Wellformed.Ill_formed} on
+    an ill-formed pattern. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,53 @@
+(** Event-to-event latency analysis.
+
+    The deadline [t] of a timed implication constraint has to come from
+    somewhere: this module measures, online or offline, the time from a
+    round's last [from] event to its first [until] event (e.g.
+    [start → set_irq]) and summarizes the distribution, so that [T] can
+    be chosen with a known margin over observed behaviour. *)
+
+open Loseq_core
+open Loseq_sim
+
+val intervals : from:Name.t -> until:Name.t -> Trace.t -> int list
+(** Offline: for every [until] event, the distance (in trace time units)
+    from the latest [from] event seen since the previous [until];
+    [until]s with no pending [from] are skipped. *)
+
+type summary = {
+  count : int;
+  min_ps : int;
+  max_ps : int;
+  mean_ps : float;
+  p50_ps : int;
+  p90_ps : int;
+}
+
+val summarize : int list -> summary option
+(** [None] on an empty sample. *)
+
+val percentile : int list -> float -> int
+(** Nearest-rank percentile; raises [Invalid_argument] on an empty list
+    or a fraction outside [0, 1]. *)
+
+val suggest_deadline : ?slack:float -> int list -> int option
+(** Max observed latency padded by [slack] (default 0.5, i.e. +50%). *)
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** {1 Online collection} *)
+
+type t
+
+val create : from:Name.t -> until:Name.t -> Tap.t -> t
+(** Subscribe to the tap and collect intervals as the simulation runs. *)
+
+val durations : t -> int list
+(** Collected so far, oldest first. *)
+
+val summary : t -> summary option
+
+val watch : t -> threshold:Time.t -> (int -> unit) -> unit
+(** Invoke the callback (with the interval) whenever a measured latency
+    exceeds the threshold — a soft variant of a timed-implication
+    monitor, useful while tuning [T]. *)

@@ -1,0 +1,15 @@
+(** Run reports: verdicts and coverage for a set of checkers. *)
+
+type t
+
+val create : unit -> t
+val add : t -> Checker.t -> unit
+
+val finalize : t -> unit
+(** {!Checker.finalize} every checker. *)
+
+val all_passed : t -> bool
+val failures : t -> Checker.t list
+val pp : Format.formatter -> t -> unit
+val print : t -> unit
+(** [pp] on stdout. *)

@@ -1,0 +1,40 @@
+open Loseq_core
+open Loseq_sim
+
+let shuffle rng l =
+  let arr = Array.of_list l in
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done;
+  Array.to_list arr
+
+let choose rng = function
+  | [] -> invalid_arg "Stimuli.choose: empty list"
+  | l -> List.nth l (Random.State.int rng (List.length l))
+
+let replay tap tr =
+  let kernel = Tap.kernel tap in
+  Kernel.spawn kernel (fun () ->
+      let start = Time.to_ps (Kernel.now kernel) in
+      List.iter
+        (fun (e : Trace.event) ->
+          let at = start + e.time in
+          let now = Time.to_ps (Kernel.now kernel) in
+          if at > now then Kernel.wait_for kernel (Time.ps (at - now));
+          Tap.emit_name tap e.name)
+        tr)
+
+let drive_valid ?(rounds = 3) ?(seed = 0x57e9) tap p =
+  let rng = Random.State.make [| seed |] in
+  replay tap (Generate.valid ~rounds rng p)
+
+let drive_violating ?(seed = 0x57e9) tap p =
+  let rng = Random.State.make [| seed |] in
+  match Generate.violating rng p with
+  | Some tr ->
+      replay tap tr;
+      true
+  | None -> false

@@ -1,0 +1,23 @@
+(** Stimuli generation helpers (the "stimuli generator" of Fig. 1).
+
+    Deterministic given the supplied random state.  Pattern-driven
+    stimuli come from {!Loseq_core.Generate}; this module adds the
+    simulation-side plumbing. *)
+
+open Loseq_core
+
+val shuffle : Random.State.t -> 'a list -> 'a list
+val choose : Random.State.t -> 'a list -> 'a
+(** Raises [Invalid_argument] on an empty list. *)
+
+val replay : Tap.t -> Trace.t -> unit
+(** Spawn a process that re-emits a recorded/generated trace on the tap,
+    honouring its timestamps (interpreted as picoseconds from now). *)
+
+val drive_valid :
+  ?rounds:int -> ?seed:int -> Tap.t -> Pattern.t -> unit
+(** Generate a satisfying trace for the pattern and {!replay} it. *)
+
+val drive_violating : ?seed:int -> Tap.t -> Pattern.t -> bool
+(** Generate a violating trace (if one is found) and {!replay} it;
+    returns whether a violating trace was found. *)

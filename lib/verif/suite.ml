@@ -1,0 +1,107 @@
+open Loseq_core
+
+type entry = { label : string; pattern : Pattern.t }
+type t = entry list
+type error = { line : int; message : string }
+
+let pp_error ppf e =
+  if e.line = 0 then Format.fprintf ppf "suite error: %s" e.message
+  else Format.fprintf ppf "suite error at line %d: %s" e.line e.message
+
+let is_blank s = String.trim s = ""
+
+let valid_label s =
+  s <> ""
+  && String.for_all
+       (function
+         | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '-' | '.' -> true
+         | _ -> false)
+       s
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  let rec loop lineno entries seen = function
+    | [] -> Ok (List.rev entries)
+    | line :: rest -> (
+        let trimmed = String.trim line in
+        if is_blank trimmed || trimmed.[0] = '#' then
+          loop (lineno + 1) entries seen rest
+        else
+          match String.index_opt trimmed ':' with
+          | None ->
+              Error
+                { line = lineno; message = "expected 'name: pattern'" }
+          | Some colon -> (
+              let label = String.trim (String.sub trimmed 0 colon) in
+              let body =
+                String.trim
+                  (String.sub trimmed (colon + 1)
+                     (String.length trimmed - colon - 1))
+              in
+              if not (valid_label label) then
+                Error
+                  {
+                    line = lineno;
+                    message = Printf.sprintf "invalid entry name %S" label;
+                  }
+              else if List.mem label seen then
+                Error
+                  {
+                    line = lineno;
+                    message = Printf.sprintf "duplicate entry name %S" label;
+                  }
+              else
+                match Parser.pattern body with
+                | Ok pattern ->
+                    loop (lineno + 1)
+                      ({ label; pattern } :: entries)
+                      (label :: seen) rest
+                | Error e ->
+                    Error
+                      {
+                        line = lineno;
+                        message =
+                          Format.asprintf "%a" Parser.pp_error e;
+                      }))
+  in
+  loop 1 [] [] lines
+
+let load path =
+  match open_in path with
+  | ic ->
+      let n = in_channel_length ic in
+      let source = really_input_string ic n in
+      close_in ic;
+      parse source
+  | exception Sys_error message -> Error { line = 0; message }
+
+let to_string suite =
+  String.concat ""
+    (List.map
+       (fun e ->
+         Printf.sprintf "%s: %s\n" e.label (Pattern.to_string e.pattern))
+       suite)
+
+let find suite label =
+  List.find_map
+    (fun e -> if String.equal e.label label then Some e.pattern else None)
+    suite
+
+let attach_all ?mode tap suite =
+  let report = Report.create () in
+  List.iter
+    (fun e ->
+      Report.add report (Checker.attach ?mode ~name:e.label tap e.pattern))
+    suite;
+  report
+
+let check_trace ?final_time suite trace =
+  List.map
+    (fun e ->
+      let passed =
+        match Monitor.run ?final_time e.pattern trace with
+        | Monitor.Running | Monitor.Satisfied -> true
+        | Monitor.Violated _ -> false
+      in
+      (e.label, passed))
+    suite

@@ -1,0 +1,41 @@
+(** Property suites: named bundles of loose-ordering properties.
+
+    A verification team maintains properties in files, one per component
+    or protocol.  The format is line-oriented:
+
+    {v
+    # The IPU interface contract (paper, Section 3)
+    config_before_start:  {set_imgAddr, set_glAddr, set_glSize} << start
+    recognition_deadline: start => read_img[100,60000] < set_irq within 60000000
+    v}
+
+    [#] starts a comment; blank lines are ignored; each entry is
+    [name: pattern] with the concrete pattern syntax of
+    {!Loseq_core.Parser}.  Entry names must be unique. *)
+
+open Loseq_core
+
+type entry = { label : string; pattern : Pattern.t }
+type t = entry list
+
+type error = { line : int; message : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+val parse : string -> (t, error) result
+(** Parse suite source text. *)
+
+val load : string -> (t, error) result
+(** Parse a file ([error.line] = 0 when the file cannot be read). *)
+
+val to_string : t -> string
+(** Render back to the file format (a right inverse of {!parse}). *)
+
+val find : t -> string -> Pattern.t option
+
+val attach_all : ?mode:Monitor.mode -> Tap.t -> t -> Report.t
+(** One {!Checker} per entry, collected in a report. *)
+
+val check_trace : ?final_time:int -> t -> Trace.t -> (string * bool) list
+(** Offline: run every property over a recorded trace;
+    [(label, passed)] per entry. *)

@@ -1,0 +1,27 @@
+open Loseq_core
+open Loseq_sim
+
+type t = {
+  kernel : Kernel.t;
+  record : bool;
+  mutable events_rev : Trace.event list;
+  mutable subscribers : (Trace.event -> unit) list;
+  mutable count : int;
+}
+
+let create ?(record = true) kernel =
+  { kernel; record; events_rev = []; subscribers = []; count = 0 }
+
+let kernel t = t.kernel
+let now_ps t = Time.to_ps (Kernel.now t.kernel)
+
+let emit_name t name =
+  let event = { Trace.name; time = now_ps t } in
+  t.count <- t.count + 1;
+  if t.record then t.events_rev <- event :: t.events_rev;
+  List.iter (fun f -> f event) (List.rev t.subscribers)
+
+let emit t s = emit_name t (Name.v s)
+let subscribe t f = t.subscribers <- f :: t.subscribers
+let trace t = List.rev t.events_rev
+let count t = t.count

@@ -1,0 +1,33 @@
+(** Observation taps.
+
+    A tap is the wiring between a design and its assertion checkers
+    (Fig. 1): components {!emit} named interface events, subscribers
+    (monitors, coverage collectors, trace recorders) receive them in
+    emission order, stamped with the current simulation time. *)
+
+open Loseq_core
+open Loseq_sim
+
+type t
+
+val create : ?record:bool -> Kernel.t -> t
+(** [record] (default true) keeps the full trace in memory. *)
+
+val kernel : t -> Kernel.t
+
+val emit : t -> string -> unit
+(** [emit tap "set_irq"] — observe one interface event now. *)
+
+val emit_name : t -> Name.t -> unit
+
+val subscribe : t -> (Trace.event -> unit) -> unit
+(** Subscribers are called synchronously, in subscription order. *)
+
+val trace : t -> Trace.t
+(** Events recorded so far (empty when [record] is false). *)
+
+val count : t -> int
+(** Number of events emitted so far (counted even when not
+    recording). *)
+
+val now_ps : t -> int

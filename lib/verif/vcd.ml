@@ -1,0 +1,83 @@
+open Loseq_core
+
+(* VCD identifier codes: short strings over the printable range. *)
+let code_of_index i =
+  let base = 94 and first = 33 in
+  let rec loop i acc =
+    let chr = Char.chr (first + (i mod base)) in
+    let acc = String.make 1 chr ^ acc in
+    if i < base then acc else loop ((i / base) - 1) acc
+  in
+  loop i ""
+
+let of_trace ?(timescale = "1ps") ?(scope = "loseq") trace =
+  let buf = Buffer.create 4096 in
+  let names =
+    List.fold_left
+      (fun acc (e : Trace.event) -> Name.Set.add e.name acc)
+      Name.Set.empty trace
+    |> Name.Set.elements
+  in
+  let codes = Hashtbl.create 16 in
+  List.iteri (fun i nm -> Hashtbl.replace codes nm (code_of_index i)) names;
+  Buffer.add_string buf "$version loseq trace dump $end\n";
+  Buffer.add_string buf (Printf.sprintf "$timescale %s $end\n" timescale);
+  Buffer.add_string buf (Printf.sprintf "$scope module %s $end\n" scope);
+  List.iter
+    (fun nm ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire 1 %s %s $end\n" (Hashtbl.find codes nm)
+           (Name.to_string nm)))
+    names;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  (* Change list: pulse each wire high at the event time, low one unit
+     later; a new occurrence at the falling instant keeps it high. *)
+  let changes = Hashtbl.create 64 in
+  let add time nm value =
+    let current = Option.value ~default:[] (Hashtbl.find_opt changes time) in
+    Hashtbl.replace changes time ((nm, value) :: current)
+  in
+  List.iter
+    (fun (e : Trace.event) ->
+      add e.time e.name true;
+      add (e.time + 1) e.name false)
+    trace;
+  let times = Hashtbl.fold (fun t _ acc -> t :: acc) changes [] in
+  (* Initial values. *)
+  Buffer.add_string buf "$dumpvars\n";
+  List.iter
+    (fun nm ->
+      Buffer.add_string buf (Printf.sprintf "0%s\n" (Hashtbl.find codes nm)))
+    names;
+  Buffer.add_string buf "$end\n";
+  List.iter
+    (fun time ->
+      Buffer.add_string buf (Printf.sprintf "#%d\n" time);
+      let entries = Hashtbl.find changes time in
+      (* A rising edge at this instant wins over a scheduled fall. *)
+      let rising =
+        List.filter_map (fun (nm, v) -> if v then Some nm else None) entries
+      in
+      let falling =
+        List.filter_map
+          (fun (nm, v) ->
+            if (not v) && not (List.exists (Name.equal nm) rising) then
+              Some nm
+            else None)
+          entries
+      in
+      let emit value nm =
+        Buffer.add_string buf
+          (Printf.sprintf "%c%s\n"
+             (if value then '1' else '0')
+             (Hashtbl.find codes nm))
+      in
+      List.iter (emit false) (List.sort_uniq Name.compare falling);
+      List.iter (emit true) (List.sort_uniq Name.compare rising))
+    (List.sort compare times);
+  Buffer.contents buf
+
+let write ~path ?timescale ?scope trace =
+  let oc = open_out path in
+  output_string oc (of_trace ?timescale ?scope trace);
+  close_out oc

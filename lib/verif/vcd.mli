@@ -1,0 +1,14 @@
+(** Value Change Dump (IEEE 1364) export of observed event traces.
+
+    Each interface name becomes a 1-bit wire pulsed high for one
+    timescale unit at every occurrence, so recorded platform traces can
+    be inspected in any standard waveform viewer (GTKWave etc.). *)
+
+open Loseq_core
+
+val of_trace : ?timescale:string -> ?scope:string -> Trace.t -> string
+(** Render a trace as VCD source.  [timescale] defaults to ["1ps"]
+    (matching the simulation kernel's unit), [scope] to ["loseq"]. *)
+
+val write : path:string -> ?timescale:string -> ?scope:string -> Trace.t -> unit
+(** [of_trace] to a file. *)

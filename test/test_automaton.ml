@@ -1,0 +1,135 @@
+open Loseq_core
+open Loseq_testutil
+
+let build ?max_states src = Automaton.of_pattern ?max_states (pat src)
+
+let test_stats_simple () =
+  let a = build "a << i" in
+  (* waiting, counting, satisfied, violated = 4 configurations. *)
+  Alcotest.(check int) "states" 4 a.Automaton.num_states;
+  Alcotest.(check bool) "has sink" true (a.Automaton.sink <> None)
+
+let test_accepts_matches_monitor_fixed () =
+  let p = pat "{a, b} << i" in
+  let automaton = Automaton.of_pattern p in
+  List.iter
+    (fun word ->
+      let trace = Trace.of_strings word in
+      Alcotest.(check bool)
+        (String.concat " " word)
+        (Monitor.accepts p trace)
+        (Automaton.accepts automaton (List.map name word)))
+    [
+      [ "a"; "b"; "i" ];
+      [ "b"; "a"; "i" ];
+      [ "a"; "i" ];
+      [ "i" ];
+      [ "a"; "b"; "i"; "i"; "a" ];
+      [ "a"; "a" ];
+      [];
+    ]
+
+let test_too_many_states () =
+  match build ~max_states:8 "a[1,100] <<! i" with
+  | (_ : Automaton.t) -> Alcotest.fail "expected Too_many_states"
+  | exception Automaton.Too_many_states _ -> ()
+
+let test_minimize_preserves_language () =
+  let p = pat "{a, b} < c <<! i" in
+  let big = Automaton.of_pattern p in
+  let small = Automaton.minimize big in
+  Alcotest.(check bool) "not larger" true
+    (small.Automaton.num_states <= big.Automaton.num_states);
+  Alcotest.(check bool) "equivalent" true (Automaton.equivalent big small)
+
+let test_equivalent_same_pattern () =
+  let a1 = build "{a, b} << i" in
+  let a2 = build "{b, a} << i" in
+  (* Same property written with the ranges swapped: same language. *)
+  Alcotest.(check bool) "equal languages" true (Automaton.equivalent a1 a2)
+
+let test_inequivalent_patterns () =
+  let a1 = build "{a, b} << i" in
+  let a2 = build "{a | b} << i" in
+  Alcotest.(check bool) "conj /= disj" false (Automaton.equivalent a1 a2);
+  let a3 = build "a < b << i" in
+  Alcotest.(check bool) "ordered /= unordered" false
+    (Automaton.equivalent a1 a3)
+
+let test_repeated_vs_oneshot_differ () =
+  let a1 = build "a << i" in
+  let a2 = build "a <<! i" in
+  Alcotest.(check bool) "differ" false (Automaton.equivalent a1 a2)
+
+let test_dot_output () =
+  let a = build "a << i" in
+  let dot = Automaton.to_dot a in
+  Alcotest.(check bool) "digraph" true
+    (String.length dot > 20 && String.sub dot 0 7 = "digraph")
+
+let test_counter_states_materialized () =
+  (* n[1,3]: counting states are part of the explicit machine —
+     the explosion the modular monitors avoid. *)
+  let narrow = build "a <<! i" in
+  let wide = build "a[1,6] <<! i" in
+  Alcotest.(check bool) "counters add states" true
+    (wide.Automaton.num_states > narrow.Automaton.num_states)
+
+let qcheck_automaton_equals_monitor =
+  qtest ~count:400 "explicit automaton = monitor on random traces"
+    QCheck2.Gen.(
+      let* p = gen_antecedent in
+      let* word = gen_alpha_word p in
+      return (p, word))
+    (fun (p, word) ->
+      Format.asprintf "%a on %s" Pattern.pp p
+        (String.concat " " (List.map Name.to_string word)))
+    (fun (p, word) ->
+      if Pattern.max_hi p > 6 then true (* keep state spaces small *)
+      else
+        match Automaton.of_pattern ~max_states:2000 p with
+        | automaton ->
+            Automaton.accepts automaton word
+            = Monitor.accepts p (Trace.of_names word)
+        | exception Automaton.Too_many_states _ -> true)
+
+let qcheck_minimize_sound =
+  qtest ~count:150 "minimization preserves the language"
+    QCheck2.Gen.(
+      let* p = gen_antecedent in
+      return p)
+    (fun p -> Pattern.to_string p)
+    (fun p ->
+      if Pattern.max_hi p > 4 then true
+      else
+        match Automaton.of_pattern ~max_states:2000 p with
+        | a -> Automaton.equivalent a (Automaton.minimize a)
+        | exception Automaton.Too_many_states _ -> true)
+
+let () =
+  Alcotest.run "automaton"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "simple stats" `Quick test_stats_simple;
+          Alcotest.test_case "agrees with monitor" `Quick
+            test_accepts_matches_monitor_fixed;
+          Alcotest.test_case "state cap" `Quick test_too_many_states;
+          Alcotest.test_case "counter states" `Quick
+            test_counter_states_materialized;
+          Alcotest.test_case "dot" `Quick test_dot_output;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "minimize" `Quick
+            test_minimize_preserves_language;
+          Alcotest.test_case "symmetric patterns" `Quick
+            test_equivalent_same_pattern;
+          Alcotest.test_case "different patterns" `Quick
+            test_inequivalent_patterns;
+          Alcotest.test_case "repeated vs one-shot" `Quick
+            test_repeated_vs_oneshot_differ;
+        ] );
+      ( "properties",
+        [ qcheck_automaton_equals_monitor; qcheck_minimize_sound ] );
+    ]

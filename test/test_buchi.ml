@@ -1,0 +1,176 @@
+open Loseq_core
+open Loseq_psl
+open Loseq_testutil
+
+let a = Psl.atom "a"
+let b = Psl.atom "b"
+let c = Psl.atom "c"
+let t l = List.map name l
+
+let accepts f ~prefix ~cycle =
+  Buchi.accepts_lasso (Buchi.of_ltl f) ~prefix:(t prefix) ~cycle:(t cycle)
+
+let test_atom () =
+  Alcotest.(check bool) "a on a^w" true (accepts a ~prefix:[] ~cycle:[ "a" ]);
+  Alcotest.(check bool) "a on b^w" false (accepts a ~prefix:[] ~cycle:[ "b" ])
+
+let test_next () =
+  Alcotest.(check bool) "X b on a b^w" true
+    (accepts (Psl.next b) ~prefix:[ "a" ] ~cycle:[ "b" ]);
+  Alcotest.(check bool) "X b on a a^w" false
+    (accepts (Psl.next b) ~prefix:[ "a" ] ~cycle:[ "a" ])
+
+let test_until () =
+  let f = Psl.until a b in
+  Alcotest.(check bool) "a a b..." true
+    (accepts f ~prefix:[ "a"; "a"; "b" ] ~cycle:[ "c" ]);
+  Alcotest.(check bool) "never b" false (accepts f ~prefix:[] ~cycle:[ "a" ]);
+  Alcotest.(check bool) "b immediately" true
+    (accepts f ~prefix:[] ~cycle:[ "b" ])
+
+let test_always () =
+  Alcotest.(check bool) "G a on a^w" true
+    (accepts (Psl.always a) ~prefix:[] ~cycle:[ "a" ]);
+  Alcotest.(check bool) "G a broken in cycle" false
+    (accepts (Psl.always a) ~prefix:[ "a" ] ~cycle:[ "a"; "b" ])
+
+let test_gf_fg () =
+  let gf = Psl.always (Psl.eventually b) in
+  let fg = Psl.eventually (Psl.always b) in
+  Alcotest.(check bool) "GF b on (a b)^w" true
+    (accepts gf ~prefix:[] ~cycle:[ "a"; "b" ]);
+  Alcotest.(check bool) "FG b on (a b)^w" false
+    (accepts fg ~prefix:[] ~cycle:[ "a"; "b" ]);
+  Alcotest.(check bool) "FG b on a (b)^w" true
+    (accepts fg ~prefix:[ "a" ] ~cycle:[ "b" ])
+
+let test_release () =
+  let f = Psl.release a b in
+  Alcotest.(check bool) "b^w" true (accepts f ~prefix:[] ~cycle:[ "b" ]);
+  Alcotest.(check bool) "b then break, no release" false
+    (accepts f ~prefix:[ "b" ] ~cycle:[ "c" ])
+
+let test_emptiness () =
+  let empty f = Buchi.is_empty (Buchi.of_ltl f) ~alphabet:(t [ "a"; "b" ]) in
+  Alcotest.(check bool) "contradiction" true
+    (empty (Psl.and_ [ Psl.always a; Psl.eventually (Psl.not_ a) ]));
+  Alcotest.(check bool) "satisfiable" false (empty (Psl.always a));
+  Alcotest.(check bool) "mutually exclusive atoms" true
+    (empty (Psl.and_ [ a; b ]));
+  Alcotest.(check bool) "false" true (empty Psl.False);
+  Alcotest.(check bool) "true" false (empty Psl.True)
+
+let test_stats_nonempty () =
+  let ba = Buchi.of_ltl (Psl.until a b) in
+  let states, transitions = Buchi.size ba in
+  Alcotest.(check bool) "has states" true (states > 0);
+  Alcotest.(check bool) "has transitions" true (transitions > 0)
+
+let test_enabled () =
+  let label =
+    { Buchi.pos = Name.Set.singleton (name "a"); neg = Name.Set.empty }
+  in
+  Alcotest.(check bool) "pos matches" true (Buchi.enabled label (name "a"));
+  Alcotest.(check bool) "pos mismatch" false (Buchi.enabled label (name "b"));
+  let neg_label =
+    { Buchi.pos = Name.Set.empty; neg = Name.Set.singleton (name "a") }
+  in
+  Alcotest.(check bool) "neg blocks" false (Buchi.enabled neg_label (name "a"));
+  Alcotest.(check bool) "neg passes others" true
+    (Buchi.enabled neg_label (name "b"))
+
+(* Random cross-validation against the direct lasso evaluation — the
+   SPOT-replacement guarantee. *)
+let gen_formula =
+  let open QCheck2.Gen in
+  sized_size (int_range 1 10) @@ fix (fun self n ->
+      if n <= 1 then oneof [ return a; return b; return c ]
+      else
+        let sub = self (n / 2) in
+        oneof
+          [
+            map Psl.not_ sub;
+            map2 (fun f g -> Psl.and_ [ f; g ]) sub sub;
+            map2 (fun f g -> Psl.or_ [ f; g ]) sub sub;
+            map Psl.next sub;
+            map2 Psl.until sub sub;
+            map2 Psl.release sub sub;
+            map Psl.always sub;
+            map Psl.eventually sub;
+          ])
+
+let gen_lasso =
+  QCheck2.Gen.(
+    let letters = oneofl [ "a"; "b"; "c" ] in
+    let* prefix = list_size (int_range 0 4) letters in
+    let* cycle = list_size (int_range 1 4) letters in
+    return (prefix, cycle))
+
+let qcheck_buchi_matches_lasso_semantics =
+  qtest ~count:800 "Buchi acceptance = LTL lasso semantics"
+    QCheck2.Gen.(
+      let* f = gen_formula in
+      let* prefix, cycle = gen_lasso in
+      return (f, prefix, cycle))
+    (fun (f, prefix, cycle) ->
+      Printf.sprintf "%s on %s (%s)^w" (Psl.to_string f)
+        (String.concat " " prefix) (String.concat " " cycle))
+    (fun (f, prefix, cycle) ->
+      accepts f ~prefix ~cycle
+      = Psl.eval_lasso f ~prefix:(t prefix) ~cycle:(t cycle))
+
+let qcheck_f_and_not_f_empty =
+  (* GPVW is exponential in the Until count; conjoining f with its
+     negation doubles the formula, so keep candidates small to bound the
+     worst case. *)
+  qtest ~count:300 "L(f && !f) is empty" gen_formula Psl.to_string (fun f ->
+      Psl.size f > 9
+      || Buchi.is_empty
+           (Buchi.of_ltl (Psl.and_ [ f; Psl.not_ f ]))
+           ~alphabet:(t [ "a"; "b"; "c" ]))
+
+let qcheck_translation_smoke =
+  (* The Section-5 encodings translate to automata (SPOT's role in the
+     paper): no exception, sane sizes.  GPVW is exponential, so only
+     encodings of modest size are pushed through it here; test_translate
+     validates the big ones semantically instead. *)
+  qtest ~count:60 "pattern encodings translate to Buchi"
+    QCheck2.Gen.(
+      let* p = gen_antecedent in
+      return p)
+    (fun p -> Pattern.to_string p)
+    (fun p ->
+      match Translate.to_psl p with
+      | f ->
+          if Psl.size f <= 60 then begin
+            let ba = Buchi.of_ltl f in
+            fst (Buchi.size ba) > 0
+          end
+          else true
+      | exception Invalid_argument _ -> true)
+
+let () =
+  Alcotest.run "buchi"
+    [
+      ( "acceptance",
+        [
+          Alcotest.test_case "atom" `Quick test_atom;
+          Alcotest.test_case "next" `Quick test_next;
+          Alcotest.test_case "until" `Quick test_until;
+          Alcotest.test_case "always" `Quick test_always;
+          Alcotest.test_case "GF vs FG" `Quick test_gf_fg;
+          Alcotest.test_case "release" `Quick test_release;
+        ] );
+      ( "emptiness",
+        [
+          Alcotest.test_case "cases" `Quick test_emptiness;
+          Alcotest.test_case "stats" `Quick test_stats_nonempty;
+          Alcotest.test_case "enabled" `Quick test_enabled;
+        ] );
+      ( "cross-validation",
+        [
+          qcheck_buchi_matches_lasso_semantics;
+          qcheck_f_and_not_f_empty;
+          qcheck_translation_smoke;
+        ] );
+    ]

@@ -1,0 +1,143 @@
+open Loseq_core
+open Loseq_testutil
+
+let n = name
+
+let set l = Name.set_of_list (List.map n l)
+
+let check_set msg expected actual =
+  Alcotest.(check (list string))
+    msg
+    (List.sort compare expected)
+    (List.map Name.to_string (Name.Set.elements actual))
+
+(* The worked example of Fig. 4:
+   (({n1, n2}, and) < ({n3[2,8] | n4}, or) < n5 << i, false). *)
+let fig4 = pat "{n1, n2} < {n3[2,8] | n4} < n5 << i"
+
+let contexts_of p = List.concat (Context.of_pattern p)
+
+let find_ctx p nm =
+  List.find
+    (fun ctx -> Name.equal ctx.Context.range.Pattern.name (n nm))
+    (contexts_of p)
+
+let test_fig4_n3 () =
+  let ctx = find_ctx fig4 "n3" in
+  Alcotest.(check bool) "s = or" true (ctx.Context.connective = Pattern.Any);
+  check_set "B" [ "n1"; "n2" ] ctx.Context.before;
+  check_set "C" [ "n4" ] ctx.Context.current;
+  check_set "Ac" [ "n5" ] ctx.Context.accept;
+  check_set "Af" [ "i" ] ctx.Context.after;
+  Alcotest.(check int) "fragment index" 1 ctx.Context.fragment_index
+
+let test_fig4_n1 () =
+  let ctx = find_ctx fig4 "n1" in
+  Alcotest.(check bool) "s = and" true (ctx.Context.connective = Pattern.All);
+  check_set "B" [] ctx.Context.before;
+  check_set "C" [ "n2" ] ctx.Context.current;
+  check_set "Ac" [ "n3"; "n4" ] ctx.Context.accept;
+  check_set "Af" [ "n5"; "i" ] ctx.Context.after
+
+let test_fig4_n5 () =
+  let ctx = find_ctx fig4 "n5" in
+  check_set "B" [ "n1"; "n2"; "n3"; "n4" ] ctx.Context.before;
+  check_set "C" [] ctx.Context.current;
+  check_set "Ac" [ "i" ] ctx.Context.accept;
+  check_set "Af" [] ctx.Context.after
+
+let test_classify_priorities () =
+  let ctx = find_ctx fig4 "n3" in
+  let cat nm = Context.classify ctx (n nm) in
+  Alcotest.(check bool) "self" true (cat "n3" = Context.Self);
+  Alcotest.(check bool) "current" true (cat "n4" = Context.Current);
+  Alcotest.(check bool) "before" true (cat "n1" = Context.Before);
+  Alcotest.(check bool) "accept" true (cat "n5" = Context.Accept);
+  Alcotest.(check bool) "after" true (cat "i" = Context.After);
+  Alcotest.(check bool) "outside" true (cat "zzz" = Context.Outside)
+
+let test_timed_terminators () =
+  let p = pat "a < b => c within 10" in
+  Alcotest.(check bool) "terminators = alpha(F1 of P)" true
+    (Name.Set.equal (Context.terminators p) (set [ "a" ]))
+
+let test_timed_last_fragment_accepts_restart () =
+  let p = pat "a => b < c within 10" in
+  let ctx = find_ctx p "c" in
+  (* The restart name 'a' is Accept for the last fragment even though it
+     also belongs to an earlier fragment. *)
+  Alcotest.(check bool) "accept beats before" true
+    (Context.classify ctx (n "a") = Context.Accept)
+
+let test_timed_middle_fragment_before () =
+  let p = pat "a => b < c within 10" in
+  let ctx = find_ctx p "b" in
+  Alcotest.(check bool) "a is Before for middle fragment" true
+    (Context.classify ctx (n "a") = Context.Before)
+
+let test_af_deduplicated () =
+  (* For (n1 => n2<n3<n4): Fig. 6 row 5's context sizes must total 13
+     (that is what makes the paper's 1051-bit figure come out). *)
+  let p = pat "n1 => n2 < n3 < n4 within 1000" in
+  let sizes = List.map Context.size (contexts_of p) in
+  Alcotest.(check (list int)) "sizes" [ 3; 3; 3; 4 ] sizes
+
+let test_antecedent_sizes () =
+  let p = pat "{n1, n2, n3, n4} << i" in
+  let sizes = List.map Context.size (contexts_of p) in
+  Alcotest.(check (list int)) "sizes" [ 4; 4; 4; 4 ] sizes
+
+let qcheck_classification_total_and_disjoint =
+  qtest ~count:400 "every alphabet name classifies uniquely per context"
+    gen_pattern
+    (fun p -> Pattern.to_string p)
+    (fun p ->
+      let contexts = contexts_of p in
+      let alpha = Pattern.alpha p in
+      List.for_all
+        (fun ctx ->
+          Name.Set.for_all
+            (fun nm ->
+              match Context.classify ctx nm with
+              | Context.Outside -> false (* alphabet names never Outside *)
+              | Context.Self | Context.Current | Context.Before
+              | Context.Accept | Context.After ->
+                  true)
+            alpha)
+        contexts)
+
+let qcheck_self_is_own_name =
+  qtest ~count:300 "Self iff the range's own name" gen_pattern
+    (fun p -> Pattern.to_string p)
+    (fun p ->
+      List.for_all
+        (fun ctx ->
+          Context.classify ctx ctx.Context.range.Pattern.name = Context.Self)
+        (contexts_of p))
+
+let () =
+  Alcotest.run "context"
+    [
+      ( "fig4",
+        [
+          Alcotest.test_case "n3 attributes" `Quick test_fig4_n3;
+          Alcotest.test_case "n1 attributes" `Quick test_fig4_n1;
+          Alcotest.test_case "n5 attributes" `Quick test_fig4_n5;
+          Alcotest.test_case "classification" `Quick test_classify_priorities;
+        ] );
+      ( "timed",
+        [
+          Alcotest.test_case "terminators" `Quick test_timed_terminators;
+          Alcotest.test_case "restart is Accept" `Quick
+            test_timed_last_fragment_accepts_restart;
+          Alcotest.test_case "middle fragment Before" `Quick
+            test_timed_middle_fragment_before;
+          Alcotest.test_case "Af deduplication (Fig. 6 row 5)" `Quick
+            test_af_deduplicated;
+          Alcotest.test_case "antecedent sizes (Fig. 6 row 3)" `Quick
+            test_antecedent_sizes;
+        ] );
+      ( "properties",
+        [ qcheck_classification_total_and_disjoint; qcheck_self_is_own_name ]
+      );
+    ]

@@ -1,0 +1,218 @@
+open Loseq_core
+open Loseq_testutil
+
+let n = name
+
+let make src =
+  let p = pat src in
+  let engine =
+    Engine.create
+      ~terminators:(Context.terminators p)
+      (Pattern.body_ordering p)
+  in
+  Engine.reset engine;
+  engine
+
+let step e nm = Engine.step e (n nm)
+
+let is_fault = function Engine.Fault _ -> true | _ -> false
+let is_progress = function Engine.Progress -> true | _ -> false
+let is_completed = function Engine.Completed -> true | _ -> false
+
+let test_progress_within_fragment () =
+  let e = make "{a, b} << i" in
+  Alcotest.(check bool) "a" true (is_progress (step e "a"));
+  Alcotest.(check bool) "b" true (is_progress (step e "b"));
+  Alcotest.(check int) "still fragment 0" 0 (Engine.active e)
+
+let test_advance () =
+  let e = make "a < b << i" in
+  ignore (step e "a");
+  (match step e "b" with
+  | Engine.Advanced 1 -> ()
+  | _ -> Alcotest.fail "expected Advanced 1");
+  Alcotest.(check int) "active" 1 (Engine.active e)
+
+let test_advance_requires_completion () =
+  let e = make "a[2,3] < b << i" in
+  ignore (step e "a");
+  Alcotest.(check bool) "b too early" true (is_fault (step e "b"))
+
+let test_complete_on_terminator () =
+  let e = make "a << i" in
+  ignore (step e "a");
+  Alcotest.(check bool) "completed" true (is_completed (step e "i"));
+  Alcotest.(check int) "idle" (-1) (Engine.active e)
+
+let test_terminator_early_is_fault () =
+  let e = make "a < b << i" in
+  ignore (step e "a");
+  (match step e "i" with
+  | Engine.Fault { reason = Diag.Trigger_early; _ } -> ()
+  | _ -> Alcotest.fail "expected Trigger_early")
+
+let test_before_name_fault () =
+  let e = make "a < b < c << i" in
+  ignore (step e "a");
+  ignore (step e "b");
+  (match step e "a" with
+  | Engine.Fault { reason = Diag.Before_name; fragment } ->
+      Alcotest.(check int) "at fragment 1" 1 fragment
+  | _ -> Alcotest.fail "expected Before_name")
+
+let test_after_name_fault () =
+  let e = make "a < b < c << i" in
+  (match step e "c" with
+  | Engine.Fault { reason = Diag.After_name; _ } -> ()
+  | _ -> Alcotest.fail "expected After_name")
+
+let test_disjunctive_fragment_any_branch () =
+  let e = make "{a | b} << i" in
+  ignore (step e "b");
+  Alcotest.(check bool) "completes via b" true (is_completed (step e "i"))
+
+let test_disjunctive_empty_fault () =
+  let e = make "{a | b} < c << i" in
+  (match step e "c" with
+  | Engine.Fault { reason = Diag.Empty_fragment; _ } -> ()
+  | _ -> Alcotest.fail "expected Empty_fragment")
+
+let test_disjunctive_both_branches () =
+  let e = make "{a | b[2,3]} << i" in
+  ignore (step e "a");
+  ignore (step e "b");
+  ignore (step e "b");
+  Alcotest.(check bool) "completed" true (is_completed (step e "i"))
+
+let test_conjunctive_missing_fault () =
+  let e = make "{a, b} << i" in
+  ignore (step e "a");
+  (match step e "i" with
+  | Engine.Fault { reason = Diag.Missing r; _ } ->
+      Alcotest.(check string) "missing b" "b" (Name.to_string r.Pattern.name)
+  | _ -> Alcotest.fail "expected Missing")
+
+let test_ignored_outside () =
+  let e = make "a << i" in
+  (match step e "zzz" with
+  | Engine.Ignored -> ()
+  | _ -> Alcotest.fail "expected Ignored")
+
+let test_reset_with_event () =
+  let e = make "{a, b} => c within 5" in
+  ignore (step e "a");
+  ignore (step e "b");
+  ignore (step e "c");
+  (* c is counting in the conclusion; 'a' restarts the round. *)
+  (match step e "a" with
+  | Engine.Completed -> ()
+  | _ -> Alcotest.fail "expected Completed (restart)");
+  Engine.reset_with e (n "a");
+  Alcotest.(check int) "active 0" 0 (Engine.active e);
+  (* a's recognizer must be counting already, b's waiting-started. *)
+  (match Engine.fragment_states e 0 with
+  | [ Recognizer.Counting 1; Recognizer.Waiting_started ] -> ()
+  | states ->
+      Alcotest.failf "unexpected states: %s"
+        (String.concat ", "
+           (List.map
+              (fun s -> Format.asprintf "%a" Recognizer.pp_state s)
+              states)))
+
+let test_reset_with_bad_name_raises () =
+  let e = make "a << i" in
+  match Engine.reset_with e (n "i") with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_owner () =
+  let e = make "a < b << i" in
+  Alcotest.(check (option int)) "a" (Some 0) (Engine.owner e (n "a"));
+  Alcotest.(check (option int)) "b" (Some 1) (Engine.owner e (n "b"));
+  Alcotest.(check (option int)) "i" None (Engine.owner e (n "i"))
+
+let test_min_complete () =
+  let e = make "a[2,3] << i" in
+  Alcotest.(check bool) "empty not complete" false
+    (Engine.active_min_complete e);
+  ignore (step e "a");
+  Alcotest.(check bool) "one a not complete" false
+    (Engine.active_min_complete e);
+  ignore (step e "a");
+  Alcotest.(check bool) "two a complete" true (Engine.active_min_complete e);
+  ignore (step e "a");
+  Alcotest.(check bool) "three a still complete" true
+    (Engine.active_min_complete e)
+
+let test_min_complete_disjunctive () =
+  let e = make "{a | b[2,2]} << i" in
+  ignore (step e "a");
+  Alcotest.(check bool) "a alone complete" true (Engine.active_min_complete e);
+  ignore (step e "b");
+  Alcotest.(check bool) "open b blocks completion" false
+    (Engine.active_min_complete e);
+  ignore (step e "b");
+  Alcotest.(check bool) "b closed again complete" true
+    (Engine.active_min_complete e)
+
+let test_only_active_fragment_steps () =
+  (* Per-event work must not grow with inactive fragments: Θ(max |α(F)|). *)
+  let ops_small = ref 0 and ops_large = ref 0 in
+  let build ops src =
+    let p = pat src in
+    let e =
+      Engine.create ~ops
+        ~terminators:(Context.terminators p)
+        (Pattern.body_ordering p)
+    in
+    Engine.reset e;
+    e
+  in
+  let small = build ops_small "a << i" in
+  let large = build ops_large "a < b < c < d < e < f < g << i" in
+  ignore (Engine.step small (n "a"));
+  ignore (Engine.step large (n "a"));
+  (* Same single-range fragment active: identical per-event cost. *)
+  Alcotest.(check int) "same ops" !ops_small !ops_large
+
+let () =
+  Alcotest.run "engine"
+    [
+      ( "flow",
+        [
+          Alcotest.test_case "progress" `Quick test_progress_within_fragment;
+          Alcotest.test_case "advance" `Quick test_advance;
+          Alcotest.test_case "advance needs completion" `Quick
+            test_advance_requires_completion;
+          Alcotest.test_case "complete on terminator" `Quick
+            test_complete_on_terminator;
+          Alcotest.test_case "early terminator" `Quick
+            test_terminator_early_is_fault;
+          Alcotest.test_case "before-name fault" `Quick test_before_name_fault;
+          Alcotest.test_case "after-name fault" `Quick test_after_name_fault;
+        ] );
+      ( "fragments",
+        [
+          Alcotest.test_case "disjunctive any branch" `Quick
+            test_disjunctive_fragment_any_branch;
+          Alcotest.test_case "disjunctive empty" `Quick
+            test_disjunctive_empty_fault;
+          Alcotest.test_case "disjunctive both" `Quick
+            test_disjunctive_both_branches;
+          Alcotest.test_case "conjunctive missing" `Quick
+            test_conjunctive_missing_fault;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "outside ignored" `Quick test_ignored_outside;
+          Alcotest.test_case "reset_with" `Quick test_reset_with_event;
+          Alcotest.test_case "reset_with bad name" `Quick
+            test_reset_with_bad_name_raises;
+          Alcotest.test_case "owner" `Quick test_owner;
+          Alcotest.test_case "min complete" `Quick test_min_complete;
+          Alcotest.test_case "min complete disjunctive" `Quick
+            test_min_complete_disjunctive;
+          Alcotest.test_case "active-only stepping" `Quick
+            test_only_active_fragment_steps;
+        ] );
+    ]

@@ -1,0 +1,125 @@
+(* The central correctness argument: the Drct monitor (Fig. 5 automata +
+   compositions) agrees with the independent declarative semantics of
+   Section 4 on every pattern and trace — valid, mutated or arbitrary. *)
+
+open Loseq_core
+open Loseq_testutil
+
+let monitor_accepts ?final_time p trace =
+  match Monitor.run ?final_time p trace with
+  | Monitor.Running | Monitor.Satisfied -> true
+  | Monitor.Violated _ -> false
+
+let agree p trace =
+  let final_time = Trace.end_time trace + 1_000 in
+  let sem = Semantics.holds ~final_time p trace in
+  let mon = monitor_accepts ~final_time p trace in
+  sem = mon
+
+let qcheck_monitor_equals_semantics =
+  qtest ~count:3000 "monitor = declarative semantics" gen_pattern_and_trace
+    print_pattern_and_trace
+    (fun (p, trace) ->
+      if Trace.is_chronological trace then agree p trace else true)
+
+let qcheck_valid_accepted =
+  qtest ~count:1500 "generated valid traces are accepted by both"
+    QCheck2.Gen.(
+      let* p = gen_pattern in
+      let* seed = int_bound 1_000_000 in
+      let* rounds = int_range 1 4 in
+      return (p, seed, rounds))
+    (fun (p, seed, rounds) ->
+      Printf.sprintf "%s seed=%d rounds=%d" (Pattern.to_string p) seed rounds)
+    (fun (p, seed, rounds) ->
+      let rng = Random.State.make [| seed |] in
+      let trace = Generate.valid ~rounds rng p in
+      Semantics.holds p trace && monitor_accepts p trace)
+
+let qcheck_violating_rejected =
+  qtest ~count:800 "generated violating traces are rejected by both"
+    QCheck2.Gen.(
+      let* p = gen_pattern in
+      let* seed = int_bound 1_000_000 in
+      return (p, seed))
+    (fun (p, seed) -> Printf.sprintf "%s seed=%d" (Pattern.to_string p) seed)
+    (fun (p, seed) ->
+      let rng = Random.State.make [| seed |] in
+      match Generate.violating rng p with
+      | None -> true (* no mutation found; vacuous *)
+      | Some trace ->
+          let final_time = Trace.end_time trace + 1_000 in
+          (not (Semantics.holds ~final_time p trace))
+          && not (monitor_accepts ~final_time p trace))
+
+(* Exhaustive check on small instances: every word up to length k over
+   the alphabet. *)
+let exhaustive p max_len =
+  let alpha = Name.Set.elements (Pattern.alpha p) in
+  let rec words k =
+    if k = 0 then [ [] ]
+    else
+      let shorter = words (k - 1) in
+      shorter
+      @ List.concat_map
+          (fun w -> List.map (fun a -> a :: w) alpha)
+          (List.filter (fun w -> List.length w = k - 1) shorter)
+  in
+  List.iter
+    (fun word ->
+      let trace = Trace.of_names (List.rev word) in
+      if not (agree p trace) then
+        Alcotest.failf "divergence on %s for %s"
+          (Trace.to_string trace) (Pattern.to_string p))
+    (words max_len)
+
+let test_exhaustive_small_antecedent () =
+  exhaustive (pat "a << i") 7;
+  exhaustive (pat "a <<! i") 7
+
+let test_exhaustive_range () =
+  exhaustive (pat "a[2,3] <<! i") 7
+
+let test_exhaustive_conjunction () =
+  exhaustive (pat "{a, b} <<! i") 7
+
+let test_exhaustive_disjunction () =
+  exhaustive (pat "{a | b} <<! i") 7
+
+let test_exhaustive_two_fragments () =
+  exhaustive (pat "a < b <<! i") 7
+
+let test_exhaustive_timed_untimed_shape () =
+  (* Deadline large enough that only the shape matters. *)
+  exhaustive (pat "a => b within 1000") 7;
+  exhaustive (pat "a => b < c within 1000") 6
+
+let test_exhaustive_timed_zero_deadline () =
+  (* Deadline 0: conclusion must be simultaneous with the premise's end.
+     With unit-spaced timestamps every round trips the deadline. *)
+  exhaustive (pat "a => b within 0") 5
+
+let () =
+  Alcotest.run "equivalence"
+    [
+      ( "property-based",
+        [
+          qcheck_monitor_equals_semantics;
+          qcheck_valid_accepted;
+          qcheck_violating_rejected;
+        ] );
+      ( "exhaustive",
+        [
+          Alcotest.test_case "single range" `Quick
+            test_exhaustive_small_antecedent;
+          Alcotest.test_case "bounded range" `Quick test_exhaustive_range;
+          Alcotest.test_case "conjunction" `Quick test_exhaustive_conjunction;
+          Alcotest.test_case "disjunction" `Quick test_exhaustive_disjunction;
+          Alcotest.test_case "two fragments" `Quick
+            test_exhaustive_two_fragments;
+          Alcotest.test_case "timed shape" `Quick
+            test_exhaustive_timed_untimed_shape;
+          Alcotest.test_case "timed zero deadline" `Quick
+            test_exhaustive_timed_zero_deadline;
+        ] );
+    ]

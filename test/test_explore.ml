@@ -1,0 +1,76 @@
+open Loseq_core
+open Loseq_verif
+open Loseq_testutil
+
+let test_score_counts_states () =
+  let p = pat "{a, b} << go" in
+  let coverage = Explore.score p (tr [ "a"; "b"; "go" ]) in
+  (* a counting, b waiting-started, then b counting / a done. *)
+  Alcotest.(check bool) "full coverage on this trace" true
+    (Coverage.states_covered coverage = 1.)
+
+let test_search_improves_over_single () =
+  (* A disjunctive fragment: one trace can only take one branch, so the
+     selected set must beat any single trace. *)
+  let p = pat "{a[2,3] | b} < c <<! go" in
+  let r = Explore.search ~budget:48 p in
+  Alcotest.(check bool) "union >= best" true
+    (r.Explore.achieved >= r.Explore.best.Explore.coverage);
+  Alcotest.(check bool) "high combined coverage" true
+    (r.Explore.achieved >= 0.9);
+  Alcotest.(check int) "tried all" 48 r.Explore.tried
+
+let test_search_selected_is_small () =
+  let p = pat "{a | b} << go" in
+  let r = Explore.search ~budget:32 p in
+  (* Greedy set cover should need only a couple of traces here. *)
+  Alcotest.(check bool) "small set" true
+    (List.length r.Explore.selected <= 4 && List.length r.Explore.selected >= 1)
+
+let test_search_deterministic () =
+  let p = pat "{a, b} <<! go" in
+  let r1 = Explore.search ~budget:16 p in
+  let r2 = Explore.search ~budget:16 p in
+  Alcotest.(check int) "same best seed" r1.Explore.best.Explore.seed
+    r2.Explore.best.Explore.seed;
+  Alcotest.(check int) "same selection size"
+    (List.length r1.Explore.selected)
+    (List.length r2.Explore.selected)
+
+let test_search_rejects_bad_budget () =
+  match Explore.search ~budget:0 (pat "a << i") with
+  | (_ : Explore.result) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_pp_renders () =
+  let r = Explore.search ~budget:8 (pat "a <<! go") in
+  let text = Format.asprintf "%a" Explore.pp_result r in
+  Alcotest.(check bool) "non-empty" true (String.length text > 40)
+
+let qcheck_union_dominates =
+  qtest ~count:60 "selected union always >= best single trace"
+    QCheck2.Gen.(
+      let* p = gen_antecedent in
+      return p)
+    (fun p -> Pattern.to_string p)
+    (fun p ->
+      let r = Explore.search ~budget:12 p in
+      r.Explore.achieved >= r.Explore.best.Explore.coverage -. 1e-9)
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "coverage search",
+        [
+          Alcotest.test_case "score" `Quick test_score_counts_states;
+          Alcotest.test_case "improves" `Quick
+            test_search_improves_over_single;
+          Alcotest.test_case "small selection" `Quick
+            test_search_selected_is_small;
+          Alcotest.test_case "deterministic" `Quick test_search_deterministic;
+          Alcotest.test_case "bad budget" `Quick
+            test_search_rejects_bad_budget;
+          Alcotest.test_case "pretty printing" `Quick test_pp_renders;
+          qcheck_union_dominates;
+        ] );
+    ]

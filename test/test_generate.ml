@@ -1,0 +1,158 @@
+open Loseq_core
+open Loseq_testutil
+
+let rng seed = Random.State.make [| seed |]
+
+let test_fragment_word_conjunctive () =
+  let f =
+    Pattern.fragment
+      [ Pattern.range (name "a"); Pattern.range ~lo:2 ~hi:3 (name "b") ]
+  in
+  for seed = 0 to 30 do
+    let w = Generate.fragment_word (rng seed) f in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d matches" seed)
+      true
+      (Semantics.match_fragment f w)
+  done
+
+let test_fragment_word_disjunctive () =
+  let f =
+    Pattern.fragment ~connective:Pattern.Any
+      [ Pattern.range (name "a"); Pattern.range ~lo:2 ~hi:3 (name "b") ]
+  in
+  for seed = 0 to 30 do
+    let w = Generate.fragment_word (rng seed) f in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d matches" seed)
+      true
+      (Semantics.match_fragment f w)
+  done
+
+let test_ordering_word_matches () =
+  let p = pat "{a, b[2,4]} < {c | d} < e <<! i" in
+  let ordering = Pattern.body_ordering p in
+  for seed = 0 to 50 do
+    let w = Generate.ordering_word (rng seed) ordering in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d" seed)
+      true
+      (Semantics.match_ordering ordering w)
+  done
+
+let test_max_run_caps_huge_ranges () =
+  let p = pat "a[100,60000] <<! i" in
+  let w = Generate.ordering_word ~max_run:5 (rng 1) (Pattern.body_ordering p) in
+  let len = List.length w in
+  Alcotest.(check bool) "capped" true (len >= 100 && len <= 105)
+
+let test_valid_rounds_counted () =
+  let p = pat "a <<! i" in
+  let trace = Generate.valid ~rounds:4 (rng 3) p in
+  let triggers =
+    List.length
+      (List.filter
+         (fun (e : Trace.event) -> Name.equal e.Trace.name (name "i"))
+         trace)
+  in
+  Alcotest.(check int) "4 rounds" 4 triggers
+
+let test_valid_nonrepeated_single_round () =
+  let p = pat "a << i" in
+  let trace = Generate.valid ~rounds:5 (rng 3) p in
+  let triggers =
+    List.filter (fun (e : Trace.event) -> Name.equal e.Trace.name (name "i")) trace
+  in
+  Alcotest.(check int) "one round" 1 (List.length triggers)
+
+let test_valid_timed_meets_deadline () =
+  let p = pat "a => b[2,4] < c within 50" in
+  for seed = 0 to 30 do
+    let trace = Generate.valid ~rounds:2 (rng seed) p in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d holds" seed)
+      true
+      (Semantics.holds p trace)
+  done
+
+let test_valid_timed_zero_deadline () =
+  let p = pat "a => b within 0" in
+  let trace = Generate.valid ~rounds:2 (rng 9) p in
+  Alcotest.(check bool) "holds" true (Semantics.holds p trace)
+
+let test_mutations_listed_by_kind () =
+  let ant = Generate.mutations (pat "a << i") in
+  let timed = Generate.mutations (pat "a => b within 5") in
+  Alcotest.(check bool) "antecedent has Inject_trigger" true
+    (List.mem Generate.Inject_trigger ant);
+  Alcotest.(check bool) "timed has Delay_conclusion" true
+    (List.mem Generate.Delay_conclusion timed);
+  Alcotest.(check bool) "timed has no Inject_trigger" false
+    (List.mem Generate.Inject_trigger timed)
+
+let test_violating_finds_counterexamples () =
+  List.iter
+    (fun src ->
+      let p = pat src in
+      match Generate.violating (rng 7) p with
+      | Some trace ->
+          Alcotest.(check bool) (src ^ " violates") false
+            (Semantics.holds p trace)
+      | None -> Alcotest.failf "no violating trace found for %s" src)
+    [
+      "a << i";
+      "{a, b} <<! i";
+      "{a | b[2,3]} < c <<! i";
+      "a => b within 10";
+      "a => b[2,4] < c within 100";
+    ]
+
+let test_mutate_preserves_chronology_for_delay () =
+  let p = pat "a => b within 10" in
+  let base = Generate.valid ~rounds:1 (rng 5) p in
+  let mutated = Generate.mutate (rng 6) Generate.Delay_conclusion p base in
+  Alcotest.(check bool) "chronological" true (Trace.is_chronological mutated)
+
+let qcheck_valid_always_holds =
+  qtest ~count:800 "valid traces always satisfy their pattern"
+    QCheck2.Gen.(
+      let* p = gen_pattern in
+      let* seed = int_bound 1_000_000 in
+      return (p, seed))
+    (fun (p, seed) -> Printf.sprintf "%s seed=%d" (Pattern.to_string p) seed)
+    (fun (p, seed) ->
+      Semantics.holds p (Generate.valid (Random.State.make [| seed |]) p))
+
+let () =
+  Alcotest.run "generate"
+    [
+      ( "words",
+        [
+          Alcotest.test_case "conjunctive fragment" `Quick
+            test_fragment_word_conjunctive;
+          Alcotest.test_case "disjunctive fragment" `Quick
+            test_fragment_word_disjunctive;
+          Alcotest.test_case "ordering" `Quick test_ordering_word_matches;
+          Alcotest.test_case "max_run cap" `Quick
+            test_max_run_caps_huge_ranges;
+        ] );
+      ( "traces",
+        [
+          Alcotest.test_case "repeated rounds" `Quick test_valid_rounds_counted;
+          Alcotest.test_case "non-repeated" `Quick
+            test_valid_nonrepeated_single_round;
+          Alcotest.test_case "timed deadlines" `Quick
+            test_valid_timed_meets_deadline;
+          Alcotest.test_case "zero deadline" `Quick
+            test_valid_timed_zero_deadline;
+          qcheck_valid_always_holds;
+        ] );
+      ( "mutations",
+        [
+          Alcotest.test_case "kinds" `Quick test_mutations_listed_by_kind;
+          Alcotest.test_case "violating search" `Quick
+            test_violating_finds_counterexamples;
+          Alcotest.test_case "delay stays chronological" `Quick
+            test_mutate_preserves_chronology_for_delay;
+        ] );
+    ]

@@ -1,0 +1,127 @@
+open Loseq_core
+open Loseq_testutil
+
+let test_config_before_commit () =
+  let p =
+    Idioms.config_before_commit
+      ~registers:[ "set_imgAddr"; "set_glAddr"; "set_glSize" ]
+      ~commit:"start" ()
+  in
+  Alcotest.check pattern_testable "matches the case-study property"
+    (pat "{set_imgAddr, set_glAddr, set_glSize} << start")
+    p;
+  check_accepts p [ "set_glSize"; "set_imgAddr"; "set_glAddr"; "start" ];
+  check_rejects p [ "set_imgAddr"; "start" ]
+
+let test_config_repeated () =
+  let p =
+    Idioms.config_before_commit ~repeated:true ~registers:[ "a"; "b" ]
+      ~commit:"go" ()
+  in
+  check_accepts p [ "a"; "b"; "go"; "b"; "a"; "go" ];
+  check_rejects p [ "a"; "b"; "go"; "go" ]
+
+let test_handshake () =
+  let p = Idioms.handshake ~req:"req" ~ack:"ack" ~within:10 in
+  Alcotest.check pattern_testable "shape" (pat "req => ack within 10") p;
+  Alcotest.(check bool) "late nack" false
+    (Monitor.accepts p
+       [ Trace.event ~time:0 (name "req"); Trace.event ~time:50 (name "ack") ])
+
+let test_burst () =
+  let p =
+    Idioms.burst ~trigger:"start" ~beat:"read_img" ~lo:100 ~hi:60000
+      ~done_:"set_irq" ~within:60000
+  in
+  Alcotest.check pattern_testable "matches Example 3"
+    (pat "start => read_img[100,60000] < set_irq within 60000")
+    p
+
+let test_any_of_before () =
+  let p =
+    Idioms.any_of_before ~choices:[ "key"; "badge"; "pin" ] ~trigger:"unlock" ()
+  in
+  check_accepts p [ "badge"; "unlock" ];
+  check_accepts p [ "pin"; "key"; "unlock" ];
+  check_rejects p [ "unlock" ]
+
+let test_staged_startup () =
+  let p =
+    Idioms.staged_startup
+      ~stages:[ [ "pll_en" ]; [ "clk_a"; "clk_b" ] ]
+      ~go:"release_reset"
+  in
+  check_accepts p [ "pll_en"; "clk_b"; "clk_a"; "release_reset" ];
+  check_rejects p [ "clk_a"; "pll_en"; "clk_b"; "release_reset" ];
+  check_rejects p [ "pll_en"; "clk_a"; "release_reset" ]
+
+let test_axi_write () =
+  let p = Idioms.axi_write ~within:100 () in
+  let ev t nm = Trace.event ~time:t (name nm) in
+  (* Address and data in either order, response in time. *)
+  Alcotest.(check bool) "aw w b" true
+    (Monitor.accepts p [ ev 0 "aw_valid"; ev 5 "w_valid"; ev 50 "b_valid" ]);
+  Alcotest.(check bool) "w aw b" true
+    (Monitor.accepts p [ ev 0 "w_valid"; ev 5 "aw_valid"; ev 50 "b_valid" ]);
+  (* Response before both channels is a protocol violation. *)
+  Alcotest.(check bool) "early b" false
+    (Monitor.accepts p [ ev 0 "aw_valid"; ev 5 "b_valid" ]);
+  (* Late response violates the deadline. *)
+  Alcotest.(check bool) "late b" false
+    (Monitor.accepts p [ ev 0 "aw_valid"; ev 5 "w_valid"; ev 200 "b_valid" ])
+
+let test_axi_write_custom_names () =
+  let p = Idioms.axi_write ~aw:"awv" ~w:"wv" ~b:"bv" ~within:10 () in
+  Alcotest.(check bool) "alpha uses custom names" true
+    (Name.Set.mem (name "awv") (Pattern.alpha p)
+    && Name.Set.mem (name "bv") (Pattern.alpha p))
+
+let test_producer_consumer () =
+  let p = Idioms.producer_consumer ~push:"push" ~pop:"pop" ~depth:3 in
+  check_accepts p [ "push"; "pop"; "push"; "push"; "push"; "pop" ];
+  (* A fourth push without a pop overflows the FIFO. *)
+  check_rejects p [ "push"; "push"; "push"; "push"; "pop" ];
+  (* Popping an empty FIFO. *)
+  check_rejects p [ "push"; "pop"; "pop" ]
+
+let test_producer_consumer_bad_depth () =
+  match Idioms.producer_consumer ~push:"a" ~pop:"b" ~depth:0 with
+  | (_ : Pattern.t) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_all_idioms_well_formed () =
+  List.iter
+    (fun p -> Alcotest.(check bool) "well formed" true (Wellformed.is_well_formed p))
+    [
+      Idioms.config_before_commit ~registers:[ "a"; "b" ] ~commit:"c" ();
+      Idioms.handshake ~req:"r" ~ack:"a" ~within:1;
+      Idioms.burst ~trigger:"t" ~beat:"b" ~lo:1 ~hi:2 ~done_:"d" ~within:1;
+      Idioms.any_of_before ~choices:[ "x"; "y" ] ~trigger:"z" ();
+      Idioms.staged_startup ~stages:[ [ "a" ]; [ "b" ] ] ~go:"g";
+      Idioms.axi_write ~within:1 ();
+      Idioms.producer_consumer ~push:"p" ~pop:"q" ~depth:2;
+    ]
+
+let () =
+  Alcotest.run "idioms"
+    [
+      ( "shapes",
+        [
+          Alcotest.test_case "config before commit" `Quick
+            test_config_before_commit;
+          Alcotest.test_case "config repeated" `Quick test_config_repeated;
+          Alcotest.test_case "handshake" `Quick test_handshake;
+          Alcotest.test_case "burst" `Quick test_burst;
+          Alcotest.test_case "any-of" `Quick test_any_of_before;
+          Alcotest.test_case "staged startup" `Quick test_staged_startup;
+          Alcotest.test_case "axi write" `Quick test_axi_write;
+          Alcotest.test_case "axi custom names" `Quick
+            test_axi_write_custom_names;
+          Alcotest.test_case "producer/consumer" `Quick
+            test_producer_consumer;
+          Alcotest.test_case "bad depth" `Quick
+            test_producer_consumer_bad_depth;
+          Alcotest.test_case "all well-formed" `Quick
+            test_all_idioms_well_formed;
+        ] );
+    ]

@@ -1,0 +1,157 @@
+(* Cross-cutting invariants and small-surface modules: names,
+   diagnostics rendering, and internal monitor invariants that no single
+   unit suite owns. *)
+
+open Loseq_core
+open Loseq_testutil
+
+(* ---- Name ------------------------------------------------------------- *)
+
+let test_name_accepts_identifiers () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (Name.to_string (Name.v s)))
+    [ "a"; "set_imgAddr"; "n1"; "a.b-c"; "X" ]
+
+let test_name_rejects_bad () =
+  List.iter
+    (fun s ->
+      match Name.v s with
+      | (_ : Name.t) -> Alcotest.failf "accepted %S" s
+      | exception Invalid_argument _ -> ())
+    [ ""; "a b"; "a$b"; "café"; "x\n" ]
+
+let test_name_set_helpers () =
+  let set = Name.set_of_list [ Name.v "b"; Name.v "a"; Name.v "b" ] in
+  Alcotest.(check int) "dedup" 2 (Name.Set.cardinal set);
+  Alcotest.(check string) "pp" "{a, b}"
+    (Format.asprintf "%a" Name.pp_set set)
+
+(* ---- Diag rendering ---------------------------------------------------- *)
+
+let test_violation_rendering () =
+  let m = Monitor.create (pat "a[1,2] << i") in
+  ignore (Monitor.step m (Trace.event ~time:7 (name "a")));
+  ignore (Monitor.step m (Trace.event ~time:8 (name "a")));
+  ignore (Monitor.step m (Trace.event ~time:9 (name "a")));
+  match Monitor.verdict m with
+  | Monitor.Violated v ->
+      let text = Diag.violation_to_string v in
+      List.iter
+        (fun fragment ->
+          Alcotest.(check bool) fragment true
+            (let nh = String.length text and nn = String.length fragment in
+             let rec loop i =
+               if i + nn > nh then false
+               else if String.sub text i nn = fragment then true
+               else loop (i + 1)
+             in
+             loop 0))
+        [ "t=9"; "a"; "event #2"; "2 occurrence" ]
+  | _ -> Alcotest.fail "expected violation"
+
+let test_all_reasons_render () =
+  (* Every constructor has a human-readable, non-empty rendering. *)
+  let r = Pattern.range ~lo:2 ~hi:4 (name "x") in
+  let reasons =
+    [
+      Diag.Before_name; Diag.After_name; Diag.Overflow r; Diag.Underflow r;
+      Diag.Reentered r; Diag.Missing r; Diag.Empty_fragment;
+      Diag.Trigger_early;
+      Diag.Deadline_miss { started = 1; deadline = 5; now = 9 };
+      Diag.Late_conclusion { deadline = 5; at = 9 };
+      Diag.Foreign (name "z");
+    ]
+  in
+  List.iter
+    (fun reason ->
+      let text = Format.asprintf "%a" Diag.pp_reason reason in
+      Alcotest.(check bool) "non-empty" true (String.length text > 3))
+    reasons
+
+(* ---- Engine invariant: at most one recognizer counts at a time -------- *)
+
+let counting_recognizers states =
+  List.fold_left
+    (fun acc frag ->
+      acc
+      + List.length
+          (List.filter
+             (function Recognizer.Counting _ -> true | _ -> false)
+             frag))
+    0 states
+
+let qcheck_single_counter_invariant =
+  qtest ~count:600 "at most one recognizer counts per instant"
+    gen_pattern_and_trace print_pattern_and_trace
+    (fun (p, trace) ->
+      if not (Trace.is_chronological trace) then true
+      else begin
+        let m = Monitor.create p in
+        List.for_all
+          (fun e ->
+            ignore (Monitor.step m e);
+            counting_recognizers (Monitor.fragment_states m) <= 1)
+          trace
+      end)
+
+(* ---- Monitor ops are deterministic ------------------------------------ *)
+
+let qcheck_ops_deterministic =
+  qtest ~count:300 "instrumented op counts are reproducible"
+    gen_pattern_and_trace print_pattern_and_trace
+    (fun (p, trace) ->
+      if not (Trace.is_chronological trace) then true
+      else
+        let measure () =
+          let ops = ref 0 in
+          let m = Monitor.create ~ops p in
+          List.iter (fun e -> ignore (Monitor.step m e)) trace;
+          !ops
+        in
+        measure () = measure ())
+
+(* ---- Verdict monotonicity --------------------------------------------- *)
+
+let qcheck_verdict_sticky =
+  qtest ~count:400 "verdicts never change once decided"
+    QCheck2.Gen.(
+      let* p, trace = gen_pattern_and_trace in
+      let* extra = gen_trace_for p in
+      return (p, trace, extra))
+    (fun (p, trace, extra) ->
+      print_pattern_and_trace (p, trace @ extra))
+    (fun (p, trace, extra) ->
+      if not (Trace.is_chronological trace) then true
+      else begin
+        let m = Monitor.create p in
+        List.iter (fun e -> ignore (Monitor.step m e)) trace;
+        match Monitor.verdict m with
+        | Monitor.Running -> true
+        | decided ->
+            List.iter (fun e -> ignore (Monitor.step m e)) extra;
+            Monitor.verdict m = decided
+      end)
+
+let () =
+  Alcotest.run "invariants"
+    [
+      ( "names",
+        [
+          Alcotest.test_case "accepts" `Quick test_name_accepts_identifiers;
+          Alcotest.test_case "rejects" `Quick test_name_rejects_bad;
+          Alcotest.test_case "sets" `Quick test_name_set_helpers;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "violation text" `Quick test_violation_rendering;
+          Alcotest.test_case "all reasons render" `Quick
+            test_all_reasons_render;
+        ] );
+      ( "monitor invariants",
+        [
+          qcheck_single_counter_invariant;
+          qcheck_ops_deterministic;
+          qcheck_verdict_sticky;
+        ] );
+    ]

@@ -1,0 +1,124 @@
+open Loseq_core
+open Loseq_sim
+open Loseq_verif
+
+let ev t nm = Trace.event ~time:t (Name.v nm)
+
+let sample_trace =
+  [
+    ev 0 "start"; ev 100 "set_irq";
+    ev 200 "start"; ev 500 "set_irq";
+    ev 600 "noise";
+    ev 700 "start"; ev 710 "start"; ev 900 "set_irq";
+    ev 1000 "set_irq" (* no pending start: skipped *);
+  ]
+
+let test_intervals () =
+  let samples =
+    Latency.intervals ~from:(Name.v "start") ~until:(Name.v "set_irq")
+      sample_trace
+  in
+  (* Third round measures from the LATEST start (710). *)
+  Alcotest.(check (list int)) "intervals" [ 100; 300; 190 ] samples
+
+let test_summarize () =
+  match Latency.summarize [ 100; 300; 190 ] with
+  | None -> Alcotest.fail "expected summary"
+  | Some s ->
+      Alcotest.(check int) "count" 3 s.Latency.count;
+      Alcotest.(check int) "min" 100 s.Latency.min_ps;
+      Alcotest.(check int) "max" 300 s.Latency.max_ps;
+      Alcotest.(check int) "p50" 190 s.Latency.p50_ps
+
+let test_summarize_empty () =
+  Alcotest.(check bool) "none" true (Latency.summarize [] = None)
+
+let test_percentile () =
+  let samples = [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ] in
+  Alcotest.(check int) "p50" 50 (Latency.percentile samples 0.5);
+  Alcotest.(check int) "p90" 90 (Latency.percentile samples 0.9);
+  Alcotest.(check int) "p100" 100 (Latency.percentile samples 1.0);
+  Alcotest.(check int) "p0 -> first" 10 (Latency.percentile samples 0.0)
+
+let test_percentile_errors () =
+  (match Latency.percentile [] 0.5 with
+  | (_ : int) -> Alcotest.fail "empty"
+  | exception Invalid_argument _ -> ());
+  match Latency.percentile [ 1 ] 1.5 with
+  | (_ : int) -> Alcotest.fail "fraction"
+  | exception Invalid_argument _ -> ()
+
+let test_suggest_deadline () =
+  Alcotest.(check (option int)) "max + 50%" (Some 450)
+    (Latency.suggest_deadline [ 100; 300 ]);
+  Alcotest.(check (option int)) "custom slack" (Some 330)
+    (Latency.suggest_deadline ~slack:0.1 [ 100; 300 ]);
+  Alcotest.(check (option int)) "empty" None (Latency.suggest_deadline [])
+
+let test_online_collection () =
+  let kernel = Kernel.create () in
+  let tap = Tap.create kernel in
+  let collector =
+    Latency.create ~from:(Name.v "req") ~until:(Name.v "ack") tap
+  in
+  let exceeded = ref [] in
+  Latency.watch collector ~threshold:(Time.ps 150) (fun interval ->
+      exceeded := interval :: !exceeded);
+  Kernel.spawn kernel (fun () ->
+      Tap.emit tap "req";
+      Kernel.wait_for kernel (Time.ps 100);
+      Tap.emit tap "ack";
+      Kernel.wait_for kernel (Time.ps 50);
+      Tap.emit tap "req";
+      Kernel.wait_for kernel (Time.ps 200);
+      Tap.emit tap "ack");
+  Kernel.run kernel;
+  Alcotest.(check (list int)) "collected" [ 100; 200 ]
+    (Latency.durations collector);
+  Alcotest.(check (list int)) "watch fired once" [ 200 ] !exceeded;
+  match Latency.summary collector with
+  | Some s -> Alcotest.(check int) "max" 200 s.Latency.max_ps
+  | None -> Alcotest.fail "expected summary"
+
+let test_on_platform_run () =
+  (* Measure the case study's start -> set_irq latency and check the
+     default deadline has headroom over the suggestion. *)
+  let soc = Loseq_platform.Soc.create () in
+  let collector =
+    Latency.create ~from:(Name.v "start") ~until:(Name.v "set_irq")
+      (Loseq_platform.Soc.tap soc)
+  in
+  Loseq_platform.Soc.run soc;
+  let samples = Latency.durations collector in
+  Alcotest.(check int) "three recognitions measured" 3 (List.length samples);
+  match Latency.suggest_deadline samples with
+  | Some suggested ->
+      let configured =
+        Time.to_ps
+          (Loseq_platform.Soc.config soc).Loseq_platform.Soc
+          .recognition_deadline
+      in
+      Alcotest.(check bool) "configured deadline above suggestion" true
+        (configured >= suggested)
+  | None -> Alcotest.fail "expected samples"
+
+let () =
+  Alcotest.run "latency"
+    [
+      ( "offline",
+        [
+          Alcotest.test_case "intervals" `Quick test_intervals;
+          Alcotest.test_case "summary" `Quick test_summarize;
+          Alcotest.test_case "empty" `Quick test_summarize_empty;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+          Alcotest.test_case "percentile errors" `Quick
+            test_percentile_errors;
+          Alcotest.test_case "suggest deadline" `Quick test_suggest_deadline;
+        ] );
+      ( "online",
+        [
+          Alcotest.test_case "collection & watch" `Quick
+            test_online_collection;
+          Alcotest.test_case "platform latency" `Slow test_on_platform_run;
+        ] );
+    ]

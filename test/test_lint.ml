@@ -1,0 +1,108 @@
+open Loseq_core
+open Loseq_testutil
+
+let codes p = List.map (fun f -> f.Lint.code) (Lint.lint p)
+let has p code = List.mem code (codes p)
+
+let severity_of p code =
+  List.find_map
+    (fun f -> if f.Lint.code = code then Some f.Lint.severity else None)
+    (Lint.lint p)
+
+let test_clean_pattern () =
+  (* The case-study property only gets the informational notes. *)
+  let p = pat "{set_imgAddr, set_glAddr, set_glSize} <<! start" in
+  Alcotest.(check bool) "no warnings" true
+    (List.for_all (fun f -> f.Lint.severity = Lint.Info) (Lint.lint p))
+
+let test_singleton_disjunction () =
+  (* Constructed via the API: the printer normalizes singleton fragments
+     so the concrete syntax cannot express this case. *)
+  let p =
+    Pattern.antecedent
+      [ Pattern.fragment ~connective:Pattern.Any [ Pattern.range (name "a") ] ]
+      ~trigger:(name "go")
+  in
+  Alcotest.(check bool) "flagged" true (has p "singleton-disjunction")
+
+let test_zero_deadline () =
+  Alcotest.(check bool) "flagged" true
+    (has (pat "a => b within 0") "zero-deadline");
+  Alcotest.(check bool) "not flagged" false
+    (has (pat "a => b within 5") "zero-deadline")
+
+let test_tight_deadline () =
+  (* Conclusion needs >= 3 events but only 1 time unit is allowed. *)
+  Alcotest.(check bool) "flagged" true
+    (has (pat "a => b[2,4] < c within 1") "tight-deadline");
+  Alcotest.(check bool) "roomy ok" false
+    (has (pat "a => b[2,4] < c within 100") "tight-deadline")
+
+let test_wide_range () =
+  let p = pat "n[100,60000] <<! i" in
+  Alcotest.(check bool) "flagged" true (has p "wide-range");
+  Alcotest.(check bool) "is warning" true
+    (severity_of p "wide-range" = Some Lint.Warning);
+  Alcotest.(check bool) "narrow ok" false (has (pat "n[1,8] <<! i") "wide-range")
+
+let test_huge_counter () =
+  Alcotest.(check bool) "flagged" true
+    (has (pat "n[1,200000] <<! i") "huge-counter")
+
+let test_unbounded_trigger () =
+  Alcotest.(check bool) "non-repeated flagged" true
+    (has (pat "a << i") "unbounded-trigger");
+  Alcotest.(check bool) "repeated clean" false
+    (has (pat "a <<! i") "unbounded-trigger")
+
+let test_state_space_estimate () =
+  Alcotest.(check bool) "big product flagged" true
+    (has (pat "a[1,50] < b[1,50] <<! i") "state-space")
+
+let test_warnings_sorted_first () =
+  let findings = Lint.lint (pat "n[100,60000] << i") in
+  let rec no_warning_after_info seen_info = function
+    | [] -> true
+    | f :: rest ->
+        (match f.Lint.severity with
+        | Lint.Warning -> not seen_info
+        | Lint.Info -> true)
+        && no_warning_after_info
+             (seen_info || f.Lint.severity = Lint.Info)
+             rest
+  in
+  Alcotest.(check bool) "sorted" true (no_warning_after_info false findings)
+
+let test_rejects_ill_formed () =
+  let bad = Pattern.antecedent [ Pattern.single (name "i") ] ~trigger:(name "i") in
+  match Lint.lint bad with
+  | (_ : Lint.finding list) -> Alcotest.fail "expected Ill_formed"
+  | exception Wellformed.Ill_formed _ -> ()
+
+let qcheck_lint_never_crashes =
+  qtest ~count:500 "lint is total on well-formed patterns" gen_pattern
+    (fun p -> Pattern.to_string p)
+    (fun p ->
+      let findings = Lint.lint p in
+      List.for_all (fun f -> String.length f.Lint.message > 0) findings)
+
+let () =
+  Alcotest.run "lint"
+    [
+      ( "checks",
+        [
+          Alcotest.test_case "clean pattern" `Quick test_clean_pattern;
+          Alcotest.test_case "singleton disjunction" `Quick
+            test_singleton_disjunction;
+          Alcotest.test_case "zero deadline" `Quick test_zero_deadline;
+          Alcotest.test_case "tight deadline" `Quick test_tight_deadline;
+          Alcotest.test_case "wide range" `Quick test_wide_range;
+          Alcotest.test_case "huge counter" `Quick test_huge_counter;
+          Alcotest.test_case "unbounded trigger" `Quick
+            test_unbounded_trigger;
+          Alcotest.test_case "state space" `Quick test_state_space_estimate;
+          Alcotest.test_case "ordering" `Quick test_warnings_sorted_first;
+          Alcotest.test_case "ill-formed" `Quick test_rejects_ill_formed;
+          qcheck_lint_never_crashes;
+        ] );
+    ]

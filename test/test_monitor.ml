@@ -1,0 +1,296 @@
+open Loseq_core
+open Loseq_testutil
+
+let n = name
+
+let violated_with m pred =
+  match Monitor.verdict m with
+  | Monitor.Violated v -> pred v
+  | Monitor.Running | Monitor.Satisfied -> false
+
+let reason_is m expected =
+  violated_with m (fun v -> Diag.equal_reason v.Diag.reason expected)
+
+(* ---- Example 2 (the case study's antecedent) -------------------------- *)
+
+let example2 = pat "{set_imgAddr, set_glAddr, set_glSize} << start"
+
+let test_example2_orders () =
+  (* All 6 orders of the three writes are correct. *)
+  let writes = [ "set_imgAddr"; "set_glAddr"; "set_glSize" ] in
+  let rec permutations = function
+    | [] -> [ [] ]
+    | l ->
+        List.concat_map
+          (fun x ->
+            let rest = List.filter (fun y -> y <> x) l in
+            List.map (fun p -> x :: p) (permutations rest))
+          l
+  in
+  List.iter
+    (fun perm -> check_accepts example2 (perm @ [ "start" ]))
+    (permutations writes)
+
+let test_example2_early_start () =
+  check_rejects example2 [ "set_imgAddr"; "start" ]
+
+let test_example2_nonrepeated_satisfied () =
+  let m = Monitor.create example2 in
+  List.iter
+    (fun nm -> ignore (Monitor.step_name m (n nm)))
+    [ "set_glSize"; "set_glAddr"; "set_imgAddr"; "start" ];
+  Alcotest.check verdict_testable "satisfied" Monitor.Satisfied
+    (Monitor.verdict m);
+  (* And sticky: absurd traffic afterwards stays satisfied. *)
+  List.iter
+    (fun nm -> ignore (Monitor.step_name m (n nm)))
+    [ "start"; "start"; "set_glAddr" ];
+  Alcotest.check verdict_testable "still satisfied" Monitor.Satisfied
+    (Monitor.verdict m)
+
+(* ---- Example 3 (the case study's timed implication) ------------------- *)
+
+let example3 = pat "start => read_img[100,60000] < set_irq within 60000"
+
+let reads k from gap = List.init k (fun i -> Trace.event ~time:(from + (i * gap)) (n "read_img"))
+
+let test_example3_pass () =
+  let trace =
+    (Trace.event ~time:0 (n "start") :: reads 150 10 100)
+    @ [ Trace.event ~time:20000 (n "set_irq") ]
+  in
+  Alcotest.(check bool) "pass" true (Monitor.accepts example3 trace)
+
+let test_example3_too_few_reads () =
+  let trace =
+    (Trace.event ~time:0 (n "start") :: reads 99 10 100)
+    @ [ Trace.event ~time:20000 (n "set_irq") ]
+  in
+  Alcotest.(check bool) "fail" false (Monitor.accepts example3 trace)
+
+let test_example3_deadline_miss () =
+  let m = Monitor.create example3 in
+  ignore (Monitor.step m (Trace.event ~time:0 (n "start")));
+  List.iter (fun e -> ignore (Monitor.step m e)) (reads 100 10 100);
+  (* No set_irq; time passes the deadline. *)
+  (match Monitor.finalize m ~now:70000 with
+  | Monitor.Violated { reason = Diag.Deadline_miss _; _ } -> ()
+  | _ -> Alcotest.fail "expected Deadline_miss");
+  ()
+
+let test_example3_next_deadline () =
+  let m = Monitor.create example3 in
+  Alcotest.(check (option int)) "unarmed" None (Monitor.next_deadline m);
+  ignore (Monitor.step m (Trace.event ~time:123 (n "start")));
+  Alcotest.(check (option int)) "armed at start+T" (Some 60123)
+    (Monitor.next_deadline m)
+
+let test_example3_deadline_disarmed_after_completion () =
+  let m = Monitor.create example3 in
+  ignore (Monitor.step m (Trace.event ~time:0 (n "start")));
+  List.iter (fun e -> ignore (Monitor.step m e)) (reads 100 10 10);
+  ignore (Monitor.step m (Trace.event ~time:2000 (n "set_irq")));
+  Alcotest.(check (option int)) "disarmed" None (Monitor.next_deadline m);
+  Alcotest.check verdict_testable "running" Monitor.Running
+    (Monitor.finalize m ~now:1_000_000)
+
+(* ---- diagnostics ------------------------------------------------------ *)
+
+let test_diag_trigger_early () =
+  let m = Monitor.create (pat "a < b << i") in
+  ignore (Monitor.step_name m (n "a"));
+  ignore (Monitor.step_name m (n "i"));
+  Alcotest.(check bool) "trigger early" true
+    (reason_is m Diag.Trigger_early)
+
+let test_diag_overflow () =
+  let m = Monitor.create (pat "a[1,2] << i") in
+  List.iter (fun _ -> ignore (Monitor.step_name m (n "a"))) [ (); (); () ];
+  Alcotest.(check bool) "overflow" true
+    (violated_with m (fun v ->
+         match v.Diag.reason with Diag.Overflow _ -> true | _ -> false))
+
+let test_diag_indices () =
+  let m = Monitor.create (pat "a << i") in
+  ignore (Monitor.step m (Trace.event ~time:5 (n "a")));
+  ignore (Monitor.step m (Trace.event ~time:9 (n "a")));
+  Alcotest.(check bool) "index and time recorded" true
+    (violated_with m (fun v -> v.Diag.index = 1 && v.Diag.time = 9))
+
+let test_verdict_sticky_after_violation () =
+  let m = Monitor.create (pat "a << i") in
+  ignore (Monitor.step_name m (n "i"));
+  let v1 = Monitor.verdict m in
+  ignore (Monitor.step_name m (n "a"));
+  Alcotest.check verdict_testable "sticky" v1 (Monitor.verdict m)
+
+(* ---- modes ------------------------------------------------------------ *)
+
+let test_lenient_ignores_foreign () =
+  let m = Monitor.create (pat "a << i") in
+  ignore (Monitor.step_name m (n "zzz"));
+  Alcotest.check verdict_testable "running" Monitor.Running (Monitor.verdict m)
+
+let test_strict_rejects_foreign () =
+  let m = Monitor.create ~mode:Monitor.Strict (pat "a << i") in
+  ignore (Monitor.step_name m (n "zzz"));
+  Alcotest.(check bool) "foreign" true
+    (violated_with m (fun v ->
+         match v.Diag.reason with Diag.Foreign _ -> true | _ -> false))
+
+(* ---- repeated antecedents --------------------------------------------- *)
+
+let test_repeated_rounds () =
+  let p = pat "{a, b} <<! i" in
+  check_accepts p [ "a"; "b"; "i"; "b"; "a"; "i"; "a"; "b"; "i" ];
+  check_rejects p [ "a"; "b"; "i"; "a"; "i" ];
+  check_rejects p [ "a"; "b"; "i"; "i" ]
+
+let test_repeated_trailing_partial_ok () =
+  check_accepts (pat "{a, b} <<! i") [ "a"; "b"; "i"; "a" ]
+
+(* ---- instrumentation --------------------------------------------------- *)
+
+let test_ops_scale_with_active_fragment () =
+  (* Drct time is Θ(max |α(F)|): a 6-name fragment costs more per event
+     than a 1-name fragment, but 5 extra inactive fragments cost
+     nothing. *)
+  let measure src trace =
+    let ops = ref 0 in
+    let m = Monitor.create ~ops src in
+    List.iter (fun e -> ignore (Monitor.step m e)) trace;
+    !ops / max 1 (List.length trace)
+  in
+  let small = measure (pat "a << i") (tr [ "a" ]) in
+  let chain = measure (pat "a < b < c < d < e << i") (tr [ "a" ]) in
+  let wide = measure (pat "{a, b, c, d, e} << i") (tr [ "a" ]) in
+  Alcotest.(check int) "chain same as small" small chain;
+  Alcotest.(check bool) "wide costs more" true (wide > small)
+
+let test_space_bits_positive_and_monotone () =
+  let bits src = Monitor.space_bits (Monitor.create (pat src)) in
+  Alcotest.(check bool) "monotone in names" true
+    (bits "{a, b, c} << i" > bits "a << i")
+
+let test_acceptable_basic () =
+  let m = Monitor.create (pat "{a, b[2,3]} << go") in
+  let names_of set =
+    List.map Name.to_string (Name.Set.elements set)
+  in
+  Alcotest.(check (list string)) "initially" [ "a"; "b" ]
+    (names_of (Monitor.acceptable m));
+  ignore (Monitor.step_name m (n "a"));
+  (* a is done-able only via b now; go needs b[2,3] first. *)
+  Alcotest.(check (list string)) "after a" [ "b" ]
+    (names_of (Monitor.acceptable m));
+  ignore (Monitor.step_name m (n "b"));
+  Alcotest.(check (list string)) "b underflow: only b" [ "b" ]
+    (names_of (Monitor.acceptable m));
+  ignore (Monitor.step_name m (n "b"));
+  Alcotest.(check (list string)) "complete: b or go" [ "b"; "go" ]
+    (names_of (Monitor.acceptable m));
+  ignore (Monitor.step_name m (n "go"));
+  Alcotest.(check int) "satisfied: everything" 3
+    (Name.Set.cardinal (Monitor.acceptable m))
+
+let test_acceptable_empty_after_violation () =
+  let m = Monitor.create (pat "a << go") in
+  ignore (Monitor.step_name m (n "go"));
+  Alcotest.(check int) "nothing" 0 (Name.Set.cardinal (Monitor.acceptable m))
+
+let qcheck_acceptable_is_exact =
+  qtest ~count:800 "acceptable = exactly the non-violating next events"
+    gen_pattern_and_trace print_pattern_and_trace
+    (fun (p, trace) ->
+      if not (Trace.is_chronological trace) then true
+      else begin
+        let m = Monitor.create p in
+        let rec feed last_time = function
+          | [] -> Some last_time
+          | e :: rest -> (
+              match Monitor.step m e with
+              | Monitor.Running -> feed e.Trace.time rest
+              | Monitor.Satisfied | Monitor.Violated _ -> None)
+        in
+        match feed 0 trace with
+        | None -> true (* decided mid-way; nothing to probe *)
+        | Some time ->
+            let acceptable = Monitor.acceptable m in
+            Name.Set.for_all
+              (fun name ->
+                (* Probe with a fresh monitor replaying the prefix. *)
+                let probe = Monitor.create p in
+                List.iter (fun e -> ignore (Monitor.step probe e)) trace;
+                let verdict = Monitor.step probe { Trace.name; time } in
+                let survives =
+                  match verdict with
+                  | Monitor.Running | Monitor.Satisfied -> true
+                  | Monitor.Violated _ -> false
+                in
+                survives = Name.Set.mem name acceptable)
+              (Pattern.alpha p)
+      end)
+
+let test_run_final_time_default () =
+  (* Default final time = trace end: a pending deadline that has not yet
+     expired is not a violation. *)
+  let p = pat "a => b within 100" in
+  let trace = [ Trace.event ~time:0 (n "a"); Trace.event ~time:50 (n "b") ] in
+  Alcotest.(check bool) "ok" true (Monitor.accepts p trace)
+
+let () =
+  Alcotest.run "monitor"
+    [
+      ( "example 2",
+        [
+          Alcotest.test_case "all orders pass" `Quick test_example2_orders;
+          Alcotest.test_case "early start" `Quick test_example2_early_start;
+          Alcotest.test_case "satisfied sticky" `Quick
+            test_example2_nonrepeated_satisfied;
+        ] );
+      ( "example 3",
+        [
+          Alcotest.test_case "pass" `Quick test_example3_pass;
+          Alcotest.test_case "too few reads" `Quick
+            test_example3_too_few_reads;
+          Alcotest.test_case "deadline miss" `Quick
+            test_example3_deadline_miss;
+          Alcotest.test_case "next deadline" `Quick
+            test_example3_next_deadline;
+          Alcotest.test_case "deadline disarmed" `Quick
+            test_example3_deadline_disarmed_after_completion;
+        ] );
+      ( "diagnostics",
+        [
+          Alcotest.test_case "trigger early" `Quick test_diag_trigger_early;
+          Alcotest.test_case "overflow" `Quick test_diag_overflow;
+          Alcotest.test_case "index/time" `Quick test_diag_indices;
+          Alcotest.test_case "sticky" `Quick
+            test_verdict_sticky_after_violation;
+        ] );
+      ( "modes",
+        [
+          Alcotest.test_case "lenient" `Quick test_lenient_ignores_foreign;
+          Alcotest.test_case "strict" `Quick test_strict_rejects_foreign;
+        ] );
+      ( "repeated",
+        [
+          Alcotest.test_case "rounds" `Quick test_repeated_rounds;
+          Alcotest.test_case "trailing partial" `Quick
+            test_repeated_trailing_partial_ok;
+        ] );
+      ( "instrumentation",
+        [
+          Alcotest.test_case "ops active fragment" `Quick
+            test_ops_scale_with_active_fragment;
+          Alcotest.test_case "space monotone" `Quick
+            test_space_bits_positive_and_monotone;
+          Alcotest.test_case "final time default" `Quick
+            test_run_final_time_default;
+          Alcotest.test_case "acceptable basics" `Quick
+            test_acceptable_basic;
+          Alcotest.test_case "acceptable after violation" `Quick
+            test_acceptable_empty_after_violation;
+          qcheck_acceptable_is_exact;
+        ] );
+    ]

@@ -1,0 +1,151 @@
+open Loseq_core
+open Loseq_testutil
+
+let parses src = pat src
+
+let fails_at src expected_pos =
+  match Parser.pattern src with
+  | Ok p -> Alcotest.failf "unexpectedly parsed %s as %a" src Pattern.pp p
+  | Error e -> Alcotest.(check int) "error position" expected_pos e.position
+
+let fails src =
+  match Parser.pattern src with
+  | Ok p -> Alcotest.failf "unexpectedly parsed %s as %a" src Pattern.pp p
+  | Error _ -> ()
+
+let test_simple_antecedent () =
+  let p = parses "n << i" in
+  match p with
+  | Pattern.Antecedent a ->
+      Alcotest.(check bool) "not repeated" false a.Pattern.repeated;
+      Alcotest.(check string) "trigger" "i" (Name.to_string a.Pattern.trigger)
+  | Pattern.Timed _ -> Alcotest.fail "wrong kind"
+
+let test_repeated_antecedent () =
+  match parses "n <<! i" with
+  | Pattern.Antecedent a ->
+      Alcotest.(check bool) "repeated" true a.Pattern.repeated
+  | Pattern.Timed _ -> Alcotest.fail "wrong kind"
+
+let test_bounds () =
+  match parses "n[2,8] << i" with
+  | Pattern.Antecedent { body = [ { ranges = [ r ]; _ } ]; _ } ->
+      Alcotest.(check (pair int int)) "bounds" (2, 8) (r.Pattern.lo, r.Pattern.hi)
+  | _ -> Alcotest.fail "wrong shape"
+
+let test_connectives () =
+  (match parses "{a, b} << i" with
+  | Pattern.Antecedent { body = [ f ]; _ } ->
+      Alcotest.(check bool) "and" true (f.Pattern.connective = Pattern.All)
+  | _ -> Alcotest.fail "shape");
+  match parses "{a | b} << i" with
+  | Pattern.Antecedent { body = [ f ]; _ } ->
+      Alcotest.(check bool) "or" true (f.Pattern.connective = Pattern.Any)
+  | _ -> Alcotest.fail "shape"
+
+let test_singleton_brace_defaults_to_all () =
+  match parses "{a} << i" with
+  | Pattern.Antecedent { body = [ f ]; _ } ->
+      Alcotest.(check bool) "all" true (f.Pattern.connective = Pattern.All)
+  | _ -> Alcotest.fail "shape"
+
+let test_ordering_chain () =
+  match parses "a < b < c << i" with
+  | Pattern.Antecedent { body; _ } ->
+      Alcotest.(check int) "three fragments" 3 (List.length body)
+  | _ -> Alcotest.fail "shape"
+
+let test_timed () =
+  match parses "a < b => c < d within 42" with
+  | Pattern.Timed g ->
+      Alcotest.(check int) "premise" 2 (List.length g.Pattern.premise);
+      Alcotest.(check int) "conclusion" 2 (List.length g.Pattern.conclusion);
+      Alcotest.(check int) "deadline" 42 g.Pattern.deadline
+  | Pattern.Antecedent _ -> Alcotest.fail "wrong kind"
+
+let test_whitespace_insensitive () =
+  Alcotest.check pattern_testable "spacing"
+    (parses "{a,b}<start<<i")
+    (parses "  { a , b }  <  start  <<  i ")
+
+let test_mixed_connective_rejected () = fails "{a, b | c} << i"
+let test_missing_trigger () = fails "a <<"
+let test_missing_within () = fails "a => b"
+let test_missing_deadline () = fails "a => b within"
+let test_trailing_garbage () = fails "a << i extra"
+let test_empty_input () = fails ""
+let test_unclosed_brace () = fails "{a, b << i"
+let test_bad_bounds_syntax () = fails "a[2] << i"
+let test_bad_bounds_values () = fails "a[3,2] << i"
+let test_zero_lower_bound () = fails "a[0,2] << i"
+let test_duplicate_name_rejected () = fails "{a, a} << i"
+let test_trigger_in_body_rejected () = fails "a << a"
+let test_bad_character () = fails_at "a $ b << i" 2
+let test_lone_equals () = fails "a = b << i"
+
+let test_error_position_points_at_token () = fails_at "a << 5" 5
+
+let test_ordering_entry_point () =
+  match Parser.ordering "a < {b | c}" with
+  | Ok o -> Alcotest.(check int) "fragments" 2 (List.length o)
+  | Error e -> Alcotest.failf "parse error: %a" Parser.pp_error e
+
+let test_pattern_exn_raises () =
+  match Parser.pattern_exn "<<" with
+  | (_ : Pattern.t) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_within_reserved () =
+  (* 'within' cannot be a plain name. *)
+  fails "within << i"
+
+let test_numeric_names_rejected () =
+  (* A bare number is not a name. *)
+  fails "42 << i"
+
+let () =
+  Alcotest.run "parser"
+    [
+      ( "accepts",
+        [
+          Alcotest.test_case "simple" `Quick test_simple_antecedent;
+          Alcotest.test_case "repeated" `Quick test_repeated_antecedent;
+          Alcotest.test_case "bounds" `Quick test_bounds;
+          Alcotest.test_case "connectives" `Quick test_connectives;
+          Alcotest.test_case "singleton brace" `Quick
+            test_singleton_brace_defaults_to_all;
+          Alcotest.test_case "ordering chain" `Quick test_ordering_chain;
+          Alcotest.test_case "timed" `Quick test_timed;
+          Alcotest.test_case "whitespace" `Quick test_whitespace_insensitive;
+          Alcotest.test_case "ordering entry point" `Quick
+            test_ordering_entry_point;
+        ] );
+      ( "rejects",
+        [
+          Alcotest.test_case "mixed connectives" `Quick
+            test_mixed_connective_rejected;
+          Alcotest.test_case "missing trigger" `Quick test_missing_trigger;
+          Alcotest.test_case "missing within" `Quick test_missing_within;
+          Alcotest.test_case "missing deadline" `Quick test_missing_deadline;
+          Alcotest.test_case "trailing garbage" `Quick test_trailing_garbage;
+          Alcotest.test_case "empty" `Quick test_empty_input;
+          Alcotest.test_case "unclosed brace" `Quick test_unclosed_brace;
+          Alcotest.test_case "bad bounds syntax" `Quick
+            test_bad_bounds_syntax;
+          Alcotest.test_case "bad bounds values" `Quick
+            test_bad_bounds_values;
+          Alcotest.test_case "zero lower bound" `Quick test_zero_lower_bound;
+          Alcotest.test_case "duplicate name" `Quick
+            test_duplicate_name_rejected;
+          Alcotest.test_case "trigger in body" `Quick
+            test_trigger_in_body_rejected;
+          Alcotest.test_case "bad character" `Quick test_bad_character;
+          Alcotest.test_case "lone equals" `Quick test_lone_equals;
+          Alcotest.test_case "error positions" `Quick
+            test_error_position_points_at_token;
+          Alcotest.test_case "pattern_exn" `Quick test_pattern_exn_raises;
+          Alcotest.test_case "within reserved" `Quick test_within_reserved;
+          Alcotest.test_case "numeric name" `Quick
+            test_numeric_names_rejected;
+        ] );
+    ]

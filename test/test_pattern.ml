@@ -1,0 +1,161 @@
+open Loseq_core
+open Loseq_testutil
+
+let n = name
+
+let test_range_defaults () =
+  let r = Pattern.range (n "x") in
+  Alcotest.(check int) "lo" 1 r.Pattern.lo;
+  Alcotest.(check int) "hi" 1 r.Pattern.hi;
+  Alcotest.(check string) "name" "x" (Name.to_string r.Pattern.name)
+
+let test_range_bounds () =
+  let r = Pattern.range ~lo:2 ~hi:8 (n "x") in
+  Alcotest.(check int) "lo" 2 r.Pattern.lo;
+  Alcotest.(check int) "hi" 8 r.Pattern.hi
+
+let test_range_exactly () =
+  let r = Pattern.exactly 5 (n "x") in
+  Alcotest.(check int) "lo" 5 r.Pattern.lo;
+  Alcotest.(check int) "hi" 5 r.Pattern.hi
+
+let test_range_rejects_zero_lo () =
+  Alcotest.check_raises "lo = 0"
+    (Invalid_argument "Pattern.range: lower bound must be >= 1") (fun () ->
+      ignore (Pattern.range ~lo:0 ~hi:3 (n "x")))
+
+let test_range_rejects_inverted () =
+  Alcotest.check_raises "lo > hi"
+    (Invalid_argument "Pattern.range: lower bound exceeds upper bound")
+    (fun () -> ignore (Pattern.range ~lo:4 ~hi:2 (n "x")))
+
+let test_fragment_rejects_empty () =
+  Alcotest.check_raises "empty fragment"
+    (Invalid_argument "Pattern.fragment: empty fragment") (fun () ->
+      ignore (Pattern.fragment []))
+
+let test_antecedent_rejects_empty_body () =
+  Alcotest.check_raises "empty ordering"
+    (Invalid_argument "Pattern.antecedent: empty ordering") (fun () ->
+      ignore (Pattern.antecedent [] ~trigger:(n "i")))
+
+let test_timed_rejects_negative_deadline () =
+  Alcotest.check_raises "negative deadline"
+    (Invalid_argument "Pattern.timed: negative deadline") (fun () ->
+      ignore
+        (Pattern.timed
+           [ Pattern.single (n "a") ]
+           [ Pattern.single (n "b") ]
+           ~deadline:(-1)))
+
+let test_alpha_antecedent () =
+  let p = pat "{a, b[2,3]} < c << i" in
+  let alpha = Pattern.alpha p in
+  Alcotest.(check int) "cardinal" 4 (Name.Set.cardinal alpha);
+  Alcotest.(check bool) "trigger included" true (Name.Set.mem (n "i") alpha)
+
+let test_alpha_timed () =
+  let p = pat "a => b < c within 10" in
+  Alcotest.(check int) "cardinal" 3 (Name.Set.cardinal (Pattern.alpha p))
+
+let test_body_ordering_concatenates () =
+  let p = pat "a => b < c within 10" in
+  Alcotest.(check int) "fragments" 3 (List.length (Pattern.body_ordering p))
+
+let test_counts () =
+  let p = pat "{a, b} < {c[2,8] | d} < e << i" in
+  Alcotest.(check int) "fragments" 3 (Pattern.fragment_count p);
+  Alcotest.(check int) "ranges" 5 (Pattern.range_count p);
+  Alcotest.(check int) "names" 5 (Pattern.name_count p);
+  Alcotest.(check int) "max width" 2 (Pattern.max_fragment_width p);
+  Alcotest.(check int) "max hi" 8 (Pattern.max_hi p)
+
+let test_premise_length () =
+  Alcotest.(check int) "antecedent" 2
+    (Pattern.premise_length (pat "a < b << i"));
+  Alcotest.(check int) "timed" 2
+    (Pattern.premise_length (pat "a < b => c within 5"))
+
+let test_pp_roundtrip_fixed () =
+  List.iter
+    (fun src ->
+      let p = pat src in
+      let printed = Pattern.to_string p in
+      let reparsed = pat printed in
+      Alcotest.check pattern_testable src p reparsed)
+    [
+      "n << i";
+      "n <<! i";
+      "n[2,8] << i";
+      "{a, b, c} << start";
+      "{a | b[2,3]} <<! go";
+      "{a, b} < {c[2,8] | d} < e << i";
+      "a => b < c within 10";
+      "{a, b} => {c | d} < e[3,7] within 60000";
+    ]
+
+let test_equal_distinguishes () =
+  Alcotest.(check bool) "repeated differs" false
+    (Pattern.equal (pat "n << i") (pat "n <<! i"));
+  Alcotest.(check bool) "bounds differ" false
+    (Pattern.equal (pat "n[1,2] << i") (pat "n[1,3] << i"));
+  Alcotest.(check bool) "deadline differs" false
+    (Pattern.equal (pat "a => b within 1") (pat "a => b within 2"));
+  Alcotest.(check bool) "kind differs" false
+    (Pattern.equal (pat "a << i") (pat "a => b within 1"))
+
+let qcheck_pp_roundtrip =
+  qtest ~count:300 "parse (print p) = p" gen_pattern
+    (fun p -> Pattern.to_string p)
+    (fun p ->
+      match Parser.pattern (Pattern.to_string p) with
+      | Ok p' -> Pattern.equal p p'
+      | Error _ -> false)
+
+let qcheck_alpha_size =
+  qtest ~count:300 "alpha counts names exactly once" gen_pattern
+    (fun p -> Pattern.to_string p)
+    (fun p ->
+      let expected =
+        Pattern.name_count p
+        + match p with Pattern.Antecedent _ -> 1 | Pattern.Timed _ -> 0
+      in
+      Name.Set.cardinal (Pattern.alpha p) = expected)
+
+let () =
+  Alcotest.run "pattern"
+    [
+      ( "constructors",
+        [
+          Alcotest.test_case "range defaults" `Quick test_range_defaults;
+          Alcotest.test_case "range bounds" `Quick test_range_bounds;
+          Alcotest.test_case "exactly" `Quick test_range_exactly;
+          Alcotest.test_case "rejects lo=0" `Quick test_range_rejects_zero_lo;
+          Alcotest.test_case "rejects lo>hi" `Quick
+            test_range_rejects_inverted;
+          Alcotest.test_case "rejects empty fragment" `Quick
+            test_fragment_rejects_empty;
+          Alcotest.test_case "rejects empty body" `Quick
+            test_antecedent_rejects_empty_body;
+          Alcotest.test_case "rejects negative deadline" `Quick
+            test_timed_rejects_negative_deadline;
+        ] );
+      ( "structure",
+        [
+          Alcotest.test_case "alpha antecedent" `Quick test_alpha_antecedent;
+          Alcotest.test_case "alpha timed" `Quick test_alpha_timed;
+          Alcotest.test_case "body ordering" `Quick
+            test_body_ordering_concatenates;
+          Alcotest.test_case "counts" `Quick test_counts;
+          Alcotest.test_case "premise length" `Quick test_premise_length;
+          Alcotest.test_case "equal distinguishes" `Quick
+            test_equal_distinguishes;
+        ] );
+      ( "printing",
+        [
+          Alcotest.test_case "round trip (fixed)" `Quick
+            test_pp_roundtrip_fixed;
+          qcheck_pp_roundtrip;
+          qcheck_alpha_size;
+        ] );
+    ]

@@ -1,0 +1,203 @@
+open Loseq_core
+open Loseq_psl
+open Loseq_testutil
+
+let a = Psl.atom "a"
+let b = Psl.atom "b"
+let c = Psl.atom "c"
+
+let test_progress_atom () =
+  Alcotest.(check bool) "match -> True" true
+    (Psl.equal (Progress.progress a (name "a")) Psl.True);
+  Alcotest.(check bool) "mismatch -> False" true
+    (Psl.equal (Progress.progress a (name "b")) Psl.False)
+
+let test_progress_next () =
+  Alcotest.(check bool) "X f -> f" true
+    (Psl.equal (Progress.progress (Psl.next b) (name "a")) b)
+
+let test_progress_until_unfolds () =
+  let f = Psl.until a b in
+  (* On 'a': b not seen, a holds -> obligation continues. *)
+  Alcotest.(check bool) "continues" true
+    (Psl.equal (Progress.progress f (name "a")) f);
+  (* On 'b': satisfied. *)
+  Alcotest.(check bool) "satisfied" true
+    (Psl.equal (Progress.progress f (name "b")) Psl.True);
+  (* On 'c': neither -> violated. *)
+  Alcotest.(check bool) "violated" true
+    (Psl.equal (Progress.progress f (name "c")) Psl.False)
+
+let test_monitor_verdicts () =
+  let m = Progress.create (Psl.until a b) in
+  (match Progress.step m (name "a") with
+  | Progress.Running _ -> ()
+  | _ -> Alcotest.fail "expected Running");
+  (match Progress.step m (name "b") with
+  | Progress.Satisfied -> ()
+  | _ -> Alcotest.fail "expected Satisfied");
+  (* Verdicts are sticky. *)
+  match Progress.step m (name "c") with
+  | Progress.Satisfied -> ()
+  | _ -> Alcotest.fail "still satisfied"
+
+let test_violation_detected () =
+  let m = Progress.run (Psl.always (Psl.not_ (Psl.and_ [ a ]))) [ name "b"; name "a" ] in
+  Alcotest.(check bool) "falsified" false (Progress.weak_accept m)
+
+let test_instrumentation () =
+  let m = Progress.run (Psl.always (Psl.or_ [ a; b ])) [ name "a"; name "b" ] in
+  Alcotest.(check bool) "steps counted" true (Progress.steps m > 0);
+  Alcotest.(check bool) "peak >= initial" true
+    (Progress.peak_size m >= Psl.size (Psl.always (Psl.or_ [ a; b ])))
+
+(* Progression is sound on decided verdicts: a residual [True] means no
+   continuation can violate (so in particular weak evaluation of the
+   original formula over the consumed word holds), and a residual
+   [False] means no continuation can satisfy (so in particular strong
+   evaluation over the consumed word fails).  An undecided residual
+   makes no claim — that impartiality is what distinguishes a monitor
+   from an evaluator.
+
+   The claims hold on the fragment where negation (explicit, or the
+   left side of an implication) applies only to *present* formulas —
+   boolean combinations of atoms, decided at the current instant.
+   Negating a temporal formula flips the polarity of the "a next
+   instant exists" assumption baked into [progress (Next f) = f] and is
+   unsound on finite words; the Section-5 encodings are entirely inside
+   the fragment. *)
+let gen_present =
+  let open QCheck2.Gen in
+  sized_size (int_range 1 4) @@ fix (fun self n ->
+      if n <= 1 then oneof [ return a; return b; return c; return Psl.True ]
+      else
+        let sub = self (n / 2) in
+        oneof
+          [
+            map Psl.not_ sub;
+            map2 (fun f g -> Psl.and_ [ f; g ]) sub sub;
+            map2 (fun f g -> Psl.or_ [ f; g ]) sub sub;
+          ])
+
+let gen_formula =
+  let open QCheck2.Gen in
+  sized_size (int_range 1 10) @@ fix (fun self n ->
+      if n <= 1 then gen_present
+      else
+        let sub = self (n / 2) in
+        oneof
+          [
+            map2 (fun f g -> Psl.and_ [ f; g ]) sub sub;
+            map2 (fun f g -> Psl.or_ [ f; g ]) sub sub;
+            map2 Psl.implies gen_present sub;
+            map Psl.next sub;
+            map2 Psl.until sub sub;
+            map2 Psl.release sub sub;
+            map Psl.always sub;
+            map Psl.eventually sub;
+          ])
+
+let gen_word =
+  QCheck2.Gen.(list_size (int_range 0 8) (oneofl [ "a"; "b"; "c" ]))
+
+let qcheck_progression_decisions_sound =
+  qtest ~count:2000 "decided progression verdicts are sound"
+    QCheck2.Gen.(
+      let* f = gen_formula in
+      let* word = gen_word in
+      return (f, word))
+    (fun (f, word) ->
+      Printf.sprintf "%s on %s" (Psl.to_string f) (String.concat " " word))
+    (fun (f, word) ->
+      let letters = List.map name word in
+      let m = Progress.run f letters in
+      match Progress.verdict m with
+      | Progress.Satisfied -> Psl.eval_weak f (Array.of_list letters)
+      | Progress.Violated -> not (Psl.eval f (Array.of_list letters))
+      | Progress.Running _ -> true)
+
+let qcheck_decided_verdicts_are_stable =
+  qtest ~count:800 "decided verdicts survive any continuation"
+    QCheck2.Gen.(
+      let* f = gen_formula in
+      let* word = gen_word in
+      let* extension = gen_word in
+      return (f, word, extension))
+    (fun (f, word, extension) ->
+      Printf.sprintf "%s on %s / %s" (Psl.to_string f)
+        (String.concat " " word)
+        (String.concat " " extension))
+    (fun (f, word, extension) ->
+      let letters = List.map name word in
+      let m = Progress.run f letters in
+      match Progress.verdict m with
+      | Progress.Running _ -> true
+      | decided ->
+          List.iter (fun l -> ignore (Progress.step m l))
+            (List.map name extension);
+          Progress.verdict m = decided)
+
+(* On the Section-5 encodings, conclusive falsification by progression
+   coincides with weak-evaluation rejection. *)
+let qcheck_encoding_agreement =
+  qtest ~count:400 "progression = weak evaluation on pattern encodings"
+    QCheck2.Gen.(
+      let* p = gen_antecedent in
+      let* word = gen_alpha_word p in
+      return (p, word))
+    (fun (p, word) ->
+      Format.asprintf "%a on %s" Pattern.pp p
+        (String.concat " " (List.map Name.to_string word)))
+    (fun (p, word) ->
+      let formula = Translate.to_psl p in
+      let encoded = Translate.expand_trace p word in
+      let progressive = Progress.weak_accept (Progress.run formula encoded) in
+      let evaluated = Psl.eval_weak formula (Array.of_list encoded) in
+      progressive = evaluated)
+
+(* And transitively, progression agrees with the Drct monitors up to
+   detection laziness (cf. test_translate). *)
+let qcheck_progression_vs_monitor =
+  qtest ~count:400 "progression vs Drct monitor (lazy vs eager)"
+    QCheck2.Gen.(
+      let* p = gen_antecedent in
+      let* word = gen_alpha_word p in
+      return (p, word))
+    (fun (p, word) ->
+      Format.asprintf "%a on %s" Pattern.pp p
+        (String.concat " " (List.map Name.to_string word)))
+    (fun (p, word) ->
+      let trace = Trace.of_names word in
+      if Monitor.accepts p trace then Progress.monitor_pattern p word
+      else
+        let closure =
+          match p with
+          | Pattern.Antecedent a -> word @ [ a.trigger ]
+          | Pattern.Timed _ -> word
+        in
+        (not (Progress.monitor_pattern p word))
+        || not (Progress.monitor_pattern p closure))
+
+let () =
+  Alcotest.run "progress"
+    [
+      ( "rewriting",
+        [
+          Alcotest.test_case "atom" `Quick test_progress_atom;
+          Alcotest.test_case "next" `Quick test_progress_next;
+          Alcotest.test_case "until" `Quick test_progress_until_unfolds;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "verdicts" `Quick test_monitor_verdicts;
+          Alcotest.test_case "violation" `Quick test_violation_detected;
+          Alcotest.test_case "instrumentation" `Quick test_instrumentation;
+        ] );
+      ( "properties",
+        [
+          qcheck_progression_decisions_sound;
+          qcheck_decided_verdicts_are_stable;
+          qcheck_encoding_agreement;
+          qcheck_progression_vs_monitor;
+        ] );
+    ]

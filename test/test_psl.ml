@@ -1,0 +1,212 @@
+open Loseq_core
+open Loseq_psl
+open Loseq_testutil
+
+let a = Psl.atom "a"
+let b = Psl.atom "b"
+let c = Psl.atom "c"
+let w l = Array.of_list (List.map name l)
+
+let test_smart_constructors () =
+  Alcotest.(check bool) "not not" true (Psl.equal (Psl.not_ (Psl.not_ a)) a);
+  Alcotest.(check bool) "and []" true (Psl.equal (Psl.and_ []) Psl.True);
+  Alcotest.(check bool) "or []" true (Psl.equal (Psl.or_ []) Psl.False);
+  Alcotest.(check bool) "and [x]" true (Psl.equal (Psl.and_ [ a ]) a);
+  Alcotest.(check bool) "and false" true
+    (Psl.equal (Psl.and_ [ a; Psl.False ]) Psl.False);
+  Alcotest.(check bool) "or true" true
+    (Psl.equal (Psl.or_ [ a; Psl.True ]) Psl.True);
+  Alcotest.(check bool) "and flattens" true
+    (Psl.equal (Psl.and_ [ a; Psl.and_ [ b; c ] ]) (Psl.And [ a; b; c ]))
+
+let test_size () =
+  Alcotest.(check int) "atom" 1 (Psl.size a);
+  Alcotest.(check int) "until" 3 (Psl.size (Psl.until a b));
+  Alcotest.(check int) "always not" 3 (Psl.size (Psl.always (Psl.not_ a)))
+
+let test_atoms () =
+  let f = Psl.until (Psl.not_ a) (Psl.and_ [ b; c ]) in
+  Alcotest.(check int) "three atoms" 3 (Name.Set.cardinal (Psl.atoms f))
+
+let test_eval_atom () =
+  Alcotest.(check bool) "matches" true (Psl.eval a (w [ "a" ]));
+  Alcotest.(check bool) "differs" false (Psl.eval a (w [ "b" ]));
+  Alcotest.(check bool) "empty strong" false (Psl.eval a (w []))
+
+let test_eval_next () =
+  Alcotest.(check bool) "next b" true (Psl.eval (Psl.next b) (w [ "a"; "b" ]));
+  Alcotest.(check bool) "strong next at end" false
+    (Psl.eval (Psl.next b) (w [ "a" ]));
+  Alcotest.(check bool) "weak next at end" true
+    (Psl.eval_weak (Psl.next b) (w [ "a" ]))
+
+let test_eval_until () =
+  let f = Psl.until a b in
+  Alcotest.(check bool) "a a b" true (Psl.eval f (w [ "a"; "a"; "b" ]));
+  Alcotest.(check bool) "immediate b" true (Psl.eval f (w [ "b" ]));
+  Alcotest.(check bool) "broken" false (Psl.eval f (w [ "a"; "c"; "b" ]));
+  Alcotest.(check bool) "strong no witness" false
+    (Psl.eval f (w [ "a"; "a" ]));
+  Alcotest.(check bool) "weak no witness" true
+    (Psl.eval_weak f (w [ "a"; "a" ]))
+
+let test_eval_always_eventually () =
+  Alcotest.(check bool) "always" true
+    (Psl.eval (Psl.always (Psl.or_ [ a; b ])) (w [ "a"; "b"; "a" ]));
+  Alcotest.(check bool) "always broken" false
+    (Psl.eval (Psl.always a) (w [ "a"; "b" ]));
+  Alcotest.(check bool) "eventually" true
+    (Psl.eval (Psl.eventually b) (w [ "a"; "a"; "b" ]));
+  Alcotest.(check bool) "eventually strong" false
+    (Psl.eval (Psl.eventually b) (w [ "a" ]))
+
+let test_eval_release () =
+  let f = Psl.release a b in
+  (* b must hold until (and including when) a releases it. *)
+  Alcotest.(check bool) "b b forever (finite)" true
+    (Psl.eval f (w [ "b"; "b" ]));
+  Alcotest.(check bool) "released" false (Psl.eval f (w [ "b"; "c" ]))
+
+let test_nnf_no_negations_inside () =
+  let rec nnf_ok = function
+    | Psl.Not (Psl.Atom _) | Psl.Atom _ | Psl.True | Psl.False -> true
+    | Psl.Not _ -> false
+    | Psl.And fs | Psl.Or fs -> List.for_all nnf_ok fs
+    | Psl.Implies _ | Psl.Always _ | Psl.Eventually _ -> false
+    | Psl.Next f -> nnf_ok f
+    | Psl.Until (f, g) | Psl.Release (f, g) -> nnf_ok f && nnf_ok g
+  in
+  let formulas =
+    [
+      Psl.not_ (Psl.until a (Psl.always b));
+      Psl.implies (Psl.eventually a) (Psl.next (Psl.not_ (Psl.and_ [ a; b ])));
+      Psl.not_ (Psl.release (Psl.not_ a) (Psl.or_ [ b; c ]));
+    ]
+  in
+  List.iter
+    (fun f -> Alcotest.(check bool) "nnf shape" true (nnf_ok (Psl.nnf f)))
+    formulas
+
+let gen_formula =
+  let open QCheck2.Gen in
+  sized_size (int_range 1 12) @@ fix (fun self n ->
+      if n <= 1 then
+        oneof [ return a; return b; return c; return Psl.True ]
+      else
+        let sub = self (n / 2) in
+        oneof
+          [
+            map Psl.not_ sub;
+            map2 (fun f g -> Psl.and_ [ f; g ]) sub sub;
+            map2 (fun f g -> Psl.or_ [ f; g ]) sub sub;
+            map2 Psl.implies sub sub;
+            map Psl.next sub;
+            map2 Psl.until sub sub;
+            map2 Psl.release sub sub;
+            map Psl.always sub;
+            map Psl.eventually sub;
+          ])
+
+let gen_word =
+  QCheck2.Gen.(
+    let* len = int_range 0 8 in
+    list_size (return len) (oneofl [ "a"; "b"; "c"; "d" ]))
+
+(* On finite words, nnf is only neutral when no negation crosses a
+   strong Next (see psl.mli); on lasso (infinite) semantics it is always
+   neutral — that property is checked below and is the one the Buchi
+   translation relies on. *)
+let rec negation_free = function
+  | Psl.True | Psl.False | Psl.Atom _ -> true
+  | Psl.Not (Psl.Atom _) -> true
+  | Psl.Not _ -> false
+  | Psl.Implies _ -> false
+  | Psl.And fs | Psl.Or fs -> List.for_all negation_free fs
+  | Psl.Next f | Psl.Always f | Psl.Eventually f -> negation_free f
+  | Psl.Until (f, g) | Psl.Release (f, g) ->
+      negation_free f && negation_free g
+
+let qcheck_nnf_preserves_semantics =
+  qtest ~count:1000 "nnf preserves finite semantics (negation-free)"
+    QCheck2.Gen.(
+      let* f = gen_formula in
+      let* word = gen_word in
+      return (f, word))
+    (fun (f, word) ->
+      Printf.sprintf "%s on %s" (Psl.to_string f) (String.concat " " word))
+    (fun (f, word) ->
+      if not (negation_free f) then true
+      else
+        let arr = w word in
+        Psl.eval f arr = Psl.eval (Psl.nnf f) arr)
+
+let qcheck_nnf_preserves_lasso_semantics =
+  qtest ~count:600 "nnf preserves lasso semantics"
+    QCheck2.Gen.(
+      let* f = gen_formula in
+      let* prefix = gen_word in
+      let* cycle_head = oneofl [ "a"; "b"; "c" ] in
+      let* cycle_tail = gen_word in
+      return (f, prefix, cycle_head :: cycle_tail))
+    (fun (f, prefix, cycle) ->
+      Printf.sprintf "%s on %s (%s)^w" (Psl.to_string f)
+        (String.concat " " prefix) (String.concat " " cycle))
+    (fun (f, prefix, cycle) ->
+      let prefix = List.map name prefix and cycle = List.map name cycle in
+      Psl.eval_lasso f ~prefix ~cycle
+      = Psl.eval_lasso (Psl.nnf f) ~prefix ~cycle)
+
+let test_lasso_basics () =
+  let t = List.map name in
+  Alcotest.(check bool) "G a on a^w" true
+    (Psl.eval_lasso (Psl.always a) ~prefix:[] ~cycle:(t [ "a" ]));
+  Alcotest.(check bool) "G a on (a b)^w" false
+    (Psl.eval_lasso (Psl.always a) ~prefix:[] ~cycle:(t [ "a"; "b" ]));
+  Alcotest.(check bool) "F b with prefix" true
+    (Psl.eval_lasso (Psl.eventually b) ~prefix:(t [ "b" ]) ~cycle:(t [ "a" ]));
+  Alcotest.(check bool) "GF b on (a b)^w" true
+    (Psl.eval_lasso
+       (Psl.always (Psl.eventually b))
+       ~prefix:[] ~cycle:(t [ "a"; "b" ]));
+  Alcotest.(check bool) "FG a on b (a)^w" true
+    (Psl.eval_lasso
+       (Psl.eventually (Psl.always a))
+       ~prefix:(t [ "b" ]) ~cycle:(t [ "a" ]))
+
+let test_lasso_empty_cycle_raises () =
+  match Psl.eval_lasso a ~prefix:[ name "a" ] ~cycle:[] with
+  | (_ : bool) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "psl"
+    [
+      ( "constructors",
+        [
+          Alcotest.test_case "smart constructors" `Quick
+            test_smart_constructors;
+          Alcotest.test_case "size" `Quick test_size;
+          Alcotest.test_case "atoms" `Quick test_atoms;
+        ] );
+      ( "finite semantics",
+        [
+          Alcotest.test_case "atom" `Quick test_eval_atom;
+          Alcotest.test_case "next" `Quick test_eval_next;
+          Alcotest.test_case "until" `Quick test_eval_until;
+          Alcotest.test_case "always/eventually" `Quick
+            test_eval_always_eventually;
+          Alcotest.test_case "release" `Quick test_eval_release;
+        ] );
+      ( "transformations",
+        [
+          Alcotest.test_case "nnf shape" `Quick test_nnf_no_negations_inside;
+          qcheck_nnf_preserves_semantics;
+          qcheck_nnf_preserves_lasso_semantics;
+        ] );
+      ( "lasso semantics",
+        [
+          Alcotest.test_case "basics" `Quick test_lasso_basics;
+          Alcotest.test_case "empty cycle" `Quick
+            test_lasso_empty_cycle_raises;
+        ] );
+    ]

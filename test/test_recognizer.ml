@@ -1,0 +1,268 @@
+(* Transition-level tests of the Fig. 5 elementary recognizer. *)
+
+open Loseq_core
+open Loseq_testutil
+
+let n = name
+
+(* Build a recognizer for n[u,v] in a two-range fragment so that all
+   categories are meaningful. *)
+let make ?(u = 2) ?(v = 4) ?(connective = Pattern.All) () =
+  let ordering =
+    [
+      Pattern.fragment ~connective
+        [ Pattern.range ~lo:u ~hi:v (n "x"); Pattern.range (n "y") ];
+      Pattern.single (n "z");
+    ]
+  in
+  let contexts =
+    Context.of_ordering ~terminators:(Name.Set.singleton (n "i")) ordering
+  in
+  match contexts with
+  | [ [ ctx_x; _ ]; _ ] ->
+      let r = Recognizer.create ctx_x in
+      Recognizer.start r;
+      r
+  | _ -> assert false
+
+let state_testable =
+  Alcotest.testable Recognizer.pp_state (fun a b -> a = b)
+
+let is_quiet = function Recognizer.Quiet -> true | _ -> false
+let is_err = function Recognizer.Err _ -> true | _ -> false
+let is_ok = function Recognizer.Ok -> true | _ -> false
+let is_nok = function Recognizer.Nok -> true | _ -> false
+
+let test_initial_state () =
+  let r = make () in
+  Alcotest.check state_testable "waiting" Recognizer.Waiting
+    (Recognizer.state r)
+
+let test_s1_self_starts_counting () =
+  let r = make () in
+  Alcotest.(check bool) "quiet" true (is_quiet (Recognizer.step r Context.Self));
+  Alcotest.check state_testable "counting 1" (Recognizer.Counting 1)
+    (Recognizer.state r)
+
+let test_s1_current_moves_to_s2 () =
+  let r = make () in
+  ignore (Recognizer.step r Context.Current);
+  Alcotest.check state_testable "s2" Recognizer.Waiting_started
+    (Recognizer.state r)
+
+let test_s1_before_errs () =
+  let r = make () in
+  Alcotest.(check bool) "err" true (is_err (Recognizer.step r Context.Before));
+  Alcotest.check state_testable "failed" Recognizer.Failed (Recognizer.state r)
+
+let test_s1_after_errs () =
+  let r = make () in
+  Alcotest.(check bool) "err" true (is_err (Recognizer.step r Context.After))
+
+let test_s1_accept_conjunctive_errs () =
+  let r = make ~connective:Pattern.All () in
+  Alcotest.(check bool) "err (missing range)" true
+    (is_err (Recognizer.step r Context.Accept))
+
+let test_s1_accept_disjunctive_noks () =
+  let r = make ~connective:Pattern.Any () in
+  Alcotest.(check bool) "nok" true (is_nok (Recognizer.step r Context.Accept));
+  Alcotest.check state_testable "idle again" Recognizer.Idle
+    (Recognizer.state r)
+
+let test_s2_self_starts_counting () =
+  let r = make () in
+  ignore (Recognizer.step r Context.Current);
+  ignore (Recognizer.step r Context.Self);
+  Alcotest.check state_testable "counting" (Recognizer.Counting 1)
+    (Recognizer.state r)
+
+let test_counting_increments () =
+  let r = make ~u:2 ~v:4 () in
+  ignore (Recognizer.step r Context.Self);
+  ignore (Recognizer.step r Context.Self);
+  Alcotest.check state_testable "counting 2" (Recognizer.Counting 2)
+    (Recognizer.state r)
+
+let test_counting_overflow () =
+  let r = make ~u:2 ~v:3 () in
+  ignore (Recognizer.step r Context.Self);
+  ignore (Recognizer.step r Context.Self);
+  ignore (Recognizer.step r Context.Self);
+  let out = Recognizer.step r Context.Self in
+  Alcotest.(check bool) "overflow err" true (is_err out);
+  match out with
+  | Recognizer.Err (Diag.Overflow _) -> ()
+  | _ -> Alcotest.fail "expected Overflow"
+
+let test_counting_current_below_min_errs () =
+  let r = make ~u:2 () in
+  ignore (Recognizer.step r Context.Self);
+  let out = Recognizer.step r Context.Current in
+  match out with
+  | Recognizer.Err (Diag.Underflow _) -> ()
+  | _ -> Alcotest.fail "expected Underflow"
+
+let test_counting_current_at_min_done () =
+  let r = make ~u:2 () in
+  ignore (Recognizer.step r Context.Self);
+  ignore (Recognizer.step r Context.Self);
+  ignore (Recognizer.step r Context.Current);
+  Alcotest.check state_testable "done" (Recognizer.Done_counting 2)
+    (Recognizer.state r)
+
+let test_counting_accept_at_min_ok () =
+  let r = make ~u:2 () in
+  ignore (Recognizer.step r Context.Self);
+  ignore (Recognizer.step r Context.Self);
+  Alcotest.(check bool) "ok" true (is_ok (Recognizer.step r Context.Accept));
+  Alcotest.check state_testable "idle" Recognizer.Idle (Recognizer.state r)
+
+let test_counting_accept_below_min_errs () =
+  let r = make ~u:2 () in
+  ignore (Recognizer.step r Context.Self);
+  Alcotest.(check bool) "err" true (is_err (Recognizer.step r Context.Accept))
+
+let test_done_reenter_errs () =
+  let r = make ~u:1 () in
+  ignore (Recognizer.step r Context.Self);
+  ignore (Recognizer.step r Context.Current);
+  let out = Recognizer.step r Context.Self in
+  match out with
+  | Recognizer.Err (Diag.Reentered _) -> ()
+  | _ -> Alcotest.fail "expected Reentered"
+
+let test_done_accept_ok () =
+  let r = make ~u:1 () in
+  ignore (Recognizer.step r Context.Self);
+  ignore (Recognizer.step r Context.Current);
+  Alcotest.(check bool) "ok" true (is_ok (Recognizer.step r Context.Accept))
+
+let test_done_current_quiet () =
+  let r = make ~u:1 () in
+  ignore (Recognizer.step r Context.Self);
+  ignore (Recognizer.step r Context.Current);
+  Alcotest.(check bool) "quiet" true
+    (is_quiet (Recognizer.step r Context.Current))
+
+let test_outside_is_quiet_everywhere () =
+  let r = make () in
+  Alcotest.(check bool) "s1" true (is_quiet (Recognizer.step r Context.Outside));
+  ignore (Recognizer.step r Context.Self);
+  Alcotest.(check bool) "s3" true (is_quiet (Recognizer.step r Context.Outside))
+
+let test_step_idle_raises () =
+  let r = make () in
+  Recognizer.reset r;
+  match Recognizer.step r Context.Self with
+  | (_ : Recognizer.output) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_start_with_self () =
+  let r = make () in
+  Recognizer.reset r;
+  Recognizer.start_with r Context.Self;
+  Alcotest.check state_testable "counting" (Recognizer.Counting 1)
+    (Recognizer.state r)
+
+let test_start_with_current () =
+  let r = make () in
+  Recognizer.reset r;
+  Recognizer.start_with r Context.Current;
+  Alcotest.check state_testable "s2" Recognizer.Waiting_started
+    (Recognizer.state r)
+
+let test_would_accept_matches_step () =
+  (* would_accept must predict step's Accept answer without mutating. *)
+  let scenarios = [ []; [ Context.Self ]; [ Context.Self; Context.Self ];
+                    [ Context.Current ];
+                    [ Context.Self; Context.Self; Context.Current ] ] in
+  List.iter
+    (fun prefix ->
+      let r1 = make ~u:2 ~v:3 () in
+      let r2 = make ~u:2 ~v:3 () in
+      List.iter (fun c -> ignore (Recognizer.step r1 c)) prefix;
+      List.iter (fun c -> ignore (Recognizer.step r2 c)) prefix;
+      let predicted = Recognizer.would_accept r1 in
+      let state_before = Recognizer.state r1 in
+      Alcotest.(check bool) "no mutation" true
+        (Recognizer.state r1 = state_before);
+      let actual = Recognizer.step r2 Context.Accept in
+      let same =
+        match (predicted, actual) with
+        | Recognizer.Ok, Recognizer.Ok -> true
+        | Recognizer.Nok, Recognizer.Nok -> true
+        | Recognizer.Err _, Recognizer.Err _ -> true
+        | _ -> false
+      in
+      Alcotest.(check bool) "prediction" true same)
+    scenarios
+
+let test_ops_counted () =
+  let ops = ref 0 in
+  let ordering = [ Pattern.single (n "x") ] in
+  let contexts =
+    Context.of_ordering ~terminators:(Name.Set.singleton (n "i")) ordering
+  in
+  let ctx = List.hd (List.hd contexts) in
+  let r = Recognizer.create ~ops ctx in
+  Recognizer.start r;
+  ignore (Recognizer.step r Context.Self);
+  Alcotest.(check bool) "ops counted" true (!ops > 0)
+
+let test_space_bits_sane () =
+  let r = make ~u:2 ~v:4 () in
+  let bits = Recognizer.space_bits r in
+  Alcotest.(check bool) "positive" true (bits > 0);
+  (* 3 state bits + 3 counter bits (hi=4) + context names. *)
+  Alcotest.(check bool) "at least state+counter" true (bits >= 6)
+
+let () =
+  Alcotest.run "recognizer"
+    [
+      ( "waiting (s1/s2)",
+        [
+          Alcotest.test_case "initial" `Quick test_initial_state;
+          Alcotest.test_case "self -> counting" `Quick
+            test_s1_self_starts_counting;
+          Alcotest.test_case "current -> s2" `Quick test_s1_current_moves_to_s2;
+          Alcotest.test_case "before errs" `Quick test_s1_before_errs;
+          Alcotest.test_case "after errs" `Quick test_s1_after_errs;
+          Alcotest.test_case "accept/conj errs" `Quick
+            test_s1_accept_conjunctive_errs;
+          Alcotest.test_case "accept/disj noks" `Quick
+            test_s1_accept_disjunctive_noks;
+          Alcotest.test_case "s2 self -> counting" `Quick
+            test_s2_self_starts_counting;
+        ] );
+      ( "counting (s3/s4)",
+        [
+          Alcotest.test_case "increments" `Quick test_counting_increments;
+          Alcotest.test_case "overflow" `Quick test_counting_overflow;
+          Alcotest.test_case "current below min" `Quick
+            test_counting_current_below_min_errs;
+          Alcotest.test_case "current at min" `Quick
+            test_counting_current_at_min_done;
+          Alcotest.test_case "accept at min" `Quick
+            test_counting_accept_at_min_ok;
+          Alcotest.test_case "accept below min" `Quick
+            test_counting_accept_below_min_errs;
+          Alcotest.test_case "reenter errs" `Quick test_done_reenter_errs;
+          Alcotest.test_case "done accept ok" `Quick test_done_accept_ok;
+          Alcotest.test_case "done current quiet" `Quick
+            test_done_current_quiet;
+        ] );
+      ( "api",
+        [
+          Alcotest.test_case "outside quiet" `Quick
+            test_outside_is_quiet_everywhere;
+          Alcotest.test_case "idle step raises" `Quick test_step_idle_raises;
+          Alcotest.test_case "start with self" `Quick test_start_with_self;
+          Alcotest.test_case "start with current" `Quick
+            test_start_with_current;
+          Alcotest.test_case "would_accept" `Quick
+            test_would_accept_matches_step;
+          Alcotest.test_case "ops counter" `Quick test_ops_counted;
+          Alcotest.test_case "space bits" `Quick test_space_bits_sane;
+        ] );
+    ]

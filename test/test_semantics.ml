@@ -1,0 +1,203 @@
+open Loseq_core
+open Loseq_testutil
+
+let n = name
+let names l = List.map n l
+
+let frag ?connective srcs =
+  Pattern.fragment ?connective
+    (List.map
+       (fun (nm, lo, hi) -> Pattern.range ~lo ~hi (n nm))
+       srcs)
+
+let test_runs () =
+  let rs = Semantics.runs (names [ "a"; "a"; "b"; "a"; "c"; "c" ]) in
+  Alcotest.(check (list (pair string int)))
+    "runs"
+    [ ("a", 2); ("b", 1); ("a", 1); ("c", 2) ]
+    (List.map (fun (r : Semantics.run) -> (Name.to_string r.name, r.count)) rs)
+
+let test_runs_empty () =
+  Alcotest.(check int) "empty" 0 (List.length (Semantics.runs []))
+
+let test_match_fragment_conjunctive () =
+  let f = frag [ ("a", 1, 1); ("b", 2, 3) ] in
+  let m w = Semantics.match_fragment f (names w) in
+  Alcotest.(check bool) "a bb" true (m [ "a"; "b"; "b" ]);
+  Alcotest.(check bool) "bb a" true (m [ "b"; "b"; "a" ]);
+  Alcotest.(check bool) "bbb a" true (m [ "b"; "b"; "b"; "a" ]);
+  Alcotest.(check bool) "missing b" false (m [ "a" ]);
+  Alcotest.(check bool) "b underflow" false (m [ "a"; "b" ]);
+  Alcotest.(check bool) "b overflow" false (m [ "a"; "b"; "b"; "b"; "b" ]);
+  Alcotest.(check bool) "split block" false (m [ "b"; "a"; "b" ]);
+  Alcotest.(check bool) "empty" false (m []);
+  Alcotest.(check bool) "foreign" false (m [ "a"; "b"; "b"; "z" ])
+
+let test_match_fragment_disjunctive () =
+  let f = frag ~connective:Pattern.Any [ ("a", 1, 1); ("b", 2, 3) ] in
+  let m w = Semantics.match_fragment f (names w) in
+  Alcotest.(check bool) "just a" true (m [ "a" ]);
+  Alcotest.(check bool) "just bb" true (m [ "b"; "b" ]);
+  Alcotest.(check bool) "both" true (m [ "b"; "b"; "a" ]);
+  Alcotest.(check bool) "empty" false (m []);
+  Alcotest.(check bool) "b underflow" false (m [ "b" ])
+
+(* Example 1 of the paper: l = n1[2,8] < ({n2, n3}, or). *)
+let example1 =
+  [ frag [ ("n1", 2, 8) ]; frag ~connective:Pattern.Any
+      [ ("n2", 1, 1); ("n3", 1, 1) ] ]
+
+let test_example1 () =
+  let m w = Semantics.match_ordering example1 (names w) in
+  Alcotest.(check bool) "n1 n1 n2" true (m [ "n1"; "n1"; "n2" ]);
+  Alcotest.(check bool) "n1 n1 n3" true (m [ "n1"; "n1"; "n3" ]);
+  Alcotest.(check bool) "n1x3 n3 n2" true (m [ "n1"; "n1"; "n1"; "n3"; "n2" ]);
+  Alcotest.(check bool) "one n1 only" false (m [ "n1"; "n2" ]);
+  Alcotest.(check bool) "no second frag" false (m [ "n1"; "n1" ]);
+  Alcotest.(check bool) "order flipped" false (m [ "n2"; "n1"; "n1" ]);
+  Alcotest.(check bool) "n2 twice" false (m [ "n1"; "n1"; "n2"; "n2" ])
+
+let test_viable_prefix () =
+  let v w = Semantics.viable_prefix example1 (names w) in
+  Alcotest.(check bool) "empty" true (v []);
+  Alcotest.(check bool) "n1" true (v [ "n1" ]);
+  Alcotest.(check bool) "n1 x8" true (v (List.init 8 (fun _ -> "n1")));
+  Alcotest.(check bool) "n1 x9" false (v (List.init 9 (fun _ -> "n1")));
+  Alcotest.(check bool) "full match viable" true (v [ "n1"; "n1"; "n2" ]);
+  Alcotest.(check bool) "skip frag 1" false (v [ "n2" ]);
+  Alcotest.(check bool) "underflow closed" false (v [ "n1"; "n2" ])
+
+let test_min_complete_prefix () =
+  let events = Trace.of_strings [ "n1"; "n1"; "n2"; "n3" ] in
+  Alcotest.(check (option int)) "completes at n2" (Some 2)
+    (Semantics.min_complete_prefix example1 events);
+  Alcotest.(check (option int)) "incomplete" None
+    (Semantics.min_complete_prefix example1 (Trace.of_strings [ "n1" ]))
+
+let test_holds_restricts_alpha () =
+  let p = pat "a << i" in
+  (* Foreign events are invisible to the property. *)
+  Alcotest.(check bool) "foreign ignored" true
+    (Semantics.holds p (tr [ "zzz"; "a"; "zzz"; "i" ]))
+
+let test_holds_rejects_ill_formed () =
+  let bad = Pattern.antecedent [ Pattern.single (n "i") ] ~trigger:(n "i") in
+  match Semantics.holds bad (tr [ "i" ]) with
+  | (_ : bool) -> Alcotest.fail "expected Ill_formed"
+  | exception Wellformed.Ill_formed _ -> ()
+
+let test_timed_deadline_from_last_premise_event () =
+  (* P = a[1,2]: the deadline re-arms at the second a. *)
+  let p = pat "a[1,2] => b within 10" in
+  let trace time_b =
+    [ Trace.event ~time:0 (n "a"); Trace.event ~time:8 (n "a");
+      Trace.event ~time:time_b (n "b") ]
+  in
+  Alcotest.(check bool) "b at 18 ok" true (Semantics.holds p (trace 18));
+  Alcotest.(check bool) "b at 19 late" false (Semantics.holds p (trace 19))
+
+let test_timed_unsolicited_conclusion () =
+  let p = pat "a => b within 10" in
+  Alcotest.(check bool) "b alone" false (Semantics.holds p (tr [ "b" ]))
+
+let test_timed_missing_conclusion_timeout () =
+  let p = pat "a => b within 10" in
+  let trace = [ Trace.event ~time:0 (n "a") ] in
+  Alcotest.(check bool) "before deadline" true
+    (Semantics.holds ~final_time:10 p trace);
+  Alcotest.(check bool) "after deadline" false
+    (Semantics.holds ~final_time:11 p trace)
+
+let test_timed_rounds () =
+  let p = pat "a => b within 10" in
+  let ev t nm = Trace.event ~time:t (n nm) in
+  Alcotest.(check bool) "two rounds" true
+    (Semantics.holds p [ ev 0 "a"; ev 5 "b"; ev 20 "a"; ev 25 "b" ]);
+  Alcotest.(check bool) "second round late" false
+    (Semantics.holds p [ ev 0 "a"; ev 5 "b"; ev 20 "a"; ev 35 "b" ]);
+  Alcotest.(check bool) "premise twice without conclusion" false
+    (Semantics.holds p [ ev 0 "a"; ev 5 "b"; ev 20 "a"; ev 25 "a" ])
+
+let test_nonrepeated_after_first_trigger_free () =
+  let p = pat "{a, b} << i" in
+  Alcotest.(check bool) "anything after first i" true
+    (Semantics.holds p (tr [ "b"; "a"; "i"; "a"; "a"; "i"; "b" ]))
+
+let test_repeated_each_round_checked () =
+  let p = pat "{a, b} <<! i" in
+  Alcotest.(check bool) "both rounds good" true
+    (Semantics.holds p (tr [ "b"; "a"; "i"; "a"; "b"; "i" ]));
+  Alcotest.(check bool) "second round incomplete" false
+    (Semantics.holds p (tr [ "b"; "a"; "i"; "a"; "i" ]))
+
+let qcheck_match_implies_viable =
+  qtest ~count:400 "full match is a viable prefix"
+    QCheck2.Gen.(
+      let* p = gen_pattern in
+      let* seed = int_bound 100000 in
+      return (p, seed))
+    (fun (p, _) -> Pattern.to_string p)
+    (fun (p, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let ordering = Pattern.body_ordering p in
+      let word = Generate.ordering_word rng ordering in
+      Semantics.match_ordering ordering word
+      && Semantics.viable_prefix ordering word)
+
+let qcheck_prefixes_of_valid_viable =
+  qtest ~count:400 "every prefix of a generated match is viable"
+    QCheck2.Gen.(
+      let* p = gen_pattern in
+      let* seed = int_bound 100000 in
+      return (p, seed))
+    (fun (p, _) -> Pattern.to_string p)
+    (fun (p, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let ordering = Pattern.body_ordering p in
+      let word = Generate.ordering_word rng ordering in
+      let rec prefixes acc = function
+        | [] -> [ List.rev acc ]
+        | x :: rest -> List.rev acc :: prefixes (x :: acc) rest
+      in
+      List.for_all (Semantics.viable_prefix ordering) (prefixes [] word))
+
+let () =
+  Alcotest.run "semantics"
+    [
+      ( "runs & fragments",
+        [
+          Alcotest.test_case "runs" `Quick test_runs;
+          Alcotest.test_case "runs empty" `Quick test_runs_empty;
+          Alcotest.test_case "conjunctive" `Quick
+            test_match_fragment_conjunctive;
+          Alcotest.test_case "disjunctive" `Quick
+            test_match_fragment_disjunctive;
+        ] );
+      ( "orderings",
+        [
+          Alcotest.test_case "example 1" `Quick test_example1;
+          Alcotest.test_case "viable prefixes" `Quick test_viable_prefix;
+          Alcotest.test_case "min complete prefix" `Quick
+            test_min_complete_prefix;
+          qcheck_match_implies_viable;
+          qcheck_prefixes_of_valid_viable;
+        ] );
+      ( "patterns",
+        [
+          Alcotest.test_case "alpha restriction" `Quick
+            test_holds_restricts_alpha;
+          Alcotest.test_case "ill-formed rejected" `Quick
+            test_holds_rejects_ill_formed;
+          Alcotest.test_case "deadline from last premise event" `Quick
+            test_timed_deadline_from_last_premise_event;
+          Alcotest.test_case "unsolicited conclusion" `Quick
+            test_timed_unsolicited_conclusion;
+          Alcotest.test_case "missing conclusion timeout" `Quick
+            test_timed_missing_conclusion_timeout;
+          Alcotest.test_case "timed rounds" `Quick test_timed_rounds;
+          Alcotest.test_case "non-repeated freedom" `Quick
+            test_nonrepeated_after_first_trigger_free;
+          Alcotest.test_case "repeated rounds" `Quick
+            test_repeated_each_round_checked;
+        ] );
+    ]

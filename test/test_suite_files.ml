@@ -1,0 +1,139 @@
+open Loseq_core
+open Loseq_sim
+open Loseq_verif
+open Loseq_testutil
+
+let ipu_suite_source =
+  "# The IPU interface contract (paper, Section 3)\n\
+   config_before_start: {set_imgAddr, set_glAddr, set_glSize} << start\n\
+   \n\
+   # 60 us in picoseconds\n\
+   recognition_deadline: start => read_img[100,60000] < set_irq within \
+   60000000\n"
+
+let test_parse_ok () =
+  match Suite.parse ipu_suite_source with
+  | Ok suite ->
+      Alcotest.(check int) "two entries" 2 (List.length suite);
+      Alcotest.(check (list string)) "labels"
+        [ "config_before_start"; "recognition_deadline" ]
+        (List.map (fun (e : Suite.entry) -> e.Suite.label) suite)
+  | Error e -> Alcotest.failf "parse failed: %a" Suite.pp_error e
+
+let test_find () =
+  match Suite.parse ipu_suite_source with
+  | Ok suite ->
+      Alcotest.(check bool) "found" true
+        (Suite.find suite "config_before_start" <> None);
+      Alcotest.(check bool) "missing" true
+        (Suite.find suite "nope" = None)
+  | Error e -> Alcotest.failf "parse failed: %a" Suite.pp_error e
+
+let expect_error_at source line =
+  match Suite.parse source with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e -> Alcotest.(check int) "line" line e.Suite.line
+
+let test_parse_errors () =
+  expect_error_at "just a line without colon\n" 1;
+  expect_error_at "ok: a << i\nbad name!: a << i\n" 2;
+  expect_error_at "x: a << i\nx: b << i\n" 2;
+  expect_error_at "x: not a pattern ((\n" 1;
+  expect_error_at "# fine\n\nbroken: {a, a} << i\n" 3
+
+let test_roundtrip () =
+  match Suite.parse ipu_suite_source with
+  | Error e -> Alcotest.failf "parse failed: %a" Suite.pp_error e
+  | Ok suite -> (
+      match Suite.parse (Suite.to_string suite) with
+      | Ok suite' ->
+          Alcotest.(check int) "same size" (List.length suite)
+            (List.length suite');
+          List.iter2
+            (fun (a : Suite.entry) (b : Suite.entry) ->
+              Alcotest.(check string) "label" a.Suite.label b.Suite.label;
+              Alcotest.check pattern_testable "pattern" a.Suite.pattern
+                b.Suite.pattern)
+            suite suite'
+      | Error e -> Alcotest.failf "reparse failed: %a" Suite.pp_error e)
+
+let test_load_missing_file () =
+  match Suite.load "/nonexistent/properties.loseq" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error e -> Alcotest.(check int) "line 0" 0 e.Suite.line
+
+let test_load_file_roundtrip () =
+  let path = Filename.temp_file "loseq" ".properties" in
+  let oc = open_out path in
+  output_string oc ipu_suite_source;
+  close_out oc;
+  let result = Suite.load path in
+  Sys.remove path;
+  match result with
+  | Ok suite -> Alcotest.(check int) "entries" 2 (List.length suite)
+  | Error e -> Alcotest.failf "load failed: %a" Suite.pp_error e
+
+let test_check_trace () =
+  match Suite.parse "cfg: {a, b} << go\nsafety: x <<! y\n" with
+  | Error e -> Alcotest.failf "parse failed: %a" Suite.pp_error e
+  | Ok suite ->
+      let results = Suite.check_trace suite (tr [ "a"; "b"; "go"; "y" ]) in
+      Alcotest.(check (list (pair string bool)))
+        "verdicts"
+        [ ("cfg", true); ("safety", false) ]
+        results
+
+let test_attach_all_live () =
+  match Suite.parse "cfg: {a, b} << go\n" with
+  | Error e -> Alcotest.failf "parse failed: %a" Suite.pp_error e
+  | Ok suite ->
+      let kernel = Kernel.create () in
+      let tap = Tap.create kernel in
+      let report = Suite.attach_all tap suite in
+      List.iter (Tap.emit tap) [ "b"; "a"; "go" ];
+      Report.finalize report;
+      Alcotest.(check bool) "passes" true (Report.all_passed report)
+
+let qcheck_generated_suites_roundtrip =
+  qtest ~count:200 "suite rendering round-trips"
+    QCheck2.Gen.(
+      let* patterns = list_size (int_range 1 5) gen_pattern in
+      return patterns)
+    (fun patterns ->
+      String.concat " ; " (List.map Pattern.to_string patterns))
+    (fun patterns ->
+      let suite =
+        List.mapi
+          (fun i p -> { Suite.label = Printf.sprintf "p%d" i; pattern = p })
+          patterns
+      in
+      match Suite.parse (Suite.to_string suite) with
+      | Ok suite' ->
+          List.length suite = List.length suite'
+          && List.for_all2
+               (fun (a : Suite.entry) (b : Suite.entry) ->
+                 a.Suite.label = b.Suite.label
+                 && Pattern.equal a.Suite.pattern b.Suite.pattern)
+               suite suite'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "suite-files"
+    [
+      ( "parsing",
+        [
+          Alcotest.test_case "ok" `Quick test_parse_ok;
+          Alcotest.test_case "find" `Quick test_find;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "round trip" `Quick test_roundtrip;
+          Alcotest.test_case "missing file" `Quick test_load_missing_file;
+          Alcotest.test_case "file round trip" `Quick
+            test_load_file_roundtrip;
+          qcheck_generated_suites_roundtrip;
+        ] );
+      ( "checking",
+        [
+          Alcotest.test_case "offline" `Quick test_check_trace;
+          Alcotest.test_case "live" `Quick test_attach_all_live;
+        ] );
+    ]

@@ -1,0 +1,140 @@
+(* Cross-validation of the production recognizer against the
+   Lustre-style synchronous reference — the paper's own validation
+   methodology. *)
+
+open Loseq_core
+open Loseq_sync
+open Loseq_testutil
+
+let test_stream_fby () =
+  let node = Stream.fby 0 in
+  Alcotest.(check (list int)) "delays" [ 0; 1; 2 ]
+    (Stream.run node [ 1; 2; 3 ]);
+  Stream.reset node;
+  Alcotest.(check (list int)) "reset" [ 0; 9 ] (Stream.run node [ 9; 9 ])
+
+let test_stream_compose () =
+  let double = Stream.create ~init:() ~step:(fun () x -> ((), x * 2)) in
+  let inc = Stream.create ~init:() ~step:(fun () x -> ((), x + 1)) in
+  let node = Stream.compose double inc in
+  Alcotest.(check (list int)) "2x+1" [ 3; 5 ] (Stream.run node [ 1; 2 ])
+
+let test_stream_parallel () =
+  let idn = Stream.create ~init:() ~step:(fun () x -> ((), x)) in
+  let neg = Stream.create ~init:() ~step:(fun () x -> ((), -x)) in
+  let node = Stream.parallel idn neg in
+  Alcotest.(check (list (pair int int))) "pairs" [ (1, -1); (2, -2) ]
+    (Stream.run node [ 1; 2 ])
+
+let test_reference_counts () =
+  let node = Range_node.node ~u:2 ~v:3 ~disjunctive:false in
+  let w cat = Harness.wires_of_category ~start:false (Some cat) in
+  let start = Harness.wires_of_category ~start:true None in
+  let outs =
+    Stream.run node
+      [ start; w Context.Self; w Context.Self; w Context.Accept ]
+  in
+  match List.rev outs with
+  | last :: _ -> Alcotest.(check bool) "ok" true last.Range_node.ok
+  | [] -> Alcotest.fail "no outputs"
+
+let test_reference_error_on_overflow () =
+  let node = Range_node.node ~u:1 ~v:2 ~disjunctive:false in
+  let w cat = Harness.wires_of_category ~start:false (Some cat) in
+  let start = Harness.wires_of_category ~start:true None in
+  let outs =
+    Stream.run node [ start; w Context.Self; w Context.Self; w Context.Self ]
+  in
+  match List.rev outs with
+  | last :: _ -> Alcotest.(check bool) "err" true last.Range_node.err
+  | [] -> Alcotest.fail "no outputs"
+
+let test_transition_error_absorbing () =
+  let s', out =
+    Range_node.transition ~u:1 ~v:1 ~disjunctive:false Range_node.S5
+      { Range_node.quiet with n = true }
+  in
+  Alcotest.(check bool) "stays S5" true (s' = Range_node.S5);
+  Alcotest.(check bool) "silent" false out.Range_node.err
+
+let directed_sequences =
+  let open Context in
+  [
+    [ Self; Accept ];
+    [ Self; Self; Accept ];
+    [ Self; Self; Self; Self ];
+    [ Current; Self; Accept ];
+    [ Current; Current; Accept ];
+    [ Accept ];
+    [ Before ];
+    [ After ];
+    [ Self; Current; Accept ];
+    [ Self; Current; Self ];
+    [ Self; Before ];
+    [ Self; Current; Current; Accept ];
+    [ Outside; Self; Outside; Accept ];
+    [ Self; Self; Current; Accept ];
+  ]
+
+let test_agreement_directed () =
+  List.iter
+    (fun (u, v) ->
+      List.iter
+        (fun disjunctive ->
+          List.iteri
+            (fun idx seq ->
+              match Harness.agree ~u ~v ~disjunctive seq with
+              | Ok _ -> ()
+              | Error msg ->
+                  Alcotest.failf "u=%d v=%d disj=%b seq#%d: %s" u v
+                    disjunctive idx msg)
+            directed_sequences)
+        [ false; true ])
+    [ (1, 1); (1, 2); (2, 2); (2, 4) ]
+
+let gen_case =
+  QCheck2.Gen.(
+    let* u = int_range 1 3 in
+    let* extra = int_range 0 3 in
+    let* disjunctive = bool in
+    let* seq =
+      list_size (int_range 0 12)
+        (oneofl
+           Context.[ Self; Current; Before; Accept; After; Outside ])
+    in
+    return (u, u + extra, disjunctive, seq))
+
+let qcheck_agreement =
+  qtest ~count:3000 "recognizer = synchronous reference" gen_case
+    (fun (u, v, disjunctive, seq) ->
+      Format.asprintf "u=%d v=%d disj=%b: %a" u v disjunctive
+        (Format.pp_print_list Context.pp_category)
+        seq)
+    (fun (u, v, disjunctive, seq) ->
+      match Harness.agree ~u ~v ~disjunctive seq with
+      | Ok _ -> true
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "sync"
+    [
+      ( "stream combinators",
+        [
+          Alcotest.test_case "fby" `Quick test_stream_fby;
+          Alcotest.test_case "compose" `Quick test_stream_compose;
+          Alcotest.test_case "parallel" `Quick test_stream_parallel;
+        ] );
+      ( "reference node",
+        [
+          Alcotest.test_case "counting" `Quick test_reference_counts;
+          Alcotest.test_case "overflow" `Quick
+            test_reference_error_on_overflow;
+          Alcotest.test_case "absorbing error" `Quick
+            test_transition_error_absorbing;
+        ] );
+      ( "cross-validation",
+        [
+          Alcotest.test_case "directed" `Quick test_agreement_directed;
+          qcheck_agreement;
+        ] );
+    ]

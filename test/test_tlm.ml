@@ -1,0 +1,175 @@
+open Loseq_sim
+open Loseq_platform
+
+let test_payload_words () =
+  let p = Tlm.payload Tlm.Write ~address:0 ~length:4 in
+  Tlm.set_word p 0xdeadbeef;
+  Alcotest.(check int) "round trip" 0xdeadbeef (Tlm.get_word p)
+
+let test_unbound_initiator_raises () =
+  let ini = Tlm.initiator () in
+  let p = Tlm.payload Tlm.Read ~address:0 ~length:4 in
+  match Tlm.transport ini p Time.zero with
+  | (_ : Time.t) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_double_bind_raises () =
+  let ini = Tlm.initiator () in
+  let mem = Memory.create ~size:64 () in
+  Tlm.bind ini (Memory.target mem);
+  match Tlm.bind ini (Memory.target mem) with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_memory_read_write () =
+  let mem = Memory.create ~size:256 () in
+  let ini = Tlm.initiator () in
+  Tlm.bind ini (Memory.target mem);
+  let (_ : Time.t) = Tlm.write_word ini 16 0x12345678 in
+  let v, delay = Tlm.read_word ini 16 in
+  Alcotest.(check int) "value" 0x12345678 v;
+  Alcotest.(check bool) "latency charged" true (Time.to_ps delay > 0);
+  (* Backdoor agrees with TLM path. *)
+  Alcotest.(check int) "backdoor" 0x12345678 (Memory.read_word mem 16)
+
+let test_memory_out_of_range () =
+  let mem = Memory.create ~size:32 () in
+  let p = Tlm.payload Tlm.Read ~address:30 ~length:4 in
+  let (_ : Time.t) = (Memory.target mem).Tlm.b_transport p Time.zero in
+  Alcotest.(check bool) "address error" true
+    (p.Tlm.response = Tlm.Address_error)
+
+let test_memory_fill () =
+  let mem = Memory.create ~size:16 () in
+  Memory.fill mem ~pos:4 ~len:4 (fun i -> i + 1);
+  Alcotest.(check int) "byte 4" 1 (Memory.read_byte mem 4);
+  Alcotest.(check int) "byte 7" 4 (Memory.read_byte mem 7)
+
+let test_bus_routing () =
+  let bus = Bus.create () in
+  let m1 = Memory.create ~name:"m1" ~size:64 () in
+  let m2 = Memory.create ~name:"m2" ~size:64 () in
+  Bus.map bus ~base:0x1000 ~size:64 (Memory.target m1);
+  Bus.map bus ~base:0x2000 ~size:64 (Memory.target m2);
+  let ini = Tlm.initiator () in
+  Tlm.bind ini (Bus.target bus);
+  let (_ : Time.t) = Tlm.write_word ini 0x1004 111 in
+  let (_ : Time.t) = Tlm.write_word ini 0x2004 222 in
+  Alcotest.(check int) "m1 local" 111 (Memory.read_word m1 4);
+  Alcotest.(check int) "m2 local" 222 (Memory.read_word m2 4)
+
+let test_bus_unmapped () =
+  let bus = Bus.create () in
+  let ini = Tlm.initiator () in
+  Tlm.bind ini (Bus.target bus);
+  let p = Tlm.payload Tlm.Read ~address:0x9999 ~length:4 in
+  let (_ : Time.t) = Tlm.transport ini p Time.zero in
+  Alcotest.(check bool) "address error" true
+    (p.Tlm.response = Tlm.Address_error)
+
+let test_bus_overlap_rejected () =
+  let bus = Bus.create () in
+  let mem = Memory.create ~size:64 () in
+  Bus.map bus ~base:0x1000 ~size:0x100 (Memory.target mem);
+  match Bus.map bus ~base:0x10f0 ~size:0x100 (Memory.target mem) with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_bus_mappings_listed () =
+  let bus = Bus.create () in
+  let mem = Memory.create ~size:64 () in
+  Bus.map bus ~base:0x2000 ~size:64 (Memory.target mem);
+  Bus.map bus ~base:0x1000 ~size:64 (Memory.target mem);
+  Alcotest.(check (list int)) "sorted bases" [ 0x1000; 0x2000 ]
+    (List.map (fun (b, _, _) -> b) (Bus.mappings bus))
+
+let test_bus_decode () =
+  let bus = Bus.create () in
+  let mem = Memory.create ~size:64 () in
+  Bus.map bus ~base:0x1000 ~size:64 (Memory.target mem);
+  (match Bus.decode bus 0x1010 with
+  | Some (_, local) -> Alcotest.(check int) "local" 0x10 local
+  | None -> Alcotest.fail "decode failed");
+  Alcotest.(check bool) "miss" true (Bus.decode bus 0x3000 = None)
+
+let test_mmio_registers () =
+  let stored = ref 0 in
+  let target =
+    Mmio.target ~name:"dev"
+      [
+        Mmio.reg ~offset:0x0 ~read:(fun () -> !stored)
+          ~write:(fun v -> stored := v)
+          "VALUE";
+        Mmio.reg ~offset:0x4 ~read:(fun () -> 42) "RO";
+        Mmio.reg ~offset:0x8 ~write:(fun _ -> ()) "WO";
+      ]
+  in
+  let ini = Tlm.initiator () in
+  Tlm.bind ini target;
+  let (_ : Time.t) = Tlm.write_word ini 0x0 7 in
+  Alcotest.(check int) "stored" 7 !stored;
+  let v, _ = Tlm.read_word ini 0x0 in
+  Alcotest.(check int) "read back" 7 v;
+  let v, _ = Tlm.read_word ini 0x4 in
+  Alcotest.(check int) "ro" 42 v;
+  (* Writing a read-only register is a command error. *)
+  let p = Tlm.payload Tlm.Write ~address:0x4 ~length:4 in
+  let (_ : Time.t) = Tlm.transport ini p Time.zero in
+  Alcotest.(check bool) "command error" true
+    (p.Tlm.response = Tlm.Command_error);
+  (* Unknown offset is an address error. *)
+  let p = Tlm.payload Tlm.Read ~address:0x40 ~length:4 in
+  let (_ : Time.t) = Tlm.transport ini p Time.zero in
+  Alcotest.(check bool) "address error" true
+    (p.Tlm.response = Tlm.Address_error)
+
+let test_mmio_rejects_unaligned () =
+  let target = Mmio.target ~name:"dev" [ Mmio.reg ~offset:0 "R" ] in
+  let p = Tlm.payload Tlm.Read ~address:2 ~length:4 in
+  let (_ : Time.t) = target.Tlm.b_transport p Time.zero in
+  Alcotest.(check bool) "unaligned" true (p.Tlm.response = Tlm.Command_error);
+  let p = Tlm.payload Tlm.Read ~address:0 ~length:2 in
+  let (_ : Time.t) = target.Tlm.b_transport p Time.zero in
+  Alcotest.(check bool) "narrow" true (p.Tlm.response = Tlm.Command_error)
+
+let test_delay_accumulates_through_bus () =
+  let bus = Bus.create ~latency:(Time.ns 5) () in
+  let mem = Memory.create ~latency:(Time.ns 20) ~size:64 () in
+  Bus.map bus ~base:0 ~size:64 (Memory.target mem);
+  let ini = Tlm.initiator () in
+  Tlm.bind ini (Bus.target bus);
+  let p = Tlm.payload Tlm.Read ~address:0 ~length:4 in
+  let delay = Tlm.transport ini p (Time.ns 1) in
+  Alcotest.(check int) "1 + 5 + 20 ns" 26_000 (Time.to_ps delay)
+
+let () =
+  Alcotest.run "tlm"
+    [
+      ( "payload",
+        [
+          Alcotest.test_case "words" `Quick test_payload_words;
+          Alcotest.test_case "unbound" `Quick test_unbound_initiator_raises;
+          Alcotest.test_case "double bind" `Quick test_double_bind_raises;
+        ] );
+      ( "memory",
+        [
+          Alcotest.test_case "read/write" `Quick test_memory_read_write;
+          Alcotest.test_case "out of range" `Quick test_memory_out_of_range;
+          Alcotest.test_case "fill" `Quick test_memory_fill;
+        ] );
+      ( "bus",
+        [
+          Alcotest.test_case "routing" `Quick test_bus_routing;
+          Alcotest.test_case "unmapped" `Quick test_bus_unmapped;
+          Alcotest.test_case "overlap" `Quick test_bus_overlap_rejected;
+          Alcotest.test_case "mappings" `Quick test_bus_mappings_listed;
+          Alcotest.test_case "decode" `Quick test_bus_decode;
+          Alcotest.test_case "delay accumulation" `Quick
+            test_delay_accumulates_through_bus;
+        ] );
+      ( "mmio",
+        [
+          Alcotest.test_case "registers" `Quick test_mmio_registers;
+          Alcotest.test_case "alignment" `Quick test_mmio_rejects_unaligned;
+        ] );
+    ]

@@ -1,0 +1,123 @@
+open Loseq_core
+open Loseq_testutil
+
+let n = name
+
+let event_testable =
+  Alcotest.testable Trace.pp_event (fun (a : Trace.event) b ->
+      Name.equal a.name b.name && a.time = b.time)
+
+let test_of_names_timestamps () =
+  let t = Trace.of_strings [ "a"; "b"; "c" ] in
+  Alcotest.(check (list int)) "times" [ 0; 1; 2 ]
+    (List.map (fun (e : Trace.event) -> e.Trace.time) t)
+
+let test_end_time () =
+  Alcotest.(check int) "empty" 0 (Trace.end_time []);
+  Alcotest.(check int) "last" 42
+    (Trace.end_time [ Trace.event ~time:7 (n "a"); Trace.event ~time:42 (n "b") ])
+
+let test_chronological () =
+  Alcotest.(check bool) "ordered" true
+    (Trace.is_chronological
+       [ Trace.event ~time:1 (n "a"); Trace.event ~time:1 (n "b") ]);
+  Alcotest.(check bool) "unordered" false
+    (Trace.is_chronological
+       [ Trace.event ~time:2 (n "a"); Trace.event ~time:1 (n "b") ])
+
+let test_restrict () =
+  let t = Trace.of_strings [ "a"; "x"; "b"; "y"; "a" ] in
+  let r = Trace.restrict (Name.set_of_list [ n "a"; n "b" ]) t in
+  Alcotest.(check (list string)) "kept" [ "a"; "b"; "a" ]
+    (List.map Name.to_string (Trace.names r))
+
+let test_append_shifts () =
+  let a = Trace.of_strings [ "x"; "y" ] in
+  let b = Trace.of_strings [ "z" ] in
+  let c = Trace.append a b in
+  Alcotest.(check bool) "chronological" true (Trace.is_chronological c);
+  Alcotest.(check int) "length" 3 (Trace.length c);
+  Alcotest.(check int) "shifted" 2 (Trace.end_time c)
+
+let test_parse_bare_names () =
+  match Trace.parse "a b  c" with
+  | Ok t ->
+      Alcotest.(check (list int)) "times" [ 0; 1; 2 ]
+        (List.map (fun (e : Trace.event) -> e.Trace.time) t)
+  | Error e -> Alcotest.fail e
+
+let test_parse_timed () =
+  match Trace.parse "a@5 b@5 c@9" with
+  | Ok t ->
+      Alcotest.(check (list int)) "times" [ 5; 5; 9 ]
+        (List.map (fun (e : Trace.event) -> e.Trace.time) t)
+  | Error e -> Alcotest.fail e
+
+let test_parse_mixed () =
+  match Trace.parse "a@10 b c@20" with
+  | Ok t ->
+      Alcotest.(check (list int)) "times" [ 10; 11; 20 ]
+        (List.map (fun (e : Trace.event) -> e.Trace.time) t)
+  | Error e -> Alcotest.fail e
+
+let test_parse_rejects_backwards () =
+  match Trace.parse "a@10 b@5" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error _ -> ()
+
+let test_parse_rejects_bad_name () =
+  match Trace.parse "a$b" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error _ -> ()
+
+let test_parse_rejects_bad_time () =
+  match Trace.parse "a@xx" with
+  | Ok _ -> Alcotest.fail "expected error"
+  | Error _ -> ()
+
+let test_parse_pp_roundtrip () =
+  let t =
+    [ Trace.event ~time:3 (n "a"); Trace.event ~time:7 (n "b");
+      Trace.event ~time:7 (n "c") ]
+  in
+  match Trace.parse (Trace.to_string t) with
+  | Ok t' -> Alcotest.(check (list event_testable)) "roundtrip" t t'
+  | Error e -> Alcotest.fail e
+
+let qcheck_valid_traces_chronological =
+  qtest ~count:300 "generated valid traces are chronological"
+    QCheck2.Gen.(
+      let* p = gen_pattern in
+      let* seed = int_bound 100000 in
+      return (p, seed))
+    (fun (p, seed) -> Printf.sprintf "%s / %d" (Pattern.to_string p) seed)
+    (fun (p, seed) ->
+      let rng = Random.State.make [| seed |] in
+      Trace.is_chronological (Generate.valid rng p))
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "construction",
+        [
+          Alcotest.test_case "of_names" `Quick test_of_names_timestamps;
+          Alcotest.test_case "end_time" `Quick test_end_time;
+          Alcotest.test_case "chronological" `Quick test_chronological;
+          Alcotest.test_case "restrict" `Quick test_restrict;
+          Alcotest.test_case "append" `Quick test_append_shifts;
+        ] );
+      ( "parsing",
+        [
+          Alcotest.test_case "bare names" `Quick test_parse_bare_names;
+          Alcotest.test_case "timed" `Quick test_parse_timed;
+          Alcotest.test_case "mixed" `Quick test_parse_mixed;
+          Alcotest.test_case "rejects backwards" `Quick
+            test_parse_rejects_backwards;
+          Alcotest.test_case "rejects bad name" `Quick
+            test_parse_rejects_bad_name;
+          Alcotest.test_case "rejects bad time" `Quick
+            test_parse_rejects_bad_time;
+          Alcotest.test_case "pp round trip" `Quick test_parse_pp_roundtrip;
+          qcheck_valid_traces_chronological;
+        ] );
+    ]

@@ -1,0 +1,192 @@
+open Loseq_core
+open Loseq_psl
+open Loseq_testutil
+
+let test_expansion_width () =
+  Alcotest.(check int) "[1,1]" 1
+    (Translate.expansion_width (Pattern.range (name "n")));
+  Alcotest.(check int) "[100,60000]" 59901
+    (Translate.expansion_width (Pattern.range ~lo:100 ~hi:60000 (name "n")))
+
+let test_needs_expansion () =
+  Alcotest.(check bool) "[1,1] no" false
+    (Translate.needs_expansion (Pattern.range (name "n")));
+  Alcotest.(check bool) "[2,2] yes" true
+    (Translate.needs_expansion (Pattern.range ~lo:2 ~hi:2 (name "n")))
+
+let test_expanded_names () =
+  let names =
+    Translate.expanded_names (Pattern.range ~lo:2 ~hi:4 (name "n"))
+  in
+  Alcotest.(check (list string)) "n.2 .. n.4" [ "n.2"; "n.3"; "n.4" ]
+    (List.map Name.to_string names)
+
+let test_expanded_names_too_wide () =
+  match Translate.expanded_names (Pattern.range ~lo:1 ~hi:200_001 (name "n")) with
+  | (_ : Name.t list) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_expand_trace () =
+  let p = pat "a[2,3] < b <<! i" in
+  let expanded names = List.map Name.to_string (Translate.expand_trace p (List.map name names)) in
+  Alcotest.(check (list string)) "collapses runs" [ "a.2"; "b"; "i" ]
+    (expanded [ "a"; "a"; "b"; "i" ]);
+  Alcotest.(check (list string)) "out of bounds -> a.0" [ "a.0"; "b"; "i" ]
+    (expanded [ "a"; "a"; "a"; "a"; "b"; "i" ]);
+  Alcotest.(check (list string)) "plain names pass through" [ "b"; "b" ]
+    (expanded [ "b"; "b" ]);
+  Alcotest.(check (list string)) "foreign passes" [ "zzz" ] (expanded [ "zzz" ])
+
+let test_to_psl_width_guard () =
+  let p = pat "a[100,60000] << i" in
+  match Translate.to_psl p with
+  | (_ : Psl.t) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_to_psl_alphabet () =
+  let p = pat "a[1,2] < b <<! i" in
+  let f = Translate.to_psl p in
+  let atoms = Psl.atoms f in
+  List.iter
+    (fun nm ->
+      Alcotest.(check bool) (nm ^ " present") true
+        (Name.Set.mem (name nm) atoms))
+    [ "a.1"; "a.2"; "a.0"; "b"; "i" ]
+
+let test_formula_size_matches_construction () =
+  List.iter
+    (fun src ->
+      let p = pat src in
+      Alcotest.(check int) src
+        (Psl.size (Translate.to_psl p))
+        (Translate.formula_size p))
+    [
+      "n << i";
+      "n <<! i";
+      "n[1,4] << i";
+      "n[3,3] <<! i";
+      "{a, b} << i";
+      "{a | b} <<! i";
+      "{a, b[2,3]} < {c | d} < e <<! i";
+      "a => b within 7";
+      "a => b < c within 7";
+      "{a, b} => {c[2,4] | d} within 9";
+      "a[1,2] => b[2,3] < c within 11";
+    ]
+
+let test_delta_cost () =
+  Alcotest.(check int) "trivial ranges" 0 (Translate.delta_cost (pat "n << i"));
+  Alcotest.(check int) "wide range" 59901
+    (Translate.delta_cost (pat "n[100,60000] << i"))
+
+let test_via_psl_calibration_row1 () =
+  let c = Cost.via_psl (pat "n <<! i") in
+  Alcotest.(check int) "ops" 238 c.Cost.ops_per_event;
+  Alcotest.(check int) "bits" 896 c.Cost.space_bits;
+  Alcotest.(check int) "delta" 0 c.Cost.delta
+
+let test_via_psl_explodes_on_ranges () =
+  (* The paper's headline: ~4x10^11 ops / ~2x10^12 bits for the
+     non-trivial range, vs 80 ops / 192 bits for Drct. *)
+  let c = Cost.via_psl (pat "n[100,60000] <<! i") in
+  Alcotest.(check bool) "ops ~ 1e11" true
+    (c.Cost.ops_per_event > 100_000_000_000);
+  Alcotest.(check bool) "bits ~ 1e12" true
+    (c.Cost.space_bits > 1_000_000_000_000);
+  Alcotest.(check int) "delta = expanded alphabet" 59901 c.Cost.delta
+
+let test_theta_time () =
+  (* Sum of squared widths + products of consecutive fragment widths. *)
+  let p = pat "a[1,3] < {b, c} << i" in
+  (* widths: 3 (expanded a) then 2; squares: 9 + 1 + 1; order: 3*2. *)
+  Alcotest.(check int) "theta" 17 (Loseq_psl.Cost.theta_time p)
+
+(* The crucial validation (the paper used SPOT for this).  The two
+   verdicts are compared up to detection laziness: the pattern
+   semantics rejects a prefix as soon as it can no longer be extended
+   into a correct behaviour, while the PSL safety clauses may only
+   falsify at the next reset point (the trigger).  Hence:
+   - an accepted prefix must satisfy the encoding, and
+   - a rejected prefix must falsify the encoding either immediately or
+     once closed by one trigger occurrence. *)
+let equivalent p names =
+  let eval ns =
+    let expanded = Translate.expand_trace p ns in
+    Psl.eval_weak (Translate.to_psl p) (Array.of_list expanded)
+  in
+  let trace = Trace.of_names names in
+  if Semantics.holds p trace then eval names
+  else
+    let closure =
+      match p with
+      | Pattern.Antecedent a -> names @ [ a.trigger ]
+      | Pattern.Timed _ -> names
+    in
+    (not (eval names)) || not (eval closure)
+
+let qcheck_translation_equivalence =
+  qtest ~count:1200 "PSL encoding = pattern semantics (antecedents)"
+    QCheck2.Gen.(
+      let* p = gen_antecedent in
+      let* word = gen_alpha_word p in
+      return (p, word))
+    (fun (p, word) ->
+      Format.asprintf "%a on %s" Pattern.pp p
+        (String.concat " " (List.map Name.to_string word)))
+    (fun (p, word) -> equivalent p word)
+
+let test_translation_equivalence_exhaustive () =
+  List.iter
+    (fun src ->
+      let p = pat src in
+      let alpha = Name.Set.elements (Pattern.alpha p) in
+      let rec words k =
+        if k = 0 then [ [] ]
+        else
+          List.concat_map
+            (fun w -> List.map (fun a -> a :: w) alpha)
+            (words (k - 1))
+      in
+      List.iter
+        (fun word ->
+          if not (equivalent p (List.rev word)) then
+            Alcotest.failf "divergence for %s on %s" src
+              (String.concat " "
+                 (List.map Name.to_string (List.rev word))))
+        (List.concat_map words [ 0; 1; 2; 3; 4; 5; 6 ]))
+    [ "a <<! i"; "a << i"; "a[2,3] <<! i"; "{a | b} <<! i"; "a < b <<! i" ]
+
+let () =
+  Alcotest.run "translate"
+    [
+      ( "expansion",
+        [
+          Alcotest.test_case "width" `Quick test_expansion_width;
+          Alcotest.test_case "needs expansion" `Quick test_needs_expansion;
+          Alcotest.test_case "expanded names" `Quick test_expanded_names;
+          Alcotest.test_case "width limit" `Quick test_expanded_names_too_wide;
+          Alcotest.test_case "expand trace" `Quick test_expand_trace;
+          Alcotest.test_case "delta" `Quick test_delta_cost;
+        ] );
+      ( "formula",
+        [
+          Alcotest.test_case "width guard" `Quick test_to_psl_width_guard;
+          Alcotest.test_case "alphabet" `Quick test_to_psl_alphabet;
+          Alcotest.test_case "closed-form size" `Quick
+            test_formula_size_matches_construction;
+        ] );
+      ( "cost",
+        [
+          Alcotest.test_case "calibration row 1" `Quick
+            test_via_psl_calibration_row1;
+          Alcotest.test_case "range explosion" `Quick
+            test_via_psl_explodes_on_ranges;
+          Alcotest.test_case "theta time" `Quick test_theta_time;
+        ] );
+      ( "validation",
+        [
+          qcheck_translation_equivalence;
+          Alcotest.test_case "exhaustive small" `Slow
+            test_translation_equivalence_exhaustive;
+        ] );
+    ]

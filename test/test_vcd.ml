@@ -1,0 +1,100 @@
+open Loseq_core
+open Loseq_verif
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else loop (i + 1)
+  in
+  loop 0
+
+let sample_trace =
+  [
+    Trace.event ~time:0 (Name.v "req");
+    Trace.event ~time:5 (Name.v "beat");
+    Trace.event ~time:6 (Name.v "beat");
+    Trace.event ~time:9 (Name.v "dma_done");
+  ]
+
+let test_header () =
+  let vcd = Vcd.of_trace sample_trace in
+  Alcotest.(check bool) "timescale" true (contains vcd "$timescale 1ps $end");
+  Alcotest.(check bool) "scope" true (contains vcd "$scope module loseq $end");
+  Alcotest.(check bool) "enddefinitions" true
+    (contains vcd "$enddefinitions $end")
+
+let test_declares_each_name_once () =
+  let vcd = Vcd.of_trace sample_trace in
+  List.iter
+    (fun nm ->
+      Alcotest.(check bool) nm true (contains vcd (" " ^ nm ^ " $end")))
+    [ "req"; "beat"; "dma_done" ]
+
+let test_timestamps_present () =
+  let vcd = Vcd.of_trace sample_trace in
+  List.iter
+    (fun t ->
+      Alcotest.(check bool)
+        (Printf.sprintf "#%d" t)
+        true
+        (contains vcd (Printf.sprintf "#%d\n" t)))
+    [ 0; 5; 6; 9 ]
+
+let test_pulse_shape () =
+  (* A lone event pulses 1 then 0 one unit later. *)
+  let vcd = Vcd.of_trace [ Trace.event ~time:3 (Name.v "x") ] in
+  Alcotest.(check bool) "rise at 3" true (contains vcd "#3\n1!");
+  Alcotest.(check bool) "fall at 4" true (contains vcd "#4\n0!")
+
+let test_burst_stays_high () =
+  (* Adjacent occurrences merge: no falling edge between 5 and 6. *)
+  let vcd =
+    Vcd.of_trace
+      [ Trace.event ~time:5 (Name.v "x"); Trace.event ~time:6 (Name.v "x") ]
+  in
+  Alcotest.(check bool) "rise" true (contains vcd "#5\n1!");
+  Alcotest.(check bool) "no fall at 6" false (contains vcd "#6\n0!");
+  Alcotest.(check bool) "fall at 7" true (contains vcd "#7\n0!")
+
+let test_custom_scope_and_timescale () =
+  let vcd = Vcd.of_trace ~timescale:"1ns" ~scope:"soc" sample_trace in
+  Alcotest.(check bool) "timescale" true (contains vcd "$timescale 1ns $end");
+  Alcotest.(check bool) "scope" true (contains vcd "$scope module soc $end")
+
+let test_write_roundtrip () =
+  let path = Filename.temp_file "loseq" ".vcd" in
+  Vcd.write ~path sample_trace;
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "file contents" (Vcd.of_trace sample_trace) contents
+
+let test_soc_trace_dumps () =
+  let soc = Loseq_platform.Soc.create () in
+  Loseq_platform.Soc.run soc;
+  let vcd = Vcd.of_trace (Tap.trace (Loseq_platform.Soc.tap soc)) in
+  List.iter
+    (fun nm -> Alcotest.(check bool) nm true (contains vcd nm))
+    [ "set_imgAddr"; "read_img"; "set_irq"; "lock_open" ]
+
+let () =
+  Alcotest.run "vcd"
+    [
+      ( "format",
+        [
+          Alcotest.test_case "header" `Quick test_header;
+          Alcotest.test_case "declarations" `Quick
+            test_declares_each_name_once;
+          Alcotest.test_case "timestamps" `Quick test_timestamps_present;
+          Alcotest.test_case "pulse" `Quick test_pulse_shape;
+          Alcotest.test_case "burst" `Quick test_burst_stays_high;
+          Alcotest.test_case "custom options" `Quick
+            test_custom_scope_and_timescale;
+          Alcotest.test_case "write" `Quick test_write_roundtrip;
+          Alcotest.test_case "platform trace" `Slow test_soc_trace_dumps;
+        ] );
+    ]

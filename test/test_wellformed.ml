@@ -1,0 +1,118 @@
+open Loseq_core
+open Loseq_testutil
+
+let n = name
+
+let ok p =
+  Alcotest.(check bool) "well-formed" true (Wellformed.is_well_formed p)
+
+let errors p expected =
+  match Wellformed.check p with
+  | Ok () -> Alcotest.fail "expected ill-formed"
+  | Error errs ->
+      Alcotest.(check int) "error count" expected (List.length errs)
+
+let test_good_patterns () =
+  List.iter
+    (fun src -> ok (pat src))
+    [
+      "n << i";
+      "{a, b, c} << start";
+      "{a | b} < c <<! i";
+      "a => b within 0";
+      "{a, b} < c => {d | e} < f within 100";
+    ]
+
+let test_duplicate_in_fragment () =
+  let p =
+    Pattern.antecedent
+      [ Pattern.fragment [ Pattern.range (n "x"); Pattern.range (n "x") ] ]
+      ~trigger:(n "i")
+  in
+  errors p 1
+
+let test_duplicate_across_fragments () =
+  let p =
+    Pattern.antecedent
+      [ Pattern.single (n "x"); Pattern.single (n "x") ]
+      ~trigger:(n "i")
+  in
+  errors p 1
+
+let test_duplicate_across_premise_conclusion () =
+  let p =
+    Pattern.timed
+      [ Pattern.single (n "x") ]
+      [ Pattern.single (n "x") ]
+      ~deadline:5
+  in
+  errors p 1
+
+let test_trigger_in_body () =
+  let p = Pattern.antecedent [ Pattern.single (n "i") ] ~trigger:(n "i") in
+  errors p 1
+
+let test_both_errors_reported () =
+  let p =
+    Pattern.antecedent
+      [ Pattern.single (n "i"); Pattern.single (n "i") ]
+      ~trigger:(n "i")
+  in
+  errors p 2
+
+let test_check_exn_raises () =
+  let p = Pattern.antecedent [ Pattern.single (n "i") ] ~trigger:(n "i") in
+  match Wellformed.check_exn p with
+  | () -> Alcotest.fail "expected Ill_formed"
+  | exception Wellformed.Ill_formed (p', errs) ->
+      Alcotest.check pattern_testable "same pattern" p p';
+      Alcotest.(check int) "one error" 1 (List.length errs)
+
+let test_monitor_rejects_ill_formed () =
+  let p = Pattern.antecedent [ Pattern.single (n "i") ] ~trigger:(n "i") in
+  match Monitor.create p with
+  | (_ : Monitor.t) -> Alcotest.fail "expected Ill_formed"
+  | exception Wellformed.Ill_formed _ -> ()
+
+(* Tiny local substring helper to avoid extra dependencies. *)
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec loop i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else loop (i + 1)
+  in
+  loop 0
+
+let test_error_messages () =
+  Alcotest.(check bool) "shared mentions name" true
+    (let msg = Wellformed.error_to_string (Wellformed.Shared_name (n "xyz")) in
+     contains msg "xyz")
+
+let qcheck_generated_patterns_well_formed =
+  qtest ~count:500 "generators produce well-formed patterns" gen_pattern
+    (fun p -> Pattern.to_string p)
+    Wellformed.is_well_formed
+
+let () =
+  Alcotest.run "wellformed"
+    [
+      ( "checks",
+        [
+          Alcotest.test_case "good patterns" `Quick test_good_patterns;
+          Alcotest.test_case "duplicate in fragment" `Quick
+            test_duplicate_in_fragment;
+          Alcotest.test_case "duplicate across fragments" `Quick
+            test_duplicate_across_fragments;
+          Alcotest.test_case "duplicate across P/Q" `Quick
+            test_duplicate_across_premise_conclusion;
+          Alcotest.test_case "trigger in body" `Quick test_trigger_in_body;
+          Alcotest.test_case "multiple errors" `Quick
+            test_both_errors_reported;
+          Alcotest.test_case "check_exn" `Quick test_check_exn_raises;
+          Alcotest.test_case "monitor rejects" `Quick
+            test_monitor_rejects_ill_formed;
+          Alcotest.test_case "error messages" `Quick test_error_messages;
+          qcheck_generated_patterns_well_formed;
+        ] );
+    ]
