@@ -297,6 +297,96 @@ let case_study () =
   run_one "bug: slow IPU (deadline)"
     { Soc.default_config with slow_ipu = true; presses = 1 }
 
+(* ---- Section 3b: hosted dispatch --------------------------------------- *)
+
+(* N checkers with disjoint alphabets on one tap.  Broadcast hosting
+   steps every structural monitor on every event (N steps/event); the
+   hub routes each event to the one compiled backend whose alphabet
+   contains it (1 step/event) - the hosted realization of the paper's
+   THETA(max |alpha(F_i)|) per-event bound. *)
+let hosted_dispatch () =
+  section
+    "Hosted dispatch: N checkers on one tap - broadcast Drct vs routed hub";
+  let open Loseq_sim in
+  let open Loseq_verif in
+  let target_events = 120_000 in
+  let bench n =
+    let patterns =
+      List.init n (fun i -> pat (Printf.sprintf "{a%d, b%d} <<! go%d" i i i))
+    in
+    let names =
+      Array.init n (fun i ->
+          [|
+            Name.v (Printf.sprintf "a%d" i);
+            Name.v (Printf.sprintf "b%d" i);
+            Name.v (Printf.sprintf "go%d" i);
+          |])
+    in
+    (* Round-robin satisfying workload: a_i b_i go_i, cycling i. *)
+    let events = target_events / (3 * n) * 3 * n in
+    let emit_all tap =
+      for j = 0 to events - 1 do
+        Tap.emit_name tap names.((j / 3) mod n).(j mod 3)
+      done
+    in
+    let timed checkers_of_tap =
+      let kernel = Kernel.create () in
+      let tap = Tap.create ~record:false kernel in
+      let checkers = checkers_of_tap tap in
+      let t0 = Sys.time () in
+      emit_all tap;
+      let dt = Sys.time () -. t0 in
+      assert (List.for_all Checker.passed checkers);
+      Float.max dt 1e-6
+    in
+    let broadcast_s =
+      timed (fun tap ->
+          List.map
+            (fun p ->
+              let c = Checker.make (Backend.direct p) in
+              Tap.subscribe tap (fun e -> Checker.deliver c e);
+              c)
+            patterns)
+    in
+    let hub_s =
+      timed (fun tap ->
+          let hub = Hub.create tap in
+          List.map (fun p -> Hub.add hub p) patterns)
+    in
+    (n, events, broadcast_s, hub_s)
+  in
+  let rows = List.map bench [ 1; 4; 16; 64 ] in
+  Format.printf "%-10s | %8s | %26s | %26s | %8s@." "checkers" "events"
+    "broadcast direct" "hub compiled" "speedup";
+  Format.printf "%-10s | %8s | %12s %13s | %12s %13s |@." "" "" "events/s"
+    "steps/event" "events/s" "steps/event";
+  List.iter
+    (fun (n, events, broadcast_s, hub_s) ->
+      let eps dt = float_of_int events /. dt in
+      Format.printf "%-10d | %8d | %12.3e %13d | %12.3e %13d | %7.1fx@." n
+        events (eps broadcast_s) n (eps hub_s) 1
+        (eps hub_s /. eps broadcast_s))
+    rows;
+  (* Machine-readable artifact next to the other BENCH_* outputs. *)
+  let oc = open_out "BENCH_hosted_dispatch.json" in
+  let row_json (n, events, broadcast_s, hub_s) =
+    let eps dt = float_of_int events /. dt in
+    Printf.sprintf
+      {|    { "checkers": %d, "events": %d,
+      "broadcast_direct": { "seconds": %.6f, "events_per_sec": %.1f, "checker_steps_per_event": %d },
+      "hub_compiled": { "seconds": %.6f, "events_per_sec": %.1f, "checker_steps_per_event": 1 },
+      "speedup": %.2f }|}
+      n events broadcast_s (eps broadcast_s) n hub_s (eps hub_s)
+      (eps hub_s /. eps broadcast_s)
+  in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"hosted_dispatch\",\n  \"workload\": \"N disjoint \
+     {a_i, b_i} <<! go_i checkers, round-robin satisfying stream\",\n  \
+     \"rows\": [\n%s\n  ]\n}\n"
+    (String.concat ",\n" (List.map row_json rows));
+  close_out oc;
+  Format.printf "@.written: BENCH_hosted_dispatch.json@."
+
 (* ---- Section 4: Bechamel micro-benchmarks ------------------------------ *)
 
 let bechamel_benches () =
@@ -388,5 +478,6 @@ let () =
   automaton_sizes ();
   ablation_oracle ();
   case_study ();
+  hosted_dispatch ();
   bechamel_benches ();
   Format.printf "@.done.@."

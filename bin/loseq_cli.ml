@@ -21,6 +21,28 @@ let pattern_arg =
   Cmdliner.Arg.(
     required & pos 0 (some pattern_conv) None & info [] ~docv:"PATTERN" ~doc)
 
+(* ---- backend selection ------------------------------------------------ *)
+
+let backend_kind_arg =
+  let doc =
+    "Monitor backend: $(b,direct) (the paper's structural Drct \
+     construction, richest diagnostics), $(b,compiled) (flat-table \
+     fast path, the default), or $(b,psl) (formula progression over \
+     the Section-5 PSL translation; rejects wide ranges and checks \
+     timed patterns without their quantitative deadline)."
+  in
+  Cmdliner.Arg.(
+    value
+    & opt
+        (enum [ ("direct", `Direct); ("compiled", `Compiled); ("psl", `Psl) ])
+        `Compiled
+    & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
+let factory_of = function
+  | `Direct -> fun p -> Backend.direct p
+  | `Compiled -> Backend.compiled
+  | `Psl -> Loseq_psl.Progress.backend
+
 (* ---- check ----------------------------------------------------------- *)
 
 let read_trace = function
@@ -41,7 +63,7 @@ let read_trace = function
       Trace.parse (Buffer.contents buf)
 
 let check_cmd =
-  let run pattern trace_file trace_inline strict final_time =
+  let run pattern trace_file trace_inline strict final_time backend_kind =
     let trace_result =
       match trace_inline with
       | Some s -> Trace.parse s
@@ -52,37 +74,55 @@ let check_cmd =
         Format.eprintf "trace error: %s@." msg;
         1
     | Ok trace -> (
-        let mode = if strict then Monitor.Strict else Monitor.Lenient in
-        let monitor = Monitor.create ~mode pattern in
-        let expected = ref (Monitor.acceptable monitor) in
-        let rec feed = function
-          | [] -> ()
-          | e :: rest -> (
-              match Monitor.step monitor e with
-              | Monitor.Running | Monitor.Satisfied ->
-                  expected := Monitor.acceptable monitor;
-                  feed rest
-              | Monitor.Violated _ -> ())
+        (* Strict mode must see foreign events; only the structural
+           monitor supports it, whatever backend was asked for. *)
+        let backend_result =
+          if strict then Ok (Backend.direct ~mode:Monitor.Strict pattern)
+          else
+            match (factory_of backend_kind) pattern with
+            | b -> Ok b
+            | exception Invalid_argument msg -> Error msg
         in
-        feed trace;
-        let final_time =
-          match final_time with
-          | Some ft -> ft
-          | None -> Trace.end_time trace
-        in
-        match Monitor.finalize monitor ~now:final_time with
-        | Monitor.Running ->
-            Format.printf "PASS (recognition in progress, no violation)@.";
-            0
-        | Monitor.Satisfied ->
-            Format.printf "PASS (property satisfied)@.";
-            0
-        | Monitor.Violated v ->
-            Format.printf "FAIL: %a@." Diag.pp_violation v;
-            if not (Name.Set.is_empty !expected) then
-              Format.printf "the monitor would have accepted: %a@."
-                Name.pp_set !expected;
-            1)
+        match backend_result with
+        | Error msg ->
+            Format.eprintf "backend error: %s@." msg;
+            2
+        | Ok b -> (
+            let expected = ref Name.Set.empty in
+            let update () =
+              match b.Backend.acceptable with
+              | Some acceptable -> expected := acceptable ()
+              | None -> ()
+            in
+            update ();
+            let rec feed = function
+              | [] -> ()
+              | e :: rest -> (
+                  match b.Backend.step e with
+                  | Backend.Running | Backend.Satisfied ->
+                      update ();
+                      feed rest
+                  | Backend.Violated _ -> ())
+            in
+            feed trace;
+            let final_time =
+              match final_time with
+              | Some ft -> ft
+              | None -> Trace.end_time trace
+            in
+            match b.Backend.finalize ~now:final_time with
+            | Backend.Running ->
+                Format.printf "PASS (recognition in progress, no violation)@.";
+                0
+            | Backend.Satisfied ->
+                Format.printf "PASS (property satisfied)@.";
+                0
+            | Backend.Violated v ->
+                Format.printf "FAIL: %a@." Diag.pp_violation v;
+                if not (Name.Set.is_empty !expected) then
+                  Format.printf "the monitor would have accepted: %a@."
+                    Name.pp_set !expected;
+                1))
   in
   let open Cmdliner in
   let trace_file =
@@ -109,10 +149,10 @@ let check_cmd =
           ~doc:"Observation end time for deadline checks.")
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Run the Drct monitor on a trace")
+    (Cmd.info "check" ~doc:"Run a monitor backend on a trace")
     Term.(
       const run $ pattern_arg $ trace_file $ trace_inline $ strict
-      $ final_time)
+      $ final_time $ backend_kind_arg)
 
 (* ---- psl ------------------------------------------------------------- *)
 
@@ -270,7 +310,7 @@ let lint_cmd =
 (* ---- suite ----------------------------------------------------------- *)
 
 let suite_cmd =
-  let run file trace_file trace_inline final_time =
+  let run file trace_file trace_inline final_time backend_kind =
     match Loseq_verif.Suite.load file with
     | Error e ->
         Format.eprintf "%a@." Loseq_verif.Suite.pp_error e;
@@ -285,16 +325,21 @@ let suite_cmd =
         | Error msg ->
             Format.eprintf "trace error: %s@." msg;
             2
-        | Ok trace ->
-            let results =
-              Loseq_verif.Suite.check_trace ?final_time suite trace
-            in
-            List.iter
-              (fun (label, passed) ->
-                Format.printf "%-40s %s@." label
-                  (if passed then "PASS" else "FAIL"))
-              results;
-            if List.for_all snd results then 0 else 1)
+        | Ok trace -> (
+            match
+              Loseq_verif.Suite.check_trace
+                ~backend:(factory_of backend_kind) ?final_time suite trace
+            with
+            | results ->
+                List.iter
+                  (fun (label, passed) ->
+                    Format.printf "%-40s %s@." label
+                      (if passed then "PASS" else "FAIL"))
+                  results;
+                if List.for_all snd results then 0 else 1
+            | exception Invalid_argument msg ->
+                Format.eprintf "backend error: %s@." msg;
+                2))
   in
   let open Cmdliner in
   let file =
@@ -324,7 +369,9 @@ let suite_cmd =
   in
   Cmd.v
     (Cmd.info "suite" ~doc:"Check a property-suite file against a trace")
-    Term.(const run $ file $ trace_file $ trace_inline $ final_time)
+    Term.(
+      const run $ file $ trace_file $ trace_inline $ final_time
+      $ backend_kind_arg)
 
 (* ---- dfa ------------------------------------------------------------- *)
 
@@ -362,7 +409,7 @@ let dfa_cmd =
 (* ---- soc ------------------------------------------------------------- *)
 
 let soc_cmd =
-  let run presses bug slow_ipu seed verbose vcd =
+  let run presses bug slow_ipu seed verbose vcd backend_kind =
     let open Loseq_platform in
     let cpu_bug =
       match bug with
@@ -378,7 +425,16 @@ let soc_cmd =
       { Soc.default_config with presses; cpu_bug; slow_ipu; seed }
     in
     let soc = Soc.create ~config () in
-    let report = Soc.attach_standard_checkers soc in
+    let report =
+      match
+        Soc.attach_standard_checkers ~backend:(factory_of backend_kind) soc
+      with
+      | report -> report
+      | exception Invalid_argument msg ->
+          (* e.g. the PSL backend rejecting read_img[100,60000]. *)
+          Format.eprintf "backend error: %s@." msg;
+          exit 2
+    in
     Soc.run soc;
     Loseq_verif.Report.finalize report;
     if verbose then
@@ -425,7 +481,9 @@ let soc_cmd =
   Cmd.v
     (Cmd.info "soc"
        ~doc:"Simulate the access-control platform with monitors attached")
-    Term.(const run $ presses $ bug $ slow_ipu $ seed $ verbose $ vcd)
+    Term.(
+      const run $ presses $ bug $ slow_ipu $ seed $ verbose $ vcd
+      $ backend_kind_arg)
 
 let () =
   let open Cmdliner in

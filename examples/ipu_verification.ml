@@ -5,13 +5,24 @@
 
    Run with: dune exec examples/ipu_verification.exe *)
 
+open Loseq_core
 open Loseq_platform
 open Loseq_verif
 
-let scenario title config =
+(* The checkers are hosted on an alphabet-routed hub; [backend] picks
+   the monitor implementation behind each one (the CLI equivalent is
+   `loseq_cli soc --backend compiled`).  Compiled is the production
+   default; direct is the paper's structural construction with the
+   richest diagnostics. *)
+let scenario ?(backend = Backend.compiled) title config =
   Format.printf "@.===== %s =====@." title;
   let soc = Soc.create ~config () in
-  let report = Soc.attach_standard_checkers soc in
+  let hub = Soc.standard_hub ~backend soc in
+  (match Hub.checkers hub with
+  | c :: _ ->
+      Format.printf "(monitor backend: %s)@." (Checker.backend c).Backend.label
+  | [] -> ());
+  let report = Hub.report hub in
   (* Violations are reported live, with full diagnostics. *)
   Soc.run soc;
   Report.finalize report;
@@ -34,6 +45,12 @@ let () =
      a different (random) order on every recognition — the point of
      loose-ordering properties is that all these orders are correct. *)
   scenario "correct firmware (3 button presses)" Soc.default_config;
+
+  (* The same scenario on the structural (Drct) backend: identical
+     verdicts, richer per-fragment coverage. *)
+  scenario
+    ~backend:(fun p -> Backend.direct p)
+    "correct firmware, structural backend" Soc.default_config;
 
   (* Buggy firmware: recognition started before the gallery size was
      configured.  A classic driver race — caught by the antecedent

@@ -1,0 +1,150 @@
+type verdict = Monitor.verdict =
+  | Running
+  | Satisfied
+  | Violated of Diag.violation
+
+type t = {
+  label : string;
+  pattern : Pattern.t;
+  alphabet : Name.Set.t;
+  step : Trace.event -> verdict;
+  prepare : Name.t -> int -> verdict;
+  check_time : now:int -> verdict;
+  next_deadline : unit -> int option;
+  finalize : now:int -> verdict;
+  verdict : unit -> verdict;
+  reset : unit -> unit;
+  states : (unit -> Recognizer.state list list) option;
+  acceptable : (unit -> Name.Set.t) option;
+  ops : (unit -> int) option;
+}
+
+let make ~label ~pattern ?alphabet ~step ?prepare ?check_time ?next_deadline
+    ?finalize ~verdict ~reset ?states ?acceptable ?ops () =
+  let alphabet =
+    match alphabet with Some a -> a | None -> Pattern.alpha pattern
+  in
+  let prepare =
+    match prepare with
+    | Some f -> f
+    | None -> fun name time -> step { Trace.name; time }
+  in
+  let check_time =
+    match check_time with Some f -> f | None -> fun ~now:_ -> verdict ()
+  in
+  let next_deadline =
+    match next_deadline with Some f -> f | None -> fun () -> None
+  in
+  let finalize =
+    match finalize with Some f -> f | None -> fun ~now -> check_time ~now
+  in
+  {
+    label;
+    pattern;
+    alphabet;
+    step;
+    prepare;
+    check_time;
+    next_deadline;
+    finalize;
+    verdict;
+    reset;
+    states;
+    acceptable;
+    ops;
+  }
+
+type factory = Pattern.t -> t
+
+(* ---- structural (Drct, the paper's construction) ---------------------- *)
+
+let of_monitor_gen ~mode monitor0 =
+  (* [reset] swaps in a fresh monitor; every closure reads the ref. *)
+  let m = ref monitor0 in
+  let pattern = Monitor.pattern monitor0 in
+  make ~label:"direct" ~pattern
+    ~alphabet:(Monitor.alphabet monitor0)
+    ~step:(fun e -> Monitor.step !m e)
+    ~check_time:(fun ~now -> Monitor.check_time !m ~now)
+    ~next_deadline:(fun () -> Monitor.next_deadline !m)
+    ~finalize:(fun ~now -> Monitor.finalize !m ~now)
+    ~verdict:(fun () -> Monitor.verdict !m)
+    ~reset:(fun () -> m := Monitor.create ?mode pattern)
+    ~states:(fun () -> Monitor.fragment_states !m)
+    ~acceptable:(fun () -> Monitor.acceptable !m)
+    ~ops:(fun () -> Monitor.ops !m)
+    ()
+
+let of_monitor monitor = of_monitor_gen ~mode:None monitor
+let direct ?mode pattern = of_monitor_gen ~mode (Monitor.create ?mode pattern)
+
+(* ---- compiled (flat-table fast path) ---------------------------------- *)
+
+let violation_of_compiled c ~(reason : Diag.reason) ~time ~index =
+  {
+    Diag.name = None;
+    time;
+    index;
+    fragment = max (Compiled.active_fragment c) 0;
+    reason;
+  }
+
+let lift_compiled c = function
+  | Compiled.Running -> Running
+  | Compiled.Satisfied -> Satisfied
+  | Compiled.Violated { reason; time; index } ->
+      Violated (violation_of_compiled c ~reason ~time ~index)
+
+let of_compiled c =
+  make ~label:"compiled"
+    ~pattern:(Compiled.pattern c)
+    ~alphabet:(Compiled.alphabet c)
+    ~step:(fun e -> lift_compiled c (Compiled.step c e))
+    ~prepare:(fun name ->
+      match Compiled.id_of_name c name with
+      | Some id -> fun time -> lift_compiled c (Compiled.step_id c ~id ~time)
+      | None -> fun _time -> lift_compiled c (Compiled.verdict c))
+    ~check_time:(fun ~now -> lift_compiled c (Compiled.check_time c ~now))
+    ~next_deadline:(fun () -> Compiled.next_deadline c)
+    ~finalize:(fun ~now -> lift_compiled c (Compiled.finalize c ~now))
+    ~verdict:(fun () -> lift_compiled c (Compiled.verdict c))
+    ~reset:(fun () -> Compiled.reset c)
+    ()
+
+let compiled pattern = of_compiled (Compiled.compile pattern)
+
+(* ---- signature-style extension ---------------------------------------- *)
+
+module type MONITOR_BACKEND = sig
+  type state
+
+  val label : string
+  val create : Pattern.t -> state
+  val alphabet : state -> Name.Set.t
+  val step : state -> Trace.event -> verdict
+  val check_time : state -> now:int -> verdict
+  val next_deadline : state -> int option
+  val finalize : state -> now:int -> verdict
+  val verdict : state -> verdict
+  val reset : state -> unit
+end
+
+let pack (module B : MONITOR_BACKEND) pattern =
+  let s = B.create pattern in
+  make ~label:B.label ~pattern ~alphabet:(B.alphabet s)
+    ~step:(fun e -> B.step s e)
+    ~check_time:(fun ~now -> B.check_time s ~now)
+    ~next_deadline:(fun () -> B.next_deadline s)
+    ~finalize:(fun ~now -> B.finalize s ~now)
+    ~verdict:(fun () -> B.verdict s)
+    ~reset:(fun () -> B.reset s)
+    ()
+
+(* ---- helpers ----------------------------------------------------------- *)
+
+let passed = function Running | Satisfied -> true | Violated _ -> false
+
+let pp_verdict ppf = function
+  | Running -> Format.pp_print_string ppf "pass (running)"
+  | Satisfied -> Format.pp_print_string ppf "pass (satisfied)"
+  | Violated v -> Format.fprintf ppf "FAIL: %a" Diag.pp_violation v

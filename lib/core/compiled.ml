@@ -19,6 +19,7 @@ let c_after = 4
 
 type t = {
   pattern : Pattern.t;
+  alpha : Name.Set.t;
   (* alphabet interning *)
   ids : (Name.t, int) Hashtbl.t;
   (* per name id *)
@@ -112,6 +113,7 @@ let compile pattern =
   let t =
     {
       pattern;
+      alpha = Pattern.alpha pattern;
       ids;
       owner;
       terminator;
@@ -142,8 +144,18 @@ let compile pattern =
   t
 
 let pattern t = t.pattern
+let alphabet t = t.alpha
 let id_of_name t nm = Hashtbl.find_opt t.ids nm
 let verdict t = t.verdict
+let active_fragment t = t.active
+
+let next_deadline t =
+  match t.verdict with
+  | Satisfied | Violated _ -> None
+  | Running ->
+      if t.timed && t.started >= 0 && not t.q_done then
+        Some (t.started + t.deadline)
+      else None
 
 let reset t =
   Array.fill t.state 0 (Array.length t.state) s_idle;

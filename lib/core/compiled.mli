@@ -23,6 +23,10 @@ val compile : Pattern.t -> t
 
 val pattern : t -> Pattern.t
 
+val alphabet : t -> Name.Set.t
+(** [α(pattern)], computed once at compile time — the routing key a
+    hosting layer uses to deliver only relevant events. *)
+
 val id_of_name : t -> Name.t -> int option
 (** Interned id, [None] for names outside the alphabet. *)
 
@@ -34,6 +38,15 @@ val step : t -> Trace.event -> verdict
 (** Interns and delegates to {!step_id}; foreign names are ignored. *)
 
 val check_time : t -> now:int -> verdict
+
+val next_deadline : t -> int option
+(** The earliest simulation time at which {!check_time} could report a
+    violation — for scheduling a timeout in a simulation host (same
+    contract as {!Monitor.next_deadline}). *)
+
+val active_fragment : t -> int
+(** 0-based index of the active fragment. *)
+
 val finalize : t -> now:int -> verdict
 val verdict : t -> verdict
 val reset : t -> unit

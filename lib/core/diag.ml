@@ -10,6 +10,7 @@ type reason =
   | Deadline_miss of { started : int; deadline : int; now : int }
   | Late_conclusion of { deadline : int; at : int }
   | Foreign of Name.t
+  | Formula_falsified
 
 type violation = {
   name : Name.t option;
@@ -44,6 +45,8 @@ let pp_reason ppf = function
       Format.fprintf ppf "conclusion event at t=%d after deadline t=%d" at
         deadline
   | Foreign n -> Format.fprintf ppf "foreign event %a" Name.pp n
+  | Formula_falsified ->
+      Format.pp_print_string ppf "PSL residual obligation falsified"
 
 let pp_violation ppf v =
   Format.fprintf ppf "@[<h>violation at t=%d" v.time;

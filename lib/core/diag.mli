@@ -14,6 +14,9 @@ type reason =
   | Late_conclusion of { deadline : int; at : int }
       (** an event of [Q]'s occurrence arrived after the deadline *)
   | Foreign of Name.t  (** non-alphabet event (strict mode only) *)
+  | Formula_falsified
+      (** the residual PSL obligation became [False] (ViaPSL backend;
+          no finer structural diagnosis is available there) *)
 
 type violation = {
   name : Name.t option;  (** offending event ([None] for timeouts) *)

@@ -53,6 +53,7 @@ let create ?(mode = Lenient) ?(ops = ref 0) pattern =
   }
 
 let pattern t = t.pattern
+let alphabet t = t.alpha
 let verdict t = t.verdict
 
 let violate t ?name ~time ~index reason =

@@ -31,6 +31,11 @@ val create : ?mode:mode -> ?ops:int ref -> Pattern.t -> t
 (** Raises {!Wellformed.Ill_formed} on an ill-formed pattern. *)
 
 val pattern : t -> Pattern.t
+
+val alphabet : t -> Name.Set.t
+(** [α(pattern)], computed once at creation — the routing key a hosting
+    layer uses to deliver only relevant events. *)
+
 val verdict : t -> verdict
 
 val step : t -> Trace.event -> verdict

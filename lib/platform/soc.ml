@@ -153,18 +153,20 @@ let property_recognition t =
     ]
     ~deadline:(Time.to_ps t.config.recognition_deadline)
 
-let attach_standard_checkers t =
-  let report = Report.create () in
-  Report.add report
-    (Checker.attach ~name:"IPU configuration before start" t.tap
+let standard_hub ?backend t =
+  let hub = Hub.create t.tap in
+  ignore
+    (Hub.add ?backend ~name:"IPU configuration before start" hub
        (property_configuration t));
-  Report.add report
-    (Checker.attach ~name:"IPU configuration before start (repeated)" t.tap
+  ignore
+    (Hub.add ?backend ~name:"IPU configuration before start (repeated)" hub
        (property_configuration_repeated t));
-  Report.add report
-    (Checker.attach ~name:"recognition completes within deadline" t.tap
+  ignore
+    (Hub.add ?backend ~name:"recognition completes within deadline" hub
        (property_recognition t));
-  report
+  hub
+
+let attach_standard_checkers ?backend t = Hub.report (standard_hub ?backend t)
 
 let run ?until t =
   let horizon =

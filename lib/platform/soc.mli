@@ -38,8 +38,14 @@ val property_recognition : t -> Pattern.t
 (** Section 3 (ii) / Example 3:
     [start => read_img[100,60000] < set_irq within T]. *)
 
-val attach_standard_checkers : t -> Report.t
-(** Attach the three properties above and return their report. *)
+val standard_hub : ?backend:Backend.factory -> t -> Hub.t
+(** Host the three properties above on an alphabet-routed {!Hub}
+    (backend defaults to {!Loseq_core.Backend.compiled}).  Note the
+    PSL backend rejects {!property_recognition} — its
+    [read_img[100,60000]] range is far past the re-encoding bound. *)
+
+val attach_standard_checkers : ?backend:Backend.factory -> t -> Report.t
+(** {!standard_hub}, reported. *)
 
 val run : ?until:Time.t -> t -> unit
 (** Run the scripted scenario (defaults to a horizon comfortably after

@@ -81,3 +81,104 @@ let monitor_pattern p word =
   let formula = Translate.to_psl p in
   let encoded = Translate.expand_trace p word in
   weak_accept (run formula encoded)
+
+(* ---- hosting backend --------------------------------------------------- *)
+
+(* Online run-length lexer: the incremental counterpart of
+   [Translate.expand_trace].  A run of a re-encoded range name is
+   buffered until a different (alphabet) event closes it, then emitted
+   as the single letter [n.k]; runs that overflow their upper bound emit
+   the invalid marker [n.0] immediately and absorb the rest of the run.
+   A trailing open run is withheld, as an online lexer must — pending
+   obligations stay impartially open, which is exactly the weak
+   acceptance [finalize] reports. *)
+type lexer = {
+  table : (Name.t, Pattern.range) Hashtbl.t;
+  mutable run : (Pattern.range * int * bool) option;
+      (* range, count, overflow already reported *)
+}
+
+let lexer_create p =
+  let table = Hashtbl.create 8 in
+  List.iter
+    (fun (f : Pattern.fragment) ->
+      List.iter
+        (fun (r : Pattern.range) ->
+          if Translate.needs_expansion r then Hashtbl.replace table r.name r)
+        f.ranges)
+    (Pattern.body_ordering p);
+  { table; run = None }
+
+(* Letters produced by one input event: 0, 1 or 2. *)
+let lexer_feed lx name emit =
+  let open_run name =
+    match Hashtbl.find_opt lx.table name with
+    | Some r -> lx.run <- Some (r, 1, false)
+    | None -> emit name
+  in
+  match lx.run with
+  | Some ((r : Pattern.range), k, overflowed) when Name.equal name r.name ->
+      if overflowed then ()
+      else if k + 1 > r.hi then begin
+        emit (Translate.invalid_name r);
+        lx.run <- Some (r, k + 1, true)
+      end
+      else lx.run <- Some (r, k + 1, false)
+  | Some (r, k, overflowed) ->
+      if not overflowed then
+        emit
+          (if k >= r.Pattern.lo then Translate.expanded_name r k
+           else Translate.invalid_name r);
+      lx.run <- None;
+      open_run name
+  | None -> open_run name
+
+let backend p =
+  let open Loseq_core in
+  Wellformed.check_exn p;
+  let formula = Translate.to_psl p in
+  let alphabet = Pattern.alpha p in
+  let monitor = ref (create formula) in
+  let lexer = ref (lexer_create p) in
+  let index = ref 0 in
+  let sticky = ref Backend.Running in
+  let lift time = function
+    | Satisfied ->
+        sticky := Backend.Satisfied;
+        !sticky
+    | Violated ->
+        sticky :=
+          Backend.Violated
+            {
+              Diag.name = None;
+              time;
+              index = !index - 1;
+              fragment = 0;
+              reason = Diag.Formula_falsified;
+            };
+        !sticky
+    | Running _ -> Backend.Running
+  in
+  let step (e : Trace.event) =
+    match !sticky with
+    | (Backend.Satisfied | Backend.Violated _) as v -> v
+    | Backend.Running ->
+        if not (Name.Set.mem e.name alphabet) then Backend.Running
+        else begin
+          incr index;
+          lexer_feed !lexer e.name (fun letter ->
+              match !sticky with
+              | Backend.Running -> ignore (lift e.time (step !monitor letter))
+              | Backend.Satisfied | Backend.Violated _ -> ());
+          !sticky
+        end
+  in
+  Backend.make ~label:"psl" ~pattern:p ~alphabet ~step
+    ~verdict:(fun () -> !sticky)
+    ~reset:(fun () ->
+      monitor := create formula;
+      lexer := lexer_create p;
+      index := 0;
+      sticky := Backend.Running)
+    ~ops:(fun () -> steps !monitor)
+    ()

@@ -52,3 +52,15 @@ val monitor_pattern : Pattern.t -> Name.t list -> bool
 (** Convenience: progress the Section-5 encoding of a pattern through
     the (run-length re-encoded) word and return {!weak_accept}.  Raises
     like {!Translate.to_psl} on over-wide ranges. *)
+
+val backend : Pattern.t -> Backend.t
+(** The ViaPSL strategy as a hosting {!Loseq_core.Backend}: an online
+    run-length lexer (the paper's [Δ], incremental) feeding formula
+    progression.  For head-to-head validation against the Drct backends
+    in a deployment; quantitative deadlines are outside PSL 1.1, so
+    timed patterns are checked for their untimed [P·Q] shape only and
+    [next_deadline] is always [None].  Detection is lazier than Drct
+    (safety clauses may only falsify at the next reset point) and the
+    verdict on violation carries {!Diag.Formula_falsified}.  Raises
+    {!Wellformed.Ill_formed} and, like {!Translate.to_psl},
+    [Invalid_argument] on over-wide ranges. *)

@@ -37,6 +37,10 @@ val expansion_width : Pattern.range -> int
 val needs_expansion : Pattern.range -> bool
 (** [false] exactly for [n[1,1]]. *)
 
+val expanded_name : Pattern.range -> int -> Name.t
+(** [expanded_name r k] is the re-encoded name [n.k] for a run of [k]
+    consecutive occurrences of [r.name] ([n.0] is {!invalid_name}). *)
+
 val expanded_names : Pattern.range -> Name.t list
 (** [E(R)]: the names the range contributes to the re-encoded alphabet.
     Raises [Invalid_argument] when wider than 100_000 (materializing a

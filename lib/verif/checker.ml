@@ -3,8 +3,8 @@ open Loseq_sim
 
 type t = {
   name : string;
-  tap : Tap.t;
-  monitor : Monitor.t;
+  backend : Backend.t;
+  now : unit -> int;  (** the host's clock, for {!finalize} *)
   coverage : Coverage.t;
   mutable events_seen : int;
   mutable timeout : Kernel.handle option;
@@ -12,95 +12,127 @@ type t = {
   mutable violation_reported : bool;
 }
 
-let report_if_violated t =
-  match Monitor.verdict t.monitor with
-  | Monitor.Violated v when not t.violation_reported ->
-      t.violation_reported <- true;
-      Coverage.record_violation t.coverage;
-      List.iter (fun hook -> hook v) (List.rev t.violation_hooks)
-  | Monitor.Violated _ | Monitor.Running | Monitor.Satisfied -> ()
-
-(* Keep exactly one kernel timeout scheduled at the monitor's next
-   deadline; fire a [check_time] just past it. *)
-let reschedule_timeout t =
-  (match t.timeout with
-  | Some handle ->
-      Kernel.cancel handle;
-      t.timeout <- None
-  | None -> ());
-  match Monitor.next_deadline t.monitor with
-  | None -> ()
-  | Some deadline_ps ->
-      let kernel = Tap.kernel t.tap in
-      let at = Time.ps (deadline_ps + 1) in
-      if Time.( < ) (Kernel.now kernel) at then
-        t.timeout <-
-          Some
-            (Kernel.schedule_at kernel ~at (fun () ->
-                 let now = Time.to_ps (Kernel.now kernel) in
-                 ignore (Monitor.check_time t.monitor ~now);
-                 report_if_violated t))
-
-let on_event t event =
-  t.events_seen <- t.events_seen + 1;
-  Coverage.observe_event t.coverage event;
-  let before = Monitor.verdict t.monitor in
-  let after = Monitor.step t.monitor event in
-  Coverage.observe_states t.coverage (Monitor.fragment_states t.monitor);
-  (match (before, after) with
-  | Monitor.Running, Monitor.Satisfied -> Coverage.record_round t.coverage
-  | Monitor.Running, Monitor.Running
-    when Monitor.active_fragment t.monitor = 0 ->
-      (* Heuristic: a repeated pattern restarting its first fragment has
-         just closed a round; counted precisely enough for coverage. *)
-      ()
-  | _, (Monitor.Running | Monitor.Satisfied | Monitor.Violated _) -> ());
-  report_if_violated t;
-  reschedule_timeout t
-
-let attach ?mode ?name tap pattern =
-  let monitor = Monitor.create ?mode pattern in
+let make ?name ?(now = fun () -> 0) backend =
   let name =
-    match name with Some n -> n | None -> Pattern.to_string pattern
+    match name with
+    | Some n -> n
+    | None -> Pattern.to_string backend.Backend.pattern
   in
   let t =
     {
       name;
-      tap;
-      monitor;
-      coverage = Coverage.create pattern;
+      backend;
+      now;
+      coverage = Coverage.create backend.Backend.pattern;
       events_seen = 0;
       timeout = None;
       violation_hooks = [];
       violation_reported = false;
     }
   in
-  Coverage.observe_states t.coverage (Monitor.fragment_states monitor);
-  Tap.subscribe tap (on_event t);
+  (match backend.Backend.states with
+  | Some states -> Coverage.observe_states t.coverage (states ())
+  | None -> ());
+  t
+
+let report_if_violated t =
+  match t.backend.Backend.verdict () with
+  | Backend.Violated v when not t.violation_reported ->
+      t.violation_reported <- true;
+      Coverage.record_violation t.coverage;
+      List.iter (fun hook -> hook v) (List.rev t.violation_hooks)
+  | Backend.Violated _ | Backend.Running | Backend.Satisfied -> ()
+
+(* Shared post-step accounting for every delivery path. *)
+let note t ~before ~after =
+  (match (before, after) with
+  | Backend.Running, Backend.Satisfied -> Coverage.record_round t.coverage
+  | _, (Backend.Running | Backend.Satisfied | Backend.Violated _) -> ());
+  (match t.backend.Backend.states with
+  | Some states -> Coverage.observe_states t.coverage (states ())
+  | None -> ());
+  report_if_violated t
+
+let deliver t event =
+  t.events_seen <- t.events_seen + 1;
+  Coverage.observe_event t.coverage event;
+  let before = t.backend.Backend.verdict () in
+  let after = t.backend.Backend.step event in
+  note t ~before ~after
+
+(* Per-name routed delivery: the backend resolves [name] once and the
+   returned handler only takes the event for its time stamp. *)
+let routed t name =
+  let stepper = t.backend.Backend.prepare name in
+  fun (event : Trace.event) ->
+    t.events_seen <- t.events_seen + 1;
+    Coverage.observe_event t.coverage event;
+    let before = t.backend.Backend.verdict () in
+    let after = stepper event.Trace.time in
+    note t ~before ~after
+
+let poll t ~now =
+  ignore (t.backend.Backend.check_time ~now);
+  report_if_violated t
+
+let next_deadline t = t.backend.Backend.next_deadline ()
+
+(* Keep exactly one kernel timeout scheduled at the backend's next
+   deadline; fire a [check_time] just past it. *)
+let reschedule_timeout t tap =
+  (match t.timeout with
+  | Some handle ->
+      Kernel.cancel handle;
+      t.timeout <- None
+  | None -> ());
+  match next_deadline t with
+  | None -> ()
+  | Some deadline_ps ->
+      let kernel = Tap.kernel tap in
+      let at = Time.ps (deadline_ps + 1) in
+      if Time.( < ) (Kernel.now kernel) at then
+        t.timeout <-
+          Some
+            (Kernel.schedule_at kernel ~at (fun () ->
+                 poll t ~now:(Time.to_ps (Kernel.now kernel))))
+
+let attach ?(backend = Backend.compiled) ?mode ?name tap pattern =
+  let backend =
+    match mode with
+    | Some m -> Backend.direct ~mode:m pattern
+    | None -> backend pattern
+  in
+  let t = make ?name ~now:(fun () -> Tap.now_ps tap) backend in
+  (match mode with
+  | Some Monitor.Strict ->
+      (* Strict mode must see every event, not just the alphabet. *)
+      Tap.subscribe tap (fun e ->
+          deliver t e;
+          reschedule_timeout t tap)
+  | Some Monitor.Lenient | None ->
+      Name.Set.iter
+        (fun n ->
+          let handler = routed t n in
+          Tap.subscribe_name tap n (fun e ->
+              handler e;
+              reschedule_timeout t tap))
+        backend.Backend.alphabet);
   t
 
 let name t = t.name
-let pattern t = Monitor.pattern t.monitor
-let monitor t = t.monitor
-let verdict t = Monitor.verdict t.monitor
+let pattern t = t.backend.Backend.pattern
+let backend t = t.backend
+let verdict t = t.backend.Backend.verdict ()
 
-let finalize t =
-  let now = Tap.now_ps t.tap in
-  let verdict = Monitor.finalize t.monitor ~now in
+let finalize_at t ~now =
+  let verdict = t.backend.Backend.finalize ~now in
   report_if_violated t;
   verdict
 
-let passed t =
-  match Monitor.verdict t.monitor with
-  | Monitor.Running | Monitor.Satisfied -> true
-  | Monitor.Violated _ -> false
+let finalize t = finalize_at t ~now:(t.now ())
 
+let passed t = Backend.passed (t.backend.Backend.verdict ())
 let on_violation t hook = t.violation_hooks <- hook :: t.violation_hooks
 let events_seen t = t.events_seen
 let coverage t = t.coverage
-
-let pp_verdict ppf = function
-  | Monitor.Running -> Format.pp_print_string ppf "pass (running)"
-  | Monitor.Satisfied -> Format.pp_print_string ppf "pass (satisfied)"
-  | Monitor.Violated v ->
-      Format.fprintf ppf "FAIL: %a" Diag.pp_violation v
+let pp_verdict = Backend.pp_verdict

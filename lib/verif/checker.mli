@@ -1,34 +1,83 @@
-(** Assertion checkers: monitors hosted in a simulation.
+(** Assertion checkers: monitor backends hosted in a simulation.
 
-    A checker subscribes a {!Loseq_core.Monitor} to a {!Tap}, drives it
-    with the observed events, and — for timed-implication patterns —
+    A checker wraps one {!Loseq_core.Backend} (structural, compiled or
+    ViaPSL — chosen per checker with a factory, compiled by default),
+    drives it with observed events, collects coverage and reports
+    violations once.  For timed-implication patterns the hosting layer
     keeps a timeout scheduled in the kernel so that a deadline miss is
     reported at the moment the deadline elapses, even if no further
     event arrives (the [sc_time]-based mechanism of the paper's
-    Section 6 monitors). *)
+    Section 6 monitors): {!attach} manages its own timeout, while
+    checkers hosted on a {!Hub} share the hub's merged timer wheel.
+
+    Events are routed by name: {!attach} subscribes one pre-resolved
+    handler per alphabet name ({!Tap.subscribe_name}), so a checker is
+    only invoked for events in its pattern's alphabet and
+    {!events_seen} counts exactly those.  Strict mode is the exception:
+    it must see (and reject) foreign events, so it subscribes to the
+    whole stream and forces the structural backend. *)
 
 open Loseq_core
 
 type t
 
-val attach : ?mode:Monitor.mode -> ?name:string -> Tap.t -> Pattern.t -> t
-(** Raises {!Wellformed.Ill_formed} on an ill-formed pattern. *)
+val attach :
+  ?backend:Backend.factory ->
+  ?mode:Monitor.mode ->
+  ?name:string ->
+  Tap.t ->
+  Pattern.t ->
+  t
+(** Self-hosted: subscribe to the tap and keep a private deadline
+    timeout.  [backend] defaults to {!Backend.compiled}; [mode], when
+    given, overrides [backend] with the structural monitor in that
+    mode.  Raises {!Wellformed.Ill_formed} on an ill-formed pattern
+    (and whatever else the factory raises). *)
+
+(** {1 Hosting primitives}
+
+    Used by {!Hub} (or any custom host); a checker built with {!make}
+    is not subscribed anywhere. *)
+
+val make : ?name:string -> ?now:(unit -> int) -> Backend.t -> t
+(** A detached checker over an existing backend.  [now] is the host's
+    clock, consulted by {!finalize} (defaults to constant 0). *)
+
+val deliver : t -> Trace.event -> unit
+(** Feed one event (coverage, verdict transitions, violation hooks). *)
+
+val routed : t -> Name.t -> Trace.event -> unit
+(** [routed t n] is the per-name fast path: the backend resolves [n]
+    once ({!Backend.t.prepare}) and the returned handler is what a host
+    subscribes for that name. *)
+
+val poll : t -> now:int -> unit
+(** Deadline check at time [now] (reports a miss through the hooks). *)
+
+val next_deadline : t -> int option
+
+(** {1 Results} *)
 
 val name : t -> string
 val pattern : t -> Pattern.t
-val monitor : t -> Monitor.t
-val verdict : t -> Monitor.verdict
+val backend : t -> Backend.t
+val verdict : t -> Backend.verdict
 
-val finalize : t -> Monitor.verdict
-(** Final deadline check at the current simulation time; call when the
+val finalize : t -> Backend.verdict
+(** Final deadline check at the host's current time; call when the
     simulation is over. *)
+
+val finalize_at : t -> now:int -> Backend.verdict
 
 val passed : t -> bool
 (** No violation (after {!finalize}d or mid-run). *)
 
 val on_violation : t -> (Diag.violation -> unit) -> unit
-(** Called once, when the monitor first reports a violation. *)
+(** Called once, when the backend first reports a violation. *)
 
 val events_seen : t -> int
+(** Events delivered to this checker — with name routing, only the
+    events in the pattern's alphabet. *)
+
 val coverage : t -> Coverage.t
-val pp_verdict : Format.formatter -> Monitor.verdict -> unit
+val pp_verdict : Format.formatter -> Backend.verdict -> unit

@@ -45,4 +45,22 @@ val drive :
 val drive_sequence : ?gap:Time.t * Time.t -> t -> Name.t list -> unit
 (** Drive an explicit sequence (e.g. a mutated, violating one). *)
 
+val drive_monitored :
+  ?backend:Backend.factory ->
+  ?mode:Monitor.mode ->
+  ?seed:int ->
+  ?rounds:int ->
+  ?gap:Time.t * Time.t ->
+  t ->
+  Tap.t ->
+  Pattern.t ->
+  Checker.t
+(** {!drive}, closed-loop: attaches a checker for the pattern on [tap]
+    (backend defaults to {!Loseq_core.Backend.compiled}) before
+    spawning the driver process, and returns it.  Alphabet names
+    without a binding are bound to emit the abstract event on [tap],
+    so the generated stimulus is observable out of the box; explicit
+    bindings (real TLM actions) are left untouched and must emit on
+    the tap themselves to be seen by the checker. *)
+
 val actions_performed : t -> int

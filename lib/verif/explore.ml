@@ -14,15 +14,20 @@ type result = {
   tried : int;
 }
 
-let score p trace =
+let score ?(backend = fun p -> Backend.direct p) p trace =
   let coverage = Coverage.create p in
-  let monitor = Monitor.create p in
-  Coverage.observe_states coverage (Monitor.fragment_states monitor);
+  let b = backend p in
+  let observe () =
+    match b.Backend.states with
+    | Some states -> Coverage.observe_states coverage (states ())
+    | None -> ()
+  in
+  observe ();
   List.iter
     (fun e ->
       Coverage.observe_event coverage e;
-      ignore (Monitor.step monitor e);
-      Coverage.observe_states coverage (Monitor.fragment_states monitor))
+      ignore (b.Backend.step e);
+      observe ())
     trace;
   coverage
 
@@ -32,7 +37,7 @@ module Pair_set = Set.Make (struct
   let compare = compare
 end)
 
-let search ?(budget = 64) ?(max_rounds = 3) p =
+let search ?backend ?(budget = 64) ?(max_rounds = 3) p =
   Wellformed.check_exn p;
   if budget <= 0 then invalid_arg "Explore.search: budget must be positive";
   let candidates =
@@ -40,7 +45,7 @@ let search ?(budget = 64) ?(max_rounds = 3) p =
         let rounds = 1 + (seed mod max_rounds) in
         let rng = Random.State.make [| seed |] in
         let trace = Generate.valid ~rounds rng p in
-        let coverage = score p trace in
+        let coverage = score ?backend p trace in
         ( {
             seed;
             rounds;

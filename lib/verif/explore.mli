@@ -25,10 +25,19 @@ type result = {
   tried : int;
 }
 
-val score : Pattern.t -> Trace.t -> Coverage.t
-(** Run the monitor over the trace and collect its state coverage. *)
+val score : ?backend:Backend.factory -> Pattern.t -> Trace.t -> Coverage.t
+(** Run a monitor backend over the trace and collect its state
+    coverage.  Defaults to the structural monitor
+    ({!Loseq_core.Backend.direct}) — backends without the [states]
+    capability (e.g. compiled) still collect event coverage, but no
+    recognizer-state coverage. *)
 
-val search : ?budget:int -> ?max_rounds:int -> Pattern.t -> result
+val search :
+  ?backend:Backend.factory ->
+  ?budget:int ->
+  ?max_rounds:int ->
+  Pattern.t ->
+  result
 (** Try [budget] (default 64) generator seeds, each with 1..[max_rounds]
     (default 3) recognition rounds.  Raises {!Wellformed.Ill_formed} on
     an ill-formed pattern. *)

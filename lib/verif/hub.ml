@@ -1,0 +1,199 @@
+open Loseq_core
+open Loseq_sim
+
+(* ---- merged deadline wheel -------------------------------------------- *)
+
+(* A binary min-heap of (deadline, entry) with lazy invalidation: an
+   entry records the deadline it is currently armed for; stale heap
+   items (the entry re-armed or disarmed since the push) are dropped
+   when they surface.  One kernel timeout is kept scheduled at the heap
+   minimum — however many timed checkers the hub hosts. *)
+
+type entry = { checker : Checker.t; mutable armed : int (* -1 = unarmed *) }
+
+module Wheel = struct
+  type t = {
+    mutable heap : (int * entry) array;
+    mutable len : int;
+  }
+
+  let create () = { heap = [||]; len = 0 }
+
+  let swap h i j =
+    let tmp = h.heap.(i) in
+    h.heap.(i) <- h.heap.(j);
+    h.heap.(j) <- tmp
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if fst h.heap.(i) < fst h.heap.(parent) then begin
+        swap h i parent;
+        sift_up h parent
+      end
+    end
+
+  let rec sift_down h i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < h.len && fst h.heap.(l) < fst h.heap.(!smallest) then smallest := l;
+    if r < h.len && fst h.heap.(r) < fst h.heap.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap h i !smallest;
+      sift_down h !smallest
+    end
+
+  let push h deadline entry =
+    if h.len = Array.length h.heap then begin
+      (* Grow, filling fresh slots with the pushed item (never read
+         beyond [len]). *)
+      let grown = Array.make (max 8 (2 * h.len)) (deadline, entry) in
+      Array.blit h.heap 0 grown 0 h.len;
+      h.heap <- grown
+    end;
+    h.heap.(h.len) <- (deadline, entry);
+    h.len <- h.len + 1;
+    sift_up h (h.len - 1)
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.heap.(0) in
+      h.len <- h.len - 1;
+      h.heap.(0) <- h.heap.(h.len);
+      sift_down h 0;
+      Some top
+    end
+
+  (* Smallest non-stale deadline, dropping stale items on the way. *)
+  let rec min_live h =
+    if h.len = 0 then None
+    else
+      let deadline, entry = h.heap.(0) in
+      if entry.armed = deadline then Some deadline
+      else begin
+        ignore (pop h);
+        min_live h
+      end
+end
+
+type t = {
+  tap : Tap.t;
+  mutable entries_rev : entry list;
+  wheel : Wheel.t;
+  mutable scheduled : (int * Kernel.handle) option;
+      (* deadline the kernel timeout is parked at *)
+}
+
+let create tap =
+  { tap; entries_rev = []; wheel = Wheel.create (); scheduled = None }
+
+let tap t = t.tap
+let checkers t = List.rev_map (fun e -> e.checker) t.entries_rev
+let size t = List.length t.entries_rev
+
+(* Keep the single kernel timeout parked at the wheel's live minimum. *)
+let rec settle t =
+  match Wheel.min_live t.wheel with
+  | None -> (
+      match t.scheduled with
+      | Some (_, handle) ->
+          Kernel.cancel handle;
+          t.scheduled <- None
+      | None -> ())
+  | Some deadline -> (
+      match t.scheduled with
+      | Some (at, _) when at = deadline -> ()
+      | Some (_, handle) ->
+          Kernel.cancel handle;
+          t.scheduled <- None;
+          settle t
+      | None ->
+          let kernel = Tap.kernel t.tap in
+          let at = Time.ps (deadline + 1) in
+          if Time.( < ) (Kernel.now kernel) at then
+            t.scheduled <-
+              Some (deadline, Kernel.schedule_at kernel ~at (fun () -> fire t))
+          else begin
+            (* Already past: expire it now rather than scheduling in the
+               past. *)
+            expire t;
+            settle t
+          end)
+
+(* Poll every armed checker whose deadline has elapsed ([check_time]
+   reports a miss when [now > deadline]); stale heap items are dropped,
+   live future items are put back untouched. *)
+and expire t =
+  let now = Tap.now_ps t.tap in
+  let rec drain () =
+    match Wheel.pop t.wheel with
+    | None -> ()
+    | Some (d, entry) ->
+        if entry.armed <> d then drain () (* stale *)
+        else if d >= now then Wheel.push t.wheel d entry
+        else begin
+          entry.armed <- -1;
+          Checker.poll entry.checker ~now;
+          rearm t entry;
+          drain ()
+        end
+  in
+  drain ()
+
+and fire t =
+  t.scheduled <- None;
+  expire t;
+  settle t
+
+and rearm t entry =
+  match Checker.next_deadline entry.checker with
+  | None -> entry.armed <- -1
+  | Some deadline ->
+      if entry.armed <> deadline then begin
+        entry.armed <- deadline;
+        Wheel.push t.wheel deadline entry
+      end
+
+let after_delivery t entry =
+  rearm t entry;
+  settle t
+
+let host t checker ~strict =
+  let entry = { checker; armed = -1 } in
+  t.entries_rev <- entry :: t.entries_rev;
+  let backend = Checker.backend checker in
+  if strict then
+    Tap.subscribe t.tap (fun e ->
+        Checker.deliver checker e;
+        after_delivery t entry)
+  else
+    Name.Set.iter
+      (fun n ->
+        let handler = Checker.routed checker n in
+        Tap.subscribe_name t.tap n (fun e ->
+            handler e;
+            after_delivery t entry))
+      backend.Backend.alphabet;
+  after_delivery t entry
+
+let add ?(backend = Backend.compiled) ?mode ?name t pattern =
+  let backend =
+    match mode with
+    | Some m -> Backend.direct ~mode:m pattern
+    | None -> backend pattern
+  in
+  let checker =
+    Checker.make ?name ~now:(fun () -> Tap.now_ps t.tap) backend
+  in
+  host t checker ~strict:(mode = Some Monitor.Strict);
+  checker
+
+let finalize t = List.iter (fun c -> ignore (Checker.finalize c)) (checkers t)
+
+let report t =
+  let report = Report.create () in
+  List.iter (Report.add report) (checkers t);
+  report
+
+let all_passed t = List.for_all Checker.passed (checkers t)

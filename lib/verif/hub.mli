@@ -1,0 +1,58 @@
+(** Event hubs: many checkers on one tap, alphabet-routed.
+
+    The hub is the production hosting layer for monitor backends.  Two
+    properties distinguish it from attaching checkers one by one:
+
+    - {e alphabet routing}: each emitted event reaches only the
+      checkers whose pattern alphabet contains its name (one interned
+      per-name subscription per alphabet name, resolved through
+      {!Loseq_core.Backend.t.prepare} so even the name lookup happens
+      once per tap, not once per event).  A tap carrying [k] checkers
+      with disjoint alphabets does {e one} monitor step per event, not
+      [k] — the hosted realization of the paper's Θ(max|α(Fᵢ)|)
+      per-event cost;
+    - {e a merged deadline wheel}: a single kernel timeout parked at
+      the minimum of all checkers' [next_deadline]s (a lazy min-heap),
+      instead of one timeout per timed checker.  Deadline-only
+      violations — no trailing event — are still reported the moment
+      they elapse.
+
+    Strict-mode checkers are the exception to routing: they must see
+    foreign events, so they subscribe to the whole stream. *)
+
+open Loseq_core
+
+type t
+
+val create : Tap.t -> t
+
+val add :
+  ?backend:Backend.factory ->
+  ?mode:Monitor.mode ->
+  ?name:string ->
+  t ->
+  Pattern.t ->
+  Checker.t
+(** Host one property.  [backend] defaults to {!Backend.compiled};
+    [mode], when given, overrides [backend] with the structural monitor
+    in that mode (strict mode disables routing for that checker).
+    Raises {!Wellformed.Ill_formed} (and whatever the factory
+    raises). *)
+
+val host : t -> Checker.t -> strict:bool -> unit
+(** Host a detached checker built with {!Checker.make} (advanced: a
+    custom backend already constructed). *)
+
+val tap : t -> Tap.t
+val checkers : t -> Checker.t list
+(** In {!add} order. *)
+
+val size : t -> int
+
+val finalize : t -> unit
+(** {!Checker.finalize} every checker at the current simulation time. *)
+
+val report : t -> Report.t
+(** A fresh report over all hosted checkers, in {!add} order. *)
+
+val all_passed : t -> bool

@@ -75,20 +75,21 @@ let create ~from ~until tap =
   let t =
     { from; until; pending = None; collected_rev = []; watchers = [] }
   in
-  Tap.subscribe tap (fun (e : Trace.event) ->
-      if Name.equal e.name t.from then t.pending <- Some e.time
-      else if Name.equal e.name t.until then begin
-        (match t.pending with
-        | Some t0 ->
-            let interval = e.time - t0 in
-            t.collected_rev <- interval :: t.collected_rev;
-            List.iter
-              (fun (threshold, callback) ->
-                if interval > threshold then callback interval)
-              t.watchers
-        | None -> ());
-        t.pending <- None
-      end);
+  (* Alphabet-routed: the collector is only invoked for its two
+     endpoint names, however busy the tap is. *)
+  Tap.subscribe_name tap t.from (fun (e : Trace.event) ->
+      t.pending <- Some e.time);
+  Tap.subscribe_name tap t.until (fun (e : Trace.event) ->
+      (match t.pending with
+      | Some t0 ->
+          let interval = e.time - t0 in
+          t.collected_rev <- interval :: t.collected_rev;
+          List.iter
+            (fun (threshold, callback) ->
+              if interval > threshold then callback interval)
+            t.watchers
+      | None -> ());
+      t.pending <- None);
   t
 
 let durations t = List.rev t.collected_rev

@@ -87,21 +87,25 @@ let find suite label =
     (fun e -> if String.equal e.label label then Some e.pattern else None)
     suite
 
-let attach_all ?mode tap suite =
-  let report = Report.create () in
+let attach_hub ?backend ?mode tap suite =
+  let hub = Hub.create tap in
   List.iter
-    (fun e ->
-      Report.add report (Checker.attach ?mode ~name:e.label tap e.pattern))
+    (fun e -> ignore (Hub.add ?backend ?mode ~name:e.label hub e.pattern))
     suite;
-  report
+  hub
 
-let check_trace ?final_time suite trace =
+let attach_all ?backend ?mode tap suite =
+  Hub.report (attach_hub ?backend ?mode tap suite)
+
+let check_trace ?(backend = Backend.compiled) ?final_time suite trace =
   List.map
     (fun e ->
-      let passed =
-        match Monitor.run ?final_time e.pattern trace with
-        | Monitor.Running | Monitor.Satisfied -> true
-        | Monitor.Violated _ -> false
+      let b = backend e.pattern in
+      List.iter (fun ev -> ignore (b.Backend.step ev)) trace;
+      let now =
+        match final_time with
+        | Some ft -> ft
+        | None -> Trace.end_time trace
       in
-      (e.label, passed))
+      (e.label, Backend.passed (b.Backend.finalize ~now)))
     suite

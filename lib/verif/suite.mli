@@ -33,9 +33,22 @@ val to_string : t -> string
 
 val find : t -> string -> Pattern.t option
 
-val attach_all : ?mode:Monitor.mode -> Tap.t -> t -> Report.t
-(** One {!Checker} per entry, collected in a report. *)
+val attach_hub :
+  ?backend:Backend.factory -> ?mode:Monitor.mode -> Tap.t -> t -> Hub.t
+(** One {!Checker} per entry, hosted on a fresh alphabet-routed
+    {!Hub} with a shared deadline wheel.  [backend] defaults to
+    {!Loseq_core.Backend.compiled}. *)
 
-val check_trace : ?final_time:int -> t -> Trace.t -> (string * bool) list
-(** Offline: run every property over a recorded trace;
-    [(label, passed)] per entry. *)
+val attach_all :
+  ?backend:Backend.factory -> ?mode:Monitor.mode -> Tap.t -> t -> Report.t
+(** {!attach_hub}, reported: one checker per entry, collected in a
+    report. *)
+
+val check_trace :
+  ?backend:Backend.factory ->
+  ?final_time:int ->
+  t ->
+  Trace.t ->
+  (string * bool) list
+(** Offline: run every property over a recorded trace on the chosen
+    backend (compiled by default); [(label, passed)] per entry. *)

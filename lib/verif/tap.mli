@@ -23,6 +23,13 @@ val emit_name : t -> Name.t -> unit
 val subscribe : t -> (Trace.event -> unit) -> unit
 (** Subscribers are called synchronously, in subscription order. *)
 
+val subscribe_name : t -> Name.t -> (Trace.event -> unit) -> unit
+(** [subscribe_name t n f] calls [f] only for events named [n] — the
+    alphabet-routed fast path: the name is interned once into the tap's
+    dense id space and [emit] reaches only the subscribers registered
+    for the emitted name.  Whole-trace subscribers run first, then the
+    per-name subscribers, each group in subscription order. *)
+
 val trace : t -> Trace.t
 (** Events recorded so far (empty when [record] is false). *)
 

@@ -1,0 +1,220 @@
+(* The monitor-backend abstraction: three strategies (structural Drct,
+   compiled flat-table, PSL progression) behind one interface, their
+   capabilities, and — the load-bearing part — their agreement on random
+   patterns and traces, both offline and hosted on a simulated tap. *)
+
+open Loseq_core
+open Loseq_sim
+open Loseq_verif
+open Loseq_testutil
+
+let verdict_class = function
+  | Backend.Running -> "running"
+  | Backend.Satisfied -> "satisfied"
+  | Backend.Violated _ -> "violated"
+
+(* Feed a whole trace (verdicts are sticky), then finalize at its end. *)
+let run_offline b trace =
+  List.iter (fun e -> ignore (b.Backend.step e)) trace;
+  b.Backend.finalize ~now:(Trace.end_time trace)
+
+(* ---- unit: accessors and capabilities --------------------------------- *)
+
+let test_alphabet_accessors () =
+  let p = pat "{a, b} < c << i" in
+  let expected = Pattern.alpha p in
+  Alcotest.(check bool)
+    "monitor alphabet" true
+    (Name.Set.equal expected (Monitor.alphabet (Monitor.create p)));
+  Alcotest.(check bool)
+    "compiled alphabet" true
+    (Name.Set.equal expected (Compiled.alphabet (Compiled.compile p)));
+  List.iter
+    (fun (label, b) ->
+      Alcotest.(check bool) (label ^ " backend alphabet") true
+        (Name.Set.equal expected b.Backend.alphabet))
+    [
+      ("direct", Backend.direct p);
+      ("compiled", Backend.compiled p);
+      ("psl", Loseq_psl.Progress.backend p);
+    ]
+
+let test_capabilities () =
+  let p = pat "a <<! i" in
+  let direct = Backend.direct p in
+  let compiled = Backend.compiled p in
+  Alcotest.(check bool) "direct has states" true (direct.Backend.states <> None);
+  Alcotest.(check bool) "direct has acceptable" true
+    (direct.Backend.acceptable <> None);
+  Alcotest.(check bool) "compiled has no states" true
+    (compiled.Backend.states = None);
+  Alcotest.(check string) "labels" "direct/compiled"
+    (direct.Backend.label ^ "/" ^ compiled.Backend.label)
+
+let test_next_deadline_mirrors () =
+  let p = pat "a => b < c within 100" in
+  let m = Monitor.create p in
+  let c = Compiled.compile p in
+  let step name time =
+    ignore (Monitor.step m { Trace.name = Name.v name; time });
+    ignore (Compiled.step c { Trace.name = Name.v name; time });
+    Alcotest.(check (option int))
+      (Printf.sprintf "deadlines agree after %s@%d" name time)
+      (Monitor.next_deadline m) (Compiled.next_deadline c)
+  in
+  Alcotest.(check (option int)) "unarmed" None (Compiled.next_deadline c);
+  step "a" 10;
+  Alcotest.(check (option int)) "armed at 110" (Some 110)
+    (Compiled.next_deadline c);
+  step "b" 20;
+  step "c" 30
+
+let test_reset () =
+  let b = Backend.compiled (pat "a <<! i") in
+  ignore (b.Backend.step { Trace.name = Name.v "i"; time = 1 });
+  Alcotest.(check string) "violated" "violated"
+    (verdict_class (b.Backend.verdict ()));
+  b.Backend.reset ();
+  Alcotest.(check string) "running again" "running"
+    (verdict_class (b.Backend.verdict ()));
+  ignore (b.Backend.step { Trace.name = Name.v "a"; time = 2 });
+  ignore (b.Backend.step { Trace.name = Name.v "i"; time = 3 });
+  Alcotest.(check string) "clean rerun" "running"
+    (verdict_class (b.Backend.verdict ()))
+
+(* The signature-style extension point. *)
+module Direct_sig = struct
+  type state = Monitor.t
+
+  let label = "direct-sig"
+  let create p = Monitor.create p
+  let alphabet = Monitor.alphabet
+  let step = Monitor.step
+  let check_time = Monitor.check_time
+  let next_deadline = Monitor.next_deadline
+  let finalize = Monitor.finalize
+  let verdict = Monitor.verdict
+  let reset _ = ()
+end
+
+let test_pack () =
+  let p = pat "{a, b} << i" in
+  let b = Backend.pack (module Direct_sig) p in
+  Alcotest.(check string) "label" "direct-sig" b.Backend.label;
+  Alcotest.(check string) "accepts" "satisfied"
+    (verdict_class (run_offline b (tr [ "a"; "b"; "i" ])));
+  let b = Backend.pack (module Direct_sig) p in
+  Alcotest.(check string) "rejects" "violated"
+    (verdict_class (run_offline b (tr [ "a"; "i" ])))
+
+(* ---- property: offline agreement -------------------------------------- *)
+
+let prop_direct_compiled_agree (p, trace) =
+  let d = Backend.direct p in
+  let c = Backend.compiled p in
+  List.iter
+    (fun e ->
+      let vd = d.Backend.step e in
+      let vc = c.Backend.step e in
+      if verdict_class vd <> verdict_class vc then
+        QCheck2.Test.fail_reportf
+          "step %a@%d: direct %s, compiled %s" Name.pp e.Trace.name
+          e.Trace.time (verdict_class vd) (verdict_class vc);
+      if d.Backend.next_deadline () <> c.Backend.next_deadline () then
+        QCheck2.Test.fail_reportf "deadline mismatch after %a@%d" Name.pp
+          e.Trace.name e.Trace.time)
+    trace;
+  let now = Trace.end_time trace in
+  verdict_class (d.Backend.finalize ~now)
+  = verdict_class (c.Backend.finalize ~now)
+
+(* ---- property: hosted agreement (SoC-style tap) ------------------------ *)
+
+(* Replay the trace on a simulated tap with the checker hosted on a hub,
+   and run the kernel well past every possible deadline: deadline-only
+   violations (no trailing event) must be caught by the merged wheel. *)
+let hosted backend p trace =
+  let kernel = Kernel.create () in
+  let tap = Tap.create kernel in
+  let hub = Hub.create tap in
+  let checker = Hub.add ~backend hub p in
+  Stimuli.replay tap trace;
+  Kernel.run ~until:(Time.ps (Trace.end_time trace + 500)) kernel;
+  Hub.finalize hub;
+  Checker.verdict checker
+
+let prop_hosted_agree (p, trace) =
+  let vd = hosted (fun p -> Backend.direct p) p trace in
+  let vc = hosted Backend.compiled p trace in
+  if verdict_class vd <> verdict_class vc then
+    QCheck2.Test.fail_reportf "hosted: direct %s, compiled %s"
+      (verdict_class vd) (verdict_class vc)
+  else true
+
+(* A deterministic deadline-only case on top of the random ones: the
+   premise fires, nothing else ever does, and only the hub's timer can
+   notice. *)
+let test_hosted_deadline_only () =
+  let p = pat "a => b within 100" in
+  List.iter
+    (fun (label, backend) ->
+      let v =
+        hosted backend p [ { Trace.name = Name.v "a"; time = 10 } ]
+      in
+      Alcotest.(check string) label "violated" (verdict_class v))
+    [
+      ("direct", fun p -> Backend.direct p);
+      ("compiled", Backend.compiled);
+    ]
+
+(* ---- property: PSL backend vs progression oracle ----------------------- *)
+
+(* The PSL backend (online lexer + progression) must agree with the
+   reference pipeline (expand the whole word, progress, weak-accept) on
+   untimed patterns; foreign names are filtered by the backend, so the
+   oracle gets the filtered word. *)
+let prop_psl_matches_oracle (p, trace) =
+  let b = Loseq_psl.Progress.backend p in
+  let hosted_passed = Backend.passed (run_offline b trace) in
+  let word =
+    List.filter
+      (fun n -> Name.Set.mem n (Pattern.alpha p))
+      (Trace.names trace)
+  in
+  let oracle = Loseq_psl.Progress.monitor_pattern p word in
+  if hosted_passed <> oracle then
+    QCheck2.Test.fail_reportf "psl backend %b, oracle %b" hosted_passed oracle
+  else true
+
+let gen_antecedent_and_trace =
+  QCheck2.Gen.(
+    let* p = gen_antecedent in
+    let* trace = gen_trace_for p in
+    return (p, trace))
+
+let () =
+  Alcotest.run "backend"
+    [
+      ( "interface",
+        [
+          Alcotest.test_case "alphabet accessors" `Quick
+            test_alphabet_accessors;
+          Alcotest.test_case "capabilities" `Quick test_capabilities;
+          Alcotest.test_case "compiled next_deadline mirrors monitor" `Quick
+            test_next_deadline_mirrors;
+          Alcotest.test_case "reset" `Quick test_reset;
+          Alcotest.test_case "MONITOR_BACKEND pack" `Quick test_pack;
+        ] );
+      ( "equivalence",
+        [
+          qtest "direct and compiled agree offline" gen_pattern_and_trace
+            print_pattern_and_trace prop_direct_compiled_agree;
+          qtest ~count:200 "direct and compiled agree hosted"
+            gen_pattern_and_trace print_pattern_and_trace prop_hosted_agree;
+          Alcotest.test_case "deadline-only violation, hosted" `Quick
+            test_hosted_deadline_only;
+          qtest ~count:300 "psl backend matches progression oracle"
+            gen_antecedent_and_trace print_pattern_and_trace
+            prop_psl_matches_oracle;
+        ] );
+    ]

@@ -107,12 +107,30 @@ let qcheck_driver_traffic_always_green =
       Kernel.run kernel;
       Checker.passed checker)
 
+(* drive_monitored: auto-binds unbound names to tap emission, attaches
+   the checker itself, and the loop stays green end to end. *)
+let test_drive_monitored () =
+  let kernel = Kernel.create () in
+  let tap = Tap.create kernel in
+  let driver = Driver.create kernel in
+  let p = pat "{set_a, set_b} <<! commit" in
+  let checker = Driver.drive_monitored ~rounds:4 driver tap p in
+  Kernel.run kernel;
+  Alcotest.(check bool) "checker green" true (Checker.passed checker);
+  Alcotest.(check int) "every auto-bound action observed"
+    (Driver.actions_performed driver)
+    (Tap.count tap);
+  Alcotest.(check bool) "four rounds" true
+    (Driver.actions_performed driver >= 12)
+
 let () =
   Alcotest.run "driver"
     [
       ( "driving",
         [
           Alcotest.test_case "unbound" `Quick test_unbound_raises_immediately;
+          Alcotest.test_case "drive_monitored closed loop" `Quick
+            test_drive_monitored;
           Alcotest.test_case "satisfying sequences" `Quick
             test_drive_emits_satisfying_sequences;
           Alcotest.test_case "violating sequence" `Quick

@@ -1,0 +1,170 @@
+(* The alphabet-routed event hub: per-name tap subscriptions, delivery
+   order, the merged deadline wheel, strict-mode hosting and the
+   suite/hub integration. *)
+
+open Loseq_core
+open Loseq_sim
+open Loseq_verif
+open Loseq_testutil
+
+(* ---- tap routing ------------------------------------------------------- *)
+
+let test_subscribe_name_routing () =
+  let kernel = Kernel.create () in
+  let tap = Tap.create kernel in
+  let a_hits = ref 0 and b_hits = ref 0 and all_hits = ref 0 in
+  Tap.subscribe tap (fun _ -> incr all_hits);
+  Tap.subscribe_name tap (name "a") (fun _ -> incr a_hits);
+  Tap.subscribe_name tap (name "b") (fun _ -> incr b_hits);
+  Tap.emit tap "a";
+  Tap.emit tap "a";
+  Tap.emit tap "b";
+  Tap.emit tap "zzz";
+  Alcotest.(check int) "a routed" 2 !a_hits;
+  Alcotest.(check int) "b routed" 1 !b_hits;
+  Alcotest.(check int) "whole-trace sees all" 4 !all_hits
+
+let test_delivery_order () =
+  let kernel = Kernel.create () in
+  let tap = Tap.create kernel in
+  let log = ref [] in
+  let hit tag _ = log := tag :: !log in
+  Tap.subscribe_name tap (name "a") (hit "name1");
+  Tap.subscribe tap (hit "all1");
+  Tap.subscribe_name tap (name "a") (hit "name2");
+  Tap.subscribe tap (hit "all2");
+  Tap.emit tap "a";
+  Alcotest.(check (list string))
+    "whole-trace first, then per-name, each in subscription order"
+    [ "all1"; "all2"; "name1"; "name2" ]
+    (List.rev !log)
+
+(* ---- hub routing ------------------------------------------------------- *)
+
+let test_hub_routes_by_alphabet () =
+  let kernel = Kernel.create () in
+  let tap = Tap.create kernel in
+  let hub = Hub.create tap in
+  let c1 = Hub.add hub (pat "{a1, b1} <<! go1") in
+  let c2 = Hub.add hub (pat "{a2, b2} <<! go2") in
+  List.iter (Tap.emit tap) [ "a1"; "b1"; "go1"; "noise" ];
+  Alcotest.(check int) "c1 saw its three events" 3 (Checker.events_seen c1);
+  Alcotest.(check int) "c2 saw nothing" 0 (Checker.events_seen c2);
+  Alcotest.(check int) "hub size" 2 (Hub.size hub);
+  Alcotest.(check bool) "all pass" true (Hub.all_passed hub)
+
+let test_hub_detects_violation () =
+  let kernel = Kernel.create () in
+  let tap = Tap.create kernel in
+  let hub = Hub.create tap in
+  let c = Hub.add hub (pat "{a, b} << i") in
+  List.iter (Tap.emit tap) [ "a"; "i" ];
+  Alcotest.(check bool) "violated" false (Checker.passed c);
+  Alcotest.(check bool) "hub reports it" false (Hub.all_passed hub)
+
+(* ---- merged deadline wheel --------------------------------------------- *)
+
+(* Two timed checkers, different deadlines, no trailing events: each
+   miss must fire at its own deadline off the single parked timeout. *)
+let test_merged_wheel_deadlines () =
+  let kernel = Kernel.create () in
+  let tap = Tap.create kernel in
+  let hub = Hub.create tap in
+  let c1 = Hub.add hub (pat "a1 => b1 within 100") in
+  let c2 = Hub.add hub (pat "a2 => b2 within 300") in
+  let times = ref [] in
+  Checker.on_violation c1 (fun v -> times := ("c1", v.Diag.time) :: !times);
+  Checker.on_violation c2 (fun v -> times := ("c2", v.Diag.time) :: !times);
+  Stimuli.replay tap
+    [
+      { Trace.name = name "a1"; time = 10 };
+      { Trace.name = name "a2"; time = 20 };
+    ];
+  Kernel.run ~until:(Time.ps 1000) kernel;
+  Alcotest.(check bool) "c1 violated" false (Checker.passed c1);
+  Alcotest.(check bool) "c2 violated" false (Checker.passed c2);
+  match List.rev !times with
+  | [ ("c1", t1); ("c2", t2) ] ->
+      Alcotest.(check bool) "c1 at its deadline" true (t1 >= 110 && t1 <= 112);
+      Alcotest.(check bool) "c2 at its deadline" true (t2 >= 320 && t2 <= 322)
+  | other ->
+      Alcotest.failf "expected c1 then c2, got %d violation(s)"
+        (List.length other)
+
+(* A satisfied round must disarm, and a later round must re-arm. *)
+let test_wheel_rearm () =
+  let kernel = Kernel.create () in
+  let tap = Tap.create kernel in
+  let hub = Hub.create tap in
+  let c = Hub.add hub (pat "a => b within 100") in
+  Stimuli.replay tap
+    [
+      { Trace.name = name "a"; time = 10 };
+      { Trace.name = name "b"; time = 50 };
+      (* second round: premise only, deadline 600 missed *)
+      { Trace.name = name "a"; time = 500 };
+    ];
+  Kernel.run ~until:(Time.ps 2000) kernel;
+  Alcotest.(check bool) "second round missed" false (Checker.passed c)
+
+(* ---- strict mode ------------------------------------------------------- *)
+
+let test_strict_sees_foreign () =
+  let kernel = Kernel.create () in
+  let tap = Tap.create kernel in
+  let hub = Hub.create tap in
+  let strict = Hub.add ~mode:Monitor.Strict hub (pat "a <<! i") in
+  let lenient = Hub.add hub (pat "a <<! i") in
+  Tap.emit tap "zzz";
+  Alcotest.(check bool) "strict rejects foreign" false (Checker.passed strict);
+  Alcotest.(check bool) "lenient ignores foreign" true
+    (Checker.passed lenient);
+  Alcotest.(check int) "lenient never stepped" 0 (Checker.events_seen lenient)
+
+(* ---- suite integration ------------------------------------------------- *)
+
+let test_suite_attach_hub () =
+  let suite =
+    match
+      Suite.parse "one: {a, b} << i\ntwo: c <<! j\n"
+    with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "suite: %a" Suite.pp_error e
+  in
+  let kernel = Kernel.create () in
+  let tap = Tap.create kernel in
+  let hub = Suite.attach_hub tap suite in
+  List.iter (Tap.emit tap) [ "a"; "b"; "i"; "c"; "j" ];
+  Hub.finalize hub;
+  Alcotest.(check int) "two checkers" 2 (Hub.size hub);
+  Alcotest.(check bool) "all pass" true (Hub.all_passed hub);
+  Alcotest.(check bool) "report agrees" true
+    (Report.all_passed (Hub.report hub))
+
+let () =
+  Alcotest.run "hub"
+    [
+      ( "tap",
+        [
+          Alcotest.test_case "per-name routing" `Quick
+            test_subscribe_name_routing;
+          Alcotest.test_case "delivery order" `Quick test_delivery_order;
+        ] );
+      ( "routing",
+        [
+          Alcotest.test_case "alphabet routing" `Quick
+            test_hub_routes_by_alphabet;
+          Alcotest.test_case "violation through hub" `Quick
+            test_hub_detects_violation;
+        ] );
+      ( "wheel",
+        [
+          Alcotest.test_case "merged deadlines" `Quick
+            test_merged_wheel_deadlines;
+          Alcotest.test_case "re-arm across rounds" `Quick test_wheel_rearm;
+        ] );
+      ( "modes",
+        [ Alcotest.test_case "strict vs lenient" `Quick test_strict_sees_foreign ] );
+      ( "suite",
+        [ Alcotest.test_case "attach_hub" `Quick test_suite_attach_hub ] );
+    ]
