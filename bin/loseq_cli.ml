@@ -1,6 +1,6 @@
 (* loseq — command-line front end.
 
-   Subcommands: check, psl, cost, gen, dfa, lint, suite, soc.
+   Subcommands: check, psl, cost, gen, dfa, lint, analyze, suite, soc.
    Run `loseq_cli --help`. *)
 
 open Loseq_core
@@ -280,32 +280,186 @@ let gen_cmd =
        ~doc:"Generate random traces from a pattern (stimuli generation)")
     Term.(const run $ pattern_arg $ rounds $ seed $ violating)
 
-(* ---- lint ------------------------------------------------------------ *)
+(* ---- lint / analyze --------------------------------------------------- *)
+
+let format_arg =
+  let format_conv =
+    Cmdliner.Arg.conv
+      ( (fun s ->
+          match Finding.format_of_string s with
+          | Ok f -> Ok f
+          | Error e -> Error (`Msg e)),
+        fun ppf f ->
+          Format.pp_print_string ppf
+            (match f with
+            | Finding.Text -> "text"
+            | Finding.Json -> "json"
+            | Finding.Sarif -> "sarif") )
+  in
+  Cmdliner.Arg.(
+    value
+    & opt format_conv Finding.Text
+    & info [ "format" ] ~docv:"FORMAT"
+        ~doc:"Output format: $(b,text), $(b,json) or $(b,sarif).")
+
+let suppress_arg =
+  Cmdliner.Arg.(
+    value & opt_all string []
+    & info [ "suppress" ] ~docv:"CODE"
+        ~doc:
+          "Drop findings with this code (repeatable).  Suppressed \
+           findings affect neither the output nor the exit code.")
+
+let suites_arg =
+  Cmdliner.Arg.(
+    value & opt_all file []
+    & info [ "suite" ] ~docv:"FILE"
+        ~doc:"Analyze every entry of a property suite file (repeatable).")
+
+let patterns_arg =
+  Cmdliner.Arg.(value & pos_all pattern_conv [] & info [] ~docv:"PATTERN")
+
+(* Inline patterns and suite entries, unified as analyzer items. *)
+let gather_items suites patterns =
+  let rec load acc = function
+    | [] -> Ok (List.rev acc)
+    | file :: rest -> (
+        match Loseq_verif.Suite.load file with
+        | Error e ->
+            Error
+              (Format.asprintf "%s: %a" file Loseq_verif.Suite.pp_error e)
+        | Ok entries ->
+            let items =
+              List.map
+                (fun (e : Loseq_verif.Suite.entry) ->
+                  Loseq_analysis.Analysis.item ~file ~line:e.line e.label
+                    e.pattern)
+                entries
+            in
+            load (List.rev_append items acc) rest)
+  in
+  match load [] suites with
+  | Error _ as e -> e
+  | Ok suite_items ->
+      let pattern_items =
+        List.mapi
+          (fun i p ->
+            Loseq_analysis.Analysis.item
+              (Printf.sprintf "pattern-%d" (i + 1))
+              p)
+          patterns
+      in
+      Ok (suite_items @ pattern_items)
+
+(* Render + exit-code policy: 0 clean, 1 warnings, 2 errors (3 is
+   reserved for usage and I/O failures). *)
+let render_findings format suppressed fs =
+  let fs = Finding.suppress suppressed (Finding.order fs) in
+  (match (format, fs) with
+  | Finding.Text, [] -> Format.printf "no findings@."
+  | _ ->
+      Finding.render ~tool_name:"loseq" ~tool_version:"1.0.0"
+        ~rules:Loseq_analysis.Analysis.rules format Format.std_formatter fs);
+  Finding.exit_code fs
 
 let lint_cmd =
-  let run patterns =
-    let any_warning = ref false in
-    List.iter
-      (fun p ->
-        Format.printf "%a@." Pattern.pp p;
-        match Lint.lint p with
-        | [] -> Format.printf "  (clean)@."
-        | findings ->
-            List.iter
-              (fun f ->
-                if f.Lint.severity = Lint.Warning then any_warning := true;
-                Format.printf "  %a@." Lint.pp_finding f)
-              findings)
-      patterns;
-    if !any_warning then 1 else 0
+  let run patterns suites format suppressed =
+    if patterns = [] && suites = [] then begin
+      Format.eprintf "nothing to lint: give PATTERN arguments or --suite FILE@.";
+      3
+    end
+    else
+      match gather_items suites patterns with
+      | Error msg ->
+          Format.eprintf "%s@." msg;
+          3
+      | Ok items ->
+          let fs =
+            List.concat_map
+              (fun (it : Loseq_analysis.Analysis.item) ->
+                List.map
+                  (Finding.with_origin ~subject:it.label ?file:it.file
+                     ?line:it.line)
+                  (Lint.lint it.pattern))
+              items
+          in
+          render_findings format suppressed fs
   in
   let open Cmdliner in
-  let patterns =
-    Arg.(non_empty & pos_all pattern_conv [] & info [] ~docv:"PATTERN")
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Flag suspicious (but legal) patterns - fast syntactic checks; \
+          see $(b,analyze) for the semantic decision procedures")
+    Term.(const run $ patterns_arg $ suites_arg $ format_arg $ suppress_arg)
+
+(* ---- analyze --------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run patterns suites format suppressed explain budget =
+    match explain with
+    | Some code -> (
+        match Loseq_analysis.Explain.find code with
+        | Some entry ->
+            Format.printf "%a@." Loseq_analysis.Explain.pp entry;
+            0
+        | None ->
+            Format.eprintf "unknown finding code %S; known codes:@." code;
+            List.iter
+              (fun (e : Loseq_analysis.Explain.entry) ->
+                Format.eprintf "  %s@." e.code)
+              Loseq_analysis.Explain.all;
+            3)
+    | None -> (
+        if patterns = [] && suites = [] then begin
+          Format.eprintf
+            "nothing to analyze: give PATTERN arguments or --suite FILE@.";
+          3
+        end
+        else
+          match gather_items suites patterns with
+          | Error msg ->
+              Format.eprintf "%s@." msg;
+              3
+          | Ok items ->
+              render_findings format suppressed
+                (Loseq_analysis.Analysis.analyze ~budget items))
+  in
+  let open Cmdliner in
+  let explain =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "explain" ] ~docv:"CODE"
+          ~doc:
+            "Print the rationale behind a finding code (with a live \
+             witness on a minimal example) instead of analyzing.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 200_000
+      & info [ "budget" ] ~docv:"STATES"
+          ~doc:
+            "Abstract-state exploration budget per pattern or pair; \
+             beyond it unreachability-based checks are skipped.")
   in
   Cmd.v
-    (Cmd.info "lint" ~doc:"Flag suspicious (but legal) patterns")
-    Term.(const run $ patterns)
+    (Cmd.info "analyze"
+       ~doc:
+         "Semantic analysis of patterns and suites: satisfiability, \
+          vacuity, deadline feasibility, subsumption and conflicts, by \
+          exhaustive exploration of the monitor automata"
+       ~man:
+         [
+           `S Cmdliner.Manpage.s_exit_status;
+           `P
+             "0 on no findings, 1 if the worst finding is a warning, 2 \
+              if any error-severity finding remains after suppression, \
+              3 on usage or I/O errors.";
+         ])
+    Term.(
+      const run $ patterns_arg $ suites_arg $ format_arg $ suppress_arg
+      $ explain $ budget)
 
 (* ---- suite ----------------------------------------------------------- *)
 
@@ -495,4 +649,4 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ check_cmd; psl_cmd; cost_cmd; gen_cmd; dfa_cmd; lint_cmd;
-            suite_cmd; soc_cmd ]))
+            analyze_cmd; suite_cmd; soc_cmd ]))

@@ -1,0 +1,69 @@
+open Loseq_core
+
+type item = {
+  label : string;
+  file : string option;
+  line : int option;
+  pattern : Pattern.t;
+}
+
+let item ?file ?line label pattern = { label; file; line; pattern }
+
+let analyze_pattern ?budget pattern =
+  let semantic = Checks.findings ?budget pattern in
+  (* The exact deadline verdict replaces the linter's heuristic
+     whenever it was actually computed. *)
+  let exact_deadline =
+    match pattern with
+    | Pattern.Timed _ ->
+        not
+          (List.exists
+             (fun (f : Finding.t) -> String.equal f.code "analysis-budget")
+             semantic)
+    | Pattern.Antecedent _ -> false
+  in
+  let lint =
+    List.filter
+      (fun (f : Finding.t) ->
+        not (exact_deadline && String.equal f.code "tight-deadline"))
+      (Lint.lint pattern)
+  in
+  Finding.order (semantic @ lint)
+
+let analyze ?budget items =
+  let per_item =
+    List.concat_map
+      (fun it ->
+        List.map
+          (Finding.with_origin ~subject:it.label ?file:it.file ?line:it.line)
+          (analyze_pattern ?budget it.pattern))
+      items
+  in
+  let cross =
+    Suite_checks.findings ?budget
+      (List.map (fun it -> (it.label, it.pattern)) items)
+  in
+  let origin_of label =
+    List.find_opt (fun it -> String.equal it.label label) items
+  in
+  (* a cross finding's subject is "label" or "label, label"; anchor the
+     location on the first label *)
+  let cross =
+    List.map
+      (fun (f : Finding.t) ->
+        match f.subject with
+        | None -> f
+        | Some s -> (
+            let first =
+              match String.index_opt s ',' with
+              | Some i -> String.sub s 0 i
+              | None -> s
+            in
+            match origin_of (String.trim first) with
+            | Some it -> Finding.with_origin ?file:it.file ?line:it.line f
+            | None -> f))
+      cross
+  in
+  Finding.order (per_item @ cross)
+
+let rules = Explain.rules

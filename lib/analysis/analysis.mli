@@ -1,0 +1,33 @@
+(** The analyzer façade: per-pattern and whole-suite semantic analysis,
+    reported as {!Loseq_core.Finding} values.
+
+    [analyze_pattern] combines the syntactic linter with the semantic
+    decision procedures ({!Checks}); the linter's [tight-deadline]
+    heuristic is dropped for timed patterns whenever the exact
+    automaton-based deadline verdict is available (it subsumes it).
+
+    [analyze] additionally runs the cross-pattern procedures
+    ({!Suite_checks}) over every pair and stamps each finding with the
+    suite origin (entry label, file, line) for the SARIF renderer. *)
+
+open Loseq_core
+
+type item = {
+  label : string;
+  file : string option;
+  line : int option;
+  pattern : Pattern.t;
+}
+
+val item : ?file:string -> ?line:int -> string -> Pattern.t -> item
+
+val analyze_pattern : ?budget:int -> Pattern.t -> Finding.t list
+(** Raises {!Wellformed.Ill_formed}. *)
+
+val analyze : ?budget:int -> item list -> Finding.t list
+(** Per-item findings (with origins attached) followed by cross-pattern
+    findings, in {!Loseq_core.Finding.order}. *)
+
+val rules : (string * string) list
+(** SARIF rule table covering every code the analyzer or linter can
+    emit (from {!Explain}). *)

@@ -1,0 +1,55 @@
+(** Per-pattern decision procedures over the abstract monitor automaton.
+
+    Everything here is decided by exhaustive exploration of the
+    counter-interval abstraction ({!Machine}, exact for reachability),
+    so — within the state budget — the answers are definitive, not
+    heuristic:
+
+    - {e violation satisfiability}: can any trace violate the property?
+      A property that cannot fail monitors nothing ([violation-unsat]).
+    - {e match satisfiability}: can any trace complete a full
+      recognition round?  ([match-unsat])
+    - {e vacuity}: is some configuration reachable from which no
+      violation is reachable anymore?  From that point on the checker
+      is dead weight ([vacuous-unviolatable] — the classic case is a
+      non-repeated antecedent after its first trigger).
+    - {e dead names}: an alphabet name that no reachable configuration
+      can consume without violating ([dead-name]).
+    - {e deadline feasibility}: the minimal number of events a timed
+      conclusion needs, measured on the automaton as a shortest path;
+      under strictly increasing timestamps a deadline below that bound
+      is unsatisfiable ([deadline-infeasible]) and a deadline exactly at
+      it leaves no slack ([deadline-tight]) — the exact version of the
+      syntactic [tight-deadline] lint, cross-validated against
+      {!Loseq_core.Lint.min_events}. *)
+
+open Loseq_core
+
+type report = {
+  pattern : Pattern.t;
+  complete : bool;  (** state budget not exhausted *)
+  violation_witness : Trace.t option;
+      (** shortest violating trace ([None] + [complete] means the
+          property is unviolatable); for a timed pattern whose only
+          violations are deadline misses, the events reaching an armed
+          configuration — see [time_violation] *)
+  time_violation : bool;
+      (** the witness violates by letting time pass the deadline, not
+          by an event *)
+  match_witness : Trace.t option;
+      (** shortest trace completing a recognition round *)
+  safe_witness : Trace.t option;
+      (** shortest trace to a configuration from which no violation is
+          reachable ([None] + [complete] means none exists) *)
+  dead_names : Name.t list;
+  min_conclusion_events : int option;
+      (** timed only: automaton-measured minimum events to recognize the
+          conclusion *)
+}
+
+val report : ?budget:int -> Pattern.t -> report
+(** Raises {!Wellformed.Ill_formed}. *)
+
+val findings : ?budget:int -> Pattern.t -> Finding.t list
+(** The report as findings (codes above, plus [analysis-budget] when
+    exploration was truncated). *)

@@ -1,0 +1,140 @@
+open Loseq_core
+
+type entry = {
+  code : string;
+  severity : Finding.severity;
+  title : string;
+  rationale : string;
+  example : string option;
+}
+
+let e code severity title rationale example =
+  { code; severity; title; rationale; example }
+
+let all =
+  [
+    (* ---- semantic analyzer ------------------------------------------- *)
+    e "violation-unsat" Finding.Error "the property can never be violated"
+      "Exhaustive exploration of the monitor automaton found no \
+       reachable violation (and, for timed patterns, no reachable armed \
+       configuration).  Such a checker can never fail, so it monitors \
+       nothing; every well-formed loose-ordering pattern is violable, \
+       so this finding normally indicates a bug in the specification \
+       tooling rather than a plausible hand-written pattern."
+      None;
+    e "vacuous-unviolatable" Finding.Warning
+      "the checker can reach a state where it is vacuous"
+      "Some reachable configuration has no violation reachable from it: \
+       once the run passes that point the checker is dead weight and \
+       silently stops constraining the design.  The classic case is a \
+       non-repeated antecedent (P << i): after the first accepted \
+       trigger it is satisfied forever.  Use '<<!' if every trigger \
+       occurrence must be checked.  The witness trace leads to the \
+       first such state."
+      (Some "{set_imgAddr, set_glAddr, set_glSize} << start");
+    e "match-unsat" Finding.Error "no trace completes a recognition round"
+      "No reachable configuration completes a full recognition round, \
+       so the property can never be exercised positively.  Like \
+       violation-unsat this cannot happen for a well-formed pattern and \
+       points at tooling or generation bugs."
+      None;
+    e "dead-name" Finding.Warning "a name can never be legally consumed"
+      "The name appears in the pattern's alphabet, but no reachable \
+       configuration can consume it without violating.  The range it \
+       belongs to never contributes to a match: either the pattern \
+       over-specifies the protocol or the name is a typo."
+      None;
+    e "deadline-infeasible" Finding.Error
+      "the deadline is below the conclusion's minimal event count"
+      "The minimal number of events needed to recognize the conclusion \
+       — measured as a shortest path on the monitor automaton — exceeds \
+       the deadline.  With strictly increasing timestamps every premise \
+       match is doomed: the property reduces to 'the premise never \
+       completes'.  Only simultaneous events (several events in one \
+       time unit) could ever satisfy it; if that is intended, say so in \
+       a comment, otherwise raise the deadline."
+      (Some "start => ack[3,8] < done within 2");
+    e "deadline-tight" Finding.Warning
+      "the deadline equals the conclusion's minimal event count"
+      "The conclusion is only satisfiable when every one of its events \
+       lands on consecutive time units after the premise: any \
+       scheduling delay at all violates.  Usually the deadline was \
+       meant to include slack."
+      (Some "start => ack[3,8] < done within 4");
+    e "subsumed-checker" Finding.Warning "a checker is redundant"
+      "Every trace this entry rejects is already rejected by another \
+       entry of the suite (product reachability over both monitor \
+       automata found no state where this one is violated and the other \
+       is not).  Dropping the subsumed entry loses no checking power \
+       and saves monitoring cost."
+      None;
+    e "equivalent-checkers" Finding.Warning
+      "two checkers reject exactly the same traces"
+      "Subsumption holds in both directions: the two entries are \
+       interchangeable.  Keep one."
+      None;
+    e "conflicting-pair" Finding.Error "two checkers can never both match"
+      "Each property is matchable on its own, but no trace completes a \
+       recognition round of both without violating one of them.  A \
+       suite containing such a pair rejects every run that fully \
+       exercises it — almost always one of the two orderings is written \
+       backwards."
+      None;
+    e "analysis-budget" Finding.Info "state budget exhausted"
+      "The abstract state space exceeded the exploration budget; \
+       existential results (witnesses found before the cut-off) are \
+       still valid, but unreachability-based checks were skipped for \
+       the pattern or pair."
+      None;
+    (* ---- syntactic linter -------------------------------------------- *)
+    e "singleton-disjunction" Finding.Warning
+      "a one-range fragment marked disjunctive"
+      "With a single range, 'or' and 'and' coincide; the disjunction \
+       suggests a larger choice was intended."
+      None;
+    e "zero-deadline" Finding.Warning "deadline 0"
+      "The whole conclusion must happen at the premise's final \
+       timestamp."
+      None;
+    e "tight-deadline" Finding.Warning
+      "syntactic lower bound close to the deadline"
+      "The linter's cheap syntactic version of deadline-infeasible; \
+       when the analyzer runs, its automaton-exact verdict replaces \
+       this heuristic."
+      None;
+    e "wide-range" Finding.Warning "a range expands to many PSL names"
+      "Any PSL-based flow materializes one name per repetition; the \
+       direct monitors are unaffected (the paper's point)."
+      None;
+    e "huge-counter" Finding.Info "a counter needs many bits" "" None;
+    e "state-space" Finding.Info "explicit product state estimate"
+      "What a materialized DFA would cost compared to the modular \
+       monitors; estimates beyond the internal cap are reported as a \
+       lower bound."
+      None;
+    e "unbounded-trigger" Finding.Info "non-repeated antecedent"
+      "After the first trigger the property never fails again; often \
+       '<<!' was meant.  The analyzer's vacuous-unviolatable is the \
+       semantic confirmation."
+      None;
+  ]
+
+let find code = List.find_opt (fun x -> String.equal x.code code) all
+let rules = List.map (fun x -> (x.code, x.title)) all
+
+let pp ppf x =
+  Format.fprintf ppf "@[<v>%s (%a)@,  %s@,@,@[<hov>%a@]@]" x.code
+    Finding.pp_severity x.severity x.title Format.pp_print_text x.rationale;
+  match x.example with
+  | None -> ()
+  | Some src -> (
+      match Parser.pattern src with
+      | Error _ -> ()
+      | Ok p ->
+          Format.fprintf ppf "@\n@\nexample: %s" src;
+          let fs =
+            List.filter
+              (fun (f : Finding.t) -> String.equal f.code x.code)
+              (Checks.findings p)
+          in
+          List.iter (fun f -> Format.fprintf ppf "@\n  %a" Finding.pp f) fs)

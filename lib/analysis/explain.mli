@@ -1,0 +1,28 @@
+(** The finding-code registry: one entry per stable code emitted by the
+    linter or the analyzer, with a rationale and a minimal reproducing
+    example.
+
+    [loseq analyze --explain CODE] prints the entry; when the entry
+    carries an example, the analyses are run on it live so the printed
+    witness is always the tool's current behaviour, not stale prose. *)
+
+open Loseq_core
+
+type entry = {
+  code : string;
+  severity : Finding.severity;
+  title : string;  (** one line — also the SARIF rule description *)
+  rationale : string;  (** why the finding matters, what to do *)
+  example : string option;  (** a pattern in concrete syntax *)
+}
+
+val find : string -> entry option
+val all : entry list
+(** Every registered code, analyzer codes first, then lint codes. *)
+
+val rules : (string * string) list
+(** [(code, title)] for SARIF rule tables. *)
+
+val pp : Format.formatter -> entry -> unit
+(** Rationale plus, for entries with an example, the example's live
+    findings and witness traces. *)

@@ -1,0 +1,120 @@
+type 'a system = {
+  init : 'a;
+  n_ids : int;
+  step : 'a -> int -> 'a list;
+  final : 'a -> bool;
+}
+
+type 'a exploration = {
+  system : 'a system;
+  states : 'a array;
+  pred : (int * int) array;
+  succ : (int * int) list array;
+  complete : bool;
+}
+
+let explore ?(budget = 200_000) sys =
+  let index = Hashtbl.create 1024 in
+  let states = ref (Array.make 1024 sys.init) in
+  let pred = ref (Array.make 1024 (-1, -1)) in
+  let succ = ref (Array.make 1024 []) in
+  let n = ref 0 in
+  let complete = ref true in
+  let ensure i =
+    if i >= Array.length !states then begin
+      let grow a fill =
+        let b = Array.make (2 * Array.length a) fill in
+        Array.blit a 0 b 0 (Array.length a);
+        b
+      in
+      states := grow !states sys.init;
+      pred := grow !pred (-1, -1);
+      succ := grow !succ []
+    end
+  in
+  let add st pr =
+    match Hashtbl.find_opt index st with
+    | Some i -> Some i
+    | None ->
+        if !n >= budget then begin
+          complete := false;
+          None
+        end
+        else begin
+          let i = !n in
+          ensure i;
+          incr n;
+          Hashtbl.replace index st i;
+          !states.(i) <- st;
+          !pred.(i) <- pr;
+          Some i
+        end
+  in
+  ignore (add sys.init (-1, -1));
+  let q = Queue.create () in
+  Queue.add 0 q;
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    let st = !states.(i) in
+    if not (sys.final st) then
+      for id = 0 to sys.n_ids - 1 do
+        List.iter
+          (fun st' ->
+            let existed = Hashtbl.mem index st' in
+            match add st' (i, id) with
+            | None -> ()
+            | Some j ->
+                !succ.(i) <- (id, j) :: !succ.(i);
+                if not existed then Queue.add j q)
+          (sys.step st id)
+      done
+  done;
+  {
+    system = sys;
+    states = Array.sub !states 0 !n;
+    pred = Array.sub !pred 0 !n;
+    succ = Array.sub !succ 0 !n;
+    complete = !complete;
+  }
+
+let find ex p =
+  let n = Array.length ex.states in
+  let rec loop i =
+    if i >= n then None else if p ex.states.(i) then Some i else loop (i + 1)
+  in
+  loop 0
+
+let path ex target =
+  let rec up i acc =
+    match ex.pred.(i) with
+    | -1, _ -> acc
+    | parent, id -> up parent ((id, ex.states.(i)) :: acc)
+  in
+  up target []
+
+let co_reachable ex p =
+  let n = Array.length ex.states in
+  let mark = Array.make n false in
+  let rev = Array.make n [] in
+  Array.iteri
+    (fun i edges ->
+      List.iter (fun (_, j) -> if j <> i then rev.(j) <- i :: rev.(j)) edges)
+    ex.succ;
+  let q = Queue.create () in
+  for i = 0 to n - 1 do
+    if p ex.states.(i) then begin
+      mark.(i) <- true;
+      Queue.add i q
+    end
+  done;
+  while not (Queue.is_empty q) do
+    let j = Queue.pop q in
+    List.iter
+      (fun i ->
+        if not mark.(i) then begin
+          mark.(i) <- true;
+          Queue.add i q
+        end)
+      rev.(j)
+  done;
+  mark

@@ -1,0 +1,49 @@
+open Loseq_core
+
+let concretize m steps =
+  let pattern = Machine.pattern m in
+  let c = Compiled.compile pattern in
+  let timed = Machine.timed m in
+  let bound = 2 + Pattern.max_hi pattern in
+  let time = ref (-1) in
+  let events = ref [] in
+  List.iter
+    (fun (id, target) ->
+      let nm = Machine.name m id in
+      let cid =
+        match Compiled.id_of_name c nm with
+        | Some i -> i
+        | None -> assert false (* same pattern, same alphabet *)
+      in
+      let rec pump k =
+        if k > bound then
+          failwith
+            (Format.asprintf
+               "Witness.concretize: replay desynchronized on %a" Name.pp nm);
+        let tm = if timed then 0 else (incr time; !time) in
+        events := { Trace.name = nm; time = tm } :: !events;
+        ignore (Compiled.step_id c ~id:cid ~time:tm);
+        if Machine.project m c <> target then pump (k + 1)
+      in
+      pump 0)
+    steps;
+  (List.rev !events, c)
+
+let to_string tr =
+  (* [Trace.parse] defaults bare names to times 0, 1, 2, ... — print
+     names only exactly when that convention reconstructs the trace. *)
+  let default_times =
+    List.for_all2
+      (fun (e : Trace.event) i -> e.time = i)
+      tr
+      (List.mapi (fun i _ -> i) tr)
+  in
+  if default_times then
+    String.concat " "
+      (List.map (fun (e : Trace.event) -> Name.to_string e.name) tr)
+  else
+    String.concat " "
+      (List.map
+         (fun (e : Trace.event) ->
+           Printf.sprintf "%s@%d" (Name.to_string e.name) e.time)
+         tr)

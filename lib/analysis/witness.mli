@@ -1,0 +1,31 @@
+(** Concretizing abstract witness paths into replayable traces.
+
+    A BFS path through the abstract machine ({!Machine}) chooses, at
+    each nondeterministic counting step, which interval the counter
+    lands in — but a concrete counter only moves one unit per event.
+    [concretize] replays the path against a real
+    {!Loseq_core.Compiled} monitor and {e pumps}: it repeats the
+    event until the concrete configuration projects onto the path's
+    target state.  Pumping terminates because the counter climbs
+    monotonically through the intervals and BFS-tree paths never take
+    interval-stay self-loops (they do not change the abstract state).
+
+    Every returned trace is verified by construction: the caller gets
+    back the concrete monitor it was replayed on, in its final state.
+
+    Timestamps: untimed patterns get [0, 1, 2, ...]; timed patterns get
+    all-zero timestamps so that a deadline can never interfere with an
+    event-level witness (deadline violations are then exhibited
+    separately, by letting time pass). *)
+
+open Loseq_core
+
+val concretize : Machine.t -> (int * Machine.state) list -> Trace.t * Compiled.t
+(** [concretize m steps] with [steps = [(id, target); ...]] as returned
+    by {!Reach.path}.  Raises [Failure] if the replay desynchronizes
+    from the abstract path (which the test suite treats as an
+    abstraction soundness bug). *)
+
+val to_string : Trace.t -> string
+(** Compact event list for finding witnesses (names only for untimed
+    traces, [name\@time] as needed otherwise). *)

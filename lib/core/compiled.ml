@@ -48,6 +48,7 @@ type t = {
   mutable index : int;
   mutable started : int;  (* -1 = unarmed *)
   mutable q_done : bool;
+  mutable rounds : int;
 }
 
 let category_code = function
@@ -136,6 +137,7 @@ let compile pattern =
       index = 0;
       started = -1;
       q_done = false;
+      rounds = 0;
     }
   in
   for r = frag_first.(0) to frag_first.(0) + frag_count.(0) - 1 do
@@ -167,7 +169,8 @@ let reset t =
   t.verdict <- Running;
   t.index <- 0;
   t.started <- -1;
-  t.q_done <- false
+  t.q_done <- false;
+  t.rounds <- 0
 
 (* Recognizer outcomes. *)
 let o_quiet = 0
@@ -296,8 +299,10 @@ let start_fragment_with t f id =
 let refresh_timed t ~time =
   if t.timed then
     if t.active = t.premise_last && min_complete t then t.started <- time
-    else if t.active = t.q - 1 && (not t.q_done) && min_complete t then
-      t.q_done <- true
+    else if t.active = t.q - 1 && (not t.q_done) && min_complete t then begin
+      t.q_done <- true;
+      t.rounds <- t.rounds + 1
+    end
 
 let step_id t ~id ~time =
   if id < 0 || id >= Array.length t.owner then
@@ -335,7 +340,8 @@ let step_id t ~id ~time =
         end
         else if t.active = last && t.terminator.(id) then begin
           if try_complete t ~time then
-            if not t.timed then
+            if not t.timed then begin
+              t.rounds <- t.rounds + 1;
               if t.repeated then begin
                 (* fresh round, bare start *)
                 let first = t.frag_first.(0) in
@@ -349,6 +355,7 @@ let step_id t ~id ~time =
                 t.verdict <- Satisfied;
                 t.verdict
               end
+            end
             else begin
               (* timed: the terminator opens the next round *)
               start_fragment_with t 0 id;
@@ -371,6 +378,78 @@ let step_id t ~id ~time =
         else if f >= 0 then violate t ~time Diag.After_name
         else violate t ~time Diag.Trigger_early
       end
+
+let rounds_completed t = t.rounds
+
+(* ---- reachability accessors ------------------------------------------- *)
+
+type static = {
+  names : Name.t array;
+  owner : int array;
+  terminator : bool array;
+  category : Context.category array array;
+  rec_range : Pattern.range array;
+  rec_disjunctive : bool array;
+  frag_first : int array;
+  frag_count : int array;
+  fragments : int;
+  repeated : bool;
+  timed : bool;
+  premise_last : int;
+  deadline : int;
+}
+
+let category_decode c =
+  if c = c_self then Context.Self
+  else if c = c_current then Context.Current
+  else if c = c_before then Context.Before
+  else if c = c_accept then Context.Accept
+  else Context.After
+
+let static (t : t) =
+  let names = Array.make (Array.length t.owner) (Name.v "_") in
+  Hashtbl.iter (fun nm id -> names.(id) <- nm) t.ids;
+  {
+    names;
+    owner = Array.copy t.owner;
+    terminator = Array.copy t.terminator;
+    category = Array.map (Array.map category_decode) t.category;
+    rec_range = Array.copy t.ranges;
+    rec_disjunctive = Array.copy t.disjunctive;
+    frag_first = Array.copy t.frag_first;
+    frag_count = Array.copy t.frag_count;
+    fragments = t.q;
+    repeated = t.repeated;
+    timed = t.timed;
+    premise_last = t.premise_last;
+    deadline = t.deadline;
+  }
+
+type rec_state = Idle | Waiting | Started | Counting of int | Done
+
+type snapshot = {
+  active : int;
+  recs : rec_state array;
+  armed : bool;
+  q_done : bool;
+  rounds : int;
+}
+
+let snapshot (t : t) =
+  {
+    active = t.active;
+    recs =
+      Array.init (Array.length t.state) (fun r ->
+          let s = t.state.(r) in
+          if s = s_idle then Idle
+          else if s = s_waiting then Waiting
+          else if s = s_started then Started
+          else if s = s_counting then Counting t.counter.(r)
+          else Done);
+    armed = t.timed && t.started >= 0;
+    q_done = t.q_done;
+    rounds = t.rounds;
+  }
 
 let step t (e : Trace.event) =
   match Hashtbl.find_opt t.ids e.name with

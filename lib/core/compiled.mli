@@ -53,5 +53,55 @@ val reset : t -> unit
 (** Back to the initial configuration (monitors are reusable across
     runs without re-compiling). *)
 
+val rounds_completed : t -> int
+(** Number of full recognition rounds completed so far: accepted
+    body+trigger rounds for an antecedent, minimally recognized
+    premise+conclusion rounds for a timed implication.  A property that
+    never fails {e and} never completes a round was exercised
+    vacuously — the distinction the analyzer's cross-validation tests
+    need. *)
+
 val run : Pattern.t -> Trace.t -> verdict
 val accepts : ?final_time:int -> Pattern.t -> Trace.t -> bool
+
+(** {1 Reachability accessors}
+
+    Read-only views of the flat tables and of the current
+    configuration, for decision procedures over the monitor automaton
+    ([Loseq_analysis]): the analyzer re-executes the Fig. 5 step
+    function on a counter-interval abstraction of exactly these
+    tables, and cross-validates its witnesses by replaying them here. *)
+
+type static = {
+  names : Name.t array;  (** interned id → name *)
+  owner : int array;  (** id → fragment index, [-1] = terminator-only *)
+  terminator : bool array;  (** id → closes the whole ordering *)
+  category : Context.category array array;  (** recognizer → id → class *)
+  rec_range : Pattern.range array;  (** recognizer → its range *)
+  rec_disjunctive : bool array;
+  frag_first : int array;  (** fragment → first recognizer index *)
+  frag_count : int array;
+  fragments : int;  (** [q] *)
+  repeated : bool;  (** true also for timed patterns *)
+  timed : bool;
+  premise_last : int;  (** last premise fragment; [-2] for antecedents *)
+  deadline : int;
+}
+
+val static : t -> static
+(** The compile-time tables (arrays are fresh copies: mutating them
+    cannot corrupt the monitor). *)
+
+type rec_state = Idle | Waiting | Started | Counting of int | Done
+
+type snapshot = {
+  active : int;
+  recs : rec_state array;  (** per recognizer, in table order *)
+  armed : bool;  (** timed: premise recognized, deadline running *)
+  q_done : bool;  (** timed: conclusion minimally recognized *)
+  rounds : int;  (** {!rounds_completed} *)
+}
+
+val snapshot : t -> snapshot
+(** The current configuration ([Running] monitors only carry useful
+    snapshots, but the call is always safe). *)

@@ -1,0 +1,238 @@
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;
+  message : string;
+  subject : string option;
+  file : string option;
+  line : int option;
+  witness : string option;
+}
+
+let v ?subject ?file ?line ?witness severity code fmt =
+  Format.kasprintf
+    (fun message -> { severity; code; message; subject; file; line; witness })
+    fmt
+
+let with_origin ?subject ?file ?line f =
+  let keep old fresh = match old with Some _ -> old | None -> fresh in
+  {
+    f with
+    subject = keep f.subject subject;
+    file = keep f.file file;
+    line = keep f.line line;
+  }
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let pp_severity ppf s = Format.pp_print_string ppf (severity_to_string s)
+let rank = function Error -> 0 | Warning -> 1 | Info -> 2
+let order fs = List.stable_sort (fun a b -> compare (rank a.severity) (rank b.severity)) fs
+
+let exit_code fs =
+  if List.exists (fun f -> f.severity = Error) fs then 2
+  else if List.exists (fun f -> f.severity = Warning) fs then 1
+  else 0
+
+let suppress codes fs =
+  List.filter (fun f -> not (List.mem f.code codes)) fs
+
+(* ---- text ------------------------------------------------------------- *)
+
+let pp ppf f =
+  (match (f.file, f.line) with
+  | Some file, Some line -> Format.fprintf ppf "%s:%d: " file line
+  | Some file, None -> Format.fprintf ppf "%s: " file
+  | None, _ -> ());
+  Format.fprintf ppf "%a[%s]: %s" pp_severity f.severity f.code f.message;
+  (match f.subject with
+  | Some s -> Format.fprintf ppf "@ (%s)" s
+  | None -> ());
+  match f.witness with
+  | Some w -> Format.fprintf ppf "@   witness: %s" w
+  | None -> ()
+
+let pp_list ppf fs =
+  Format.pp_print_list ~pp_sep:Format.pp_print_newline
+    (fun ppf f -> Format.fprintf ppf "@[<v>%a@]" pp f)
+    ppf fs
+
+(* ---- json ------------------------------------------------------------- *)
+
+let opt_field name conv = function
+  | Some v -> [ (name, conv v) ]
+  | None -> []
+
+let finding_to_json f =
+  Json.Obj
+    ([
+       ("severity", Json.String (severity_to_string f.severity));
+       ("code", Json.String f.code);
+       ("message", Json.String f.message);
+     ]
+    @ opt_field "subject" (fun s -> Json.String s) f.subject
+    @ opt_field "file" (fun s -> Json.String s) f.file
+    @ opt_field "line" (fun l -> Json.Int l) f.line
+    @ opt_field "witness" (fun s -> Json.String s) f.witness)
+
+let count sev fs = List.length (List.filter (fun f -> f.severity = sev) fs)
+
+let to_json fs =
+  Json.Obj
+    [
+      ("findings", Json.List (List.map finding_to_json fs));
+      ("errors", Json.Int (count Error fs));
+      ("warnings", Json.Int (count Warning fs));
+      ("infos", Json.Int (count Info fs));
+    ]
+
+(* ---- SARIF 2.1.0 ------------------------------------------------------ *)
+
+let sarif_level = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "note"
+
+let to_sarif ?(tool_name = "loseq") ?(tool_version = "1.0.0") ?(rules = [])
+    fs =
+  (* Every code used by a result needs a rule entry; preserve the
+     documented descriptions where we have them. *)
+  let codes =
+    List.fold_left
+      (fun acc f -> if List.mem f.code acc then acc else acc @ [ f.code ])
+      (List.map fst rules) fs
+  in
+  let rule_index code =
+    let rec find i = function
+      | [] -> -1
+      | c :: _ when String.equal c code -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 codes
+  in
+  let rule_objs =
+    List.map
+      (fun code ->
+        let description =
+          match List.assoc_opt code rules with
+          | Some d -> d
+          | None -> code
+        in
+        let default_level =
+          match
+            List.find_opt (fun f -> String.equal f.code code) fs
+          with
+          | Some f -> sarif_level f.severity
+          | None -> "warning"
+        in
+        Json.Obj
+          [
+            ("id", Json.String code);
+            ("shortDescription", Json.Obj [ ("text", Json.String description) ]);
+            ( "defaultConfiguration",
+              Json.Obj [ ("level", Json.String default_level) ] );
+          ])
+      codes
+  in
+  let result f =
+    let location =
+      match f.file with
+      | None -> []
+      | Some file ->
+          let region =
+            match f.line with
+            | Some line -> [ ("region", Json.Obj [ ("startLine", Json.Int line) ]) ]
+            | None -> []
+          in
+          let logical =
+            match f.subject with
+            | Some s ->
+                [
+                  ( "logicalLocations",
+                    Json.List [ Json.Obj [ ("name", Json.String s) ] ] );
+                ]
+            | None -> []
+          in
+          [
+            ( "locations",
+              Json.List
+                [
+                  Json.Obj
+                    ([
+                       ( "physicalLocation",
+                         Json.Obj
+                           ([
+                              ( "artifactLocation",
+                                Json.Obj [ ("uri", Json.String file) ] );
+                            ]
+                           @ region) );
+                     ]
+                    @ logical);
+                ] );
+          ]
+    in
+    let properties =
+      let props =
+        opt_field "subject" (fun s -> Json.String s) f.subject
+        @ opt_field "witness" (fun s -> Json.String s) f.witness
+      in
+      match props with [] -> [] | _ -> [ ("properties", Json.Obj props) ]
+    in
+    Json.Obj
+      ([
+         ("ruleId", Json.String f.code);
+         ("ruleIndex", Json.Int (rule_index f.code));
+         ("level", Json.String (sarif_level f.severity));
+         ("message", Json.Obj [ ("text", Json.String f.message) ]);
+       ]
+      @ location @ properties)
+  in
+  Json.Obj
+    [
+      ("$schema", Json.String "https://json.schemastore.org/sarif-2.1.0.json");
+      ("version", Json.String "2.1.0");
+      ( "runs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.String tool_name);
+                            ("version", Json.String tool_version);
+                            ( "informationUri",
+                              Json.String
+                                "https://example.org/loseq" );
+                            ("rules", Json.List rule_objs);
+                          ] );
+                    ] );
+                ("results", Json.List (List.map result fs));
+              ];
+          ] );
+    ]
+
+(* ---- dispatch --------------------------------------------------------- *)
+
+type format = Text | Json | Sarif
+
+let format_of_string = function
+  | "text" -> Ok Text
+  | "json" -> Ok Json
+  | "sarif" -> Ok Sarif
+  | other -> Error (Printf.sprintf "unknown format %S" other)
+
+let render ?tool_name ?tool_version ?rules format ppf fs =
+  match format with
+  | Text -> Format.fprintf ppf "%a@." pp_list fs
+  | Json -> Format.fprintf ppf "%a@." Json.pp (to_json fs)
+  | Sarif ->
+      Format.fprintf ppf "%a@." Json.pp
+        (to_sarif ?tool_name ?tool_version ?rules fs)

@@ -1,0 +1,91 @@
+(** Findings: the shared currency of every static checker in the code
+    base.
+
+    The linter ({!Lint}) and the semantic analyzer ([Loseq_analysis])
+    both report their results as values of this type, so a build
+    pipeline sees one format whatever produced the diagnostic.  Codes
+    are stable kebab-case strings suitable for suppression lists
+    ([--suppress CODE]) and for SARIF [ruleId]s.
+
+    Renderers: human text, machine JSON, and SARIF 2.1.0 (the static
+    analysis interchange format GitHub code scanning and most CI
+    dashboards ingest). *)
+
+type severity = Error | Warning | Info
+
+type t = {
+  severity : severity;
+  code : string;  (** stable, kebab-case, e.g. ["deadline-infeasible"] *)
+  message : string;
+  subject : string option;
+      (** what the finding is about: a suite entry name or a pattern *)
+  file : string option;  (** suite file, when the pattern came from one *)
+  line : int option;  (** 1-based line in [file] *)
+  witness : string option;
+      (** machine-replayable evidence, e.g. a witness trace *)
+}
+
+val v :
+  ?subject:string ->
+  ?file:string ->
+  ?line:int ->
+  ?witness:string ->
+  severity ->
+  string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+(** [v severity code fmt ...] builds a finding with a formatted
+    message. *)
+
+val with_origin : ?subject:string -> ?file:string -> ?line:int -> t -> t
+(** Fill origin fields that are still [None] — hosts attach the suite
+    entry a producer did not know about. *)
+
+val severity_to_string : severity -> string
+val pp_severity : Format.formatter -> severity -> unit
+
+val order : t list -> t list
+(** Stable sort: errors first, then warnings, then infos. *)
+
+val exit_code : t list -> int
+(** The CI gate policy: [2] if any error, [1] if any warning (but no
+    error), [0] otherwise. *)
+
+val suppress : string list -> t list -> t list
+(** Drop findings whose code is listed (they affect neither output nor
+    {!exit_code}). *)
+
+(** {1 Renderers} *)
+
+type format = Text | Json | Sarif
+
+val format_of_string : string -> (format, string) result
+
+val pp : Format.formatter -> t -> unit
+(** One line: ["file:line: severity[code]: message (subject)"], omitting
+    the parts that are absent. *)
+
+val pp_list : Format.formatter -> t list -> unit
+
+val to_json : t list -> Json.t
+(** [{ "findings": [...], "errors": n, "warnings": n }]. *)
+
+val to_sarif :
+  ?tool_name:string ->
+  ?tool_version:string ->
+  ?rules:(string * string) list ->
+  t list ->
+  Json.t
+(** A complete SARIF 2.1.0 log with one run.  [rules] maps codes to
+    short descriptions; codes appearing in the findings but not in
+    [rules] still get a rule entry (SARIF requires [ruleIndex] to
+    resolve).  Defaults: tool ["loseq"], version ["1.0.0"]. *)
+
+val render :
+  ?tool_name:string ->
+  ?tool_version:string ->
+  ?rules:(string * string) list ->
+  format ->
+  Format.formatter ->
+  t list ->
+  unit

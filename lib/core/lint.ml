@@ -1,9 +1,4 @@
-type severity = Info | Warning
-
-type finding = { severity : severity; code : string; message : string }
-
-let finding severity code fmt =
-  Format.kasprintf (fun message -> { severity; code; message }) fmt
+let finding severity code fmt = Finding.v severity code fmt
 
 (* Lower bound on the number of events a full match of the ordering
    needs. *)
@@ -22,18 +17,23 @@ let min_events ordering =
     0 ordering
 
 (* Estimated explicit product state count: each range contributes
-   roughly its counter span plus its waiting states; capped to avoid
-   overflow theatrics. *)
+   roughly its counter span plus its waiting states.  The estimate is
+   capped to avoid overflow theatrics; the boolean records whether the
+   cap was hit, so the caller can say "at least" instead of passing the
+   cap off as an exact figure. *)
+let state_cap = 1_000_000_000
+
 let state_estimate p =
-  let cap = 1_000_000_000 in
   List.fold_left
     (fun acc (f : Pattern.fragment) ->
       List.fold_left
-        (fun acc (r : Pattern.range) ->
+        (fun (count, capped) (r : Pattern.range) ->
           let states = r.hi + 3 in
-          if acc > cap / states then cap else acc * states)
+          if count > state_cap / states then (state_cap, true)
+          else (count * states, capped))
         acc f.ranges)
-    1 (Pattern.body_ordering p)
+    (1, false)
+    (Pattern.body_ordering p)
 
 let lint p =
   Wellformed.check_exn p;
@@ -45,7 +45,7 @@ let lint p =
       (match (f.connective, f.ranges) with
       | Pattern.Any, [ r ] ->
           add
-            (finding Warning "singleton-disjunction"
+            (finding Finding.Warning "singleton-disjunction"
                "fragment {%a | } has a single range; '|' and ',' are \
                 equivalent here - was a larger choice intended?"
                Pattern.pp_range r)
@@ -55,13 +55,13 @@ let lint p =
           let width = r.hi - r.lo + 1 in
           if width > 1024 then
             add
-              (finding Warning "wide-range"
+              (finding Finding.Warning "wide-range"
                  "range %a expands to %d PSL names; any PSL-based flow \
                   will explode (the Drct monitor is unaffected)"
                  Pattern.pp_range r width);
           if r.hi > 100_000 then
             add
-              (finding Info "huge-counter"
+              (finding Finding.Info "huge-counter"
                  "range %a needs a %d-bit counter" Pattern.pp_range r
                  (let rec bits n acc =
                     if n = 0 then acc else bits (n lsr 1) (acc + 1)
@@ -74,12 +74,12 @@ let lint p =
       let needed = min_events g.conclusion in
       if g.deadline = 0 then
         add
-          (finding Warning "zero-deadline"
+          (finding Finding.Warning "zero-deadline"
              "deadline 0 forces the whole conclusion to happen at the \
               premise's final timestamp")
       else if needed > 1 && g.deadline < needed - 1 then
         add
-          (finding Warning "tight-deadline"
+          (finding Finding.Warning "tight-deadline"
              "the conclusion needs at least %d events but the deadline \
               allows only %d time units - satisfiable only with \
               simultaneous events"
@@ -87,26 +87,21 @@ let lint p =
   | Pattern.Antecedent a ->
       if not a.repeated then
         add
-          (finding Info "unbounded-trigger"
+          (finding Finding.Info "unbounded-trigger"
              "non-repeated antecedent: after the first '%a' the property \
               never fails again (use '<<!' to check every occurrence)"
              Name.pp a.trigger));
-  let states = state_estimate p in
+  let states, capped = state_estimate p in
   if states > 64 then
     add
-      (finding Info "state-space"
-         "an explicit product monitor would need ~%d states; the modular \
-          monitors stay at %d stored bits"
-         states (Cost.drct p).Cost.space_bits);
-  let order = function Warning -> 0 | Info -> 1 in
-  List.stable_sort
-    (fun a b -> compare (order a.severity) (order b.severity))
-    (List.rev !findings)
+      (finding Finding.Info "state-space"
+         "an explicit product monitor would need %s%d states%s; the \
+          modular monitors stay at %d stored bits"
+         (if capped then ">= " else "~")
+         states
+         (if capped then " (estimate capped)" else "")
+         (Cost.drct p).Cost.space_bits);
+  Finding.order (List.rev !findings)
 
-let pp_finding ppf f =
-  Format.fprintf ppf "%s[%s]: %s"
-    (match f.severity with Warning -> "warning" | Info -> "info")
-    f.code f.message
-
-let pp ppf findings =
-  Format.pp_print_list ~pp_sep:Format.pp_print_newline pp_finding ppf findings
+let pp_finding = Finding.pp
+let pp = Finding.pp_list

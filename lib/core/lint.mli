@@ -3,20 +3,18 @@
     Well-formedness ({!Wellformed}) rejects meaningless patterns; the
     linter flags {e legal but suspicious} ones — specifications that are
     weaker, stricter or more expensive than their author probably
-    intended.  Codes are stable strings suitable for suppression lists
-    in build tooling. *)
+    intended.  Results are shared {!Finding.t} values (codes are stable
+    strings suitable for suppression lists in build tooling), rendered
+    by the same text/JSON/SARIF pipeline as the semantic analyzer.
 
-type severity = Info | Warning
+    Lint checks are {e syntactic} heuristics: cheap pattern-shape
+    inspections.  The semantic decision procedures over the compiled
+    automaton (vacuity, deadline feasibility, suite subsumption and
+    conflicts) live in [Loseq_analysis]. *)
 
-type finding = {
-  severity : severity;
-  code : string;  (** e.g. ["wide-range"] *)
-  message : string;
-}
-
-val lint : Pattern.t -> finding list
-(** Findings in a stable order (warnings first).  Raises
-    {!Wellformed.Ill_formed} on an ill-formed pattern.
+val lint : Pattern.t -> Finding.t list
+(** Findings in a stable order (warnings first; lint never emits
+    errors).  Raises {!Wellformed.Ill_formed} on an ill-formed pattern.
 
     Current checks:
     - [singleton-disjunction] (warning): a [∨] fragment with one range
@@ -25,16 +23,25 @@ val lint : Pattern.t -> finding list
       conclusion to share the premise's last timestamp;
     - [tight-deadline] (warning): the conclusion needs at least [k]
       events but the deadline allows fewer time units than [k-1] —
-      satisfiable only with simultaneous events;
+      satisfiable only with simultaneous events (the analyzer's
+      [deadline-infeasible] is the exact, automaton-derived version);
     - [wide-range] (warning): a range wider than 1024 makes any
       PSL-based toolchain infeasible (the paper's point) — harmless for
       the Drct monitors but worth knowing;
     - [huge-counter] (info): a bound above 100000 costs extra counter
       bits;
     - [state-space] (info): estimated explicit product states, when the
-      modular monitor is replaced by a materialized DFA;
+      modular monitor is replaced by a materialized DFA; estimates
+      beyond the internal cap are reported as ["≥ cap"], never as an
+      exact-looking number;
     - [unbounded-trigger] (info): a non-repeated antecedent stops
       checking after the first trigger — often [<<!] was meant. *)
 
-val pp_finding : Format.formatter -> finding -> unit
-val pp : Format.formatter -> finding list -> unit
+val min_events : Pattern.ordering -> int
+(** Lower bound on the number of events a full match of the ordering
+    needs ([∧]: sum of the lower bounds, [∨]: their minimum) — exposed
+    as the syntactic oracle the analyzer's automaton-based deadline
+    procedure is cross-validated against. *)
+
+val pp_finding : Format.formatter -> Finding.t -> unit
+val pp : Format.formatter -> Finding.t list -> unit

@@ -1,6 +1,6 @@
 open Loseq_core
 
-type entry = { label : string; pattern : Pattern.t }
+type entry = { label : string; pattern : Pattern.t; line : int }
 type t = entry list
 type error = { line : int; message : string }
 
@@ -54,7 +54,7 @@ let parse source =
                 match Parser.pattern body with
                 | Ok pattern ->
                     loop (lineno + 1)
-                      ({ label; pattern } :: entries)
+                      ({ label; pattern; line = lineno } :: entries)
                       (label :: seen) rest
                 | Error e ->
                     Error

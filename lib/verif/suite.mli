@@ -15,7 +15,11 @@
 
 open Loseq_core
 
-type entry = { label : string; pattern : Pattern.t }
+type entry = {
+  label : string;
+  pattern : Pattern.t;
+  line : int;  (** 1-based source line, for finding locations *)
+}
 type t = entry list
 
 type error = { line : int; message : string }

@@ -1,0 +1,397 @@
+(* The semantic analyzer: deterministic checks on the committed example
+   suites, SARIF well-formedness, and qcheck cross-validation of the
+   abstract machine's verdicts against the concrete compiled monitors. *)
+
+open Loseq_core
+open Loseq_analysis
+open Loseq_testutil
+
+let load path =
+  match Loseq_verif.Suite.load path with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "%a" Loseq_verif.Suite.pp_error e
+
+let analyze_file path =
+  Analysis.analyze
+    (List.map
+       (fun (e : Loseq_verif.Suite.entry) ->
+         Analysis.item ~file:path ~line:e.line e.label e.pattern)
+       (load path))
+
+let codes fs = List.map (fun (f : Finding.t) -> f.Finding.code) fs
+
+(* Locate a committed spec whether the binary runs from the workspace
+   root (dune exec) or the test directory (dune runtest). *)
+let spec name =
+  let candidates =
+    [
+      Filename.concat "examples/specs" name;
+      Filename.concat "../examples/specs" name;
+      Filename.concat "../../examples/specs" name;
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> path
+  | None -> List.hd candidates
+
+let ipu = spec "ipu.suite"
+let defective = spec "defective.suite"
+
+(* Step a compiled monitor through the events of [trace] that belong to
+   its alphabet — the suite semantics: a monitor only sees its own
+   names. *)
+let replay c trace =
+  let alpha = Compiled.alphabet c in
+  List.iter
+    (fun (ev : Trace.event) ->
+      if Name.Set.mem ev.name alpha then ignore (Compiled.step c ev))
+    trace
+
+let violated c =
+  match Compiled.verdict c with Compiled.Violated _ -> true | _ -> false
+
+(* ---- the committed example suites ------------------------------------ *)
+
+let test_defective_suite () =
+  let fs = analyze_file defective in
+  List.iter
+    (fun code ->
+      Alcotest.(check bool) (code ^ " found") true (List.mem code (codes fs)))
+    [
+      "vacuous-unviolatable";
+      "deadline-infeasible";
+      "subsumed-checker";
+      "conflicting-pair";
+    ];
+  Alcotest.(check int) "exit code 2" 2 (Finding.exit_code fs);
+  List.iter
+    (fun (f : Finding.t) ->
+      Alcotest.(check bool) "origin file attached" true (f.file <> None))
+    fs;
+  let conflict =
+    List.find (fun (f : Finding.t) -> f.code = "conflicting-pair") fs
+  in
+  Alcotest.(check (option string))
+    "conflict names both entries"
+    (Some "ping_pong, pong_ping")
+    conflict.subject
+
+let test_ipu_suite () =
+  let fs = analyze_file ipu in
+  Alcotest.(check bool)
+    "no error finding" true
+    (List.for_all (fun (f : Finding.t) -> f.severity <> Finding.Error) fs);
+  List.iter
+    (fun code ->
+      Alcotest.(check bool)
+        (code ^ " absent") false
+        (List.mem code (codes fs)))
+    [
+      "vacuous-unviolatable";
+      "deadline-infeasible";
+      "subsumed-checker";
+      "equivalent-checkers";
+      "conflicting-pair";
+    ];
+  Alcotest.(check bool) "exit <= 1" true (Finding.exit_code fs <= 1)
+
+(* ---- SARIF ----------------------------------------------------------- *)
+
+let test_sarif_well_formed () =
+  let fs = analyze_file defective in
+  let text =
+    Format.asprintf "%a"
+      (fun ppf -> Finding.render ~rules:Analysis.rules Finding.Sarif ppf)
+      fs
+  in
+  let json =
+    match Json.of_string text with
+    | Ok j -> j
+    | Error e -> Alcotest.failf "SARIF does not parse: %s" e
+  in
+  let str path j =
+    match Option.bind (Json.member path j) Json.to_string_opt with
+    | Some s -> s
+    | None -> Alcotest.failf "missing %S" path
+  in
+  Alcotest.(check bool)
+    "$schema names 2.1.0" true
+    (let s = str "$schema" json in
+     let sub = "sarif-2.1.0" in
+     let n = String.length s and m = String.length sub in
+     let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+     at 0);
+  Alcotest.(check string) "version" "2.1.0" (str "version" json);
+  let runs =
+    match Option.bind (Json.member "runs" json) Json.to_list_opt with
+    | Some [ run ] -> run
+    | _ -> Alcotest.fail "expected exactly one run"
+  in
+  let driver =
+    match
+      Option.bind (Json.member "tool" runs) (Json.member "driver")
+    with
+    | Some d -> d
+    | None -> Alcotest.fail "missing tool.driver"
+  in
+  Alcotest.(check string) "tool name" "loseq" (str "name" driver);
+  let rule_ids =
+    match Option.bind (Json.member "rules" driver) Json.to_list_opt with
+    | Some rules -> List.map (str "id") rules
+    | None -> Alcotest.fail "missing driver.rules"
+  in
+  let results =
+    match Option.bind (Json.member "results" runs) Json.to_list_opt with
+    | Some rs -> rs
+    | None -> Alcotest.fail "missing results"
+  in
+  Alcotest.(check int) "one result per finding" (List.length fs)
+    (List.length results);
+  List.iter
+    (fun r ->
+      let id = str "ruleId" r in
+      Alcotest.(check bool)
+        (id ^ " resolves to a rule")
+        true (List.mem id rule_ids))
+    results
+
+(* ---- exit codes and suppression -------------------------------------- *)
+
+let test_exit_and_suppress () =
+  Alcotest.(check int) "empty is clean" 0 (Finding.exit_code []);
+  let fs = analyze_file defective in
+  let no_errors =
+    Finding.suppress [ "deadline-infeasible"; "conflicting-pair" ] fs
+  in
+  Alcotest.(check int) "errors suppressed" 1 (Finding.exit_code no_errors);
+  Alcotest.(check int) "all suppressed" 0
+    (Finding.exit_code (Finding.suppress (codes fs) fs))
+
+let test_explain_covers_all_codes () =
+  let rule_codes = List.map fst Analysis.rules in
+  List.iter
+    (fun (f : Finding.t) ->
+      Alcotest.(check bool)
+        (f.code ^ " has a rule entry")
+        true (List.mem f.code rule_codes);
+      Alcotest.(check bool)
+        (f.code ^ " has an explanation")
+        true
+        (Explain.find f.code <> None))
+    (analyze_file defective @ analyze_file ipu)
+
+(* ---- deadline feasibility -------------------------------------------- *)
+
+let deadline_codes d =
+  codes (Checks.findings (pat (Printf.sprintf "start => ack[3,8] < done within %d" d)))
+
+let test_deadline_exactness () =
+  let r = Checks.report (pat "start => ack[3,8] < done within 2") in
+  Alcotest.(check (option int))
+    "minimal conclusion events" (Some 4) r.Checks.min_conclusion_events;
+  Alcotest.(check bool)
+    "infeasible at 2" true
+    (List.mem "deadline-infeasible" (deadline_codes 2));
+  Alcotest.(check bool)
+    "tight at 4" true
+    (List.mem "deadline-tight" (deadline_codes 4));
+  let loose = deadline_codes 5 in
+  Alcotest.(check bool)
+    "clean at 5" false
+    (List.mem "deadline-infeasible" loose
+    || List.mem "deadline-tight" loose)
+
+(* ---- cross-pattern procedures ---------------------------------------- *)
+
+let test_subsumption_direction () =
+  let tight = pat "req[1,3] <<! grant" and loose = pat "req[1,8] <<! grant" in
+  Alcotest.(check (option bool))
+    "loose redundant beside tight" (Some true)
+    (Suite_checks.subsumes tight loose);
+  Alcotest.(check (option bool))
+    "tight not redundant beside loose" (Some false)
+    (Suite_checks.subsumes loose tight)
+
+let test_conflict_and_witness () =
+  let ab = pat "ping < pong <<! go" and ba = pat "pong < ping <<! go" in
+  (match Suite_checks.compatible_witness ab ba with
+  | Some (None, true) -> ()
+  | _ -> Alcotest.fail "expected a conflict (both matchable, no witness)");
+  (* a compatible pair yields a replayable witness *)
+  let other = pat "ping < pong <<! stop" in
+  match Suite_checks.compatible_witness ab other with
+  | Some (Some w, true) ->
+      let ca = Compiled.compile (pat "ping < pong <<! go") in
+      let cb = Compiled.compile (pat "ping < pong <<! stop") in
+      replay ca w;
+      replay cb w;
+      Alcotest.(check bool) "a matched" true (Compiled.rounds_completed ca >= 1);
+      Alcotest.(check bool) "b matched" true (Compiled.rounds_completed cb >= 1);
+      Alcotest.(check bool) "neither violated" false (violated ca || violated cb)
+  | _ -> Alcotest.fail "expected a compatibility witness"
+
+(* ---- qcheck: abstraction vs the concrete monitor ---------------------- *)
+
+let pp_pattern p = Format.asprintf "%a" Pattern.pp p
+
+let qcheck_violation_witness_replays =
+  qtest ~count:150 "violation witnesses replay to concrete violations"
+    gen_pattern pp_pattern (fun p ->
+      let r = Checks.report p in
+      match r.Checks.violation_witness with
+      | None -> true
+      | Some w -> (
+          let c = Compiled.compile p in
+          replay c w;
+          if r.Checks.time_violation then
+            match p with
+            | Pattern.Timed g -> (
+                match Compiled.finalize c ~now:(g.deadline + 1) with
+                | Compiled.Violated _ -> true
+                | _ -> false)
+            | Pattern.Antecedent _ -> false
+          else violated c))
+
+let qcheck_match_witness_replays =
+  qtest ~count:150 "match witnesses complete a concrete round" gen_pattern
+    pp_pattern (fun p ->
+      let r = Checks.report p in
+      match r.Checks.match_witness with
+      | None -> true
+      | Some w ->
+          let c = Compiled.compile p in
+          replay c w;
+          Compiled.rounds_completed c >= 1 && not (violated c))
+
+let qcheck_safe_witness_is_safe =
+  qtest ~count:100 "safe witnesses survive any continuation"
+    QCheck2.Gen.(pair gen_antecedent (int_bound 1_000_000))
+    (fun (p, seed) -> Printf.sprintf "%s (seed %d)" (pp_pattern p) seed)
+    (fun (p, seed) ->
+      let r = Checks.report p in
+      match r.Checks.safe_witness with
+      | None -> true
+      | Some w ->
+          let c = Compiled.compile p in
+          replay c w;
+          (not (violated c))
+          &&
+          let rng = Random.State.make [| seed |] in
+          let alpha =
+            Array.of_list (Name.Set.elements (Pattern.alpha p))
+          in
+          let time = ref (Trace.end_time w) in
+          let ok = ref true in
+          for _ = 1 to 30 do
+            incr time;
+            let name = alpha.(Random.State.int rng (Array.length alpha)) in
+            ignore (Compiled.step c { Trace.name; time = !time });
+            if violated c then ok := false
+          done;
+          !ok)
+
+let qcheck_min_events_cross_validates_lint =
+  qtest ~count:150 "automaton deadline bound equals Lint.min_events"
+    gen_timed pp_pattern (fun p ->
+      let r = Checks.report p in
+      match (p, r.Checks.min_conclusion_events) with
+      | Pattern.Timed g, Some m ->
+          (not r.Checks.complete) || m = Lint.min_events g.conclusion
+      | _, None -> not r.Checks.complete
+      | Pattern.Antecedent _, _ -> false)
+
+let qcheck_subsumption_cross_validation =
+  qtest ~count:100 "violations of a subsumed checker violate the subsumer"
+    QCheck2.Gen.(pair (pair gen_antecedent gen_antecedent)
+                   (int_bound 1_000_000))
+    (fun ((a, b), seed) ->
+      Printf.sprintf "a: %s\nb: %s\nseed %d" (pp_pattern a) (pp_pattern b)
+        seed)
+    (fun ((a, b), seed) ->
+      match Suite_checks.subsumes ~budget:20_000 a b with
+      | Some true -> (
+          (* b is redundant: anything that violates b violates a *)
+          let rng = Random.State.make [| seed |] in
+          match Generate.violating rng b with
+          | None -> true
+          | Some trace ->
+              let ca = Compiled.compile a and cb = Compiled.compile b in
+              replay ca trace;
+              replay cb trace;
+              (not (violated cb)) || violated ca)
+      | _ -> true)
+
+let qcheck_conflict_cross_validation =
+  qtest ~count:100 "conflicting pairs never both match on random runs"
+    QCheck2.Gen.(pair (pair gen_antecedent gen_antecedent)
+                   (int_bound 1_000_000))
+    (fun ((a, b), seed) ->
+      Printf.sprintf "a: %s\nb: %s\nseed %d" (pp_pattern a) (pp_pattern b)
+        seed)
+    (fun ((a, b), seed) ->
+      match Suite_checks.compatible_witness ~budget:20_000 a b with
+      | Some (None, true) ->
+          (* conflict: no run may ever have both matched and neither
+             violated — check the invariant along random words over the
+             union alphabet *)
+          let rng = Random.State.make [| seed |] in
+          let union =
+            Array.of_list
+              (Name.Set.elements
+                 (Name.Set.union (Pattern.alpha a) (Pattern.alpha b)))
+          in
+          let ca = Compiled.compile a and cb = Compiled.compile b in
+          let ok = ref true in
+          for time = 1 to 40 do
+            let name = union.(Random.State.int rng (Array.length union)) in
+            replay ca [ { Trace.name; time } ];
+            replay cb [ { Trace.name; time } ];
+            if
+              Compiled.rounds_completed ca >= 1
+              && Compiled.rounds_completed cb >= 1
+              && (not (violated ca))
+              && not (violated cb)
+            then ok := false
+          done;
+          !ok
+      | _ -> true)
+
+let qcheck_analyze_never_crashes =
+  qtest ~count:150 "analyze_pattern total on well-formed patterns"
+    gen_pattern pp_pattern (fun p ->
+      ignore (Analysis.analyze_pattern p);
+      true)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "suites",
+        [
+          Alcotest.test_case "defective findings" `Quick test_defective_suite;
+          Alcotest.test_case "clean ipu contract" `Quick test_ipu_suite;
+          Alcotest.test_case "sarif well-formed" `Quick test_sarif_well_formed;
+          Alcotest.test_case "exit codes + suppress" `Quick
+            test_exit_and_suppress;
+          Alcotest.test_case "explain covers all codes" `Quick
+            test_explain_covers_all_codes;
+        ] );
+      ( "procedures",
+        [
+          Alcotest.test_case "deadline exactness" `Quick
+            test_deadline_exactness;
+          Alcotest.test_case "subsumption direction" `Quick
+            test_subsumption_direction;
+          Alcotest.test_case "conflict + witness" `Quick
+            test_conflict_and_witness;
+        ] );
+      ( "cross-validation",
+        [
+          qcheck_violation_witness_replays;
+          qcheck_match_witness_replays;
+          qcheck_safe_witness_is_safe;
+          qcheck_min_events_cross_validates_lint;
+          qcheck_subsumption_cross_validation;
+          qcheck_conflict_cross_validation;
+          qcheck_analyze_never_crashes;
+        ] );
+    ]

@@ -1,19 +1,19 @@
 open Loseq_core
 open Loseq_testutil
 
-let codes p = List.map (fun f -> f.Lint.code) (Lint.lint p)
+let codes p = List.map (fun f -> f.Finding.code) (Lint.lint p)
 let has p code = List.mem code (codes p)
 
 let severity_of p code =
   List.find_map
-    (fun f -> if f.Lint.code = code then Some f.Lint.severity else None)
+    (fun f -> if f.Finding.code = code then Some f.Finding.severity else None)
     (Lint.lint p)
 
 let test_clean_pattern () =
   (* The case-study property only gets the informational notes. *)
   let p = pat "{set_imgAddr, set_glAddr, set_glSize} <<! start" in
   Alcotest.(check bool) "no warnings" true
-    (List.for_all (fun f -> f.Lint.severity = Lint.Info) (Lint.lint p))
+    (List.for_all (fun f -> f.Finding.severity = Finding.Info) (Lint.lint p))
 
 let test_singleton_disjunction () =
   (* Constructed via the API: the printer normalizes singleton fragments
@@ -42,7 +42,7 @@ let test_wide_range () =
   let p = pat "n[100,60000] <<! i" in
   Alcotest.(check bool) "flagged" true (has p "wide-range");
   Alcotest.(check bool) "is warning" true
-    (severity_of p "wide-range" = Some Lint.Warning);
+    (severity_of p "wide-range" = Some Finding.Warning);
   Alcotest.(check bool) "narrow ok" false (has (pat "n[1,8] <<! i") "wide-range")
 
 let test_huge_counter () =
@@ -64,11 +64,11 @@ let test_warnings_sorted_first () =
   let rec no_warning_after_info seen_info = function
     | [] -> true
     | f :: rest ->
-        (match f.Lint.severity with
-        | Lint.Warning -> not seen_info
-        | Lint.Info -> true)
+        (match f.Finding.severity with
+        | Finding.Error | Finding.Warning -> not seen_info
+        | Finding.Info -> true)
         && no_warning_after_info
-             (seen_info || f.Lint.severity = Lint.Info)
+             (seen_info || f.Finding.severity = Finding.Info)
              rest
   in
   Alcotest.(check bool) "sorted" true (no_warning_after_info false findings)
@@ -76,7 +76,7 @@ let test_warnings_sorted_first () =
 let test_rejects_ill_formed () =
   let bad = Pattern.antecedent [ Pattern.single (name "i") ] ~trigger:(name "i") in
   match Lint.lint bad with
-  | (_ : Lint.finding list) -> Alcotest.fail "expected Ill_formed"
+  | (_ : Finding.t list) -> Alcotest.fail "expected Ill_formed"
   | exception Wellformed.Ill_formed _ -> ()
 
 let qcheck_lint_never_crashes =
@@ -84,7 +84,7 @@ let qcheck_lint_never_crashes =
     (fun p -> Pattern.to_string p)
     (fun p ->
       let findings = Lint.lint p in
-      List.for_all (fun f -> String.length f.Lint.message > 0) findings)
+      List.for_all (fun f -> String.length f.Finding.message > 0) findings)
 
 let () =
   Alcotest.run "lint"

@@ -104,7 +104,8 @@ let qcheck_generated_suites_roundtrip =
     (fun patterns ->
       let suite =
         List.mapi
-          (fun i p -> { Suite.label = Printf.sprintf "p%d" i; pattern = p })
+          (fun i p ->
+            { Suite.label = Printf.sprintf "p%d" i; pattern = p; line = i + 1 })
           patterns
       in
       match Suite.parse (Suite.to_string suite) with
