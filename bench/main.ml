@@ -387,6 +387,131 @@ let hosted_dispatch () =
   close_out oc;
   Format.printf "@.written: BENCH_hosted_dispatch.json@."
 
+(* ---- Section 3c: ingest throughput ------------------------------------- *)
+
+(* The live-ingestion acceptance bound: streaming bytes through
+   Codec.Decoder -> Session -> verdicts must stay within 2x of raw
+   in-memory hub dispatch on the 16-checker workload above.  Three
+   timings on the identical 120K-event stream: the hub alone (the
+   baseline), the binary decoder alone, and the full pipeline. *)
+let ingest_throughput () =
+  section
+    "Ingest throughput: bytes -> decoder -> session vs in-memory hub dispatch";
+  let open Loseq_sim in
+  let open Loseq_verif in
+  let open Loseq_ingest in
+  let n = 16 in
+  let target_events = 120_000 in
+  let patterns =
+    List.init n (fun i -> pat (Printf.sprintf "{a%d, b%d} <<! go%d" i i i))
+  in
+  let suite =
+    List.mapi
+      (fun i p ->
+        { Suite.label = Printf.sprintf "p%d" i; pattern = p; line = i + 1 })
+      patterns
+  in
+  let names =
+    Array.init n (fun i ->
+        [|
+          Name.v (Printf.sprintf "a%d" i);
+          Name.v (Printf.sprintf "b%d" i);
+          Name.v (Printf.sprintf "go%d" i);
+        |])
+  in
+  let events = target_events / (3 * n) * 3 * n in
+  (* Round-robin satisfying workload, time advancing one tick per
+     recognition triple — the shape a virtual platform emits. *)
+  let trace =
+    List.init events (fun j ->
+        { Trace.name = names.((j / 3) mod n).(j mod 3); time = j / 3 })
+  in
+  let trace_arr = Array.of_list trace in
+  let bytes = Codec.encode_exn trace in
+  let best f =
+    (* min of three runs: these are one-shot wall-clock measurements *)
+    let run () =
+      let t0 = Sys.time () in
+      f ();
+      Float.max (Sys.time () -. t0) 1e-6
+    in
+    List.fold_left (fun acc _ -> Float.min acc (run ())) (run ()) [ 1; 2 ]
+  in
+  let hub_s =
+    best (fun () ->
+        let kernel = Kernel.create () in
+        let tap = Tap.create ~record:false kernel in
+        let hub = Hub.create tap in
+        let checkers = List.map (fun p -> Hub.add hub p) patterns in
+        Array.iter (fun (e : Trace.event) -> Tap.emit_name tap e.name)
+          trace_arr;
+        assert (List.for_all Checker.passed checkers))
+  in
+  let chunk = 65_536 in
+  let feed_chunks decoder ~emit =
+    let len = String.length bytes in
+    let off = ref 0 in
+    while !off < len do
+      let l = min chunk (len - !off) in
+      (match Codec.Decoder.feed decoder ~off:!off ~len:l bytes ~emit with
+      | Ok () -> ()
+      | Error msg -> failwith msg);
+      off := !off + l
+    done;
+    match Codec.Decoder.finish decoder with
+    | Ok () -> ()
+    | Error msg -> failwith msg
+  in
+  let decode_s =
+    best (fun () ->
+        let decoder = Codec.Decoder.create () in
+        feed_chunks decoder ~emit:ignore;
+        assert (Codec.Decoder.events decoder = events))
+  in
+  let e2e_s =
+    best (fun () ->
+        let session = Session.create suite in
+        let decoder = Codec.Decoder.create () in
+        feed_chunks decoder ~emit:(Session.offer_force session);
+        ignore (Session.finalize session);
+        assert (Session.all_passed session))
+  in
+  let eps dt = float_of_int events /. dt in
+  let ratio = eps hub_s /. eps e2e_s in
+  Format.printf "%-26s | %10s | %12s | %10s@." "stage" "seconds" "events/s"
+    "vs hub";
+  let row label dt =
+    Format.printf "%-26s | %10.4f | %12.3e | %9.2fx@." label dt (eps dt)
+      (eps hub_s /. eps dt)
+  in
+  row "hub dispatch (baseline)" hub_s;
+  row "binary decode alone" decode_s;
+  row "decode + session + hub" e2e_s;
+  Format.printf
+    "@.stream: %d events, %d bytes (%.2f bytes/event); end-to-end is %.2fx \
+     the@.baseline cost - the acceptance bound is 2x.@."
+    events (String.length bytes)
+    (float_of_int (String.length bytes) /. float_of_int events)
+    ratio;
+  let oc = open_out "BENCH_ingest.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "ingest_throughput",
+  "workload": "16 disjoint {a_i, b_i} <<! go_i checkers, round-robin satisfying LSQB stream",
+  "events": %d,
+  "stream_bytes": %d,
+  "hub_dispatch": { "seconds": %.6f, "events_per_sec": %.1f },
+  "decode_only": { "seconds": %.6f, "events_per_sec": %.1f },
+  "end_to_end": { "seconds": %.6f, "events_per_sec": %.1f },
+  "slowdown_vs_hub": %.3f,
+  "within_2x": %b
+}
+|}
+    events (String.length bytes) hub_s (eps hub_s) decode_s (eps decode_s)
+    e2e_s (eps e2e_s) ratio (ratio <= 2.0);
+  close_out oc;
+  Format.printf "@.written: BENCH_ingest.json@."
+
 (* ---- Section 4: Bechamel micro-benchmarks ------------------------------ *)
 
 let bechamel_benches () =
@@ -465,19 +590,41 @@ let bechamel_benches () =
         (Hashtbl.find results ("fig6/" ^ row.label ^ " [compiled]")))
     workloads
 
+(* Sections are addressable from the command line so CI can run just
+   one: `bench/main.exe ingest`.  No arguments runs everything. *)
+let sections_by_name =
+  [
+    ("fig6", figure6);
+    ("sweep-range", sweep_range_width);
+    ("sweep-fragment", sweep_fragment_width);
+    ("sweep-chain", sweep_chain_length);
+    ("empirical-psl", empirical_viapsl);
+    ("automata", automaton_sizes);
+    ("ablation", ablation_oracle);
+    ("case-study", case_study);
+    ("hosted-dispatch", hosted_dispatch);
+    ("ingest", ingest_throughput);
+    ("bechamel", bechamel_benches);
+  ]
+
 let () =
   Format.printf
     "loseq benchmark harness - reproduces the evaluation of:@.  Romenska & \
      Maraninchi, \"Efficient Monitoring of Loose-Ordering@.  Properties for \
      SystemC/TLM\", DATE 2016@.";
-  figure6 ();
-  sweep_range_width ();
-  sweep_fragment_width ();
-  sweep_chain_length ();
-  empirical_viapsl ();
-  automaton_sizes ();
-  ablation_oracle ();
-  case_study ();
-  hosted_dispatch ();
-  bechamel_benches ();
+  let chosen =
+    match List.tl (Array.to_list Sys.argv) with
+    | [] -> List.map snd sections_by_name
+    | requested ->
+        List.map
+          (fun nm ->
+            match List.assoc_opt nm sections_by_name with
+            | Some f -> f
+            | None ->
+                Printf.eprintf "unknown bench section %S; available: %s\n" nm
+                  (String.concat ", " (List.map fst sections_by_name));
+                exit 2)
+          requested
+  in
+  List.iter (fun f -> f ()) chosen;
   Format.printf "@.done.@."

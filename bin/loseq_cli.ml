@@ -1,7 +1,7 @@
 (* loseq — command-line front end.
 
-   Subcommands: check, psl, cost, gen, dfa, lint, analyze, suite, soc.
-   Run `loseq_cli --help`. *)
+   Subcommands: check, psl, cost, gen, dfa, lint, analyze, suite, soc,
+   serve, convert, feed.  Run `loseq_cli --help`. *)
 
 open Loseq_core
 
@@ -45,27 +45,43 @@ let factory_of = function
 
 (* ---- check ----------------------------------------------------------- *)
 
+let read_all ic =
+  let buf = Buffer.create 65536 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+(* Any of the three trace formats, by content: the LSQB magic wins,
+   then a comma in the first payload line means CSV, otherwise the
+   whitespace name@time format. *)
+let parse_sniffed data =
+  match Loseq_ingest.Codec.sniff data with
+  | `Binary -> Loseq_ingest.Codec.decode data
+  | `Csv -> Trace_io.of_csv data
+  | `Tokens -> Trace.parse data
+
+let read_stdin_sniffed () =
+  set_binary_mode_in stdin true;
+  parse_sniffed (read_all stdin)
+
 let read_trace = function
-  | Some file when Filename.check_suffix file ".csv" -> Trace_io.load_csv file
-  | Some file ->
-      let ic = open_in file in
-      let n = in_channel_length ic in
-      let s = really_input_string ic n in
-      close_in ic;
-      Trace.parse s
-  | None ->
-      let buf = Buffer.create 1024 in
-      (try
-         while true do
-           Buffer.add_channel buf stdin 1
-         done
-       with End_of_file -> ());
-      Trace.parse (Buffer.contents buf)
+  | Some "-" | None -> read_stdin_sniffed ()
+  | Some file -> (
+      match open_in_bin file with
+      | ic ->
+          let s = read_all ic in
+          close_in ic;
+          parse_sniffed s
+      | exception Sys_error msg -> Error msg)
 
 let check_cmd =
   let run pattern trace_file trace_inline strict final_time backend_kind =
     let trace_result =
       match trace_inline with
+      | Some "-" -> read_stdin_sniffed ()
       | Some s -> Trace.parse s
       | None -> read_trace trace_file
     in
@@ -130,13 +146,17 @@ let check_cmd =
       value
       & opt (some string) None
       & info [ "f"; "file" ] ~docv:"FILE"
-          ~doc:"Trace file (events 'name' or 'name@time', whitespace separated); stdin by default.")
+          ~doc:
+            "Trace file — tokens ('name' or 'name@time', whitespace \
+             separated), CSV, or LSQB binary, sniffed by content; \
+             $(b,-) or absent reads stdin the same way.")
   in
   let trace_inline =
     Arg.(
       value
       & opt (some string) None
-      & info [ "t"; "trace" ] ~docv:"TRACE" ~doc:"Inline trace.")
+      & info [ "t"; "trace" ] ~docv:"TRACE"
+          ~doc:"Inline trace; $(b,-) reads stdin (sniffed).")
   in
   let strict =
     Arg.(value & flag & info [ "strict" ] ~doc:"Reject non-alphabet events.")
@@ -472,6 +492,7 @@ let suite_cmd =
     | Ok suite -> (
         let trace_result =
           match trace_inline with
+          | Some "-" -> read_stdin_sniffed ()
           | Some s -> Trace.parse s
           | None -> read_trace trace_file
         in
@@ -507,13 +528,17 @@ let suite_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "f"; "file" ] ~docv:"FILE" ~doc:"Trace file; stdin by default.")
+      & info [ "f"; "file" ] ~docv:"FILE"
+          ~doc:
+            "Trace file (tokens, CSV or LSQB binary, sniffed); $(b,-) \
+             or absent reads stdin.")
   in
   let trace_inline =
     Arg.(
       value
       & opt (some string) None
-      & info [ "t"; "trace" ] ~docv:"TRACE" ~doc:"Inline trace.")
+      & info [ "t"; "trace" ] ~docv:"TRACE"
+          ~doc:"Inline trace; $(b,-) reads stdin (sniffed).")
   in
   let final_time =
     Arg.(
@@ -526,6 +551,243 @@ let suite_cmd =
     Term.(
       const run $ file $ trace_file $ trace_inline $ final_time
       $ backend_kind_arg)
+
+(* ---- serve / convert / feed (live ingestion) -------------------------- *)
+
+let serve_cmd =
+  let run file socket lateness window checkpoint checkpoint_every resume
+      final_time backend_kind =
+    match Loseq_verif.Suite.load file with
+    | Error e ->
+        Format.eprintf "%a@." Loseq_verif.Suite.pp_error e;
+        2
+    | Ok suite ->
+        let input =
+          match socket with Some path -> `Socket path | None -> `Stdin
+        in
+        Loseq_ingest.Server.serve
+          ~backend:(factory_of backend_kind)
+          ~lateness ~window ?checkpoint ~checkpoint_every ~resume ?final_time
+          ~input suite
+  in
+  let open Cmdliner in
+  let file =
+    Arg.(
+      required
+      & opt (some Arg.file) None
+      & info [ "suite" ] ~docv:"FILE"
+          ~doc:"Property suite file to host ('name: pattern' per line).")
+  in
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix-domain socket (one connection) instead of \
+             reading stdin.")
+  in
+  let lateness =
+    Arg.(
+      value & opt int 0
+      & info [ "lateness" ] ~docv:"K"
+          ~doc:
+            "Absorb events up to $(docv) ticks out of order; later ones \
+             are dropped (reported in the summary).")
+  in
+  let window =
+    Arg.(
+      value & opt int 1024
+      & info [ "window" ] ~docv:"N"
+          ~doc:
+            "Reorder/backpressure window: at most $(docv) events pending \
+             release.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"FILE"
+          ~doc:"Checkpoint file (written on SIGTERM and periodically).")
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 0
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Also checkpoint every $(docv) accepted events.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:
+            "Restore from --checkpoint if it exists; the producer must \
+             replay the stream from the start (already-counted events \
+             are skipped).")
+  in
+  let final_time =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "final-time" ] ~docv:"T"
+          ~doc:"Observation end time for the final deadline check.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Host a property suite as a live monitor: stream events in \
+          (stdin or Unix socket, binary or CSV), NDJSON records out"
+       ~man:
+         [
+           `S Cmdliner.Manpage.s_exit_status;
+           `P
+             "0 when every property passed (or the server was \
+              interrupted by SIGTERM after writing its checkpoint), 1 \
+              when some property failed, 2 on input or setup errors.";
+         ])
+    Term.(
+      const run $ file $ socket $ lateness $ window $ checkpoint
+      $ checkpoint_every $ resume $ final_time $ backend_kind_arg)
+
+let convert_cmd =
+  let run input output to_format =
+    let data_result =
+      match input with
+      | Some "-" | None ->
+          set_binary_mode_in stdin true;
+          Ok (read_all stdin)
+      | Some file -> (
+          match open_in_bin file with
+          | ic ->
+              let s = read_all ic in
+              close_in ic;
+              Ok s
+          | exception Sys_error msg -> Error msg)
+    in
+    match data_result with
+    | Error msg ->
+        Format.eprintf "convert: %s@." msg;
+        2
+    | Ok data -> (
+        match parse_sniffed data with
+        | Error msg ->
+            Format.eprintf "convert: %s@." msg;
+            2
+        | Ok trace -> (
+            let to_format =
+              match to_format with
+              | Some f -> f
+              | None -> (
+                  (* No explicit target: flip between the two wire-able
+                     formats (binary in -> CSV out, text in -> binary). *)
+                  match Loseq_ingest.Codec.sniff data with
+                  | `Binary -> `Csv
+                  | `Csv | `Tokens -> `Binary)
+            in
+            let rendered =
+              match to_format with
+              | `Csv -> Ok (Trace_io.to_csv trace)
+              | `Tokens -> Ok (Trace.to_string trace ^ "\n")
+              | `Binary -> Loseq_ingest.Codec.encode trace
+            in
+            match rendered with
+            | Error msg ->
+                Format.eprintf "convert: %s@." msg;
+                2
+            | Ok rendered -> (
+                match output with
+                | Some path when path <> "-" -> (
+                    match open_out_bin path with
+                    | oc ->
+                        output_string oc rendered;
+                        close_out oc;
+                        0
+                    | exception Sys_error msg ->
+                        Format.eprintf "convert: %s@." msg;
+                        2)
+                | _ ->
+                    set_binary_mode_out stdout true;
+                    print_string rendered;
+                    0)))
+  in
+  let open Cmdliner in
+  let input =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE"
+          ~doc:"Input trace (tokens, CSV or LSQB binary, sniffed); \
+                $(b,-) or absent reads stdin.")
+  in
+  let output =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Output file; $(b,-) or absent writes stdout.")
+  in
+  let to_format =
+    Arg.(
+      value
+      & opt
+          (some (enum [ ("csv", `Csv); ("binary", `Binary); ("tokens", `Tokens) ]))
+          None
+      & info [ "to" ] ~docv:"FORMAT"
+          ~doc:
+            "Target format: $(b,csv), $(b,binary) or $(b,tokens).  \
+             Default: binary input becomes CSV, text input becomes \
+             binary.")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:"Convert traces between CSV, token text and LSQB binary")
+    Term.(const run $ input $ output $ to_format)
+
+let feed_cmd =
+  let run socket input =
+    let ic_result =
+      match input with
+      | Some "-" | None ->
+          set_binary_mode_in stdin true;
+          Ok (stdin, false)
+      | Some file -> (
+          match open_in_bin file with
+          | ic -> Ok (ic, true)
+          | exception Sys_error msg -> Error msg)
+    in
+    match ic_result with
+    | Error msg ->
+        Format.eprintf "feed: %s@." msg;
+        2
+    | Ok (ic, close) -> (
+        let result = Loseq_ingest.Server.feed ~path:socket ic in
+        if close then close_in ic;
+        match result with
+        | Ok _ -> 0
+        | Error msg ->
+            Format.eprintf "feed: %s@." msg;
+            2)
+  in
+  let open Cmdliner in
+  let socket =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Unix-domain socket of a running $(b,loseq serve).")
+  in
+  let input =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Bytes to send; $(b,-) or absent is stdin.")
+  in
+  Cmd.v
+    (Cmd.info "feed"
+       ~doc:
+         "Copy a trace byte stream into a serve socket (a socat-free \
+          producer for shell pipelines)")
+    Term.(const run $ socket $ input)
 
 (* ---- dfa ------------------------------------------------------------- *)
 
@@ -563,7 +825,7 @@ let dfa_cmd =
 (* ---- soc ------------------------------------------------------------- *)
 
 let soc_cmd =
-  let run presses bug slow_ipu seed verbose vcd backend_kind =
+  let run presses bug slow_ipu seed verbose vcd csv backend_kind =
     let open Loseq_platform in
     let cpu_bug =
       match bug with
@@ -600,6 +862,11 @@ let soc_cmd =
         Loseq_verif.Vcd.write ~path (Loseq_verif.Tap.trace (Soc.tap soc));
         Format.printf "waveform dumped to %s@." path
     | None -> ());
+    (match csv with
+    | Some path ->
+        Trace_io.save_csv ~path (Loseq_verif.Tap.trace (Soc.tap soc));
+        Format.printf "trace dumped to %s@." path
+    | None -> ());
     Loseq_verif.Report.print report;
     Format.printf
       "recognitions: %d, matches: %d, lock opened %d time(s)@."
@@ -632,11 +899,20 @@ let soc_cmd =
       & opt (some string) None
       & info [ "vcd" ] ~docv:"FILE" ~doc:"Write the trace as a VCD waveform.")
   in
+  let csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:
+            "Write the observed trace as CSV (replayable through \
+             $(b,loseq serve) or $(b,loseq convert)).")
+  in
   Cmd.v
     (Cmd.info "soc"
        ~doc:"Simulate the access-control platform with monitors attached")
     Term.(
-      const run $ presses $ bug $ slow_ipu $ seed $ verbose $ vcd
+      const run $ presses $ bug $ slow_ipu $ seed $ verbose $ vcd $ csv
       $ backend_kind_arg)
 
 let () =
@@ -649,4 +925,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ check_cmd; psl_cmd; cost_cmd; gen_cmd; dfa_cmd; lint_cmd;
-            analyze_cmd; suite_cmd; soc_cmd ]))
+            analyze_cmd; suite_cmd; soc_cmd; serve_cmd; convert_cmd;
+            feed_cmd ]))

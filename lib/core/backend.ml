@@ -17,10 +17,12 @@ type t = {
   states : (unit -> Recognizer.state list list) option;
   acceptable : (unit -> Name.Set.t) option;
   ops : (unit -> int) option;
+  persist : (unit -> Compiled.persisted) option;
+  restore : (Compiled.persisted -> unit) option;
 }
 
 let make ~label ~pattern ?alphabet ~step ?prepare ?check_time ?next_deadline
-    ?finalize ~verdict ~reset ?states ?acceptable ?ops () =
+    ?finalize ~verdict ~reset ?states ?acceptable ?ops ?persist ?restore () =
   let alphabet =
     match alphabet with Some a -> a | None -> Pattern.alpha pattern
   in
@@ -52,6 +54,8 @@ let make ~label ~pattern ?alphabet ~step ?prepare ?check_time ?next_deadline
     states;
     acceptable;
     ops;
+    persist;
+    restore;
   }
 
 type factory = Pattern.t -> t
@@ -109,6 +113,8 @@ let of_compiled c =
     ~finalize:(fun ~now -> lift_compiled c (Compiled.finalize c ~now))
     ~verdict:(fun () -> lift_compiled c (Compiled.verdict c))
     ~reset:(fun () -> Compiled.reset c)
+    ~persist:(fun () -> Compiled.persist c)
+    ~restore:(fun p -> Compiled.restore c p)
     ()
 
 let compiled pattern = of_compiled (Compiled.compile pattern)

@@ -63,6 +63,12 @@ type t = {
   ops : (unit -> int) option;
       (** Elementary operations executed so far, when the strategy
           meters them. *)
+  persist : (unit -> Compiled.persisted) option;
+      (** Exact serializable run state, for checkpoint/resume of
+          streaming monitors (compiled backend only). *)
+  restore : (Compiled.persisted -> unit) option;
+      (** Overwrite the run state with a {!t.persist}ed one (compiled
+          backend only; same-pattern monitors). *)
 }
 
 val make :
@@ -79,6 +85,8 @@ val make :
   ?states:(unit -> Recognizer.state list list) ->
   ?acceptable:(unit -> Name.Set.t) ->
   ?ops:(unit -> int) ->
+  ?persist:(unit -> Compiled.persisted) ->
+  ?restore:(Compiled.persisted -> unit) ->
   unit ->
   t
 (** Build a backend, defaulting the optional operations: [alphabet]

@@ -451,6 +451,63 @@ let snapshot (t : t) =
     rounds = t.rounds;
   }
 
+type persisted = {
+  p_recs : rec_state array;
+  p_active : int;
+  p_index : int;
+  p_started : int;
+  p_q_done : bool;
+  p_rounds : int;
+  p_verdict : verdict;
+}
+
+let persist (t : t) =
+  {
+    p_recs =
+      Array.init (Array.length t.state) (fun r ->
+          let s = t.state.(r) in
+          if s = s_idle then Idle
+          else if s = s_waiting then Waiting
+          else if s = s_started then Started
+          else if s = s_counting then Counting t.counter.(r)
+          else Done);
+    p_active = t.active;
+    p_index = t.index;
+    p_started = t.started;
+    p_q_done = t.q_done;
+    p_rounds = t.rounds;
+    p_verdict = t.verdict;
+  }
+
+let restore (t : t) p =
+  if Array.length p.p_recs <> Array.length t.state then
+    invalid_arg "Compiled.restore: recognizer count mismatch";
+  Array.iteri
+    (fun r s ->
+      match s with
+      | Idle ->
+          t.state.(r) <- s_idle;
+          t.counter.(r) <- 0
+      | Waiting ->
+          t.state.(r) <- s_waiting;
+          t.counter.(r) <- 0
+      | Started ->
+          t.state.(r) <- s_started;
+          t.counter.(r) <- 0
+      | Counting n ->
+          t.state.(r) <- s_counting;
+          t.counter.(r) <- n
+      | Done ->
+          t.state.(r) <- s_done;
+          t.counter.(r) <- 0)
+    p.p_recs;
+  t.active <- p.p_active;
+  t.index <- p.p_index;
+  t.started <- p.p_started;
+  t.q_done <- p.p_q_done;
+  t.rounds <- p.p_rounds;
+  t.verdict <- p.p_verdict
+
 let step t (e : Trace.event) =
   match Hashtbl.find_opt t.ids e.name with
   | Some id -> step_id t ~id ~time:e.time

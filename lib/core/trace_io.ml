@@ -8,40 +8,77 @@ let to_csv trace =
     trace;
   Buffer.contents buf
 
+module Validator = struct
+  type t = { mutable prev : int }
+
+  let create () = { prev = -1 }
+  let last t = t.prev
+
+  let accept t ~time =
+    if time >= 0 && time >= t.prev then begin
+      t.prev <- time;
+      true
+    end
+    else false
+
+  let check t ~pos ~time =
+    if time < 0 then
+      Error (Printf.sprintf "%s: negative timestamp %d" pos time)
+    else if time < t.prev then
+      Error
+        (Printf.sprintf
+           "%s: trace is not chronological (time %d goes back before %d)" pos
+           time t.prev)
+    else begin
+      t.prev <- time;
+      Ok ()
+    end
+end
+
+let parse_csv_line ~lineno ?validator line =
+  let trimmed = String.trim line in
+  if trimmed = "" || trimmed.[0] = '#' || trimmed = "time,name" then Ok None
+  else
+    let pos = Printf.sprintf "line %d" lineno in
+    match String.index_opt trimmed ',' with
+    | None -> Error (Printf.sprintf "%s: expected 'time,name'" pos)
+    | Some comma -> (
+        let time_str = String.trim (String.sub trimmed 0 comma) in
+        let name_str =
+          String.trim
+            (String.sub trimmed (comma + 1)
+               (String.length trimmed - comma - 1))
+        in
+        match (int_of_string_opt time_str, Name.v name_str) with
+        | Some time, name -> (
+            let checked =
+              match validator with
+              | Some v -> Validator.check v ~pos ~time
+              | None ->
+                  if time < 0 then
+                    Error (Printf.sprintf "%s: negative timestamp %d" pos time)
+                  else Ok ()
+            in
+            match checked with
+            | Ok () -> Ok (Some { Trace.name; time })
+            | Error _ as e -> e)
+        | None, _ ->
+            Error (Printf.sprintf "%s: bad timestamp %S" pos time_str)
+        | exception Invalid_argument msg ->
+            Error (Printf.sprintf "%s: %s" pos msg))
+
 let of_csv source =
   let lines = String.split_on_char '\n' source in
-  let rec loop lineno prev acc = function
+  let validator = Validator.create () in
+  let rec loop lineno acc = function
     | [] -> Ok (List.rev acc)
     | line :: rest -> (
-        let trimmed = String.trim line in
-        if trimmed = "" || trimmed.[0] = '#' || trimmed = "time,name" then
-          loop (lineno + 1) prev acc rest
-        else
-          match String.index_opt trimmed ',' with
-          | None ->
-              Error (Printf.sprintf "line %d: expected 'time,name'" lineno)
-          | Some comma -> (
-              let time_str = String.trim (String.sub trimmed 0 comma) in
-              let name_str =
-                String.trim
-                  (String.sub trimmed (comma + 1)
-                     (String.length trimmed - comma - 1))
-              in
-              match (int_of_string_opt time_str, Name.v name_str) with
-              | Some time, name when time >= prev ->
-                  loop (lineno + 1) time
-                    ({ Trace.name; time } :: acc)
-                    rest
-              | Some _, _ ->
-                  Error
-                    (Printf.sprintf "line %d: timestamps must not decrease"
-                       lineno)
-              | None, _ ->
-                  Error (Printf.sprintf "line %d: bad timestamp %S" lineno time_str)
-              | exception Invalid_argument msg ->
-                  Error (Printf.sprintf "line %d: %s" lineno msg)))
+        match parse_csv_line ~lineno ~validator line with
+        | Ok (Some e) -> loop (lineno + 1) (e :: acc) rest
+        | Ok None -> loop (lineno + 1) acc rest
+        | Error _ as e -> e)
   in
-  loop 1 min_int [] lines
+  loop 1 [] lines
 
 let save_csv ~path trace =
   let oc = open_out path in

@@ -5,12 +5,55 @@
     exchange format, component traces get merged on the time axis, and
     recorder names get mapped onto a property's alphabet. *)
 
+(** {1 Chronology validation}
+
+    Every trace reader in the code base (CSV here, the binary codec in
+    [Loseq_ingest.Codec], the streaming CSV mode of [loseq serve])
+    funnels timestamps through this one validator, so "trace is not
+    chronological" errors carry the same information everywhere: the
+    position of the offending record and both timestamps involved. *)
+
+module Validator : sig
+  type t
+
+  val create : unit -> t
+
+  val check : t -> pos:string -> time:int -> (unit, string) result
+  (** Feed the next timestamp.  [pos] names the record for error
+      messages (["line 12"], ["record 3 (byte 47)"], ...).  Fails when
+      [time] is negative or goes back before the previous timestamp;
+      the message includes both times and the position. *)
+
+  val accept : t -> time:int -> bool
+  (** Allocation-free {!check} for ingestion hot paths: advances and
+      returns [true] on an admissible timestamp, returns [false]
+      without advancing otherwise — call {!check} afterwards when the
+      rejection message (which needs a [pos]) is wanted. *)
+
+  val last : t -> int
+  (** The last accepted timestamp ([-1] before the first). *)
+end
+
 val to_csv : Trace.t -> string
 (** ["time,name\n"] header plus one row per event. *)
 
+val parse_csv_line :
+  lineno:int ->
+  ?validator:Validator.t ->
+  string ->
+  (Trace.event option, string) result
+(** Parse one CSV line ([None] for blanks, [#] comments and the
+    header).  Error messages carry ["line N"].  With [validator],
+    chronology is enforced through it; without, only negative
+    timestamps are rejected — the mode a bounded-reorder ingestion
+    session uses, where out-of-order lines are the session's business,
+    not a parse error.  This is the single code path behind {!of_csv}
+    and the streaming CSV reader of [loseq serve]. *)
+
 val of_csv : string -> (Trace.t, string) result
 (** Accepts the {!to_csv} format (header optional, blank lines and [#]
-    comments ignored).  Events must be chronological. *)
+    comments ignored).  Events must be chronological; errors report
+    the offending line number. *)
 
 val save_csv : path:string -> Trace.t -> unit
 val load_csv : string -> (Trace.t, string) result

@@ -1,0 +1,50 @@
+(** Checkpoint/resume for streaming monitor sessions.
+
+    A checkpoint is one JSON document capturing everything a
+    {!Session} needs to continue as if it had never stopped: the suite
+    identity (source text, match-checked on resume), the session
+    parameters, the stream position, the reorder buffer {e as is}
+    (pending events are carried, not flushed — flushing would deliver
+    them earlier than the uninterrupted run would have), and the exact
+    run state of every hosted monitor (via the compiled backend's
+    persistence capability, {!Loseq_core.Backend.t.persist}).
+
+    The resume contract is replay-based: the producer re-sends the
+    stream from the start and the consumer skips the first
+    {!position}-many events — exactly the events the checkpointed
+    session had {e accepted} (delivered, buffered or counted
+    dropped-late).  Equivalence is property-tested: killing a session
+    at any prefix and resuming yields a report whose
+    {!Loseq_verif.Report.summary_strings} equals the uninterrupted
+    run's. *)
+
+open Loseq_core
+
+val capture : Session.t -> Json.t
+(** Raises [Failure] if a hosted checker's backend lacks the
+    persistence capability (any non-compiled backend). *)
+
+val restore : Session.t -> Json.t -> (unit, string) result
+(** Overwrite a {e fresh} session (no events offered) with a captured
+    state.  Fails on schema/version mismatch, a different suite, a
+    non-fresh session, or a backend without the restore capability.
+    On success the session's kernel is advanced to the checkpointed
+    time and the hub's deadline wheel is re-armed. *)
+
+val save : path:string -> Session.t -> (unit, string) result
+(** {!capture} to a file, atomically (write to [path ^ ".tmp"], then
+    rename). *)
+
+val load : path:string -> (Json.t, string) result
+
+val position : Json.t -> (int, string) result
+(** The number of leading stream events a resumed producer (or a
+    skipping consumer) must not re-deliver. *)
+
+val resume :
+  ?backend:Backend.factory ->
+  path:string ->
+  Loseq_verif.Suite.t ->
+  (Session.t, string) result
+(** [load], create a session with the checkpoint's lateness/window,
+    [restore]. *)

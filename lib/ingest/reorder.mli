@@ -1,0 +1,90 @@
+(** Bounded out-of-order absorption, watermark-based.
+
+    Real event sources deliver slightly out-of-order streams (merged
+    per-component logs, network transport, racing tracepoints); a
+    runtime checker must absorb that at the boundary, because the
+    monitors themselves require chronological input.  This buffer
+    implements the classic watermark contract: an event whose timestamp
+    is at most [lateness] ticks behind the furthest timestamp seen so
+    far is held and re-sorted; anything later than that is counted in
+    {!dropped_late} and discarded.  The {e watermark} — the instant the
+    stream can no longer contradict — is [max_seen - lateness]; events
+    at or below it are safe to release in timestamp order.
+
+    Releases are stable: events with equal timestamps come out in
+    arrival order.  Released times never decrease, even across
+    {!pop_oldest} force-drains (the release floor rises with every
+    release, and admission re-checks against it), so downstream
+    consumers always see a chronological stream. *)
+
+open Loseq_core
+
+type t
+
+val create : ?capacity:int -> lateness:int -> unit -> t
+(** [capacity] bounds the number of buffered events (the backpressure
+    window; default [1024]); [lateness] is the absorption bound K in
+    ticks.  Raises [Invalid_argument] if either is negative or
+    [capacity] is zero. *)
+
+val lateness : t -> int
+val capacity : t -> int
+
+type push_result = [ `Queued | `Dropped_late | `Full ]
+
+val push : t -> Trace.event -> push_result
+(** [`Queued]: buffered (and the watermark advanced — call {!drain}).
+    [`Dropped_late]: consumed but discarded, counted in
+    {!dropped_late}.  [`Full]: {e not} consumed; the buffer is at
+    capacity — release something first. *)
+
+val drain : t -> emit:(Trace.event -> unit) -> int
+(** Release every ripe event (timestamp ≤ watermark) in order; returns
+    how many were released. *)
+
+val pop_oldest : t -> Trace.event option
+(** Force-release the earliest buffered event even if it is not ripe —
+    the backpressure relief valve.  Raises the release floor, so a
+    later event below it will be dropped instead of regressing time. *)
+
+val flush : t -> emit:(Trace.event -> unit) -> int
+(** Release everything (end of stream). *)
+
+val length : t -> int
+val is_empty : t -> bool
+
+val max_seen : t -> int
+(** Furthest timestamp observed, [-1] before the first event. *)
+
+val released : t -> int
+(** Last released timestamp, [-1] before the first release. *)
+
+val floor : t -> int
+(** Smallest admissible timestamp: [max (max_seen - lateness)
+    (last released time)].  Events strictly below it are dropped. *)
+
+val dropped_late : t -> int
+val reordered : t -> int
+(** Events that arrived with a timestamp below [max_seen] but were
+    absorbed — how disordered the stream actually was. *)
+
+val note_delivered : t -> int -> unit
+(** Record that an event at [time] bypassed the buffer and was
+    delivered directly (a host's in-order fast path): advances
+    [max_seen] and the release floor exactly as a push-then-release
+    would have.  Only meaningful when the buffer is empty and [time]
+    is at or above {!floor}. *)
+
+val pending : t -> Trace.event list
+(** Buffered events in release order (for checkpointing). *)
+
+val restore :
+  t ->
+  max_seen:int ->
+  released:int ->
+  dropped_late:int ->
+  reordered:int ->
+  Trace.event list ->
+  (unit, string) result
+(** Overwrite a fresh buffer's state from a checkpoint.  Fails if the
+    buffer is not empty/unused or the pending list exceeds capacity. *)

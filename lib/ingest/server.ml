@@ -1,0 +1,301 @@
+open Loseq_core
+open Loseq_verif
+
+let emit_record out record =
+  output_string out (Json.to_string record);
+  output_char out '\n';
+  flush out
+
+let violation_record ~name (v : Diag.violation) =
+  Json.Obj
+    [
+      ("type", Json.String "violation");
+      ("property", Json.String name);
+      ("time", Json.Int v.time);
+      ("index", Json.Int v.index);
+      ("fragment", Json.Int v.fragment);
+      ("message", Json.String (Diag.violation_to_string v));
+    ]
+
+(* The flag a signal flips; the read loop checks it between chunks
+   (reads are EINTR-transparent so a signal interrupts a blocking
+   read). *)
+let stop_requested = ref false
+
+let with_signals f =
+  let install s = Sys.signal s (Sys.Signal_handle (fun _ -> stop_requested := true)) in
+  stop_requested := false;
+  let prev_term = install Sys.sigterm and prev_int = install Sys.sigint in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.set_signal Sys.sigterm prev_term;
+      Sys.set_signal Sys.sigint prev_int)
+    f
+
+(* EINTR-safe read; [None] when a stop was requested while blocked. *)
+let rec read_chunk fd buf =
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | n -> if !stop_requested then None else Some n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      if !stop_requested then None else read_chunk fd buf
+
+exception Input_error of string
+
+(* ---- input formats ----------------------------------------------------- *)
+
+type csv_state = { mutable partial : string; mutable lineno : int }
+
+type parser_state =
+  | Sniffing of Buffer.t
+  | Binary of Codec.Decoder.t
+  | Csv of csv_state
+
+let feed_csv st chunk ~push =
+  let data = st.partial ^ chunk in
+  let rec split from =
+    match String.index_from_opt data from '\n' with
+    | None -> st.partial <- String.sub data from (String.length data - from)
+    | Some nl ->
+        let line = String.sub data from (nl - from) in
+        st.lineno <- st.lineno + 1;
+        (match Trace_io.parse_csv_line ~lineno:st.lineno line with
+        | Ok (Some e) -> push e
+        | Ok None -> ()
+        | Error msg -> raise (Input_error msg));
+        split (nl + 1)
+  in
+  split 0
+
+let feed_binary dec chunk ~push =
+  match Codec.Decoder.feed dec chunk ~emit:push with
+  | Ok () -> ()
+  | Error msg -> raise (Input_error msg)
+
+(* Route one chunk; the first chunk(s) resolve the format (binary iff
+   the stream starts with the LSQB magic). *)
+let rec feed_chunk state chunk ~push =
+  match !state with
+  | Binary dec -> feed_binary dec chunk ~push
+  | Csv st -> feed_csv st chunk ~push
+  | Sniffing buf ->
+      Buffer.add_string buf chunk;
+      let data = Buffer.contents buf in
+      if String.length data < String.length Codec.magic then begin
+        if not (Codec.looks_binary data) then begin
+          state := Csv { partial = ""; lineno = 0 };
+          feed_chunk state data ~push
+        end
+        (* else: still ambiguous, keep sniffing *)
+      end
+      else if Codec.looks_binary data then begin
+        state := Binary (Codec.Decoder.create ());
+        feed_chunk state data ~push
+      end
+      else begin
+        state := Csv { partial = ""; lineno = 0 };
+        feed_chunk state data ~push
+      end
+
+let finish_input state ~push =
+  match !state with
+  | Binary dec -> (
+      match Codec.Decoder.finish dec with
+      | Ok () -> ()
+      | Error msg -> raise (Input_error msg))
+  | Csv st -> if st.partial <> "" then feed_csv st "\n" ~push
+  | Sniffing buf ->
+      let data = Buffer.contents buf in
+      if data <> "" then
+        if Codec.looks_binary data then
+          raise (Input_error "truncated stream: incomplete header")
+        else begin
+          state := Csv { partial = ""; lineno = 0 };
+          feed_csv { partial = data; lineno = 0 } "\n" ~push
+        end
+
+(* ---- the serve loop ---------------------------------------------------- *)
+
+let open_input = function
+  | `Stdin -> (Unix.stdin, None)
+  | `Socket path ->
+      if Sys.file_exists path then Sys.remove path;
+      let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind listener (Unix.ADDR_UNIX path);
+      Unix.listen listener 1;
+      let conn, _ = Unix.accept listener in
+      Unix.close listener;
+      (conn, Some (fun () -> Unix.close conn; if Sys.file_exists path then Sys.remove path))
+
+let serve ?backend ?(lateness = 0) ?(window = 1024) ?checkpoint
+    ?(checkpoint_every = 0) ?(resume = false) ?final_time
+    ?(out = stdout) ~input suite =
+  let error msg =
+    emit_record out
+      (Json.Obj [ ("type", Json.String "error"); ("message", Json.String msg) ]);
+    2
+  in
+  let resuming =
+    resume
+    && match checkpoint with Some p -> Sys.file_exists p | None -> false
+  in
+  let session_result =
+    if resuming then
+      Checkpoint.resume ?backend ~path:(Option.get checkpoint) suite
+    else
+      match Session.create ?backend ~lateness ~window suite with
+      | s -> Ok s
+      | exception Wellformed.Ill_formed (p, errs) ->
+          Error
+            (Format.asprintf "ill-formed pattern %a:@ %a" Pattern.pp p
+               (Format.pp_print_list Wellformed.pp_error)
+               errs)
+  in
+  match session_result with
+  | Error msg -> error msg
+  | Ok session -> (
+      let skip = Session.position session in
+      Session.on_violation session (fun ~name v ->
+          emit_record out (violation_record ~name v));
+      let offered = ref 0 in
+      let save_checkpoint () =
+        match checkpoint with
+        | None -> Ok false
+        | Some path -> (
+            match Checkpoint.save ~path session with
+            | Ok () ->
+                emit_record out
+                  (Json.Obj
+                     [
+                       ("type", Json.String "checkpoint");
+                       ("path", Json.String path);
+                       ("events", Json.Int (Session.position session));
+                     ]);
+                Ok true
+            | Error _ as err -> err)
+      in
+      let push e =
+        incr offered;
+        if !offered > skip then begin
+          Session.offer_force session e;
+          if
+            checkpoint_every > 0
+            && Session.position session mod checkpoint_every = 0
+          then
+            match save_checkpoint () with
+            | Ok _ -> ()
+            | Error msg -> raise (Input_error msg)
+        end
+      in
+      match with_signals @@ fun () ->
+        let fd, cleanup = open_input input in
+        Fun.protect ~finally:(fun () -> Option.iter (fun f -> f ()) cleanup)
+        @@ fun () ->
+        emit_record out
+          (Json.Obj
+             [
+               ("type", Json.String "start");
+               ("properties", Json.Int (List.length suite));
+               ("resumed", Json.Bool resuming);
+               ("skip", Json.Int skip);
+             ]);
+        let state = ref (Sniffing (Buffer.create 8)) in
+        let buf = Bytes.create 65536 in
+        let rec loop () =
+          match read_chunk fd buf with
+          | None -> `Interrupted
+          | Some 0 -> `Eof
+          | Some n ->
+              feed_chunk state (Bytes.sub_string buf 0 n) ~push;
+              if !stop_requested then `Interrupted else loop ()
+        in
+        let outcome = loop () in
+        if outcome = `Eof then finish_input state ~push;
+        outcome
+      with
+      | exception Input_error msg -> error msg
+      | exception Unix.Unix_error (e, fn, arg) ->
+          error
+            (Printf.sprintf "%s%s: %s" fn
+               (if arg = "" then "" else " " ^ arg)
+               (Unix.error_message e))
+      | `Interrupted -> (
+          match save_checkpoint () with
+          | Error msg -> error msg
+          | Ok _ ->
+              emit_record out
+                (Json.Obj
+                   [
+                     ("type", Json.String "interrupted");
+                     ("events", Json.Int (Session.position session));
+                   ]);
+              0)
+      | `Eof ->
+          let report = Session.finalize ?final_time session in
+          List.iter2
+            (fun (name, verdict) (_, rendered) ->
+              emit_record out
+                (Json.Obj
+                   [
+                     ("type", Json.String "verdict");
+                     ("property", Json.String name);
+                     ("passed", Json.Bool (Backend.passed verdict));
+                     ("verdict", Json.String rendered);
+                   ]))
+            (Report.summary report)
+            (Report.summary_strings report);
+          let stats = Session.stats session in
+          let passed = Report.all_passed report in
+          emit_record out
+            (Json.Obj
+               [
+                 ("type", Json.String "summary");
+                 ("passed", Json.Bool passed);
+                 ("events", Json.Int stats.accepted);
+                 ("delivered", Json.Int stats.delivered);
+                 ("reordered", Json.Int stats.reordered);
+                 ("dropped_late", Json.Int stats.dropped_late);
+                 ("forced", Json.Int stats.forced);
+               ]);
+          if passed then 0 else 1)
+
+(* ---- the producer side ------------------------------------------------- *)
+
+let feed ?(timeout = 5.0) ~path ic =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let deadline = Unix.gettimeofday () +. timeout in
+  let rec connect () =
+    match Unix.connect sock (Unix.ADDR_UNIX path) with
+    | () -> Ok ()
+    | exception Unix.Unix_error ((Unix.ENOENT | Unix.ECONNREFUSED), _, _)
+      when Unix.gettimeofday () < deadline ->
+        ignore (Unix.select [] [] [] 0.05);
+        connect ()
+    | exception Unix.Unix_error (e, _, _) ->
+        Error (Printf.sprintf "connect %s: %s" path (Unix.error_message e))
+  in
+  match connect () with
+  | Error _ as err ->
+      Unix.close sock;
+      err
+  | Ok () -> (
+      let buf = Bytes.create 65536 in
+      let rec copy total =
+        match input ic buf 0 (Bytes.length buf) with
+        | 0 -> Ok total
+        | n ->
+            let rec write off remaining =
+              if remaining > 0 then begin
+                let w = Unix.write sock buf off remaining in
+                write (off + w) (remaining - w)
+              end
+            in
+            write 0 n;
+            copy (total + n)
+      in
+      match copy 0 with
+      | result ->
+          Unix.close sock;
+          result
+      | exception Unix.Unix_error (e, _, _) ->
+          Unix.close sock;
+          Error (Printf.sprintf "write %s: %s" path (Unix.error_message e)))

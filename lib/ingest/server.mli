@@ -1,0 +1,55 @@
+(** The [loseq serve] engine: a live monitor endpoint.
+
+    Reads a trace stream — LSQB binary or line-oriented CSV, sniffed
+    from the first bytes — from stdin or a Unix-domain socket (one
+    connection), feeds it through a {!Session}, and emits NDJSON
+    records on [out] as things happen:
+
+    - [{"type":"start", ...}] once, after the input is open;
+    - [{"type":"violation", "property":.., "time":.., "index":..,
+      "fragment":.., "message":..}] the moment any property first
+      fails — the monitor is {e live}, a violation does not wait for
+      end of stream;
+    - [{"type":"checkpoint", "path":.., "events":..}] after each
+      periodic {!Checkpoint.save};
+    - on SIGTERM/SIGINT: a final checkpoint (when configured), then
+      [{"type":"interrupted", "events":..}] — exit code 0, the stream
+      is expected to resume;
+    - on end of stream: one [{"type":"verdict", "property":..,
+      "passed":.., "verdict":..}] per property and a closing
+      [{"type":"summary", "passed":.., ...}] with the session
+      statistics;
+    - [{"type":"error", "message":..}] on malformed input.
+
+    Exit codes: [0] all properties passed (or interrupted), [1] some
+    property failed, [2] input/setup error. *)
+
+open Loseq_verif
+
+val serve :
+  ?backend:Loseq_core.Backend.factory ->
+  ?lateness:int ->
+  ?window:int ->
+  ?checkpoint:string ->
+  ?checkpoint_every:int ->
+  ?resume:bool ->
+  ?final_time:int ->
+  ?out:out_channel ->
+  input:[ `Stdin | `Socket of string ] ->
+  Suite.t ->
+  int
+(** [checkpoint] is the checkpoint file path; [checkpoint_every n]
+    (default 0 = only on shutdown) saves it every [n] accepted events.
+    [resume] (default false) restores from [checkpoint] when the file
+    exists — the producer must replay the stream from the start; the
+    server skips the events the checkpoint already accounts for.
+    [lateness]/[window] configure the session's reorder stage (ignored
+    on resume: the checkpoint's values win).  [out] defaults to
+    stdout. *)
+
+val feed : ?timeout:float -> path:string -> in_channel -> (int, string) result
+(** Copy [in_channel] to the Unix-domain socket at [path] (connecting
+    with retries for up to [timeout] seconds, default 5 — the server
+    may still be binding); returns the number of bytes copied.  This
+    is the producer side of the socket pipe, for shells without a
+    [socat]: [loseq feed --socket S < trace.lsqb]. *)

@@ -1,0 +1,136 @@
+open Loseq_core
+open Loseq_verif
+module Kernel = Loseq_sim.Kernel
+module Time = Loseq_sim.Time
+
+type t = {
+  suite : Suite.t;
+  kernel : Kernel.t;
+  tap : Tap.t;
+  hub : Hub.t;
+  reorder : Reorder.t;
+  lateness : int;
+  window : int;
+  mutable accepted : int;
+  mutable delivered : int;
+  mutable forced : int;
+}
+
+let create ?backend ?(lateness = 0) ?(window = 1024) suite =
+  let kernel = Kernel.create () in
+  let tap = Tap.create ~record:false kernel in
+  let hub = Suite.attach_hub ?backend tap suite in
+  {
+    suite;
+    kernel;
+    tap;
+    hub;
+    reorder = Reorder.create ~capacity:window ~lateness ();
+    lateness;
+    window;
+    accepted = 0;
+    delivered = 0;
+    forced = 0;
+  }
+
+(* Advance the private kernel to the event's timestamp first: the hub's
+   merged deadline wheel fires any deadline that elapses on the way, so
+   a deadline-only violation is reported between stream events exactly
+   as it would be mid-simulation. *)
+let deliver t (e : Trace.event) =
+  let until = Time.ps e.time in
+  if Time.( < ) (Kernel.now t.kernel) until then Kernel.run ~until t.kernel;
+  Tap.emit_name t.tap e.name;
+  t.delivered <- t.delivered + 1
+
+let offer t (e : Trace.event) =
+  (* In-order fast path: with no reorder margin and nothing buffered an
+     admissible event cannot be overtaken, so it skips the heap. *)
+  if
+    t.lateness = 0
+    && Reorder.is_empty t.reorder
+    && e.time >= Reorder.floor t.reorder
+  then begin
+    Reorder.note_delivered t.reorder e.time;
+    deliver t e;
+    t.accepted <- t.accepted + 1;
+    `Accepted
+  end
+  else
+    match Reorder.push t.reorder e with
+    | `Queued ->
+        t.accepted <- t.accepted + 1;
+        ignore (Reorder.drain t.reorder ~emit:(deliver t));
+        `Accepted
+    | `Dropped_late ->
+        t.accepted <- t.accepted + 1;
+        `Accepted
+    | `Full -> `Blocked
+
+let force_drain t =
+  match Reorder.pop_oldest t.reorder with
+  | Some e ->
+      deliver t e;
+      t.forced <- t.forced + 1;
+      true
+  | None -> false
+
+let rec offer_force t e =
+  match offer t e with
+  | `Accepted -> ()
+  | `Blocked ->
+      ignore (force_drain t);
+      offer_force t e
+
+let flush t = ignore (Reorder.flush t.reorder ~emit:(deliver t))
+
+let now t = Time.to_ps (Kernel.now t.kernel)
+
+let finalize ?final_time t =
+  flush t;
+  let ft =
+    match final_time with
+    | Some f -> f
+    | None -> max (Reorder.max_seen t.reorder) 0
+  in
+  let ft = max ft (now t) in
+  if Time.( < ) (Kernel.now t.kernel) (Time.ps ft) then
+    Kernel.run ~until:(Time.ps ft) t.kernel;
+  Hub.finalize t.hub;
+  Hub.report t.hub
+
+type stats = {
+  accepted : int;
+  delivered : int;
+  reordered : int;
+  dropped_late : int;
+  forced : int;
+}
+
+let stats (t : t) : stats =
+  {
+    accepted = t.accepted;
+    delivered = t.delivered;
+    reordered = Reorder.reordered t.reorder;
+    dropped_late = Reorder.dropped_late t.reorder;
+    forced = t.forced;
+  }
+
+let position (t : t) = t.accepted
+
+let on_violation t hook =
+  Hub.on_violation t.hub (fun c v -> hook ~name:(Checker.name c) v)
+
+let report t = Hub.report t.hub
+let all_passed t = Hub.all_passed t.hub
+let suite t = t.suite
+let hub t = t.hub
+let kernel t = t.kernel
+let reorder t = t.reorder
+let lateness t = t.lateness
+let window t = t.window
+
+let restore_counters (t : t) ~accepted ~delivered ~forced =
+  t.accepted <- accepted;
+  t.delivered <- delivered;
+  t.forced <- forced

@@ -1,0 +1,98 @@
+(** Streaming monitor sessions: a property suite hosted live.
+
+    The batch entry points ([loseq check]/[suite]) need the whole trace
+    in memory before a monitor steps; a session consumes events as they
+    are produced.  Internally it is the thinnest possible shell around
+    the machinery that already exists: a private {!Loseq_sim.Kernel}
+    advanced to each event's timestamp (so the hub's merged deadline
+    wheel fires deadline-only violations exactly as in a simulation), a
+    {!Loseq_verif.Tap} with recording off, and a {!Loseq_verif.Hub}
+    hosting one checker per suite entry — all stream mechanics live
+    here, none in the monitors (the Backes et al. observer-hosting
+    discipline).
+
+    Between the caller and the hub sits a {!Reorder} buffer: events up
+    to [lateness] ticks out of order are re-sorted; later ones are
+    counted as {!stats}[.dropped_late] and discarded.  The buffer is
+    bounded by [window]: when it fills, {!offer} reports [`Blocked]
+    without consuming the event, and the caller chooses — wait for the
+    watermark to advance (it cannot, without new events), or trade
+    reorder margin for progress with {!force_drain}.  {!offer_force}
+    packages the usual policy. *)
+
+open Loseq_core
+open Loseq_verif
+
+type t
+
+val create :
+  ?backend:Backend.factory ->
+  ?lateness:int ->
+  ?window:int ->
+  Suite.t ->
+  t
+(** [backend] defaults to {!Backend.compiled} (the only backend with
+    checkpoint support); [lateness] to [0] (strictly chronological
+    input expected); [window] to [1024].  Raises
+    {!Loseq_core.Wellformed.Ill_formed} and whatever the factory
+    raises. *)
+
+val offer : t -> Trace.event -> [ `Accepted | `Blocked ]
+(** Feed one event.  [`Accepted]: consumed — delivered now, buffered,
+    or counted dropped-late.  [`Blocked]: {e not} consumed, the pending
+    window is full. *)
+
+val force_drain : t -> bool
+(** Deliver the oldest pending event even though its watermark has not
+    passed (counted in {!stats}[.forced]); [false] if nothing was
+    pending. *)
+
+val offer_force : t -> Trace.event -> unit
+(** [offer], force-draining until accepted — the standard server
+    policy under backpressure. *)
+
+val flush : t -> unit
+(** Deliver everything pending, in timestamp order. *)
+
+val finalize : ?final_time:int -> t -> Report.t
+(** {!flush}, advance time to [final_time] (default: the last
+    timestamp seen — firing any deadline that elapses on the way), and
+    finalize every checker.  The session can keep receiving events
+    afterwards, but verdicts are already decided. *)
+
+(** {1 Observation} *)
+
+type stats = {
+  accepted : int;  (** events consumed by {!offer} *)
+  delivered : int;  (** events released into the hub, in order *)
+  reordered : int;  (** out-of-order arrivals absorbed *)
+  dropped_late : int;  (** arrivals beyond the lateness bound *)
+  forced : int;  (** backpressure force-drains *)
+}
+
+val stats : t -> stats
+val position : t -> int
+(** [= (stats t).accepted] — the stream position a checkpoint records
+    and a resumed producer skips to. *)
+
+val on_violation : t -> (name:string -> Diag.violation -> unit) -> unit
+(** Incremental reporting: called the moment any hosted checker first
+    violates, with the suite entry name. *)
+
+val report : t -> Report.t
+(** The current verdicts without finalizing. *)
+
+val all_passed : t -> bool
+
+(** {1 Checkpoint plumbing} (used by {!Checkpoint}) *)
+
+val suite : t -> Suite.t
+val hub : t -> Hub.t
+val kernel : t -> Loseq_sim.Kernel.t
+val reorder : t -> Reorder.t
+val lateness : t -> int
+val window : t -> int
+val now : t -> int
+
+val restore_counters :
+  t -> accepted:int -> delivered:int -> forced:int -> unit

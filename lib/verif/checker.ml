@@ -131,6 +131,18 @@ let finalize_at t ~now =
 
 let finalize t = finalize_at t ~now:(t.now ())
 
+(* After an external state restore (checkpoint resume): align the
+   bookkeeping with the backend so an already-reported violation does
+   not fire the hooks a second time. *)
+let restore_meta t ~events_seen =
+  t.events_seen <- events_seen;
+  (match t.backend.Backend.verdict () with
+  | Backend.Violated _ -> t.violation_reported <- true
+  | Backend.Running | Backend.Satisfied -> t.violation_reported <- false);
+  match t.backend.Backend.states with
+  | Some states -> Coverage.observe_states t.coverage (states ())
+  | None -> ()
+
 let passed t = Backend.passed (t.backend.Backend.verdict ())
 let on_violation t hook = t.violation_hooks <- hook :: t.violation_hooks
 let events_seen t = t.events_seen

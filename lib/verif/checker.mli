@@ -75,6 +75,13 @@ val passed : t -> bool
 val on_violation : t -> (Diag.violation -> unit) -> unit
 (** Called once, when the backend first reports a violation. *)
 
+val restore_meta : t -> events_seen:int -> unit
+(** After the backend's state was overwritten externally
+    ({!Loseq_core.Backend.t.restore}, checkpoint resume): restore the
+    delivery count and re-align the reported-violation flag with the
+    backend's verdict, so a violation that was already reported before
+    the checkpoint does not fire the hooks again. *)
+
 val events_seen : t -> int
 (** Events delivered to this checker — with name routing, only the
     events in the pattern's alphabet. *)

@@ -189,6 +189,22 @@ let add ?(backend = Backend.compiled) ?mode ?name t pattern =
   host t checker ~strict:(mode = Some Monitor.Strict);
   checker
 
+let on_violation t hook =
+  List.iter
+    (fun c -> Checker.on_violation c (fun v -> hook c v))
+    (checkers t)
+
+(* After an external state restore: every entry's armed deadline is
+   stale — re-read next_deadline, re-park the wheel and the kernel
+   timeout.  [settle] expires deadlines already in the past. *)
+let resync t =
+  List.iter
+    (fun entry ->
+      entry.armed <- -1;
+      rearm t entry)
+    (List.rev t.entries_rev);
+  settle t
+
 let finalize t = List.iter (fun c -> ignore (Checker.finalize c)) (checkers t)
 
 let report t =

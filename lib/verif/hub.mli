@@ -49,6 +49,18 @@ val checkers : t -> Checker.t list
 
 val size : t -> int
 
+val on_violation : t -> (Checker.t -> Loseq_core.Diag.violation -> unit) -> unit
+(** Attach a violation hook to every checker currently hosted — the
+    incremental-report path a streaming session uses to surface
+    violations the moment they happen (each checker still reports at
+    most once). *)
+
+val resync : t -> unit
+(** Re-read every hosted checker's [next_deadline] and re-park the
+    merged deadline wheel — required after the checkers' backend states
+    were overwritten externally (checkpoint resume).  Deadlines already
+    in the past expire immediately. *)
+
 val finalize : t -> unit
 (** {!Checker.finalize} every checker at the current simulation time. *)
 

@@ -7,6 +7,16 @@ let finalize t = List.iter (fun c -> ignore (Checker.finalize c)) (checkers t)
 let all_passed t = List.for_all Checker.passed (checkers t)
 let failures t = List.filter (fun c -> not (Checker.passed c)) (checkers t)
 
+let summary t =
+  List.map (fun c -> (Checker.name c, Checker.verdict c)) (checkers t)
+
+let summary_strings t =
+  List.map
+    (fun c ->
+      ( Checker.name c,
+        Format.asprintf "%a" Checker.pp_verdict (Checker.verdict c) ))
+    (checkers t)
+
 let pp ppf t =
   let cs = checkers t in
   Format.fprintf ppf "@[<v>=== verification report (%d properties) ==="

@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# Live-ingestion end-to-end gate:
+#   1. convert round-trip:  CSV -> LSQB binary -> CSV is byte-identical
+#   2. streaming = batch:   serve over stdin decides what `suite` decides
+#   3. crash recovery:      kill -TERM mid-stream writes a checkpoint;
+#                           --resume with a full replay yields verdicts
+#                           identical to the uninterrupted streaming run
+#   4. throughput artifact: bench ingest section writes BENCH_ingest.json
+#
+# Run from the repository root:  scripts/ci_ingest.sh
+set -euo pipefail
+
+LOSEQ="dune exec --no-build bin/loseq_cli.exe --"
+SUITE=examples/specs/ipu.suite
+TRACE=examples/traces/ipu.csv
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"; jobs -p | xargs -r kill 2>/dev/null || true' EXIT
+
+dune build bin/loseq_cli.exe bench/main.exe
+
+echo "== 1. convert round-trip =="
+$LOSEQ convert "$TRACE" -o "$WORK/ipu.lsqb"
+$LOSEQ convert "$WORK/ipu.lsqb" -o "$WORK/ipu.back.csv"
+cmp "$TRACE" "$WORK/ipu.back.csv"
+echo "round-trip OK ($(wc -c < "$WORK/ipu.lsqb") bytes binary)"
+
+echo "== 2. streaming verdicts = batch verdicts =="
+# the example trace genuinely violates one property, so both exit 1
+batch_status=0
+$LOSEQ suite "$SUITE" -f "$TRACE" > "$WORK/batch.out" || batch_status=$?
+stream_status=0
+$LOSEQ serve --suite "$SUITE" < "$WORK/ipu.lsqb" > "$WORK/stream.ndjson" \
+  || stream_status=$?
+test "$batch_status" -eq "$stream_status"
+grep '"type": *"verdict"' "$WORK/stream.ndjson" > "$WORK/stream.verdicts"
+# each suite entry must reach the same PASS/FAIL in both runs
+while read -r line; do
+  name=$(sed 's/.*"property": *"\([^"]*\)".*/\1/' <<< "$line")
+  passed=$(sed 's/.*"passed": *\(true\|false\).*/\1/' <<< "$line")
+  case "$passed" in
+    true)  grep -q "PASS.*$name\|$name.*PASS" "$WORK/batch.out" ;;
+    false) grep -q "FAIL.*$name\|$name.*FAIL" "$WORK/batch.out" ;;
+  esac
+done < "$WORK/stream.verdicts"
+echo "verdicts agree (exit $batch_status)"
+
+echo "== 3. kill mid-stream, checkpoint, resume =="
+SOCK="$WORK/loseq.sock"
+CKPT="$WORK/loseq.ckpt"
+$LOSEQ serve --suite "$SUITE" --socket "$SOCK" \
+  --checkpoint "$CKPT" --checkpoint-every 50 \
+  > "$WORK/killed.ndjson" &
+SERVER=$!
+# send roughly half the stream, then hold the connection open so the
+# server is mid-stream (not at EOF) when the signal lands
+( head -c 1000 "$WORK/ipu.lsqb"; sleep 30 ) | $LOSEQ feed --socket "$SOCK" &
+FEEDER=$!
+for _ in $(seq 50); do
+  grep -q '"type": *"checkpoint"' "$WORK/killed.ndjson" 2>/dev/null && break
+  sleep 0.2
+done
+kill -TERM "$SERVER"
+wait "$SERVER"
+kill "$FEEDER" 2>/dev/null || true
+wait "$FEEDER" 2>/dev/null || true
+test -s "$CKPT"
+grep -q '"type": *"interrupted"' "$WORK/killed.ndjson"
+echo "checkpoint written at position $(grep -o '"position": *[0-9]*' "$WORK/killed.ndjson" | tail -1 | grep -o '[0-9]*')"
+
+resume_status=0
+$LOSEQ serve --suite "$SUITE" --checkpoint "$CKPT" --resume \
+  < "$WORK/ipu.lsqb" > "$WORK/resumed.ndjson" || resume_status=$?
+test "$resume_status" -eq "$stream_status"
+grep '"type": *"verdict"' "$WORK/resumed.ndjson" > "$WORK/resumed.verdicts"
+cmp "$WORK/stream.verdicts" "$WORK/resumed.verdicts"
+echo "resumed verdicts identical to the uninterrupted run"
+
+echo "== 4. ingest throughput artifact =="
+dune exec --no-build bench/main.exe -- ingest
+test -s BENCH_ingest.json
+grep -q '"within_2x": *true' BENCH_ingest.json
+echo "BENCH_ingest.json written, within the 2x bound"
+
+echo "ingest gate: all checks passed"

@@ -1,0 +1,197 @@
+(* Checkpoint/resume: killing a streaming session at ANY prefix and
+   resuming from the checkpoint must be observationally identical to
+   the uninterrupted run — same rendered verdicts, same violation
+   de-duplication, same pending reorder buffer. *)
+
+open Loseq_core
+open Loseq_verif
+open Loseq_ingest
+open Loseq_testutil
+
+let ev t nm = Trace.event ~time:t (name nm)
+
+let entry label src : Suite.entry =
+  { Suite.label; pattern = pat src; line = 1 }
+
+let demo_suite =
+  [
+    entry "config" "{set_imgAddr, set_glAddr, set_glSize} <<! start";
+    entry "bounded" "start => read_img[1,3] < set_irq within 50";
+    entry "order" "take_lock < release_lock <<! bus_idle";
+  ]
+
+let offer_all session trace = List.iter (Session.offer_force session) trace
+
+let summary_of session trace =
+  offer_all session trace;
+  Report.summary_strings (Session.finalize session)
+
+(* Run to [cut], checkpoint through the JSON codec, resume a fresh
+   session from it, feed the rest. *)
+let resumed_summary ?lateness suite trace cut =
+  let first = Session.create ?lateness suite in
+  let before, after =
+    List.filteri (fun i _ -> i < cut) trace,
+    List.filteri (fun i _ -> i >= cut) trace
+  in
+  offer_all first before;
+  let json = Checkpoint.capture first in
+  (* through the wire format: render + reparse *)
+  let json =
+    match Json.of_string (Json.to_string json) with
+    | Ok j -> j
+    | Error msg -> Alcotest.failf "checkpoint JSON invalid: %s" msg
+  in
+  let second = Session.create ?lateness suite in
+  (match Checkpoint.restore second json with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "restore at cut %d: %s" cut msg);
+  offer_all second after;
+  Report.summary_strings (Session.finalize second)
+
+let check_every_prefix ?lateness suite trace =
+  let baseline =
+    summary_of (Session.create ?lateness suite) trace
+  in
+  for cut = 0 to List.length trace do
+    let resumed = resumed_summary ?lateness suite trace cut in
+    Alcotest.(check (list (pair string string)))
+      (Printf.sprintf "cut at %d" cut)
+      baseline resumed
+  done
+
+let passing_trace =
+  [
+    ev 0 "set_imgAddr"; ev 2 "set_glAddr"; ev 3 "set_glSize"; ev 10 "start";
+    ev 15 "read_img"; ev 40 "set_irq"; ev 45 "take_lock"; ev 50 "release_lock";
+    ev 60 "bus_idle";
+  ]
+
+let failing_trace =
+  [
+    ev 0 "set_imgAddr"; ev 2 "set_glAddr"; ev 3 "start" (* missing size *);
+    ev 15 "read_img"; ev 100 "set_irq" (* past the deadline *);
+    ev 110 "release_lock"; ev 120 "bus_idle" (* lock order broken *);
+  ]
+
+let test_every_prefix_passing () = check_every_prefix demo_suite passing_trace
+let test_every_prefix_failing () = check_every_prefix demo_suite failing_trace
+
+let test_every_prefix_with_pending_reorder () =
+  (* lateness > 0 keeps events parked in the reorder buffer: a
+     checkpoint in that state must carry them, not flush them. *)
+  let disordered =
+    [
+      ev 2 "set_glAddr"; ev 0 "set_imgAddr"; ev 3 "set_glSize"; ev 10 "start";
+      ev 15 "read_img"; ev 40 "set_irq"; ev 47 "take_lock"; ev 45 "other";
+      ev 50 "release_lock"; ev 60 "bus_idle";
+    ]
+  in
+  check_every_prefix ~lateness:5 demo_suite disordered
+
+let test_violation_not_rereported () =
+  let suite = [ entry "p" "a <<! go" ] in
+  let trace = [ ev 0 "go"; ev 1 "go" ] in
+  let first = Session.create suite in
+  Session.offer_force first (List.hd trace);
+  (* violated and reported before the checkpoint *)
+  let json = Checkpoint.capture first in
+  let second = Session.create suite in
+  let hits = ref 0 in
+  Session.on_violation second (fun ~name:_ _ -> incr hits);
+  (match Checkpoint.restore second json with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  offer_all second (List.tl trace);
+  ignore (Session.finalize second);
+  Alcotest.(check int) "already-reported violation stays reported" 0 !hits
+
+let test_file_roundtrip () =
+  let session = Session.create demo_suite in
+  offer_all session (List.filteri (fun i _ -> i < 5) passing_trace);
+  let path = Filename.temp_file "loseq" ".ckpt" in
+  (match Checkpoint.save ~path session with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  let resumed = Checkpoint.resume ~path demo_suite in
+  Sys.remove path;
+  match resumed with
+  | Error msg -> Alcotest.fail msg
+  | Ok second ->
+      Alcotest.(check int) "position preserved" (Session.position session)
+        (Session.position second);
+      offer_all second (List.filteri (fun i _ -> i >= 5) passing_trace);
+      let baseline = summary_of (Session.create demo_suite) passing_trace in
+      Alcotest.(check (list (pair string string)))
+        "verdicts equal" baseline
+        (Report.summary_strings (Session.finalize second))
+
+let test_restore_refuses_mismatches () =
+  let session = Session.create demo_suite in
+  offer_all session passing_trace;
+  let json = Checkpoint.capture session in
+  (* different suite *)
+  let other = Session.create [ entry "p" "a << b" ] in
+  (match Checkpoint.restore other json with
+  | Ok () -> Alcotest.fail "restored into a different suite"
+  | Error _ -> ());
+  (* non-fresh session *)
+  let used = Session.create demo_suite in
+  Session.offer_force used (ev 0 "set_imgAddr");
+  (match Checkpoint.restore used json with
+  | Ok () -> Alcotest.fail "restored into a used session"
+  | Error _ -> ());
+  (* malformed document *)
+  let fresh = Session.create demo_suite in
+  match Checkpoint.restore fresh (Json.Obj [ ("format", Json.String "x") ]) with
+  | Ok () -> Alcotest.fail "restored from garbage"
+  | Error _ -> ()
+
+(* Property: random pattern, random chronological trace, random kill
+   point — rendered verdicts are identical to the uninterrupted run. *)
+let gen_case =
+  QCheck2.Gen.(
+    let* p, trace = gen_pattern_and_trace in
+    let* cut_frac = int_bound 100 in
+    return (p, trace, cut_frac))
+
+let prop_resume_equivalence =
+  qtest ~count:300 "resume at any prefix = uninterrupted"
+    gen_case
+    (fun (p, trace, cut_frac) ->
+      Printf.sprintf "%s (cut %d%%)"
+        (print_pattern_and_trace (p, trace))
+        cut_frac)
+    (fun (p, trace, cut_frac) ->
+      let trace =
+        List.stable_sort
+          (fun (a : Trace.event) (b : Trace.event) -> compare a.time b.time)
+          trace
+      in
+      let suite = [ { Suite.label = "p"; pattern = p; line = 1 } ] in
+      let cut = List.length trace * cut_frac / 100 in
+      let baseline = summary_of (Session.create suite) trace in
+      resumed_summary suite trace cut = baseline)
+
+let () =
+  Alcotest.run "checkpoint"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "every prefix, passing" `Quick
+            test_every_prefix_passing;
+          Alcotest.test_case "every prefix, failing" `Quick
+            test_every_prefix_failing;
+          Alcotest.test_case "every prefix, pending reorder" `Quick
+            test_every_prefix_with_pending_reorder;
+          Alcotest.test_case "violation de-dup" `Quick
+            test_violation_not_rereported;
+        ] );
+      ( "files",
+        [
+          Alcotest.test_case "save/resume" `Quick test_file_roundtrip;
+          Alcotest.test_case "mismatches refused" `Quick
+            test_restore_refuses_mismatches;
+        ] );
+      ("properties", [ prop_resume_equivalence ]);
+    ]

@@ -1,0 +1,182 @@
+(* The watermark reorder buffer: absorption within the lateness bound,
+   dropping beyond it, stable chronological release, the backpressure
+   window, and checkpoint-grade restore. *)
+
+open Loseq_core
+open Loseq_ingest
+open Loseq_testutil
+
+let ev t nm = Trace.event ~time:t (name nm)
+
+let drain_all buffer =
+  let acc = ref [] in
+  ignore (Reorder.drain buffer ~emit:(fun e -> acc := e :: !acc));
+  List.rev !acc
+
+let flush_all buffer =
+  let acc = ref [] in
+  ignore (Reorder.flush buffer ~emit:(fun e -> acc := e :: !acc));
+  List.rev !acc
+
+let push_exn buffer e =
+  match Reorder.push buffer e with
+  | `Queued -> ()
+  | `Dropped_late -> Alcotest.failf "dropped: %s" (Trace.to_string [ e ])
+  | `Full -> Alcotest.failf "full: %s" (Trace.to_string [ e ])
+
+let times es = List.map (fun (e : Trace.event) -> e.Trace.time) es
+let names es = List.map (fun (e : Trace.event) -> Name.to_string e.Trace.name) es
+
+let test_in_order_passthrough () =
+  let b = Reorder.create ~lateness:0 () in
+  push_exn b (ev 1 "a");
+  Alcotest.(check (list int)) "1 ripe" [ 1 ] (times (drain_all b));
+  push_exn b (ev 5 "b");
+  Alcotest.(check (list int)) "5 ripe" [ 5 ] (times (drain_all b));
+  Alcotest.(check bool) "empty" true (Reorder.is_empty b)
+
+let test_absorbs_within_lateness () =
+  let b = Reorder.create ~lateness:10 () in
+  push_exn b (ev 20 "a");
+  push_exn b (ev 15 "b");
+  (* 15 and 20 are both above the watermark 20-10=10: held *)
+  Alcotest.(check (list int)) "nothing ripe" [] (times (drain_all b));
+  push_exn b (ev 31 "c");
+  (* watermark 21: releases 15 then 20, in timestamp order *)
+  Alcotest.(check (list int)) "sorted release" [ 15; 20 ] (times (drain_all b));
+  Alcotest.(check int) "one reordered arrival" 1 (Reorder.reordered b);
+  Alcotest.(check (list int)) "flush releases the rest" [ 31 ]
+    (times (flush_all b))
+
+let test_drops_beyond_lateness () =
+  let b = Reorder.create ~lateness:5 () in
+  push_exn b (ev 100 "a");
+  (match Reorder.push b (ev 94 "late") with
+  | `Dropped_late -> ()
+  | `Queued | `Full -> Alcotest.fail "expected a drop");
+  Alcotest.(check int) "counted" 1 (Reorder.dropped_late b);
+  (* boundary: exactly lateness ticks behind is still admissible *)
+  push_exn b (ev 95 "edge");
+  Alcotest.(check (list int)) "95 ripe at watermark" [ 95 ]
+    (times (drain_all b))
+
+let test_stable_on_ties () =
+  let b = Reorder.create ~lateness:100 () in
+  List.iter (fun nm -> push_exn b (ev 7 nm)) [ "x"; "y"; "z" ];
+  Alcotest.(check (list string)) "arrival order kept" [ "x"; "y"; "z" ]
+    (names (flush_all b))
+
+let test_backpressure_window () =
+  let b = Reorder.create ~capacity:2 ~lateness:1000 () in
+  push_exn b (ev 1 "a");
+  push_exn b (ev 2 "b");
+  (match Reorder.push b (ev 3 "c") with
+  | `Full -> ()
+  | `Queued | `Dropped_late -> Alcotest.fail "expected `Full");
+  (* `Full must not consume: a force-release makes room and the same
+     event then queues *)
+  (match Reorder.pop_oldest b with
+  | Some e -> Alcotest.(check int) "oldest forced out" 1 e.Trace.time
+  | None -> Alcotest.fail "nothing to pop");
+  push_exn b (ev 3 "c")
+
+let test_forced_release_raises_floor () =
+  let b = Reorder.create ~lateness:1000 () in
+  push_exn b (ev 50 "a");
+  (match Reorder.pop_oldest b with
+  | Some e -> Alcotest.(check int) "released 50" 50 e.Trace.time
+  | None -> Alcotest.fail "nothing to pop");
+  (* time must never regress downstream: below the forced release is
+     now late, even though lateness alone would admit it *)
+  (match Reorder.push b (ev 49 "b") with
+  | `Dropped_late -> ()
+  | `Queued | `Full -> Alcotest.fail "expected a drop below the floor");
+  push_exn b (ev 50 "c")
+
+let test_restore () =
+  let b = Reorder.create ~lateness:10 () in
+  push_exn b (ev 20 "a");
+  push_exn b (ev 15 "b");
+  ignore (drain_all b);
+  let fresh = Reorder.create ~lateness:10 () in
+  (match
+     Reorder.restore fresh ~max_seen:(Reorder.max_seen b)
+       ~released:(Reorder.released b)
+       ~dropped_late:(Reorder.dropped_late b)
+       ~reordered:(Reorder.reordered b) (Reorder.pending b)
+   with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check int) "max_seen" (Reorder.max_seen b) (Reorder.max_seen fresh);
+  Alcotest.(check int) "floor" (Reorder.floor b) (Reorder.floor fresh);
+  Alcotest.(check (list int)) "pending" (times (Reorder.pending b))
+    (times (Reorder.pending fresh));
+  (* restore refuses a used buffer *)
+  match
+    Reorder.restore fresh ~max_seen:0 ~released:0 ~dropped_late:0 ~reordered:0
+      []
+  with
+  | Ok () -> Alcotest.fail "restored over a used buffer"
+  | Error _ -> ()
+
+(* Property: whatever the arrival order, the released stream is
+   chronological, and nothing is both dropped and released. *)
+let gen_jittered =
+  QCheck2.Gen.(
+    let* n = int_range 0 50 in
+    let* base_gaps = list_size (return n) (int_range 0 10) in
+    let* jitters = list_size (return n) (int_range 0 15) in
+    let* lateness = int_range 0 20 in
+    let time = ref 0 in
+    let events =
+      List.map2
+        (fun gap jitter ->
+          time := !time + gap;
+          (max 0 (!time - jitter), jitter))
+        base_gaps jitters
+    in
+    return (lateness, List.mapi (fun i (t, _) -> ev t name_pool.(i mod 8)) events))
+
+let prop_chronological_release =
+  qtest ~count:500 "released stream is chronological"
+    gen_jittered
+    (fun (lateness, events) ->
+      Printf.sprintf "lateness %d, %s" lateness (Trace.to_string events))
+    (fun (lateness, events) ->
+      let b = Reorder.create ~lateness () in
+      let released = ref [] in
+      let emit e = released := e :: !released in
+      List.iter
+        (fun e ->
+          (match Reorder.push b e with
+          | `Queued | `Dropped_late -> ()
+          | `Full -> ignore (Reorder.pop_oldest b); ignore (Reorder.push b e));
+          ignore (Reorder.drain b ~emit))
+        events;
+      ignore (Reorder.flush b ~emit);
+      let out = List.rev !released in
+      Trace.is_chronological out
+      && List.length out + Reorder.dropped_late b = List.length events)
+
+let () =
+  Alcotest.run "reorder"
+    [
+      ( "watermark",
+        [
+          Alcotest.test_case "in-order passthrough" `Quick
+            test_in_order_passthrough;
+          Alcotest.test_case "absorbs within lateness" `Quick
+            test_absorbs_within_lateness;
+          Alcotest.test_case "drops beyond lateness" `Quick
+            test_drops_beyond_lateness;
+          Alcotest.test_case "stable ties" `Quick test_stable_on_ties;
+        ] );
+      ( "backpressure",
+        [
+          Alcotest.test_case "window" `Quick test_backpressure_window;
+          Alcotest.test_case "forced release raises floor" `Quick
+            test_forced_release_raises_floor;
+        ] );
+      ("checkpoint", [ Alcotest.test_case "restore" `Quick test_restore ]);
+      ("properties", [ prop_chronological_release ]);
+    ]

@@ -43,6 +43,51 @@ let test_load_missing () =
   | Ok _ -> Alcotest.fail "expected error"
   | Error _ -> ()
 
+let expect_error_mentioning sub result =
+  match result with
+  | Ok _ -> Alcotest.failf "accepted (expected error mentioning %S)" sub
+  | Error msg ->
+      let contains =
+        let n = String.length sub and m = String.length msg in
+        let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%S mentions %S" msg sub)
+        true contains
+
+let test_csv_error_line_numbers () =
+  (* the comment and blank still count as lines: the offending row is
+     line 4 *)
+  expect_error_mentioning "line 4"
+    (Trace_io.of_csv "# header\n0,a\n\nnot-a-row\n");
+  expect_error_mentioning "line 3" (Trace_io.of_csv "0,a\n5,b\n1,c\n");
+  expect_error_mentioning "line 2" (Trace_io.of_csv "0,a\n-3,b\n")
+
+let test_validator_shared_messages () =
+  (* the same validator backs CSV and any other reader: same message
+     shape, position supplied by the caller *)
+  let v = Trace_io.Validator.create () in
+  (match Trace_io.Validator.check v ~pos:"record 7" ~time:5 with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check int) "last" 5 (Trace_io.Validator.last v);
+  expect_error_mentioning "record 8"
+    (Trace_io.Validator.check v ~pos:"record 8" ~time:3);
+  (* a rejected timestamp does not advance the validator *)
+  Alcotest.(check int) "last unchanged" 5 (Trace_io.Validator.last v)
+
+let test_parse_csv_line_permissive () =
+  (* without a validator (the bounded-reorder streaming mode),
+     out-of-order lines parse fine... *)
+  (match Trace_io.parse_csv_line ~lineno:2 "3,late" with
+  | Ok (Some e) -> Alcotest.(check int) "time" 3 e.Trace.time
+  | Ok None -> Alcotest.fail "skipped"
+  | Error msg -> Alcotest.fail msg);
+  (* ...but garbage still does not *)
+  expect_error_mentioning "line 9" (Trace_io.parse_csv_line ~lineno:9 "x,y,z,");
+  expect_error_mentioning "line 9" (Trace_io.parse_csv_line ~lineno:9 "-1,a")
+
 let test_merge_interleaves () =
   let cpu = [ ev 0 "wr"; ev 10 "wr" ] in
   let ipu = [ ev 5 "rd"; ev 10 "irq" ] in
@@ -123,6 +168,12 @@ let () =
           Alcotest.test_case "errors" `Quick test_csv_errors;
           Alcotest.test_case "file roundtrip" `Quick test_csv_file_roundtrip;
           Alcotest.test_case "missing file" `Quick test_load_missing;
+          Alcotest.test_case "error line numbers" `Quick
+            test_csv_error_line_numbers;
+          Alcotest.test_case "shared validator" `Quick
+            test_validator_shared_messages;
+          Alcotest.test_case "permissive line parse" `Quick
+            test_parse_csv_line_permissive;
           qcheck_csv_roundtrip;
         ] );
       ( "toolkit",
