@@ -512,6 +512,87 @@ let ingest_throughput () =
   close_out oc;
   Format.printf "@.written: BENCH_ingest.json@."
 
+(* ---- Section 3d: race analysis ----------------------------------------- *)
+
+(* Cost of the static commutation analysis and the suite lateness-
+   robustness certificate on the case-study contract: per-entry
+   pairwise commutation (reachable-state exploration + partition
+   refinement + witness concretization) and the combined certificate. *)
+let race_analysis () =
+  section
+    "Race analysis: pairwise commutation + lateness certificate (ipu.suite)";
+  let open Loseq_verif in
+  let open Loseq_analysis in
+  let suite_path =
+    List.find_opt Sys.file_exists
+      [ "examples/specs/ipu.suite"; "../examples/specs/ipu.suite" ]
+    |> Option.value ~default:"examples/specs/ipu.suite"
+  in
+  let suite =
+    match Suite.load suite_path with
+    | Ok s -> s
+    | Error e -> failwith (Format.asprintf "%a" Suite.pp_error e)
+  in
+  let best f =
+    let run () =
+      let t0 = Sys.time () in
+      let r = f () in
+      (r, Float.max (Sys.time () -. t0) 1e-6)
+    in
+    let r, dt0 = run () in
+    let _, dt1 = run () in
+    (r, Float.min dt0 dt1)
+  in
+  Format.printf "%-26s | %8s | %6s | %10s | %8s@." "entry" "seconds" "races"
+    "commuting" "decided";
+  let rows =
+    List.map
+      (fun (e : Suite.entry) ->
+        let r, dt = best (fun () -> Commute.analyze e.pattern) in
+        Format.printf "%-26s | %8.4f | %6d | %10d | %8b@." e.label dt
+          (List.length r.Commute.races)
+          (List.length r.Commute.commuting)
+          r.Commute.complete;
+        (e.label, dt, r))
+      suite
+  in
+  let labeled = List.map (fun (e : Suite.entry) -> (e.label, e.pattern)) suite in
+  let cert, cert_dt = best (fun () -> Robust.certificate labeled) in
+  Format.printf
+    "@.suite certificate: lateness bound %s, decided %b (%.4fs)@."
+    (Robust.bound_to_string cert.Robust.bound)
+    cert.Robust.decided cert_dt;
+  let oc = open_out "BENCH_races.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "race_analysis",
+  "suite": %S,
+  "entries": [
+%s  ],
+  "certificate": { "seconds": %.6f, "bound": %S, "decided": %b }
+}
+|}
+    suite_path
+    (String.concat ""
+       (List.map
+          (fun (label, dt, (r : Commute.result)) ->
+            Printf.sprintf
+              "    { \"label\": %S, \"seconds\": %.6f, \"races\": %d, \
+               \"commuting\": %d, \"decided\": %b }%s\n"
+              label dt
+              (List.length r.Commute.races)
+              (List.length r.Commute.commuting)
+              r.Commute.complete
+              (if label = (match List.rev rows with (l, _, _) :: _ -> l | [] -> "")
+               then ""
+               else ","))
+          rows))
+    cert_dt
+    (Robust.bound_to_string cert.Robust.bound)
+    cert.Robust.decided;
+  close_out oc;
+  Format.printf "@.written: BENCH_races.json@."
+
 (* ---- Section 4: Bechamel micro-benchmarks ------------------------------ *)
 
 let bechamel_benches () =
@@ -604,6 +685,7 @@ let sections_by_name =
     ("case-study", case_study);
     ("hosted-dispatch", hosted_dispatch);
     ("ingest", ingest_throughput);
+    ("races", race_analysis);
     ("bechamel", bechamel_benches);
   ]
 

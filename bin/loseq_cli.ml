@@ -415,8 +415,35 @@ let lint_cmd =
 
 (* ---- analyze --------------------------------------------------------- *)
 
+(* Robustness findings carry the entry label as subject; give them the
+   suite file/line the analyzer items know about. *)
+let attach_origins (items : Loseq_analysis.Analysis.item list) fs =
+  let origin label =
+    List.find_opt
+      (fun (it : Loseq_analysis.Analysis.item) -> String.equal it.label label)
+      items
+  in
+  List.map
+    (fun (f : Finding.t) ->
+      match Option.bind f.subject origin with
+      | Some it -> Finding.with_origin ?file:it.file ?line:it.line f
+      | None -> f)
+    fs
+
+let pp_certificate ppf (cert : Loseq_analysis.Robust.certificate) =
+  List.iter
+    (fun (e : Loseq_analysis.Robust.entry) ->
+      Format.fprintf ppf "%-24s lateness bound %-4s%s@." e.label
+        (Loseq_analysis.Robust.bound_to_string e.bound)
+        (if e.decided then ""
+         else " (undecided within budget: conservative)"))
+    cert.entries;
+  Format.fprintf ppf "suite certified lateness bound: %s@."
+    (Loseq_analysis.Robust.bound_to_string cert.bound)
+
 let analyze_cmd =
-  let run patterns suites format suppressed explain budget =
+  let run positionals suites format suppressed suppress_file explain races
+      certify budget =
     match explain with
     | Some code -> (
         match Loseq_analysis.Explain.find code with
@@ -431,19 +458,79 @@ let analyze_cmd =
               Loseq_analysis.Explain.all;
             3)
     | None -> (
-        if patterns = [] && suites = [] then begin
-          Format.eprintf
-            "nothing to analyze: give PATTERN arguments or --suite FILE@.";
-          3
-        end
-        else
-          match gather_items suites patterns with
-          | Error msg ->
-              Format.eprintf "%s@." msg;
+        let suppressed =
+          match suppress_file with
+          | None -> Ok suppressed
+          | Some path -> (
+              match Finding.load_suppress_file path with
+              | Ok codes -> Ok (suppressed @ codes)
+              | Error e -> Error (Printf.sprintf "--suppress-file: %s" e))
+        in
+        (* a positional naming an existing file is a suite file, anything
+           else must parse as an inline pattern *)
+        let files, inline = List.partition Sys.file_exists positionals in
+        let patterns =
+          List.fold_left
+            (fun acc s ->
+              match acc with
+              | Error _ -> acc
+              | Ok ps -> (
+                  match Parser.pattern s with
+                  | Ok p -> Ok (p :: ps)
+                  | Error e ->
+                      Error
+                        (Format.asprintf "%s: %a" s Parser.pp_error e)))
+            (Ok []) inline
+        in
+        match (suppressed, patterns) with
+        | Error msg, _ | _, Error msg ->
+            Format.eprintf "%s@." msg;
+            3
+        | Ok suppressed, Ok patterns -> (
+            let patterns = List.rev patterns in
+            let suites = suites @ files in
+            if patterns = [] && suites = [] then begin
+              Format.eprintf
+                "nothing to analyze: give PATTERN arguments or --suite \
+                 FILE@.";
               3
-          | Ok items ->
-              render_findings format suppressed
-                (Loseq_analysis.Analysis.analyze ~budget items))
+            end
+            else
+              match gather_items suites patterns with
+              | Error msg ->
+                  Format.eprintf "%s@." msg;
+                  3
+              | Ok items -> (
+                  let labeled =
+                    List.map
+                      (fun (it : Loseq_analysis.Analysis.item) ->
+                        (it.label, it.pattern))
+                      items
+                  in
+                  match certify with
+                  | Some k when k < -1 ->
+                      Format.eprintf "--certify-lateness: K must be >= 0@.";
+                      3
+                  | Some k ->
+                      let cert =
+                        Loseq_analysis.Robust.certificate ~budget labeled
+                      in
+                      if format = Finding.Text then
+                        Format.printf "%a" pp_certificate cert;
+                      if k < 0 then 0
+                      else
+                        render_findings format suppressed
+                          (attach_origins items
+                             (Loseq_analysis.Robust.findings ~lateness:k cert))
+                  | None ->
+                      if races then
+                        render_findings format suppressed
+                          (attach_origins items
+                             (Loseq_analysis.Robust.race_findings ~budget
+                                labeled))
+                      else
+                        render_findings format suppressed
+                          (Loseq_analysis.Analysis.analyze ~budget items))))
   in
   let open Cmdliner in
   let explain =
@@ -463,12 +550,51 @@ let analyze_cmd =
             "Abstract-state exploration budget per pattern or pair; \
              beyond it unreachability-based checks are skipped.")
   in
+  let positionals =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"PATTERN|SUITE"
+          ~doc:
+            "Inline patterns, or paths of suite files (a positional \
+             naming an existing file is loaded like --suite).")
+  in
+  let suppress_file =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "suppress-file" ] ~docv:"PATH"
+          ~doc:
+            "Read suppressed finding codes from a file (one code per \
+             line, '#' starts a comment); merged with --suppress.")
+  in
+  let races =
+    Arg.(
+      value & flag
+      & info [ "races" ]
+          ~doc:
+            "Commutation analysis only: report racy name pairs with \
+             twin-trace witnesses ($(b,race-pair)) and \
+             timestamp-fragile deadlines ($(b,jitter-fragile)).")
+  in
+  let certify =
+    Arg.(
+      value
+      & opt ~vopt:(Some (-1)) (some int) None
+      & info [ "certify-lateness" ] ~docv:"K"
+          ~doc:
+            "Print the suite's certified lateness-robustness bound (the \
+             maximal reorder window that provably cannot flip any \
+             verdict).  With a value $(docv), additionally emit a \
+             $(b,reorder-unsafe) error finding for every entry whose \
+             bound is below $(docv).")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Semantic analysis of patterns and suites: satisfiability, \
-          vacuity, deadline feasibility, subsumption and conflicts, by \
-          exhaustive exploration of the monitor automata"
+          vacuity, deadline feasibility, subsumption and conflicts, \
+          commutation races and reorder robustness, by exhaustive \
+          exploration of the monitor automata"
        ~man:
          [
            `S Cmdliner.Manpage.s_exit_status;
@@ -478,8 +604,8 @@ let analyze_cmd =
               3 on usage or I/O errors.";
          ])
     Term.(
-      const run $ patterns_arg $ suites_arg $ format_arg $ suppress_arg
-      $ explain $ budget)
+      const run $ positionals $ suites_arg $ format_arg $ suppress_arg
+      $ suppress_file $ explain $ races $ certify $ budget)
 
 (* ---- suite ----------------------------------------------------------- *)
 
@@ -556,7 +682,7 @@ let suite_cmd =
 
 let serve_cmd =
   let run file socket lateness window checkpoint checkpoint_every resume
-      final_time backend_kind =
+      strict_reorder final_time backend_kind =
     match Loseq_verif.Suite.load file with
     | Error e ->
         Format.eprintf "%a@." Loseq_verif.Suite.pp_error e;
@@ -567,8 +693,8 @@ let serve_cmd =
         in
         Loseq_ingest.Server.serve
           ~backend:(factory_of backend_kind)
-          ~lateness ~window ?checkpoint ~checkpoint_every ~resume ?final_time
-          ~input suite
+          ~lateness ~window ?checkpoint ~checkpoint_every ~resume
+          ~strict_reorder ?final_time ~input suite
   in
   let open Cmdliner in
   let file =
@@ -625,6 +751,18 @@ let serve_cmd =
              replay the stream from the start (already-counted events \
              are skipped).")
   in
+  let strict_reorder =
+    Arg.(
+      value & flag
+      & info [ "strict-reorder" ]
+          ~doc:
+            "Refuse to start (exit 2) when --lateness exceeds the \
+             suite's certified lateness-robustness bound (see \
+             $(b,loseq analyze --certify-lateness)): beyond it, \
+             reorderings the buffer silently absorbs could flip a \
+             verdict.  Without this flag the mismatch is only reported \
+             in the reorder-certificate record.")
+  in
   let final_time =
     Arg.(
       value
@@ -647,7 +785,8 @@ let serve_cmd =
          ])
     Term.(
       const run $ file $ socket $ lateness $ window $ checkpoint
-      $ checkpoint_every $ resume $ final_time $ backend_kind_arg)
+      $ checkpoint_every $ resume $ strict_reorder $ final_time
+      $ backend_kind_arg)
 
 let convert_cmd =
   let run input output to_format =

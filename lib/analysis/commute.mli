@@ -1,0 +1,74 @@
+(** Pairwise commutation analysis of a monitor automaton.
+
+    For every unordered pair of alphabet names [(a, b)] this module
+    decides, on the exact-counter state space ({!Machine.make}
+    [~exact:true], deterministic and in bijection with the concrete
+    {!Loseq_core.Compiled} configurations), whether delivering [ab] and
+    [ba] from every reachable configuration leads to
+    verdict-equivalent states.  Two states are {e verdict-equivalent}
+    when no event continuation (followed by finalization) can tell
+    them apart on the only observables a hosting layer acts on:
+    violated-or-not, and armed-past-deadline-or-not
+    ({!Machine.can_time_violate}).  Equivalence is computed once for
+    the whole explored state set by Moore partition refinement seeded
+    with that two-bit observable, so each [(state, pair)] query is a
+    table lookup.
+
+    A pair that fails the test at some reachable state is {e racy}:
+    the order of [a] and [b] is verdict-relevant there, and the
+    analysis concretizes the proof into {e twin traces} — two runs one
+    adjacent swap apart (same names, same timestamp slots) whose suite
+    verdicts differ, verified by replay on the compiled monitor.  A
+    pair that passes at every reachable state {e commutes}: no
+    adjacent swap of an [a] against a [b] can ever flip the verdict —
+    the pattern-level fact the lateness-robustness certificate
+    ({!Robust}) is built from.
+
+    Soundness of the budget: racy verdicts carry replayed witnesses
+    and are valid even when exploration or refinement was truncated;
+    commuting claims are only made when [complete] is set. *)
+
+open Loseq_core
+
+type race = {
+  a : Name.t;
+  b : Name.t;  (** the racy unordered pair, [a < b] in {!Name.compare} *)
+  trace_ab : Trace.t;  (** prefix, [a], [b], distinguishing suffix *)
+  trace_ba : Trace.t;
+      (** the same timestamp slots with [a] and [b] swapped — one
+          adjacent transposition apart from [trace_ab] *)
+  ab_passes : bool;  (** verdict of [trace_ab]; [trace_ba] decides the
+                         opposite (verified by replay) *)
+  time_divergence : bool;
+      (** the verdicts differ only at finalization time (a deadline
+          fires on one side): replay with
+          [~final_time:(deadline + 1)] *)
+}
+
+type result = {
+  pattern : Pattern.t;
+  complete : bool;
+      (** exploration within budget and refinement stabilized: absence
+          of a race means the pair really commutes *)
+  races : race list;  (** one (shortest-prefix) witness per racy pair *)
+  commuting : (Name.t * Name.t) list;
+      (** pairs certified to commute (empty unless [complete]) *)
+  time_sensitive : bool;
+      (** timed only: some reachable configuration is armed with the
+          conclusion incomplete — the deadline verdict is live *)
+}
+
+val analyze : ?budget:int -> ?refine_rounds:int -> Pattern.t -> result
+(** [budget] bounds the exact-counter exploration and each witness
+    search (default 200000 states); [refine_rounds] bounds partition
+    refinement (default 64 rounds — a cap on distinguishing-suffix
+    length; hitting it clears [complete] but keeps every race found).
+    Raises {!Loseq_core.Wellformed.Ill_formed}, and [Failure] if a
+    witness fails to replay (an abstraction soundness bug, as in
+    {!Witness.concretize}). *)
+
+val final_time_for : Pattern.t -> int option
+(** The finalization instant twin traces are decided at:
+    [Some (deadline + 1)] for a timed pattern (witness timestamps are
+    all zero, so any pending deadline has elapsed by then), [None] for
+    an antecedent. *)

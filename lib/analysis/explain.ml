@@ -80,6 +80,38 @@ let all =
        exercises it — almost always one of the two orderings is written \
        backwards."
       None;
+    (* ---- commutation / reorder robustness ---------------------------- *)
+    e "race-pair" Finding.Warning
+      "two names race: their relative order decides the verdict"
+      "Some reachable configuration of the monitor automaton reaches \
+       verdict-distinguishable states depending on which of the two \
+       names arrives first; the twin-trace witness is one adjacent \
+       swap apart and flips the verdict on replay.  Hosting such a \
+       checker behind any out-of-order ingress (even one that only \
+       reorders timestamp ties) can silently change its verdict, so \
+       its lateness-robustness bound is 0."
+      (Some "req < ack <<! done");
+    e "jitter-fragile" Finding.Warning
+      "the deadline verdict is a timestamp race"
+      "Every name pair of the pattern commutes, but a reachable armed \
+       configuration exists and the deadline is satisfiable, so \
+       displacing timestamps within a reorder window can move the \
+       measured premise-to-conclusion span across the deadline.  The \
+       certified lateness bound is the largest window that provably \
+       cannot (0 when the deadline is live; (m - d - 1) / 2 when the \
+       deadline d is below the conclusion's minimal event count m, \
+       because the verdict is then pinned to FAIL until the drift 2K \
+       bridges the gap)."
+      None;
+    e "reorder-unsafe" Finding.Error
+      "hosted reorder window exceeds the certified lateness bound"
+      "The serving configuration admits K-bounded arrival jitter, but \
+       the suite's verdicts are only certified invariant up to a \
+       smaller bound: some reordering the ingress absorbs silently \
+       could flip a verdict, so the streamed verdicts cannot be \
+       trusted at this window size.  Lower --lateness, fix the racy \
+       entries, or accept the risk by dropping --strict-reorder."
+      None;
     e "analysis-budget" Finding.Info "state budget exhausted"
       "The abstract state space exceeded the exploration budget; \
        existential results (witnesses found before the cut-off) are \
@@ -135,6 +167,6 @@ let pp ppf x =
           let fs =
             List.filter
               (fun (f : Finding.t) -> String.equal f.code x.code)
-              (Checks.findings p)
+              (Checks.findings p @ Robust.race_findings [ ("example", p) ])
           in
           List.iter (fun f -> Format.fprintf ppf "@\n  %a" Finding.pp f) fs)

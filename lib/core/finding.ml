@@ -41,6 +41,29 @@ let exit_code fs =
 let suppress codes fs =
   List.filter (fun f -> not (List.mem f.code codes)) fs
 
+let load_suppress_file path =
+  match open_in path with
+  | exception Sys_error e -> Stdlib.Error e
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let codes = ref [] in
+          (try
+             while true do
+               let line = input_line ic in
+               let line =
+                 match String.index_opt line '#' with
+                 | Some i -> String.sub line 0 i
+                 | None -> line
+               in
+               match String.trim line with
+               | "" -> ()
+               | code -> codes := code :: !codes
+             done
+           with End_of_file -> ());
+          Stdlib.Ok (List.rev !codes))
+
 (* ---- text ------------------------------------------------------------- *)
 
 let pp ppf f =

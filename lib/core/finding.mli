@@ -55,6 +55,10 @@ val suppress : string list -> t list -> t list
 (** Drop findings whose code is listed (they affect neither output nor
     {!exit_code}). *)
 
+val load_suppress_file : string -> (string list, string) result
+(** Read a suppression list from a file: one code per line, [#] starts
+    a comment, blank lines are ignored.  The error is the I/O message. *)
+
 (** {1 Renderers} *)
 
 type format = Text | Json | Sarif

@@ -113,6 +113,43 @@ let finish_input state ~push =
           feed_csv { partial = data; lineno = 0 } "\n" ~push
         end
 
+(* Consult the suite's lateness-robustness certificate before any event
+   flows.  Skipped entirely on the default in-order path (lateness 0,
+   no --strict-reorder) so plain serving pays nothing; otherwise a
+   [reorder-certificate] record states what the configured window is
+   certified for, and under strict mode an uncertified window refuses
+   to start. *)
+let reorder_gate ~strict_reorder ~out session =
+  let lateness = Session.lateness session in
+  if lateness = 0 && not strict_reorder then Ok ()
+  else begin
+    let cert = Session.reorder_certificate session in
+    let robust =
+      Loseq_analysis.Robust.(compare_bound cert.bound (Finite lateness) >= 0)
+    in
+    emit_record out
+      (Json.Obj
+         [
+           ("type", Json.String "reorder-certificate");
+           ("lateness", Json.Int lateness);
+           ( "certified",
+             Json.String
+               (Loseq_analysis.Robust.bound_to_string
+                  cert.Loseq_analysis.Robust.bound) );
+           ("decided", Json.Bool cert.Loseq_analysis.Robust.decided);
+           ("robust", Json.Bool robust);
+         ]);
+    if robust || not strict_reorder then Ok ()
+    else
+      Error
+        (Printf.sprintf
+           "suite certified for lateness <= %s but hosted with lateness \
+            %d; refusing under --strict-reorder"
+           (Loseq_analysis.Robust.bound_to_string
+              cert.Loseq_analysis.Robust.bound)
+           lateness)
+  end
+
 (* ---- the serve loop ---------------------------------------------------- *)
 
 let open_input = function
@@ -127,8 +164,8 @@ let open_input = function
       (conn, Some (fun () -> Unix.close conn; if Sys.file_exists path then Sys.remove path))
 
 let serve ?backend ?(lateness = 0) ?(window = 1024) ?checkpoint
-    ?(checkpoint_every = 0) ?(resume = false) ?final_time
-    ?(out = stdout) ~input suite =
+    ?(checkpoint_every = 0) ?(resume = false) ?(strict_reorder = false)
+    ?final_time ?(out = stdout) ~input suite =
   let error msg =
     emit_record out
       (Json.Obj [ ("type", Json.String "error"); ("message", Json.String msg) ]);
@@ -153,6 +190,9 @@ let serve ?backend ?(lateness = 0) ?(window = 1024) ?checkpoint
   match session_result with
   | Error msg -> error msg
   | Ok session -> (
+      match reorder_gate ~strict_reorder ~out session with
+      | Error msg -> error msg
+      | Ok () -> (
       let skip = Session.position session in
       Session.on_violation session (fun ~name v ->
           emit_record out (violation_record ~name v));
@@ -256,7 +296,7 @@ let serve ?backend ?(lateness = 0) ?(window = 1024) ?checkpoint
                  ("dropped_late", Json.Int stats.dropped_late);
                  ("forced", Json.Int stats.forced);
                ]);
-          if passed then 0 else 1)
+          if passed then 0 else 1))
 
 (* ---- the producer side ------------------------------------------------- *)
 

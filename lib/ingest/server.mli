@@ -19,10 +19,19 @@
       "passed":.., "verdict":..}] per property and a closing
       [{"type":"summary", "passed":.., ...}] with the session
       statistics;
-    - [{"type":"error", "message":..}] on malformed input.
+    - [{"type":"error", "message":..}] on malformed input;
+    - [{"type":"reorder-certificate", "lateness":.., "certified":..,
+      "decided":.., "robust":..}] once at startup when the session
+      reorders ([lateness > 0]) or [strict_reorder] is set: the suite's
+      lateness-robustness bound ({!Session.reorder_certificate})
+      against the configured window.  [robust:false] means some
+      reordering the buffer silently absorbs could flip a verdict;
+      under [strict_reorder] the server then refuses to start (exit
+      [2]).
 
     Exit codes: [0] all properties passed (or interrupted), [1] some
-    property failed, [2] input/setup error. *)
+    property failed, [2] input/setup error (including a strict-reorder
+    refusal). *)
 
 open Loseq_verif
 
@@ -33,6 +42,7 @@ val serve :
   ?checkpoint:string ->
   ?checkpoint_every:int ->
   ?resume:bool ->
+  ?strict_reorder:bool ->
   ?final_time:int ->
   ?out:out_channel ->
   input:[ `Stdin | `Socket of string ] ->

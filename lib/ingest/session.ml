@@ -134,3 +134,14 @@ let restore_counters (t : t) ~accepted ~delivered ~forced =
   t.accepted <- accepted;
   t.delivered <- delivered;
   t.forced <- forced
+
+let reorder_certificate ?(budget = 20_000) t =
+  Loseq_analysis.Robust.certificate ~budget
+    (List.map
+       (fun (e : Suite.entry) -> (e.label, e.pattern))
+       (suite t))
+
+let reorder_robust ?budget t =
+  let cert = reorder_certificate ?budget t in
+  Loseq_analysis.Robust.(
+    compare_bound cert.bound (Finite (lateness t)) >= 0)

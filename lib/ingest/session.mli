@@ -84,6 +84,21 @@ val report : t -> Report.t
 
 val all_passed : t -> bool
 
+val reorder_certificate :
+  ?budget:int -> t -> Loseq_analysis.Robust.certificate
+(** The hosted suite's lateness-robustness certificate
+    ({!Loseq_analysis.Robust}): the maximal reorder window that
+    provably cannot flip any verdict.  [budget] bounds the per-pattern
+    state exploration (default [20000] — deliberately below the
+    analyzer's default so that consulting the certificate at session
+    startup stays cheap; an undecided entry certifies [Finite 0]
+    conservatively). *)
+
+val reorder_robust : ?budget:int -> t -> bool
+(** The session's configured [lateness] is within the certified bound:
+    every reordering the {!Reorder} stage can silently absorb is
+    verdict-invariant. *)
+
 (** {1 Checkpoint plumbing} (used by {!Checkpoint}) *)
 
 val suite : t -> Suite.t

@@ -6,6 +6,10 @@
 #                           --resume with a full replay yields verdicts
 #                           identical to the uninterrupted streaming run
 #   4. throughput artifact: bench ingest section writes BENCH_ingest.json
+#   5. strict reorder:      --strict-reorder refuses (exit 2) a lateness
+#                           window larger than the suite's certified
+#                           lateness-robustness bound, and still serves
+#                           at a certified window
 #
 # Run from the repository root:  scripts/ci_ingest.sh
 set -euo pipefail
@@ -80,5 +84,24 @@ dune exec --no-build bench/main.exe -- ingest
 test -s BENCH_ingest.json
 grep -q '"within_2x": *true' BENCH_ingest.json
 echo "BENCH_ingest.json written, within the 2x bound"
+
+echo "== 5. strict reorder gate =="
+# ipu.suite certifies lateness 0, so hosting it with --lateness 64
+# under --strict-reorder must refuse before reading any event ...
+strict_status=0
+$LOSEQ serve --suite "$SUITE" --strict-reorder --lateness 64 \
+  < "$WORK/ipu.lsqb" > "$WORK/strict.ndjson" || strict_status=$?
+test "$strict_status" -eq 2
+grep -q '"type": *"reorder-certificate"' "$WORK/strict.ndjson"
+grep -q '"robust": *false' "$WORK/strict.ndjson"
+grep -q 'refusing under --strict-reorder' "$WORK/strict.ndjson"
+# ... while a certified window (in-order hosting) serves normally and
+# decides exactly what the unrestricted streaming run decided
+ok_status=0
+$LOSEQ serve --suite "$SUITE" --strict-reorder \
+  < "$WORK/ipu.lsqb" > "$WORK/strict_ok.ndjson" || ok_status=$?
+test "$ok_status" -eq "$stream_status"
+grep -q '"robust": *true' "$WORK/strict_ok.ndjson"
+echo "strict-reorder refuses lateness 64 (exit 2), serves at lateness 0"
 
 echo "ingest gate: all checks passed"

@@ -1,0 +1,317 @@
+(* Commutation analysis and lateness-robustness certificates:
+   deterministic pins on the committed example suites (including the
+   twin-trace CSVs), replay of every racy-pair witness through both the
+   direct and compiled backends, qcheck swap-invariance of
+   commuting-declared pairs, and completeness of the Explain
+   registry. *)
+
+open Loseq_core
+open Loseq_analysis
+open Loseq_testutil
+
+let load path =
+  match Loseq_verif.Suite.load path with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "%a" Loseq_verif.Suite.pp_error e
+
+(* Locate a committed example whether the binary runs from the
+   workspace root (dune exec) or the test directory (dune runtest). *)
+let example dir name =
+  let candidates =
+    [
+      Filename.concat ("examples/" ^ dir) name;
+      Filename.concat ("../examples/" ^ dir) name;
+      Filename.concat ("../../examples/" ^ dir) name;
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> path
+  | None -> List.hd candidates
+
+let racy = example "specs" "racy.suite"
+let ipu = example "specs" "ipu.suite"
+
+let labeled path =
+  List.map
+    (fun (e : Loseq_verif.Suite.entry) -> (e.label, e.pattern))
+    (load path)
+
+(* Run one pattern over a witness trace on a given backend, finalizing
+   at the instant the twin traces are decided at. *)
+let passes_via (factory : Backend.factory) ?final_time p tr =
+  let b = factory p in
+  List.iter (fun e -> ignore (b.Backend.step e)) tr;
+  let now =
+    match final_time with Some t -> t | None -> Trace.end_time tr
+  in
+  Backend.passed (b.Backend.finalize ~now)
+
+let backends =
+  [ ("compiled", Backend.compiled); ("direct", fun p -> Backend.direct p) ]
+
+let name_strings (a, b) =
+  List.sort compare [ Name.to_string a; Name.to_string b ]
+
+(* ---- the committed racy suite ---------------------------------------- *)
+
+let test_racy_certificate () =
+  let cert = Robust.certificate (labeled racy) in
+  Alcotest.(check bool) "suite bound is 0" true (cert.bound = Robust.Finite 0);
+  Alcotest.(check bool) "certificate decided" true cert.decided;
+  let entry l =
+    List.find (fun (e : Robust.entry) -> String.equal e.label l) cert.entries
+  in
+  let handshake = entry "handshake" in
+  Alcotest.(check bool) "handshake has races" true (handshake.races <> []);
+  Alcotest.(check bool)
+    "handshake req/ack is racy" true
+    (List.exists
+       (fun (r : Commute.race) ->
+         name_strings (r.a, r.b) = [ "ack"; "req" ])
+       handshake.races);
+  let commit = entry "commit_guard" in
+  Alcotest.(check bool)
+    "cfg_addr/cfg_size commute" true
+    (List.exists
+       (fun pair -> name_strings pair = [ "cfg_addr"; "cfg_size" ])
+       commit.commuting);
+  Alcotest.(check bool) "commit_guard still racy" true (commit.races <> []);
+  let irq = entry "irq_window" in
+  Alcotest.(check bool) "irq_window is time-fragile" true irq.time_fragile;
+  Alcotest.(check bool)
+    "irq_window time bound 0" true
+    (irq.time_bound = Robust.Finite 0)
+
+let test_racy_findings () =
+  let fs = Robust.race_findings (labeled racy) in
+  let codes = List.map (fun (f : Finding.t) -> f.code) fs in
+  Alcotest.(check bool) "race-pair emitted" true (List.mem "race-pair" codes);
+  Alcotest.(check bool)
+    "jitter-fragile emitted" true
+    (List.mem "jitter-fragile" codes);
+  List.iter
+    (fun (f : Finding.t) ->
+      if String.equal f.code "race-pair" then
+        Alcotest.(check bool) "race-pair carries a witness" true
+          (f.witness <> None))
+    fs;
+  (* an oversized hosting window turns into errors *)
+  let unsafe =
+    Robust.findings ~lateness:1 (Robust.certificate (labeled racy))
+  in
+  Alcotest.(check int) "reorder-unsafe is an error" 2 (Finding.exit_code unsafe)
+
+let test_ipu_certificate () =
+  let cert = Robust.certificate ~budget:20_000 (labeled ipu) in
+  Alcotest.(check bool) "ipu bound is 0" true (cert.bound = Robust.Finite 0)
+
+(* The committed twin CSV pair: identical except for one adjacent
+   req/ack swap, and the suite verdict flips. *)
+let test_twin_traces () =
+  let suite = load racy in
+  let trace name =
+    match Trace_io.load_csv (example "traces" name) with
+    | Ok t -> t
+    | Error e -> Alcotest.failf "%s: %s" name e
+  in
+  let ok = trace "racy_ok.csv" and swapped = trace "racy_swapped.csv" in
+  Alcotest.(check int) "same length" (Trace.length ok) (Trace.length swapped);
+  let verdict tr = Loseq_verif.Suite.check_trace suite tr in
+  let passed label tr =
+    match List.assoc_opt label (verdict tr) with
+    | Some b -> b
+    | None -> Alcotest.failf "no verdict for %s" label
+  in
+  Alcotest.(check bool) "handshake passes in-order" true
+    (passed "handshake" ok);
+  Alcotest.(check bool) "handshake fails swapped" false
+    (passed "handshake" swapped);
+  Alcotest.(check bool) "commit_guard unaffected" true
+    (passed "commit_guard" ok && passed "commit_guard" swapped)
+
+(* ---- witness replay through both backends ---------------------------- *)
+
+let check_races_diverge label p =
+  let r = Commute.analyze p in
+  let ft = Commute.final_time_for p in
+  List.iter
+    (fun (race : Commute.race) ->
+      List.iter
+        (fun (bname, factory) ->
+          let ab = passes_via factory ?final_time:ft p race.trace_ab in
+          let ba = passes_via factory ?final_time:ft p race.trace_ba in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: ab verdict matches" label bname)
+            race.ab_passes ab;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: twins diverge" label bname)
+            (not race.ab_passes) ba)
+        backends)
+    r.races
+
+let test_witnesses_diverge () =
+  List.iter (fun (label, p) -> check_races_diverge label p) (labeled racy)
+
+(* ---- qcheck ----------------------------------------------------------- *)
+
+(* Traces with frequent timestamp ties, so that the tie-swap half of the
+   robustness claim is actually exercised on timed patterns. *)
+let gen_pattern_and_tie_trace =
+  QCheck2.Gen.(
+    let* p = gen_pattern in
+    let* word = gen_alpha_word p in
+    let* gaps = list_size (return (List.length word)) (int_range 0 1) in
+    let time = ref 0 in
+    let trace =
+      List.map2
+        (fun n gap ->
+          time := !time + gap;
+          { Trace.name = n; time = !time })
+        word gaps
+    in
+    return (p, trace))
+
+let print_pattern_and_tie_trace (p, trace) =
+  Format.asprintf "@[<v>pattern: %a@,trace: %s@]" Pattern.pp p
+    (Trace.to_string trace)
+
+let swap_at i tr =
+  let arr = Array.of_list tr in
+  let a = arr.(i) and b = arr.(i + 1) in
+  arr.(i) <- { a with Trace.name = b.Trace.name };
+  arr.(i + 1) <- { b with Trace.name = a.Trace.name };
+  Array.to_list arr
+
+(* (a) pairs the analysis declares commuting never flip the concrete
+   verdict under an adjacent swap — for untimed patterns at any
+   timestamp gap, for timed patterns when the two events are stamped
+   identically (the certificate's tie-swap envelope; a larger gap moves
+   deadline arithmetic, which is [time_bound]'s business, not
+   commutation's). *)
+let test_commuting_swaps =
+  qtest ~count:150 "commuting pairs are swap-invariant"
+    gen_pattern_and_tie_trace print_pattern_and_tie_trace (fun (p, trace) ->
+      let r = Commute.analyze ~budget:10_000 p in
+      let commuting x y =
+        List.exists
+          (fun (a, b) ->
+            (Name.equal a x && Name.equal b y)
+            || (Name.equal a y && Name.equal b x))
+          r.commuting
+      in
+      let deadline_slack =
+        match p with
+        | Pattern.Timed t -> t.Pattern.deadline + 1
+        | Pattern.Antecedent _ -> 1
+      in
+      let arr = Array.of_list trace in
+      let ok = ref true in
+      for i = 0 to Array.length arr - 2 do
+        let a = arr.(i) and b = arr.(i + 1) in
+        let tie_ok =
+          match p with
+          | Pattern.Antecedent _ -> true
+          | Pattern.Timed _ -> a.Trace.time = b.Trace.time
+        in
+        if
+          tie_ok
+          && (not (Name.equal a.Trace.name b.Trace.name))
+          && commuting a.Trace.name b.Trace.name
+        then begin
+          let swapped = swap_at i trace in
+          List.iter
+            (fun final_time ->
+              let v tr = Compiled.accepts ?final_time p tr in
+              if v trace <> v swapped then ok := false)
+            [ None; Some (Trace.end_time trace + deadline_slack) ]
+        end
+      done;
+      !ok)
+
+(* (b) every emitted racy-pair witness diverges when replayed through
+   both backends (check_races_diverge alcotest-fails otherwise, and the
+   analyzer itself raises on twins that agree). *)
+let test_random_witnesses =
+  qtest ~count:150 "racy witnesses diverge on both backends" gen_pattern
+    (Format.asprintf "%a" Pattern.pp) (fun p ->
+      check_races_diverge "random" p;
+      true)
+
+(* ---- Explain completeness -------------------------------------------- *)
+
+(* Every finding code any checker in the code base can emit.  Keep in
+   sync with the emission sites in Checks, Suite_checks, Robust and
+   Lint — the dynamic half below catches codes this list misses only if
+   the committed suites happen to trigger them. *)
+let all_emittable =
+  [
+    "violation-unsat";
+    "vacuous-unviolatable";
+    "match-unsat";
+    "dead-name";
+    "deadline-infeasible";
+    "deadline-tight";
+    "subsumed-checker";
+    "equivalent-checkers";
+    "conflicting-pair";
+    "race-pair";
+    "jitter-fragile";
+    "reorder-unsafe";
+    "analysis-budget";
+    "singleton-disjunction";
+    "zero-deadline";
+    "tight-deadline";
+    "wide-range";
+    "huge-counter";
+    "state-space";
+    "unbounded-trigger";
+  ]
+
+let test_explain_complete () =
+  List.iter
+    (fun code ->
+      Alcotest.(check bool)
+        (code ^ " has an Explain entry")
+        true
+        (Explain.find code <> None))
+    all_emittable;
+  (* dynamic half: whatever actually fires on the committed suites *)
+  let items path =
+    List.map
+      (fun (e : Loseq_verif.Suite.entry) ->
+        Analysis.item ~file:path ~line:e.line e.label e.pattern)
+      (load path)
+  in
+  let fs =
+    Analysis.analyze (items racy @ items (example "specs" "defective.suite"))
+    @ Robust.findings ~lateness:1024 (Robust.certificate (labeled racy))
+  in
+  List.iter
+    (fun (f : Finding.t) ->
+      Alcotest.(check bool)
+        (f.code ^ " emitted and explained")
+        true
+        (Explain.find f.code <> None))
+    fs
+
+let () =
+  Alcotest.run "robust"
+    [
+      ( "certificate",
+        [
+          Alcotest.test_case "racy.suite certificate" `Quick
+            test_racy_certificate;
+          Alcotest.test_case "racy.suite findings" `Quick test_racy_findings;
+          Alcotest.test_case "ipu.suite certificate" `Quick
+            test_ipu_certificate;
+          Alcotest.test_case "twin trace CSVs" `Quick test_twin_traces;
+        ] );
+      ( "witnesses",
+        [
+          Alcotest.test_case "committed suites diverge" `Quick
+            test_witnesses_diverge;
+          test_random_witnesses;
+        ] );
+      ("commutation", [ test_commuting_swaps ]);
+      ("explain", [ Alcotest.test_case "completeness" `Quick test_explain_complete ]);
+    ]
