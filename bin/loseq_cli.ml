@@ -1,7 +1,7 @@
 (* loseq — command-line front end.
 
    Subcommands: check, psl, cost, gen, dfa, lint, analyze, suite, soc,
-   serve, convert, feed.  Run `loseq_cli --help`. *)
+   serve, convert, feed, stats.  Run `loseq_cli --help`. *)
 
 open Loseq_core
 
@@ -43,6 +43,34 @@ let factory_of = function
   | `Compiled -> Backend.compiled
   | `Psl -> Loseq_psl.Progress.backend
 
+(* ---- telemetry (--stats) ---------------------------------------------- *)
+
+module Obs = Loseq_obs.Metrics
+
+let stats_arg =
+  Cmdliner.Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Collect runtime telemetry (monitor steps, dispatches, \
+           verdict transitions) and print the counters to stderr when \
+           done.")
+
+(* The batch commands share one policy: a live registry when --stats
+   was given, the noop sink otherwise, a human-readable dump at the
+   end.  [f] gets the registry and returns the exit code. *)
+let with_stats enabled f =
+  let metrics = if enabled then Obs.create () else Obs.noop in
+  let code = f metrics in
+  if enabled then Format.eprintf "%a" Loseq_obs.Expo.pp_human metrics;
+  code
+
+(* Instrument every backend the factory builds (hosted paths thread the
+   registry themselves; the batch paths wrap here). *)
+let instrumented metrics factory =
+  if Obs.is_live metrics then fun p -> Backend.instrument metrics (factory p)
+  else factory
+
 (* ---- check ----------------------------------------------------------- *)
 
 let read_all ic =
@@ -78,7 +106,7 @@ let read_trace = function
       | exception Sys_error msg -> Error msg)
 
 let check_cmd =
-  let run pattern trace_file trace_inline strict final_time backend_kind =
+  let run pattern trace_file trace_inline strict final_time backend_kind stats =
     let trace_result =
       match trace_inline with
       | Some "-" -> read_stdin_sniffed ()
@@ -104,6 +132,10 @@ let check_cmd =
             Format.eprintf "backend error: %s@." msg;
             2
         | Ok b -> (
+            with_stats stats @@ fun metrics ->
+            let b =
+              if Obs.is_live metrics then Backend.instrument metrics b else b
+            in
             let expected = ref Name.Set.empty in
             let update () =
               match b.Backend.acceptable with
@@ -172,7 +204,7 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Run a monitor backend on a trace")
     Term.(
       const run $ pattern_arg $ trace_file $ trace_inline $ strict
-      $ final_time $ backend_kind_arg)
+      $ final_time $ backend_kind_arg $ stats_arg)
 
 (* ---- psl ------------------------------------------------------------- *)
 
@@ -378,7 +410,7 @@ let render_findings format suppressed fs =
   (match (format, fs) with
   | Finding.Text, [] -> Format.printf "no findings@."
   | _ ->
-      Finding.render ~tool_name:"loseq" ~tool_version:"1.0.0"
+      Finding.render ~tool_name:"loseq" ~tool_version:Version.current
         ~rules:Loseq_analysis.Analysis.rules format Format.std_formatter fs);
   Finding.exit_code fs
 
@@ -610,7 +642,7 @@ let analyze_cmd =
 (* ---- suite ----------------------------------------------------------- *)
 
 let suite_cmd =
-  let run file trace_file trace_inline final_time backend_kind =
+  let run file trace_file trace_inline final_time backend_kind stats =
     match Loseq_verif.Suite.load file with
     | Error e ->
         Format.eprintf "%a@." Loseq_verif.Suite.pp_error e;
@@ -627,8 +659,9 @@ let suite_cmd =
             Format.eprintf "trace error: %s@." msg;
             2
         | Ok trace -> (
+            with_stats stats @@ fun metrics ->
             match
-              Loseq_verif.Suite.check_trace
+              Loseq_verif.Suite.check_trace ~metrics
                 ~backend:(factory_of backend_kind) ?final_time suite trace
             with
             | results ->
@@ -676,22 +709,42 @@ let suite_cmd =
     (Cmd.info "suite" ~doc:"Check a property-suite file against a trace")
     Term.(
       const run $ file $ trace_file $ trace_inline $ final_time
-      $ backend_kind_arg)
+      $ backend_kind_arg $ stats_arg)
 
-(* ---- serve / convert / feed (live ingestion) -------------------------- *)
+(* ---- serve / convert / feed / stats (live ingestion) ------------------ *)
+
+let parse_addr flag s =
+  match String.rindex_opt s ':' with
+  | None ->
+      Error (Printf.sprintf "%s %S: expected HOST:PORT" flag s)
+  | Some i -> (
+      let host = String.sub s 0 i
+      and port = String.sub s (i + 1) (String.length s - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p >= 0 && p < 65536 ->
+          Ok ((if host = "" then "127.0.0.1" else host), p)
+      | _ -> Error (Printf.sprintf "%s %S: invalid port" flag s))
 
 let serve_cmd =
   let run file socket lateness window checkpoint checkpoint_every resume
-      strict_reorder final_time backend_kind =
-    match Loseq_verif.Suite.load file with
-    | Error e ->
+      strict_reorder final_time backend_kind metrics_addr stats_interval =
+    let addr_result =
+      match metrics_addr with
+      | None -> Ok None
+      | Some s -> Result.map Option.some (parse_addr "--metrics-addr" s)
+    in
+    match (Loseq_verif.Suite.load file, addr_result) with
+    | Error e, _ ->
         Format.eprintf "%a@." Loseq_verif.Suite.pp_error e;
         2
-    | Ok suite ->
+    | _, Error msg ->
+        Format.eprintf "%s@." msg;
+        2
+    | Ok suite, Ok metrics_addr ->
         let input =
           match socket with Some path -> `Socket path | None -> `Stdin
         in
-        Loseq_ingest.Server.serve
+        Loseq_ingest.Server.serve ?metrics_addr ~stats_interval
           ~backend:(factory_of backend_kind)
           ~lateness ~window ?checkpoint ~checkpoint_every ~resume
           ~strict_reorder ?final_time ~input suite
@@ -770,6 +823,26 @@ let serve_cmd =
       & info [ "final-time" ] ~docv:"T"
           ~doc:"Observation end time for the final deadline check.")
   in
+  let metrics_addr =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-addr" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Expose runtime telemetry over HTTP at $(docv): \
+             $(b,GET /metrics) answers Prometheus text format, \
+             $(b,GET /stats.json) the same registry as JSON.  The \
+             endpoint is multiplexed into the serve loop and stays up \
+             after end of stream until SIGTERM.")
+  in
+  let stats_interval =
+    Arg.(
+      value & opt int 0
+      & info [ "stats-interval" ] ~docv:"N"
+          ~doc:
+            "Emit a {\"type\":\"stats\",...} NDJSON record every \
+             $(docv) accepted events (0 disables).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -786,7 +859,7 @@ let serve_cmd =
     Term.(
       const run $ file $ socket $ lateness $ window $ checkpoint
       $ checkpoint_every $ resume $ strict_reorder $ final_time
-      $ backend_kind_arg)
+      $ backend_kind_arg $ metrics_addr $ stats_interval)
 
 let convert_cmd =
   let run input output to_format =
@@ -928,6 +1001,174 @@ let feed_cmd =
           producer for shell pipelines)")
     Term.(const run $ socket $ input)
 
+(* ---- stats ------------------------------------------------------------ *)
+
+(* A curl-free client for the serve metrics endpoint: one GET with
+   [Connection: close], read to EOF, split status from body. *)
+let http_get ~host ~port ~path =
+  let addr_result =
+    match Unix.inet_addr_of_string host with
+    | a -> Ok a
+    | exception Failure _ -> (
+        match Unix.gethostbyname host with
+        | exception Not_found -> Error (Printf.sprintf "unknown host %S" host)
+        | { Unix.h_addr_list = [||]; _ } ->
+            Error (Printf.sprintf "unknown host %S" host)
+        | h -> Ok h.Unix.h_addr_list.(0))
+  in
+  match addr_result with
+  | Error _ as e -> e
+  | Ok addr -> (
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+      @@ fun () ->
+      match
+        Unix.connect sock (Unix.ADDR_INET (addr, port));
+        let request =
+          Printf.sprintf
+            "GET %s HTTP/1.1\r\nHost: %s\r\nConnection: close\r\n\r\n" path
+            host
+        in
+        let rec send off =
+          if off < String.length request then
+            send
+              (off
+              + Unix.write_substring sock request off
+                  (String.length request - off))
+        in
+        send 0;
+        let buf = Bytes.create 65536 and data = Buffer.create 4096 in
+        let rec recv () =
+          match Unix.read sock buf 0 (Bytes.length buf) with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes data buf 0 n;
+              recv ()
+        in
+        recv ();
+        Buffer.contents data
+      with
+      | exception Unix.Unix_error (e, fn, _) ->
+          Error (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+      | response -> (
+          let header_end =
+            let n = String.length response in
+            let rec at i =
+              if i + 4 > n then None
+              else if String.sub response i 4 = "\r\n\r\n" then Some i
+              else at (i + 1)
+            in
+            at 0
+          in
+          match header_end with
+          | None -> Error "malformed HTTP response"
+          | Some i -> (
+              let status_line =
+                match String.index_opt response '\r' with
+                | Some j -> String.sub response 0 j
+                | None -> response
+              in
+              let body =
+                String.sub response (i + 4) (String.length response - i - 4)
+              in
+              match String.split_on_char ' ' status_line with
+              | _ :: "200" :: _ -> Ok body
+              | _ -> Error (Printf.sprintf "server answered %S" status_line))))
+
+let pp_stats_body ppf json =
+  let metrics =
+    Option.value ~default:[]
+      (Option.bind (Json.member "metrics" json) Json.to_list_opt)
+  in
+  List.iter
+    (fun m ->
+      let str k = Option.bind (Json.member k m) Json.to_string_opt in
+      let int k =
+        match Json.member k m with Some (Json.Int n) -> Some n | _ -> None
+      in
+      let name = Option.value ~default:"?" (str "name") in
+      let labels =
+        match Json.member "labels" m with
+        | Some (Json.Obj ((_ :: _) as kvs)) ->
+            "{"
+            ^ String.concat ","
+                (List.map
+                   (fun (k, v) ->
+                     Printf.sprintf "%s=%s" k
+                       (Option.value ~default:"?" (Json.to_string_opt v)))
+                   kvs)
+            ^ "}"
+        | _ -> ""
+      in
+      let cell = name ^ labels in
+      match str "type" with
+      | Some "histogram" ->
+          Format.fprintf ppf "%-44s count=%d sum=%d@." cell
+            (Option.value ~default:0 (int "count"))
+            (Option.value ~default:0 (int "sum"))
+      | _ ->
+          Format.fprintf ppf "%-44s %d@." cell
+            (Option.value ~default:0 (int "value")))
+    metrics
+
+let stats_cmd =
+  let run addr prometheus raw =
+    match parse_addr "--addr" addr with
+    | Error msg ->
+        Format.eprintf "stats: %s@." msg;
+        2
+    | Ok (host, port) -> (
+        let path = if prometheus then "/metrics" else "/stats.json" in
+        match http_get ~host ~port ~path with
+        | Error msg ->
+            Format.eprintf "stats: %s@." msg;
+            2
+        | Ok body -> (
+            if prometheus || raw then begin
+              print_string body;
+              if body = "" || body.[String.length body - 1] <> '\n' then
+                print_newline ();
+              0
+            end
+            else
+              match Json.of_string body with
+              | Error msg ->
+                  Format.eprintf "stats: bad /stats.json payload: %s@." msg;
+                  2
+              | Ok json ->
+                  Format.printf "%a" pp_stats_body json;
+                  0))
+  in
+  let open Cmdliner in
+  let addr =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "addr" ] ~docv:"HOST:PORT"
+          ~doc:
+            "Metrics endpoint of a running $(b,loseq serve \
+             --metrics-addr).")
+  in
+  let prometheus =
+    Arg.(
+      value & flag
+      & info [ "prometheus" ]
+          ~doc:"Fetch and print the raw Prometheus text (/metrics).")
+  in
+  let raw =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print the raw /stats.json payload instead of a table.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Query a live serve's metrics endpoint and print the counters \
+          (a curl-free /stats.json client)")
+    Term.(const run $ addr $ prometheus $ raw)
+
 (* ---- dfa ------------------------------------------------------------- *)
 
 let dfa_cmd =
@@ -964,7 +1205,7 @@ let dfa_cmd =
 (* ---- soc ------------------------------------------------------------- *)
 
 let soc_cmd =
-  let run presses bug slow_ipu seed verbose vcd csv backend_kind =
+  let run presses bug slow_ipu seed verbose vcd csv backend_kind stats =
     let open Loseq_platform in
     let cpu_bug =
       match bug with
@@ -979,10 +1220,13 @@ let soc_cmd =
     let config =
       { Soc.default_config with presses; cpu_bug; slow_ipu; seed }
     in
+    with_stats stats @@ fun metrics ->
     let soc = Soc.create ~config () in
     let report =
       match
-        Soc.attach_standard_checkers ~backend:(factory_of backend_kind) soc
+        Soc.attach_standard_checkers
+          ~backend:(instrumented metrics (factory_of backend_kind))
+          soc
       with
       | report -> report
       | exception Invalid_argument msg ->
@@ -1052,12 +1296,12 @@ let soc_cmd =
        ~doc:"Simulate the access-control platform with monitors attached")
     Term.(
       const run $ presses $ bug $ slow_ipu $ seed $ verbose $ vcd $ csv
-      $ backend_kind_arg)
+      $ backend_kind_arg $ stats_arg)
 
 let () =
   let open Cmdliner in
   let info =
-    Cmd.info "loseq_cli" ~version:"1.0.0"
+    Cmd.info "loseq_cli" ~version:Version.current
       ~doc:"Loose-ordering property monitoring for SystemC/TLM-style models"
   in
   exit
@@ -1065,4 +1309,4 @@ let () =
        (Cmd.group info
           [ check_cmd; psl_cmd; cost_cmd; gen_cmd; dfa_cmd; lint_cmd;
             analyze_cmd; suite_cmd; soc_cmd; serve_cmd; convert_cmd;
-            feed_cmd ]))
+            feed_cmd; stats_cmd ]))

@@ -146,6 +146,31 @@ let pack (module B : MONITOR_BACKEND) pattern =
     ~reset:(fun () -> B.reset s)
     ()
 
+(* ---- telemetry --------------------------------------------------------- *)
+
+(* One steps counter per backend flavor, shared across every instrumented
+   backend with the same label on the same registry (Metrics deduplicates
+   by (name, labels)).  The wrapped [step]/[prepare] keep the original
+   closures — the bump is an int store in front of them. *)
+let instrument metrics b =
+  let steps =
+    Loseq_obs.Metrics.counter metrics ~name:"loseq_backend_steps_total"
+      ~help:"Monitor steps executed, by backend flavor"
+      ~labels:[ ("backend", b.label) ]
+      ()
+  in
+  let step e =
+    Loseq_obs.Metrics.incr steps;
+    b.step e
+  in
+  let prepare name =
+    let f = b.prepare name in
+    fun time ->
+      Loseq_obs.Metrics.incr steps;
+      f time
+  in
+  { b with step; prepare }
+
 (* ---- helpers ----------------------------------------------------------- *)
 
 let passed = function Running | Satisfied -> true | Violated _ -> false

@@ -141,6 +141,14 @@ end
 
 val pack : (module MONITOR_BACKEND) -> factory
 
+(** {1 Telemetry} *)
+
+val instrument : Loseq_obs.Metrics.t -> t -> t
+(** The same backend with its [step]/[prepare] paths counting into
+    [loseq_backend_steps_total{backend=label}] on the given registry.
+    Hosts apply this only when handed a live sink — an uninstrumented
+    backend stays closure-for-closure what the factory built. *)
+
 (** {1 Helpers} *)
 
 val passed : verdict -> bool

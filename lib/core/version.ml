@@ -1,0 +1,1 @@
+let current = "1.4.0"

@@ -1,0 +1,7 @@
+(** The library version, in one place.
+
+    Must match the top entry of [CHANGELOG.md] (a test pins this); the
+    CLI's [--version] and the SARIF [tool.driver.version] both read
+    it. *)
+
+val current : string

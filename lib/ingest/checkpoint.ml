@@ -335,14 +335,14 @@ let position json =
   | n -> Ok n
   | exception Bad msg -> Error msg
 
-let resume ?backend ~path suite =
+let resume ?metrics ?backend ~path suite =
   match load ~path with
   | Error _ as err -> err
   | Ok json -> (
       match
         let lateness = int_exn "lateness" json
         and window = int_exn "window" json in
-        Session.create ?backend ~lateness ~window suite
+        Session.create ?metrics ?backend ~lateness ~window suite
       with
       | exception Bad msg -> Error msg
       | session -> (

@@ -42,9 +42,11 @@ val position : Json.t -> (int, string) result
     skipping consumer) must not re-deliver. *)
 
 val resume :
+  ?metrics:Loseq_obs.Metrics.t ->
   ?backend:Backend.factory ->
   path:string ->
   Loseq_verif.Suite.t ->
   (Session.t, string) result
-(** [load], create a session with the checkpoint's lateness/window,
+(** [load], create a session with the checkpoint's lateness/window
+    (and, like {!Session.create}, an optional live [metrics] sink),
     [restore]. *)

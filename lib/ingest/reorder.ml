@@ -5,6 +5,17 @@ open Loseq_core
 
 type item = { time : int; seq : int; event : Trace.event }
 
+module Obs = Loseq_obs.Metrics
+
+(* Live-sink instruments; [None] on the default noop path, so an
+   uninstrumented buffer pays one branch per mutation. *)
+type obs = {
+  occupancy : Obs.gauge;
+  lag : Obs.gauge;
+  dropped : Obs.counter;
+  full : Obs.counter;
+}
+
 type t = {
   lateness : int;
   cap : int;
@@ -15,11 +26,33 @@ type t = {
   mutable released : int;  (* last released time, -1 before the first *)
   mutable dropped_late : int;
   mutable reordered : int;
+  obs : obs option;
 }
 
-let create ?(capacity = 1024) ~lateness () =
+let create ?(metrics = Obs.noop) ?(capacity = 1024) ~lateness () =
   if lateness < 0 then invalid_arg "Reorder.create: negative lateness";
   if capacity <= 0 then invalid_arg "Reorder.create: capacity must be positive";
+  let obs =
+    if Obs.is_live metrics then
+      Some
+        {
+          occupancy =
+            Obs.gauge metrics ~name:"loseq_reorder_occupancy"
+              ~help:"Events buffered awaiting their watermark" ();
+          lag =
+            Obs.gauge metrics ~name:"loseq_reorder_watermark_lag"
+              ~help:"Ticks between the furthest seen and the last \
+                     released timestamp" ();
+          dropped =
+            Obs.counter metrics ~name:"loseq_reorder_dropped_late_total"
+              ~help:"Events beyond the lateness bound, discarded" ();
+          full =
+            Obs.counter metrics ~name:"loseq_reorder_full_total"
+              ~help:"Pushes refused because the window was full \
+                     (backpressure hits)" ();
+        }
+    else None
+  in
   {
     lateness;
     cap = capacity;
@@ -30,7 +63,17 @@ let create ?(capacity = 1024) ~lateness () =
     released = -1;
     dropped_late = 0;
     reordered = 0;
+    obs;
   }
+
+(* Refresh the gauges after any mutation of len/max_seen/released. *)
+let sync_obs t =
+  match t.obs with
+  | None -> ()
+  | Some o ->
+      Obs.set o.occupancy t.len;
+      Obs.set o.lag
+        (if t.max_seen < 0 then 0 else max 0 (t.max_seen - max t.released 0))
 
 let lateness t = t.lateness
 let capacity t = t.cap
@@ -94,20 +137,26 @@ type push_result = [ `Queued | `Dropped_late | `Full ]
 let push t (e : Trace.event) : push_result =
   if e.time < floor t then begin
     t.dropped_late <- t.dropped_late + 1;
+    (match t.obs with Some o -> Obs.incr o.dropped | None -> ());
     `Dropped_late
   end
-  else if t.len >= t.cap then `Full
+  else if t.len >= t.cap then begin
+    (match t.obs with Some o -> Obs.incr o.full | None -> ());
+    `Full
+  end
   else begin
     if t.max_seen >= 0 && e.time < t.max_seen then
       t.reordered <- t.reordered + 1;
     if e.time > t.max_seen then t.max_seen <- e.time;
     t.seq <- t.seq + 1;
     heap_push t { time = e.time; seq = t.seq; event = e };
+    sync_obs t;
     `Queued
   end
 
 let release t item =
   t.released <- max t.released item.time;
+  sync_obs t;
   item.event
 
 let drain t ~emit =
@@ -145,7 +194,23 @@ let flush t ~emit =
 
 let note_delivered t time =
   if time > t.max_seen then t.max_seen <- time;
-  t.released <- max t.released time
+  t.released <- max t.released time;
+  sync_obs t
+
+type snapshot = {
+  occupancy : int;
+  dropped_late : int;
+  watermark : int;
+  max_seen : int;
+}
+
+let stats (t : t) : snapshot =
+  {
+    occupancy = t.len;
+    dropped_late = t.dropped_late;
+    watermark = (if t.max_seen < 0 then -1 else t.max_seen - t.lateness);
+    max_seen = t.max_seen;
+  }
 
 let pending t =
   let items = Array.to_list (Array.sub t.heap 0 t.len) in
@@ -170,5 +235,6 @@ let restore t ~max_seen ~released ~dropped_late ~reordered events =
         t.seq <- t.seq + 1;
         heap_push t { time = e.time; seq = t.seq; event = e })
       events;
+    sync_obs t;
     Ok ()
   end

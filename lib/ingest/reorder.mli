@@ -21,11 +21,14 @@ open Loseq_core
 
 type t
 
-val create : ?capacity:int -> lateness:int -> unit -> t
+val create :
+  ?metrics:Loseq_obs.Metrics.t -> ?capacity:int -> lateness:int -> unit -> t
 (** [capacity] bounds the number of buffered events (the backpressure
     window; default [1024]); [lateness] is the absorption bound K in
     ticks.  Raises [Invalid_argument] if either is negative or
-    [capacity] is zero. *)
+    [capacity] is zero.  A live [metrics] sink (default noop) maintains
+    [loseq_reorder_occupancy], [loseq_reorder_watermark_lag],
+    [loseq_reorder_dropped_late_total] and [loseq_reorder_full_total]. *)
 
 val lateness : t -> int
 val capacity : t -> int
@@ -67,6 +70,20 @@ val dropped_late : t -> int
 val reordered : t -> int
 (** Events that arrived with a timestamp below [max_seen] but were
     absorbed — how disordered the stream actually was. *)
+
+type snapshot = {
+  occupancy : int;  (** events buffered awaiting their watermark *)
+  dropped_late : int;  (** = {!dropped_late} *)
+  watermark : int;
+      (** [max_seen - lateness] — the instant the stream can no longer
+          contradict; [-1] before the first event *)
+  max_seen : int;  (** = {!max_seen} *)
+}
+
+val stats : t -> snapshot
+(** One consistent snapshot of the buffer's observable state — what the
+    metrics layer exports continuously and [serve]'s shutdown summary
+    reports once. *)
 
 val note_delivered : t -> int -> unit
 (** Record that an event at [time] bypassed the buffer and was

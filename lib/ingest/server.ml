@@ -1,5 +1,6 @@
 open Loseq_core
 open Loseq_verif
+module Obs = Loseq_obs.Metrics
 
 let emit_record out record =
   output_string out (Json.to_string record);
@@ -150,6 +151,144 @@ let reorder_gate ~strict_reorder ~out session =
            lateness)
   end
 
+(* ---- the metrics endpoint ---------------------------------------------- *)
+
+(* A deliberately minimal HTTP/1.1 responder: GET only, one request per
+   connection, [Connection: close].  Enough for a Prometheus scraper or
+   a curl, with no client able to wedge the serve loop (the receive
+   timeout cuts off a stalled request). *)
+
+let http_listen ~host ~port =
+  let addr =
+    if host = "" || host = "*" then Unix.inet_addr_any
+    else
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | exception Not_found ->
+            raise (Input_error (Printf.sprintf "unknown host %S" host))
+        | { Unix.h_addr_list = [||]; _ } ->
+            raise (Input_error (Printf.sprintf "unknown host %S" host))
+        | h -> h.Unix.h_addr_list.(0))
+  in
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (Unix.ADDR_INET (addr, port));
+  Unix.listen sock 16;
+  sock
+
+let contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  at 0
+
+let http_respond conn ~status ~content_type body =
+  let response =
+    Printf.sprintf
+      "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+       Connection: close\r\n\r\n%s"
+      status content_type (String.length body) body
+  in
+  let rec write off remaining =
+    if remaining > 0 then begin
+      let w = Unix.write_substring conn response off remaining in
+      write (off + w) (remaining - w)
+    end
+  in
+  write 0 (String.length response)
+
+let http_serve_one listener metrics =
+  let conn, _ = Unix.accept listener in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  Unix.setsockopt_float conn Unix.SO_RCVTIMEO 2.0;
+  let buf = Bytes.create 4096 in
+  let data = Buffer.create 256 in
+  let rec read_request () =
+    if Buffer.length data > 65536 then ()
+    else
+      match Unix.read conn buf 0 (Bytes.length buf) with
+      | 0 -> ()
+      | n ->
+          Buffer.add_subbytes data buf 0 n;
+          if not (contains (Buffer.contents data) "\r\n\r\n") then
+            read_request ()
+      | exception
+          Unix.Unix_error
+            ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR | Unix.ECONNRESET), _, _)
+        ->
+          ()
+  in
+  read_request ();
+  let request = Buffer.contents data in
+  let first_line =
+    match String.index_opt request '\r' with
+    | Some i -> String.sub request 0 i
+    | None -> request
+  in
+  let path =
+    match String.split_on_char ' ' first_line with
+    | [ "GET"; target; _ ] -> (
+        match String.index_opt target '?' with
+        | Some q -> Some (String.sub target 0 q)
+        | None -> Some target)
+    | _ -> None
+  in
+  try
+    match path with
+    | Some "/metrics" ->
+        http_respond conn ~status:"200 OK"
+          ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+          (Loseq_obs.Expo.prometheus metrics)
+    | Some "/stats.json" ->
+        http_respond conn ~status:"200 OK" ~content_type:"application/json"
+          (Loseq_obs.Expo.json metrics)
+    | Some _ ->
+        http_respond conn ~status:"404 Not Found" ~content_type:"text/plain"
+          "not found: try /metrics or /stats.json\n"
+    | None ->
+        http_respond conn ~status:"400 Bad Request" ~content_type:"text/plain"
+          "bad request\n"
+  with Unix.Unix_error _ -> ()
+
+(* ---- server-level instruments ------------------------------------------ *)
+
+type server_obs = {
+  bytes_in : Obs.counter;
+  records : Obs.counter;
+  sessions : Obs.gauge;
+  pass : Obs.counter;
+  fail : Obs.counter;
+  ckpt : Obs.counter;
+}
+
+let make_server_obs metrics =
+  if not (Obs.is_live metrics) then None
+  else
+    let verdicts v =
+      Obs.counter metrics ~name:"loseq_verdicts_total"
+        ~help:"Final property verdicts, by outcome"
+        ~labels:[ ("verdict", v) ] ()
+    in
+    Some
+      {
+        bytes_in =
+          Obs.counter metrics ~name:"loseq_bytes_in_total"
+            ~help:"Raw trace bytes read from the input" ();
+        records =
+          Obs.counter metrics ~name:"loseq_records_decoded_total"
+            ~help:"Trace records decoded from the input stream" ();
+        sessions =
+          Obs.gauge metrics ~name:"loseq_sessions_live"
+            ~help:"Monitor sessions currently hosted (0 or 1)" ();
+        pass = verdicts "pass";
+        fail = verdicts "fail";
+        ckpt =
+          Obs.counter metrics ~name:"loseq_checkpoint_writes_total"
+            ~help:"Checkpoint files written" ();
+      }
+
 (* ---- the serve loop ---------------------------------------------------- *)
 
 let open_input = function
@@ -163,9 +302,19 @@ let open_input = function
       Unix.close listener;
       (conn, Some (fun () -> Unix.close conn; if Sys.file_exists path then Sys.remove path))
 
-let serve ?backend ?(lateness = 0) ?(window = 1024) ?checkpoint
-    ?(checkpoint_every = 0) ?(resume = false) ?(strict_reorder = false)
-    ?final_time ?(out = stdout) ~input suite =
+let serve ?metrics ?metrics_addr ?(stats_interval = 0) ?backend
+    ?(lateness = 0) ?(window = 1024) ?checkpoint ?(checkpoint_every = 0)
+    ?(resume = false) ?(strict_reorder = false) ?final_time ?(out = stdout)
+    ~input suite =
+  let metrics =
+    match metrics with
+    | Some m -> m
+    | None ->
+        (* an exposition surface with nothing behind it is useless, so
+           asking for one implies a live registry *)
+        if metrics_addr <> None || stats_interval > 0 then Obs.create ()
+        else Obs.noop
+  in
   let error msg =
     emit_record out
       (Json.Obj [ ("type", Json.String "error"); ("message", Json.String msg) ]);
@@ -177,9 +326,9 @@ let serve ?backend ?(lateness = 0) ?(window = 1024) ?checkpoint
   in
   let session_result =
     if resuming then
-      Checkpoint.resume ?backend ~path:(Option.get checkpoint) suite
+      Checkpoint.resume ~metrics ?backend ~path:(Option.get checkpoint) suite
     else
-      match Session.create ?backend ~lateness ~window suite with
+      match Session.create ~metrics ?backend ~lateness ~window suite with
       | s -> Ok s
       | exception Wellformed.Ill_formed (p, errs) ->
           Error
@@ -193,6 +342,7 @@ let serve ?backend ?(lateness = 0) ?(window = 1024) ?checkpoint
       match reorder_gate ~strict_reorder ~out session with
       | Error msg -> error msg
       | Ok () -> (
+      let srv_obs = make_server_obs metrics in
       let skip = Session.position session in
       Session.on_violation session (fun ~name v ->
           emit_record out (violation_record ~name v));
@@ -203,6 +353,7 @@ let serve ?backend ?(lateness = 0) ?(window = 1024) ?checkpoint
         | Some path -> (
             match Checkpoint.save ~path session with
             | Ok () ->
+                (match srv_obs with Some o -> Obs.incr o.ckpt | None -> ());
                 emit_record out
                   (Json.Obj
                      [
@@ -213,23 +364,51 @@ let serve ?backend ?(lateness = 0) ?(window = 1024) ?checkpoint
                 Ok true
             | Error _ as err -> err)
       in
+      let stats_record () =
+        let s = Session.stats session in
+        let r = Reorder.stats (Session.reorder session) in
+        Json.Obj
+          [
+            ("type", Json.String "stats");
+            ("events", Json.Int s.accepted);
+            ("delivered", Json.Int s.delivered);
+            ("reordered", Json.Int s.reordered);
+            ("dropped_late", Json.Int s.dropped_late);
+            ("forced", Json.Int s.forced);
+            ("occupancy", Json.Int r.Reorder.occupancy);
+            ("watermark", Json.Int r.Reorder.watermark);
+          ]
+      in
       let push e =
         incr offered;
+        (match srv_obs with Some o -> Obs.incr o.records | None -> ());
         if !offered > skip then begin
           Session.offer_force session e;
-          if
-            checkpoint_every > 0
-            && Session.position session mod checkpoint_every = 0
-          then
-            match save_checkpoint () with
+          let pos = Session.position session in
+          if checkpoint_every > 0 && pos mod checkpoint_every = 0 then
+            (match save_checkpoint () with
             | Ok _ -> ()
-            | Error msg -> raise (Input_error msg)
+            | Error msg -> raise (Input_error msg));
+          if stats_interval > 0 && pos mod stats_interval = 0 then
+            emit_record out (stats_record ())
         end
       in
       match with_signals @@ fun () ->
+        let http =
+          match metrics_addr with
+          | None -> None
+          | Some (host, port) -> Some (http_listen ~host ~port)
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            match http with
+            | Some l -> ( try Unix.close l with Unix.Unix_error _ -> ())
+            | None -> ())
+        @@ fun () ->
         let fd, cleanup = open_input input in
         Fun.protect ~finally:(fun () -> Option.iter (fun f -> f ()) cleanup)
         @@ fun () ->
+        (match srv_obs with Some o -> Obs.set o.sessions 1 | None -> ());
         emit_record out
           (Json.Obj
              [
@@ -240,17 +419,107 @@ let serve ?backend ?(lateness = 0) ?(window = 1024) ?checkpoint
              ]);
         let state = ref (Sniffing (Buffer.create 8)) in
         let buf = Bytes.create 65536 in
-        let rec loop () =
+        let consume n =
+          (match srv_obs with Some o -> Obs.add o.bytes_in n | None -> ());
+          feed_chunk state (Bytes.sub_string buf 0 n) ~push
+        in
+        let handle_http listener =
+          try http_serve_one listener metrics with Unix.Unix_error _ -> ()
+        in
+        let rec plain_loop () =
           match read_chunk fd buf with
           | None -> `Interrupted
           | Some 0 -> `Eof
           | Some n ->
-              feed_chunk state (Bytes.sub_string buf 0 n) ~push;
-              if !stop_requested then `Interrupted else loop ()
+              consume n;
+              if !stop_requested then `Interrupted else plain_loop ()
         in
-        let outcome = loop () in
-        if outcome = `Eof then finish_input state ~push;
-        outcome
+        (* With an endpoint, multiplex: the input stream and the HTTP
+           listener share one select, so a scrape is answered between
+           chunks without threads. *)
+        let rec select_loop listener =
+          if !stop_requested then `Interrupted
+          else
+            match Unix.select [ fd; listener ] [] [] (-1.0) with
+            | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                if !stop_requested then `Interrupted else select_loop listener
+            | readable, _, _ -> (
+                if List.memq listener readable then handle_http listener;
+                if not (List.memq fd readable) then
+                  if !stop_requested then `Interrupted else select_loop listener
+                else
+                  match Unix.read fd buf 0 (Bytes.length buf) with
+                  | 0 -> `Eof
+                  | n ->
+                      consume n;
+                      if !stop_requested then `Interrupted
+                      else select_loop listener
+                  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                      if !stop_requested then `Interrupted
+                      else select_loop listener)
+        in
+        let outcome =
+          match http with
+          | None -> plain_loop ()
+          | Some listener -> select_loop listener
+        in
+        match outcome with
+        | `Interrupted -> `Interrupted
+        | `Eof ->
+            finish_input state ~push;
+            let report = Session.finalize ?final_time session in
+            List.iter2
+              (fun (name, verdict) (_, rendered) ->
+                let passed = Backend.passed verdict in
+                (match srv_obs with
+                | Some o -> Obs.incr (if passed then o.pass else o.fail)
+                | None -> ());
+                emit_record out
+                  (Json.Obj
+                     [
+                       ("type", Json.String "verdict");
+                       ("property", Json.String name);
+                       ("passed", Json.Bool passed);
+                       ("verdict", Json.String rendered);
+                     ]))
+              (Report.summary report)
+              (Report.summary_strings report);
+            let stats = Session.stats session in
+            let snap = Reorder.stats (Session.reorder session) in
+            let passed = Report.all_passed report in
+            (match srv_obs with Some o -> Obs.set o.sessions 0 | None -> ());
+            emit_record out
+              (Json.Obj
+                 [
+                   ("type", Json.String "summary");
+                   ("passed", Json.Bool passed);
+                   ("events", Json.Int stats.accepted);
+                   ("delivered", Json.Int stats.delivered);
+                   ("reordered", Json.Int stats.reordered);
+                   ("dropped_late", Json.Int stats.dropped_late);
+                   ("forced", Json.Int stats.forced);
+                   ("occupancy", Json.Int snap.Reorder.occupancy);
+                   ("watermark", Json.Int snap.Reorder.watermark);
+                   ("max_seen", Json.Int snap.Reorder.max_seen);
+                 ]);
+            (* Keep the endpoint up after end of stream so a scraper can
+               still collect the final counters; SIGTERM/SIGINT ends the
+               linger (and the verdict-borne exit code survives it). *)
+            (match http with
+            | Some listener when not !stop_requested ->
+                let rec linger () =
+                  if not !stop_requested then
+                    match Unix.select [ listener ] [] [] (-1.0) with
+                    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                        linger ()
+                    | [], _, _ -> linger ()
+                    | _ :: _, _, _ ->
+                        handle_http listener;
+                        linger ()
+                in
+                linger ()
+            | _ -> ());
+            `Done (if passed then 0 else 1)
       with
       | exception Input_error msg -> error msg
       | exception Unix.Unix_error (e, fn, arg) ->
@@ -269,34 +538,7 @@ let serve ?backend ?(lateness = 0) ?(window = 1024) ?checkpoint
                      ("events", Json.Int (Session.position session));
                    ]);
               0)
-      | `Eof ->
-          let report = Session.finalize ?final_time session in
-          List.iter2
-            (fun (name, verdict) (_, rendered) ->
-              emit_record out
-                (Json.Obj
-                   [
-                     ("type", Json.String "verdict");
-                     ("property", Json.String name);
-                     ("passed", Json.Bool (Backend.passed verdict));
-                     ("verdict", Json.String rendered);
-                   ]))
-            (Report.summary report)
-            (Report.summary_strings report);
-          let stats = Session.stats session in
-          let passed = Report.all_passed report in
-          emit_record out
-            (Json.Obj
-               [
-                 ("type", Json.String "summary");
-                 ("passed", Json.Bool passed);
-                 ("events", Json.Int stats.accepted);
-                 ("delivered", Json.Int stats.delivered);
-                 ("reordered", Json.Int stats.reordered);
-                 ("dropped_late", Json.Int stats.dropped_late);
-                 ("forced", Json.Int stats.forced);
-               ]);
-          if passed then 0 else 1))
+      | `Done code -> code))
 
 (* ---- the producer side ------------------------------------------------- *)
 

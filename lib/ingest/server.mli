@@ -29,6 +29,21 @@
       under [strict_reorder] the server then refuses to start (exit
       [2]).
 
+    With [stats_interval n > 0] a [{"type":"stats", "events":..,
+    "delivered":.., "reordered":.., "dropped_late":.., "forced":..,
+    "occupancy":.., "watermark":..}] record is emitted every [n]
+    accepted events (event-count, not wall-clock: deterministic and
+    testable).  The closing [summary] record also carries the reorder
+    buffer's final [occupancy]/[watermark]/[max_seen].
+
+    With [metrics_addr (host, port)] the server additionally binds a
+    TCP endpoint answering [GET /metrics] (Prometheus text format
+    0.0.4) and [GET /stats.json] (the same registry as compact JSON),
+    multiplexed into the serve loop with [select] — no threads.  After
+    end of stream the endpoint {e lingers} (the final counters stay
+    scrapable) until SIGTERM/SIGINT; the exit code still reflects the
+    verdicts.
+
     Exit codes: [0] all properties passed (or interrupted), [1] some
     property failed, [2] input/setup error (including a strict-reorder
     refusal). *)
@@ -36,6 +51,9 @@
 open Loseq_verif
 
 val serve :
+  ?metrics:Loseq_obs.Metrics.t ->
+  ?metrics_addr:string * int ->
+  ?stats_interval:int ->
   ?backend:Loseq_core.Backend.factory ->
   ?lateness:int ->
   ?window:int ->
@@ -55,7 +73,15 @@ val serve :
     server skips the events the checkpoint already accounts for.
     [lateness]/[window] configure the session's reorder stage (ignored
     on resume: the checkpoint's values win).  [out] defaults to
-    stdout. *)
+    stdout.
+
+    [metrics] (default noop) is threaded through the session to the hub
+    and reorder buffer, and additionally feeds the server-level
+    instruments [loseq_bytes_in_total], [loseq_records_decoded_total],
+    [loseq_sessions_live], [loseq_verdicts_total{verdict=..}] and
+    [loseq_checkpoint_writes_total].  Passing [metrics_addr] or a
+    positive [stats_interval] without an explicit [metrics] creates a
+    live registry automatically. *)
 
 val feed : ?timeout:float -> path:string -> in_channel -> (int, string) result
 (** Copy [in_channel] to the Unix-domain socket at [path] (connecting

@@ -16,16 +16,16 @@ type t = {
   mutable forced : int;
 }
 
-let create ?backend ?(lateness = 0) ?(window = 1024) suite =
+let create ?metrics ?backend ?(lateness = 0) ?(window = 1024) suite =
   let kernel = Kernel.create () in
   let tap = Tap.create ~record:false kernel in
-  let hub = Suite.attach_hub ?backend tap suite in
+  let hub = Suite.attach_hub ?metrics ?backend tap suite in
   {
     suite;
     kernel;
     tap;
     hub;
-    reorder = Reorder.create ~capacity:window ~lateness ();
+    reorder = Reorder.create ?metrics ~capacity:window ~lateness ();
     lateness;
     window;
     accepted = 0;

@@ -26,6 +26,7 @@ open Loseq_verif
 type t
 
 val create :
+  ?metrics:Loseq_obs.Metrics.t ->
   ?backend:Backend.factory ->
   ?lateness:int ->
   ?window:int ->
@@ -33,9 +34,11 @@ val create :
   t
 (** [backend] defaults to {!Backend.compiled} (the only backend with
     checkpoint support); [lateness] to [0] (strictly chronological
-    input expected); [window] to [1024].  Raises
-    {!Loseq_core.Wellformed.Ill_formed} and whatever the factory
-    raises. *)
+    input expected); [window] to [1024].  A live [metrics] sink (default
+    noop) is threaded to the {!Loseq_verif.Hub} and the {!Reorder}
+    buffer, so one session exports the full hub + reorder instrument
+    set.  Raises {!Loseq_core.Wellformed.Ill_formed} and whatever the
+    factory raises. *)
 
 val offer : t -> Trace.event -> [ `Accepted | `Blocked ]
 (** Feed one event.  [`Accepted]: consumed — delivered now, buffered,

@@ -1,0 +1,155 @@
+(* Renderers over Metrics.samples: Prometheus text format 0.0.4 and a
+   compact JSON snapshot.  Both are cold paths — they walk the registry
+   on demand and never touch the instruments' hot cells other than to
+   read them. *)
+
+(* Prometheus label values: backslash, double-quote and newline must be
+   escaped.  JSON strings additionally escape control characters. *)
+let escape ~json s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' when json -> Buffer.add_string buf "\\r"
+      | '\t' when json -> Buffer.add_string buf "\\t"
+      | c when json && Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let label_block labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape ~json:false v))
+             labels)
+      ^ "}"
+
+(* le="..." appended to whatever labels the histogram carries. *)
+let bucket_block labels le =
+  label_block (labels @ [ ("le", le) ])
+
+(* ---- Prometheus text format 0.0.4 -------------------------------------- *)
+
+let prometheus_type = function
+  | Metrics.Counter_v _ -> "counter"
+  | Metrics.Gauge_v _ -> "gauge"
+  | Metrics.Histogram_v _ -> "histogram"
+
+let prometheus t =
+  let buf = Buffer.create 1024 in
+  let seen_header = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Metrics.sample) ->
+      let name = s.sample_name in
+      if not (Hashtbl.mem seen_header name) then begin
+        Hashtbl.add seen_header name ();
+        Buffer.add_string buf
+          (Printf.sprintf "# HELP %s %s\n" name
+             (escape ~json:false s.sample_help));
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" name (prometheus_type s.value))
+      end;
+      match s.value with
+      | Metrics.Counter_v v | Metrics.Gauge_v v ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" name (label_block s.sample_labels) v)
+      | Metrics.Histogram_v { sum; count; buckets } ->
+          Array.iter
+            (fun (bound, cum) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket%s %d\n" name
+                   (bucket_block s.sample_labels (string_of_int bound))
+                   cum))
+            buckets;
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket%s %d\n" name
+               (bucket_block s.sample_labels "+Inf") count);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum%s %d\n" name
+               (label_block s.sample_labels) sum);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count%s %d\n" name
+               (label_block s.sample_labels) count))
+    (Metrics.samples t);
+  Buffer.contents buf
+
+(* ---- JSON snapshot ------------------------------------------------------ *)
+
+let json_string s = "\"" ^ escape ~json:true s ^ "\""
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> json_string k ^ ":" ^ json_string v) labels)
+  ^ "}"
+
+let json_sample (s : Metrics.sample) =
+  let base =
+    Printf.sprintf "\"name\":%s,\"labels\":%s" (json_string s.sample_name)
+      (json_labels s.sample_labels)
+  in
+  match s.value with
+  | Metrics.Counter_v v ->
+      Printf.sprintf "{%s,\"type\":\"counter\",\"value\":%d}" base v
+  | Metrics.Gauge_v v ->
+      Printf.sprintf "{%s,\"type\":\"gauge\",\"value\":%d}" base v
+  | Metrics.Histogram_v { sum; count; buckets } ->
+      Printf.sprintf
+        "{%s,\"type\":\"histogram\",\"count\":%d,\"sum\":%d,\"buckets\":[%s]}"
+        base count sum
+        (String.concat ","
+           (Array.to_list
+              (Array.map
+                 (fun (bound, cum) ->
+                   Printf.sprintf "{\"le\":%d,\"count\":%d}" bound cum)
+                 buckets)))
+
+let json t =
+  "{\"metrics\":["
+  ^ String.concat "," (List.map json_sample (Metrics.samples t))
+  ^ "]}"
+
+(* ---- human-readable table (the --stats view) ---------------------------- *)
+
+let pp_human ppf t =
+  let samples = Metrics.samples t in
+  if samples = [] then Format.fprintf ppf "(no metrics recorded)@."
+  else begin
+    let label_str labels =
+      match labels with
+      | [] -> ""
+      | _ ->
+          " ["
+          ^ String.concat " "
+              (List.map (fun (k, v) -> Printf.sprintf "%s=%s" k v) labels)
+          ^ "]"
+    in
+    List.iter
+      (fun (s : Metrics.sample) ->
+        match s.value with
+        | Metrics.Counter_v v | Metrics.Gauge_v v ->
+            Format.fprintf ppf "%-44s %12d@."
+              (s.sample_name ^ label_str s.sample_labels)
+              v
+        | Metrics.Histogram_v { sum; count; buckets } ->
+            Format.fprintf ppf "%-44s %12d observations, sum %d%s@."
+              (s.sample_name ^ label_str s.sample_labels)
+              count sum
+              (if count = 0 then ""
+               else Printf.sprintf ", mean %.1f" (float_of_int sum /. float_of_int count));
+            Array.iter
+              (fun (bound, cum) ->
+                Format.fprintf ppf "  %-42s %12d@."
+                  (Printf.sprintf "le %d" bound)
+                  cum)
+              buckets)
+      samples
+  end

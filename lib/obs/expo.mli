@@ -1,0 +1,20 @@
+(** Exposition: rendering a {!Metrics} registry for the outside world.
+
+    Cold-path renderers over {!Metrics.samples} — the hot cells are
+    only read, never locked or copied, so scraping a live registry is
+    safe at any point between events. *)
+
+val prometheus : Metrics.t -> string
+(** Prometheus text exposition format 0.0.4: one [# HELP]/[# TYPE]
+    header per family, [name{labels} value] per instrument, histograms
+    as cumulative [_bucket{le=..}] series plus [_sum]/[_count]. *)
+
+val json : Metrics.t -> string
+(** Compact one-line JSON snapshot:
+    [{"metrics":[{"name":..,"labels":{..},"type":..,..}, ..]}] —
+    counters and gauges carry ["value"], histograms ["count"], ["sum"]
+    and cumulative ["buckets"]. *)
+
+val pp_human : Format.formatter -> Metrics.t -> unit
+(** The [--stats] pretty-printer: one aligned line per instrument,
+    histograms expanded per bucket. *)

@@ -1,0 +1,187 @@
+(* The registry is a list of pre-registered instruments; the instruments
+   themselves are bare mutable cells.  Everything costly (name interning,
+   label rendering, list search) happens at registration time, so the
+   event-path operations compile to an int store (plus, for histograms,
+   a short bounded scan over the fixed bucket array). *)
+
+type counter = { mutable count : int }
+type gauge = { mutable level : int }
+
+type histogram = {
+  bounds : int array;  (* strictly increasing upper bounds; +Inf implicit *)
+  buckets : int array;  (* length = Array.length bounds + 1 *)
+  mutable sum : int;
+  mutable observations : int;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type spec = {
+  name : string;
+  help : string;
+  labels : (string * string) list;
+  instrument : instrument;
+}
+
+type t = {
+  live : bool;
+  mutable specs_rev : spec list;
+  mutable collect_rev : (unit -> unit) list;
+}
+
+let create () = { live = true; specs_rev = []; collect_rev = [] }
+
+(* The shared sink library users pay nothing for: registrations are
+   discarded (so it never grows), instruments still work — a bump into a
+   cell nothing will ever render. *)
+let noop = { live = false; specs_rev = []; collect_rev = [] }
+
+let is_live t = t.live
+
+(* ---- registration ------------------------------------------------------ *)
+
+let find t name labels =
+  List.find_opt
+    (fun s -> String.equal s.name name && s.labels = labels)
+    t.specs_rev
+
+let register t ~name ~help ~labels instrument =
+  if t.live then
+    t.specs_rev <- { name; help; labels; instrument } :: t.specs_rev
+
+let counter t ~name ~help ?(labels = []) () =
+  match find t name labels with
+  | Some { instrument = Counter c; _ } -> c
+  | Some _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
+  | None ->
+      let c = { count = 0 } in
+      register t ~name ~help ~labels (Counter c);
+      c
+
+let gauge t ~name ~help ?(labels = []) () =
+  match find t name labels with
+  | Some { instrument = Gauge g; _ } -> g
+  | Some _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
+  | None ->
+      let g = { level = 0 } in
+      register t ~name ~help ~labels (Gauge g);
+      g
+
+let histogram t ~name ~help ?(labels = []) ~buckets () =
+  let ok =
+    Array.length buckets > 0
+    &&
+    let sorted = ref true in
+    for i = 1 to Array.length buckets - 1 do
+      if buckets.(i) <= buckets.(i - 1) then sorted := false
+    done;
+    !sorted
+  in
+  if not ok then
+    invalid_arg "Metrics.histogram: bucket bounds must be non-empty and \
+                 strictly increasing";
+  match find t name labels with
+  | Some { instrument = Histogram h; _ } -> h
+  | Some _ ->
+      invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
+  | None ->
+      let h =
+        {
+          bounds = Array.copy buckets;
+          buckets = Array.make (Array.length buckets + 1) 0;
+          sum = 0;
+          observations = 0;
+        }
+      in
+      register t ~name ~help ~labels (Histogram h);
+      h
+
+(* ---- the event path ---------------------------------------------------- *)
+
+let incr c = c.count <- c.count + 1
+let add c n = c.count <- c.count + n
+let set_counter c v = c.count <- v
+let counter_value c = c.count
+
+let set g v = g.level <- v
+let gauge_value g = g.level
+
+let observe h v =
+  let n = Array.length h.bounds in
+  let i = ref 0 in
+  while !i < n && v > h.bounds.(!i) do
+    i := !i + 1
+  done;
+  h.buckets.(!i) <- h.buckets.(!i) + 1;
+  h.sum <- h.sum + v;
+  h.observations <- h.observations + 1
+
+(* ---- collected sources ------------------------------------------------- *)
+
+(* Some counts already exist elsewhere (the tap's emission count, a
+   buffer's occupancy): rather than pay a per-event store to mirror
+   them, a component registers a collect hook that copies the source
+   into its instrument when a reader actually looks. *)
+
+let on_collect t f = if t.live then t.collect_rev <- f :: t.collect_rev
+let sync t = List.iter (fun f -> f ()) (List.rev t.collect_rev)
+
+(* ---- snapshot ---------------------------------------------------------- *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of {
+      sum : int;
+      count : int;
+      buckets : (int * int) array;  (* (upper bound, cumulative count) *)
+    }
+
+type sample = {
+  sample_name : string;
+  sample_help : string;
+  sample_labels : (string * string) list;
+  value : value;
+}
+
+let sample_of_spec s =
+  let value =
+    match s.instrument with
+    | Counter c -> Counter_v c.count
+    | Gauge g -> Gauge_v g.level
+    | Histogram h ->
+        let cum = ref 0 in
+        let buckets =
+          Array.mapi
+            (fun i bound ->
+              cum := !cum + h.buckets.(i);
+              (bound, !cum))
+            h.bounds
+        in
+        Histogram_v { sum = h.sum; count = h.observations; buckets }
+  in
+  {
+    sample_name = s.name;
+    sample_help = s.help;
+    sample_labels = s.labels;
+    value;
+  }
+
+let samples t =
+  sync t;
+  List.rev_map sample_of_spec t.specs_rev
+
+let read_counter t ~name ?(labels = []) () =
+  sync t;
+  match find t name labels with
+  | Some { instrument = Counter c; _ } -> Some c.count
+  | Some _ | None -> None
+
+let read_gauge t ~name ?(labels = []) () =
+  sync t;
+  match find t name labels with
+  | Some { instrument = Gauge g; _ } -> Some g.level
+  | Some _ | None -> None

@@ -1,0 +1,120 @@
+(** Allocation-free runtime metrics.
+
+    A {!t} is a registry of pre-registered instruments.  Registration
+    (interning the family name, the label pairs, the bucket layout)
+    happens once, at component-creation time; what the hot path holds
+    afterwards is a bare mutable cell, so recording is an int store —
+    no closure, no string, no allocation on the event path.  Fixed
+    bucket bounds keep histograms the same shape: observing is a
+    bounded scan over a small immutable array plus three stores.
+
+    Every instrumented component takes an optional [Metrics.t]
+    defaulting to {!noop} — a sink that discards registrations (it
+    never grows) while still handing out working cells, so a library
+    user who never asks for telemetry pays nothing beyond dead stores.
+
+    Instruments are deduplicated per registry: registering the same
+    (name, labels) pair twice returns the {e same} cell, so independent
+    components contribute to one family total.  [Invalid_argument] is
+    raised when the existing instrument has a different kind. *)
+
+type t
+
+val create : unit -> t
+(** A live registry: registrations are retained for {!samples} and the
+    {!Expo} renderers. *)
+
+val noop : t
+(** The shared do-nothing sink (the default everywhere). *)
+
+val is_live : t -> bool
+(** [false] exactly for {!noop} — the test a component uses to gate
+    genuinely costly instrumentation (clock reads, extra
+    subscriptions) that a dead store cannot model. *)
+
+(** {1 Instruments} *)
+
+type counter
+type gauge
+type histogram
+
+val counter :
+  t -> name:string -> help:string -> ?labels:(string * string) list ->
+  unit -> counter
+(** A monotonically increasing count.  [name] should follow Prometheus
+    conventions (snake_case, [_total] suffix). *)
+
+val gauge :
+  t -> name:string -> help:string -> ?labels:(string * string) list ->
+  unit -> gauge
+(** A value that goes up and down (occupancy, depth, lag). *)
+
+val histogram :
+  t -> name:string -> help:string -> ?labels:(string * string) list ->
+  buckets:int array -> unit -> histogram
+(** A distribution over fixed buckets.  [buckets] are the finite upper
+    bounds, strictly increasing; the [+Inf] bucket is implicit.
+    Raises [Invalid_argument] on an empty or unsorted layout. *)
+
+(** {1 The event path} *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set : gauge -> int -> unit
+val observe : histogram -> int -> unit
+
+(** {1 Collected sources}
+
+    When a count already lives somewhere else (a tap's emission count,
+    a buffer's occupancy), mirroring it with a per-event store is waste:
+    register a collect hook instead.  Hooks run, in registration order,
+    at the head of {!samples}, {!read_counter} and {!read_gauge} — every
+    reader observes freshly collected values, the event path pays
+    nothing. *)
+
+val on_collect : t -> (unit -> unit) -> unit
+(** Register a hook copying an external source into its instrument
+    (typically via {!set_counter} or {!set}).  Ignored on {!noop}. *)
+
+val set_counter : counter -> int -> unit
+(** Overwrite a counter's absolute value — for collect hooks mirroring
+    an external monotonic source, not for the event path. *)
+
+val sync : t -> unit
+(** Run the collect hooks now.  Reading entry points do this
+    themselves; call it directly only before poking at instruments
+    through retained cells. *)
+
+(** {1 Reading back} *)
+
+val counter_value : counter -> int
+val gauge_value : gauge -> int
+
+type value =
+  | Counter_v of int
+  | Gauge_v of int
+  | Histogram_v of {
+      sum : int;
+      count : int;
+      buckets : (int * int) array;
+          (** [(upper bound, cumulative count)] per finite bucket; the
+              [+Inf] cumulative count is [count]. *)
+    }
+
+type sample = {
+  sample_name : string;
+  sample_help : string;
+  sample_labels : (string * string) list;
+  value : value;
+}
+
+val samples : t -> sample list
+(** Every registered instrument, in registration order.  Empty for
+    {!noop}. *)
+
+val read_counter : t -> name:string -> ?labels:(string * string) list ->
+  unit -> int option
+(** Look one counter up by family name and labels (tests, gates). *)
+
+val read_gauge : t -> name:string -> ?labels:(string * string) list ->
+  unit -> int option

@@ -10,6 +10,8 @@ type t = {
   mutable timeout : Kernel.handle option;
   mutable violation_hooks : (Diag.violation -> unit) list;
   mutable violation_reported : bool;
+  mutable transition_hook :
+    (before:Backend.verdict -> after:Backend.verdict -> unit) option;
 }
 
 let make ?name ?(now = fun () -> 0) backend =
@@ -28,6 +30,7 @@ let make ?name ?(now = fun () -> 0) backend =
       timeout = None;
       violation_hooks = [];
       violation_reported = false;
+      transition_hook = None;
     }
   in
   (match backend.Backend.states with
@@ -48,6 +51,14 @@ let note t ~before ~after =
   (match (before, after) with
   | Backend.Running, Backend.Satisfied -> Coverage.record_round t.coverage
   | _, (Backend.Running | Backend.Satisfied | Backend.Violated _) -> ());
+  (match t.transition_hook with
+  | None -> ()
+  | Some hook -> (
+      (* steady-state steps dominate; only real transitions reach the
+         hook so the hot path stays one branch *)
+      match (before, after) with
+      | Backend.Running, Backend.Running -> ()
+      | _ -> hook ~before ~after));
   (match t.backend.Backend.states with
   | Some states -> Coverage.observe_states t.coverage (states ())
   | None -> ());
@@ -145,6 +156,7 @@ let restore_meta t ~events_seen =
 
 let passed t = Backend.passed (t.backend.Backend.verdict ())
 let on_violation t hook = t.violation_hooks <- hook :: t.violation_hooks
+let on_transition t hook = t.transition_hook <- Some hook
 let events_seen t = t.events_seen
 let coverage t = t.coverage
 let pp_verdict = Backend.pp_verdict

@@ -75,6 +75,14 @@ val passed : t -> bool
 val on_violation : t -> (Diag.violation -> unit) -> unit
 (** Called once, when the backend first reports a violation. *)
 
+val on_transition : t -> (before:Backend.verdict -> after:Backend.verdict -> unit) -> unit
+(** Called after a delivered event whose step changed the verdict
+    (steady Running-to-Running steps are filtered out; at most one
+    hook, the last one set wins) — the telemetry tap for counting
+    checker transitions without re-reading the verdict on the hot
+    path.  Deadline-driven transitions are not step-driven and arrive
+    through {!on_violation} instead. *)
+
 val restore_meta : t -> events_seen:int -> unit
 (** After the backend's state was overwritten externally
     ({!Loseq_core.Backend.t.restore}, checkpoint resume): restore the

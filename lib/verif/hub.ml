@@ -77,16 +77,78 @@ module Wheel = struct
       end
 end
 
+(* ---- telemetry --------------------------------------------------------- *)
+
+(* Present only when the hub was created with a live metrics sink; the
+   default (noop) hub carries [None] and pays one predictable branch per
+   delivery.  Dispatch latency is sampled (one delivery in 64) so the
+   clock reads stay far below the paper's per-event monitor cost. *)
+module Obs = Loseq_obs.Metrics
+
+type obs = {
+  metrics : Obs.t;
+  dispatched : Obs.counter;  (* events entering the hub's tap *)
+  satisfied : Obs.counter;
+  violated : Obs.counter;
+  wheel_depth : Obs.gauge;
+  firings : Obs.counter;
+  dispatch_ns : Obs.histogram;
+}
+
+let latency_buckets =
+  [| 100; 250; 500; 1_000; 2_500; 5_000; 10_000; 50_000; 250_000; 1_000_000 |]
+
+let make_obs metrics tap =
+  let dispatched =
+    Obs.counter metrics ~name:"loseq_events_dispatched_total"
+      ~help:"Events entering the hub (one per tap emission)" ()
+  in
+  (* The tap already counts every emission (including names no checker
+     listens to), so the hub mirrors it at read time instead of paying
+     an extra subscription on every event. *)
+  Obs.on_collect metrics (fun () -> Obs.set_counter dispatched (Tap.count tap));
+  {
+    metrics;
+    dispatched;
+    satisfied =
+      Obs.counter metrics ~name:"loseq_checker_transitions_total"
+        ~help:"Checker verdict transitions"
+        ~labels:[ ("verdict", "satisfied") ]
+        ();
+    violated =
+      Obs.counter metrics ~name:"loseq_checker_transitions_total"
+        ~help:"Checker verdict transitions"
+        ~labels:[ ("verdict", "violated") ]
+        ();
+    wheel_depth =
+      Obs.gauge metrics ~name:"loseq_hub_wheel_depth"
+        ~help:"Deadline-wheel heap depth (live + stale entries)" ();
+    firings =
+      Obs.counter metrics ~name:"loseq_hub_deadline_firings_total"
+        ~help:"Deadline expiries polled through the merged wheel" ();
+    dispatch_ns =
+      Obs.histogram metrics ~name:"loseq_hub_dispatch_ns"
+        ~help:"Per-dispatch latency in nanoseconds (sampled 1 in 64)"
+        ~buckets:latency_buckets ();
+  }
+
 type t = {
   tap : Tap.t;
   mutable entries_rev : entry list;
   wheel : Wheel.t;
   mutable scheduled : (int * Kernel.handle) option;
       (* deadline the kernel timeout is parked at *)
+  obs : obs option;
 }
 
-let create tap =
-  { tap; entries_rev = []; wheel = Wheel.create (); scheduled = None }
+let create ?(metrics = Obs.noop) tap =
+  {
+    tap;
+    entries_rev = [];
+    wheel = Wheel.create ();
+    scheduled = None;
+    obs = (if Obs.is_live metrics then Some (make_obs metrics tap) else None);
+  }
 
 let tap t = t.tap
 let checkers t = List.rev_map (fun e -> e.checker) t.entries_rev
@@ -134,6 +196,9 @@ and expire t =
         else if d >= now then Wheel.push t.wheel d entry
         else begin
           entry.armed <- -1;
+          (match t.obs with
+          | Some o -> Obs.incr o.firings
+          | None -> ());
           Checker.poll entry.checker ~now;
           rearm t entry;
           drain ()
@@ -144,7 +209,10 @@ and expire t =
 and fire t =
   t.scheduled <- None;
   expire t;
-  settle t
+  settle t;
+  match t.obs with
+  | Some o -> Obs.set o.wheel_depth t.wheel.Wheel.len
+  | None -> ()
 
 and rearm t entry =
   match Checker.next_deadline entry.checker with
@@ -159,10 +227,40 @@ let after_delivery t entry =
   rearm t entry;
   settle t
 
+(* With a live sink, every hosted checker contributes to the transition
+   counters: satisfied rounds through the step-path transition hook,
+   violations through the once-per-checker violation hook (which also
+   covers deadline-driven misses the step hook never sees). *)
+let observe_checker o checker =
+  Checker.on_transition checker (fun ~before ~after ->
+      match (before, after) with
+      | Backend.Running, Backend.Satisfied -> Obs.incr o.satisfied
+      | _, (Backend.Running | Backend.Satisfied | Backend.Violated _) -> ());
+  Checker.on_violation checker (fun _ -> Obs.incr o.violated)
+
 let host t checker ~strict =
   let entry = { checker; armed = -1 } in
   t.entries_rev <- entry :: t.entries_rev;
   let backend = Checker.backend checker in
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+      observe_checker o checker;
+      (* Hosted monitor steps are exactly the deliveries this hub
+         routes, and the checker already counts those in [events_seen]:
+         mirror it into the per-flavor family as a delta at read time
+         (delta, so other writers of the family keep their share). *)
+      let steps =
+        Obs.counter o.metrics ~name:"loseq_backend_steps_total"
+          ~help:"Monitor steps executed, by backend flavor"
+          ~labels:[ ("backend", backend.Backend.label) ]
+          ()
+      in
+      let last = ref 0 in
+      Obs.on_collect o.metrics (fun () ->
+          let seen = Checker.events_seen checker in
+          Obs.add steps (seen - !last);
+          last := seen));
   if strict then
     Tap.subscribe t.tap (fun e ->
         Checker.deliver checker e;
@@ -171,11 +269,39 @@ let host t checker ~strict =
     Name.Set.iter
       (fun n ->
         let handler = Checker.routed checker n in
-        Tap.subscribe_name t.tap n (fun e ->
-            handler e;
-            after_delivery t entry))
+        match t.obs with
+        | None ->
+            Tap.subscribe_name t.tap n (fun e ->
+                handler e;
+                after_delivery t entry)
+        | Some o ->
+            let deliveries =
+              Obs.counter o.metrics ~name:"loseq_hub_deliveries_total"
+                ~help:"Routed checker deliveries, by event name"
+                ~labels:[ ("name", Name.to_string n) ]
+                ()
+            in
+            (* The just-bumped deliveries count doubles as the 1-in-64
+               latency sampling phase — no separate phase cell. *)
+            Tap.subscribe_name t.tap n (fun e ->
+                Obs.incr deliveries;
+                if Obs.counter_value deliveries land 63 = 0 then begin
+                  let t0 = Unix.gettimeofday () in
+                  handler e;
+                  after_delivery t entry;
+                  Obs.set o.wheel_depth t.wheel.Wheel.len;
+                  Obs.observe o.dispatch_ns
+                    (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+                end
+                else begin
+                  handler e;
+                  after_delivery t entry
+                end))
       backend.Backend.alphabet;
-  after_delivery t entry
+  after_delivery t entry;
+  match t.obs with
+  | Some o -> Obs.set o.wheel_depth t.wheel.Wheel.len
+  | None -> ()
 
 let add ?(backend = Backend.compiled) ?mode ?name t pattern =
   let backend =

@@ -24,7 +24,17 @@ open Loseq_core
 
 type t
 
-val create : Tap.t -> t
+val create : ?metrics:Loseq_obs.Metrics.t -> Tap.t -> t
+(** [metrics] (default {!Loseq_obs.Metrics.noop}) attaches runtime
+    telemetry when live: [loseq_events_dispatched_total] (one per tap
+    emission), [loseq_hub_deliveries_total{name=..}] (routed checker
+    deliveries), [loseq_checker_transitions_total{verdict=..}],
+    [loseq_hub_wheel_depth] (refreshed on deadline activity and sampled
+    dispatches), [loseq_hub_deadline_firings_total] and the
+    sampled [loseq_hub_dispatch_ns] latency histogram; hosted backends
+    additionally count [loseq_backend_steps_total{backend=..}].  With
+    the noop default none of this is registered or subscribed — the
+    dispatch path is unchanged. *)
 
 val add :
   ?backend:Backend.factory ->

@@ -87,8 +87,8 @@ let find suite label =
     (fun e -> if String.equal e.label label then Some e.pattern else None)
     suite
 
-let attach_hub ?backend ?mode tap suite =
-  let hub = Hub.create tap in
+let attach_hub ?metrics ?backend ?mode tap suite =
+  let hub = Hub.create ?metrics tap in
   List.iter
     (fun e -> ignore (Hub.add ?backend ?mode ~name:e.label hub e.pattern))
     suite;
@@ -97,10 +97,15 @@ let attach_hub ?backend ?mode tap suite =
 let attach_all ?backend ?mode tap suite =
   Hub.report (attach_hub ?backend ?mode tap suite)
 
-let check_trace ?(backend = Backend.compiled) ?final_time suite trace =
+let check_trace ?(metrics = Loseq_obs.Metrics.noop) ?(backend = Backend.compiled)
+    ?final_time suite trace =
+  let instrument =
+    if Loseq_obs.Metrics.is_live metrics then Backend.instrument metrics
+    else Fun.id
+  in
   List.map
     (fun e ->
-      let b = backend e.pattern in
+      let b = instrument (backend e.pattern) in
       List.iter (fun ev -> ignore (b.Backend.step ev)) trace;
       let now =
         match final_time with

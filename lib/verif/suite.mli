@@ -38,10 +38,16 @@ val to_string : t -> string
 val find : t -> string -> Pattern.t option
 
 val attach_hub :
-  ?backend:Backend.factory -> ?mode:Monitor.mode -> Tap.t -> t -> Hub.t
+  ?metrics:Loseq_obs.Metrics.t ->
+  ?backend:Backend.factory ->
+  ?mode:Monitor.mode ->
+  Tap.t ->
+  t ->
+  Hub.t
 (** One {!Checker} per entry, hosted on a fresh alphabet-routed
     {!Hub} with a shared deadline wheel.  [backend] defaults to
-    {!Loseq_core.Backend.compiled}. *)
+    {!Loseq_core.Backend.compiled}; [metrics] (default noop) is handed
+    to the hub — see {!Hub.create}. *)
 
 val attach_all :
   ?backend:Backend.factory -> ?mode:Monitor.mode -> Tap.t -> t -> Report.t
@@ -49,10 +55,15 @@ val attach_all :
     report. *)
 
 val check_trace :
+  ?metrics:Loseq_obs.Metrics.t ->
   ?backend:Backend.factory ->
   ?final_time:int ->
   t ->
   Trace.t ->
   (string * bool) list
 (** Offline: run every property over a recorded trace on the chosen
-    backend (compiled by default); [(label, passed)] per entry. *)
+    backend (compiled by default); [(label, passed)] per entry.  With a
+    live [metrics] sink every backend is {!Loseq_core.Backend.instrument}ed,
+    so [loseq_backend_steps_total] ends at exactly
+    [length trace * length suite] (each entry steps the whole trace —
+    no routing on the batch path). *)

@@ -10,6 +10,11 @@
 #                           window larger than the suite's certified
 #                           lateness-robustness bound, and still serves
 #                           at a certified window
+#   6. telemetry:           serve --metrics-addr answers /metrics with
+#                           loseq_events_dispatched_total equal to the
+#                           number of events fed, and the bench obs
+#                           section writes BENCH_obs.json within the
+#                           5% live-vs-noop overhead bound
 #
 # Run from the repository root:  scripts/ci_ingest.sh
 set -euo pipefail
@@ -103,5 +108,44 @@ $LOSEQ serve --suite "$SUITE" --strict-reorder \
 test "$ok_status" -eq "$stream_status"
 grep -q '"robust": *true' "$WORK/strict_ok.ndjson"
 echo "strict-reorder refuses lateness 64 (exit 2), serves at lateness 0"
+
+echo "== 6. telemetry endpoint + overhead artifact =="
+# fed count = CSV data lines (the header row is not an event)
+EVENTS=$(( $(wc -l < "$TRACE") - 1 ))
+MSOCK="$WORK/metrics.sock"
+MADDR=127.0.0.1:19464
+metrics_status=0
+$LOSEQ serve --suite "$SUITE" --socket "$MSOCK" --metrics-addr "$MADDR" \
+  --stats-interval 100 > "$WORK/metrics.ndjson" &
+MSERVER=$!
+for _ in $(seq 50); do test -S "$MSOCK" && break; sleep 0.2; done
+$LOSEQ feed --socket "$MSOCK" "$WORK/ipu.lsqb"
+# the endpoint stays up after end of stream; wait for the summary so
+# every event is counted before scraping
+for _ in $(seq 50); do
+  grep -q '"type": *"summary"' "$WORK/metrics.ndjson" 2>/dev/null && break
+  sleep 0.2
+done
+if command -v curl > /dev/null; then
+  curl -fsS "http://$MADDR/metrics" > "$WORK/scrape.prom"
+else
+  $LOSEQ stats --addr "$MADDR" --prometheus > "$WORK/scrape.prom"
+fi
+grep -q "^loseq_events_dispatched_total $EVENTS$" "$WORK/scrape.prom"
+grep -q '^loseq_reorder_dropped_late_total 0$' "$WORK/scrape.prom"
+grep -q '^loseq_records_decoded_total' "$WORK/scrape.prom"
+grep -q '"type": *"stats"' "$WORK/metrics.ndjson"
+kill -TERM "$MSERVER"
+wait "$MSERVER" || metrics_status=$?
+test "$metrics_status" -eq "$stream_status"
+echo "scraped loseq_events_dispatched_total = $EVENTS (the fed count)"
+
+# overhead bound: live registry within 5% of the noop sink (release
+# build — the bench measures inlined hot paths, not dev -opaque calls)
+dune build --profile release bench/main.exe
+dune exec --profile release --no-build bench/main.exe -- obs
+test -s BENCH_obs.json
+grep -q '"within_5pct": *true' BENCH_obs.json
+echo "BENCH_obs.json written, within the 5% bound"
 
 echo "ingest gate: all checks passed"
