@@ -27,10 +27,15 @@ let with_signals f =
   let install s = Sys.signal s (Sys.Signal_handle (fun _ -> stop_requested := true)) in
   stop_requested := false;
   let prev_term = install Sys.sigterm and prev_int = install Sys.sigint in
+  (* A metrics scraper that disconnects mid-response would otherwise
+     deliver SIGPIPE, whose default disposition kills the process;
+     ignored, the write fails with EPIPE as a catchable Unix_error. *)
+  let prev_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
   Fun.protect
     ~finally:(fun () ->
       Sys.set_signal Sys.sigterm prev_term;
-      Sys.set_signal Sys.sigint prev_int)
+      Sys.set_signal Sys.sigint prev_int;
+      Sys.set_signal Sys.sigpipe prev_pipe)
     f
 
 (* EINTR-safe read; [None] when a stop was requested while blocked. *)
@@ -155,8 +160,12 @@ let reorder_gate ~strict_reorder ~out session =
 
 (* A deliberately minimal HTTP/1.1 responder: GET only, one request per
    connection, [Connection: close].  Enough for a Prometheus scraper or
-   a curl, with no client able to wedge the serve loop (the receive
-   timeout cuts off a stalled request). *)
+   a curl.  The connection runs inline in the serve loop, so both
+   directions carry short socket timeouts: a client that trickles its
+   request or refuses to drain the response stalls ingestion for at
+   most a few hundred milliseconds before the connection is cut. *)
+
+let http_io_timeout = 0.25
 
 let http_listen ~host ~port =
   let addr =
@@ -202,7 +211,8 @@ let http_serve_one listener metrics =
   Fun.protect
     ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
   @@ fun () ->
-  Unix.setsockopt_float conn Unix.SO_RCVTIMEO 2.0;
+  Unix.setsockopt_float conn Unix.SO_RCVTIMEO http_io_timeout;
+  Unix.setsockopt_float conn Unix.SO_SNDTIMEO http_io_timeout;
   let buf = Bytes.create 4096 in
   let data = Buffer.create 256 in
   let rec read_request () =
@@ -397,7 +407,26 @@ let serve ?metrics ?metrics_addr ?(stats_interval = 0) ?backend
         let http =
           match metrics_addr with
           | None -> None
-          | Some (host, port) -> Some (http_listen ~host ~port)
+          | Some (host, port) ->
+              let listener = http_listen ~host ~port in
+              (* Report the bound address: with port 0 the kernel picks
+                 an ephemeral port, and a scraper (or CI) learns it from
+                 this record rather than guessing. *)
+              let bound_host, bound_port =
+                match Unix.getsockname listener with
+                | Unix.ADDR_INET (a, p) -> (Unix.string_of_inet_addr a, p)
+                | _ -> (host, port)
+              in
+              emit_record out
+                (Json.Obj
+                   [
+                     ("type", Json.String "metrics-listening");
+                     ( "addr",
+                       Json.String
+                         (Printf.sprintf "%s:%d" bound_host bound_port) );
+                     ("port", Json.Int bound_port);
+                   ]);
+              Some listener
         in
         Fun.protect
           ~finally:(fun () ->

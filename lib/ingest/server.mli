@@ -39,10 +39,14 @@
     With [metrics_addr (host, port)] the server additionally binds a
     TCP endpoint answering [GET /metrics] (Prometheus text format
     0.0.4) and [GET /stats.json] (the same registry as compact JSON),
-    multiplexed into the serve loop with [select] — no threads.  After
-    end of stream the endpoint {e lingers} (the final counters stay
-    scrapable) until SIGTERM/SIGINT; the exit code still reflects the
-    verdicts.
+    multiplexed into the serve loop with [select] — no threads.  A
+    [{"type":"metrics-listening", "addr":.., "port":..}] record
+    reports the bound address; with port [0] the kernel picks an
+    ephemeral port and this record is how callers learn it.  SIGPIPE
+    is ignored while serving, so a scraper disconnecting mid-response
+    cannot kill the process.  After end of stream the endpoint
+    {e lingers} (the final counters stay scrapable) until
+    SIGTERM/SIGINT; the exit code still reflects the verdicts.
 
     Exit codes: [0] all properties passed (or interrupted), [1] some
     property failed, [2] input/setup error (including a strict-reorder

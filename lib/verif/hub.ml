@@ -93,6 +93,9 @@ type obs = {
   wheel_depth : Obs.gauge;
   firings : Obs.counter;
   dispatch_ns : Obs.histogram;
+  mutable rebase : (unit -> unit) list;
+      (* re-baseline hooks for read-time delta counters, run by
+         [resync] after an external state restore *)
 }
 
 let latency_buckets =
@@ -130,6 +133,7 @@ let make_obs metrics tap =
       Obs.histogram metrics ~name:"loseq_hub_dispatch_ns"
         ~help:"Per-dispatch latency in nanoseconds (sampled 1 in 64)"
         ~buckets:latency_buckets ();
+    rebase = [];
   }
 
 type t = {
@@ -260,7 +264,11 @@ let host t checker ~strict =
       Obs.on_collect o.metrics (fun () ->
           let seen = Checker.events_seen checker in
           Obs.add steps (seen - !last);
-          last := seen));
+          last := seen);
+      (* A checkpoint restore sets [events_seen] to the historical
+         total; re-baselining keeps that jump out of the step counter
+         (no steps ran in this process for those events). *)
+      o.rebase <- (fun () -> last := Checker.events_seen checker) :: o.rebase);
   if strict then
     Tap.subscribe t.tap (fun e ->
         Checker.deliver checker e;
@@ -282,16 +290,18 @@ let host t checker ~strict =
                 ()
             in
             (* The just-bumped deliveries count doubles as the 1-in-64
-               latency sampling phase — no separate phase cell. *)
+               latency sampling phase — no separate phase cell.  The
+               clock is CLOCK_MONOTONIC in nanoseconds (immune to NTP
+               steps, fine enough for the sub-microsecond buckets). *)
             Tap.subscribe_name t.tap n (fun e ->
                 Obs.incr deliveries;
                 if Obs.counter_value deliveries land 63 = 0 then begin
-                  let t0 = Unix.gettimeofday () in
+                  let t0 = Monotonic_clock.now () in
                   handler e;
                   after_delivery t entry;
                   Obs.set o.wheel_depth t.wheel.Wheel.len;
                   Obs.observe o.dispatch_ns
-                    (int_of_float ((Unix.gettimeofday () -. t0) *. 1e9))
+                    (Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0))
                 end
                 else begin
                   handler e;
@@ -322,13 +332,18 @@ let on_violation t hook =
 
 (* After an external state restore: every entry's armed deadline is
    stale — re-read next_deadline, re-park the wheel and the kernel
-   timeout.  [settle] expires deadlines already in the past. *)
+   timeout.  [settle] expires deadlines already in the past.  Delta
+   counters mirroring checker state are re-baselined for the same
+   reason: the restore moved their source without executing steps. *)
 let resync t =
   List.iter
     (fun entry ->
       entry.armed <- -1;
       rearm t entry)
     (List.rev t.entries_rev);
+  (match t.obs with
+  | Some o -> List.iter (fun f -> f ()) o.rebase
+  | None -> ());
   settle t
 
 let finalize t = List.iter (fun c -> ignore (Checker.finalize c)) (checkers t)

@@ -126,6 +126,39 @@ let test_file_roundtrip () =
         "verdicts equal" baseline
         (Report.summary_strings (Session.finalize second))
 
+(* A restore moves [events_seen] to the checkpoint's historical total
+   without executing any monitor step in this process; the hub's
+   read-time delta into [loseq_backend_steps_total] must re-baseline
+   (Hub.resync) so the counter reflects only post-resume steps. *)
+let test_resume_rebases_step_counters () =
+  let module Obs = Loseq_obs.Metrics in
+  let steps m =
+    match
+      Obs.read_counter m ~name:"loseq_backend_steps_total"
+        ~labels:[ ("backend", "compiled") ] ()
+    with
+    | Some n -> n
+    | None -> Alcotest.fail "loseq_backend_steps_total not registered"
+  in
+  let cut = 5 in
+  let full = Obs.create () in
+  offer_all (Session.create ~metrics:full demo_suite) passing_trace;
+  let prefix = Obs.create () in
+  let first = Session.create ~metrics:prefix demo_suite in
+  offer_all first (List.filteri (fun i _ -> i < cut) passing_trace);
+  let json = Checkpoint.capture first in
+  let live = Obs.create () in
+  let second = Session.create ~metrics:live demo_suite in
+  (match Checkpoint.restore second json with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  Alcotest.(check int) "no steps counted for pre-resume history" 0
+    (steps live);
+  offer_all second (List.filteri (fun i _ -> i >= cut) passing_trace);
+  ignore (Session.finalize second);
+  Alcotest.(check int) "post-resume steps = full run minus prefix"
+    (steps full - steps prefix) (steps live)
+
 let test_restore_refuses_mismatches () =
   let session = Session.create demo_suite in
   offer_all session passing_trace;
@@ -190,6 +223,8 @@ let () =
       ( "files",
         [
           Alcotest.test_case "save/resume" `Quick test_file_roundtrip;
+          Alcotest.test_case "step counters rebased" `Quick
+            test_resume_rebases_step_counters;
           Alcotest.test_case "mismatches refused" `Quick
             test_restore_refuses_mismatches;
         ] );
