@@ -22,6 +22,47 @@ let line = String.make 78 '-'
 let section title =
   Format.printf "@.%s@.%s@.%s@." line title line
 
+(* ---- provenance --------------------------------------------------------- *)
+
+(* Every BENCH_*.json artifact records where it came from: the git
+   revision of the tree that produced it, the backend it exercises,
+   and the toolchain — so a number in CI can be traced to a commit. *)
+let read_first_line path =
+  match open_in path with
+  | ic ->
+      let l = try input_line ic with End_of_file -> "" in
+      close_in ic;
+      Some (String.trim l)
+  | exception Sys_error _ -> None
+
+let git_rev () =
+  (* benches may run from the project root or a dune sandbox: walk up a
+     few levels looking for .git/HEAD, then follow one "ref: " hop. *)
+  let rec find dir depth =
+    if depth > 4 then None
+    else if Sys.file_exists (Filename.concat dir ".git/HEAD") then Some dir
+    else find (Filename.concat dir Filename.parent_dir_name) (depth + 1)
+  in
+  match find Filename.current_dir_name 0 with
+  | None -> "unknown"
+  | Some dir -> (
+      match read_first_line (Filename.concat dir ".git/HEAD") with
+      | None | Some "" -> "unknown"
+      | Some head ->
+          if String.length head > 5 && String.sub head 0 5 = "ref: " then
+            let ref_path =
+              String.trim (String.sub head 5 (String.length head - 5))
+            in
+            Option.value ~default:"unknown"
+              (read_first_line
+                 (Filename.concat (Filename.concat dir ".git") ref_path))
+          else head)
+
+let provenance_json ~backend =
+  Printf.sprintf
+    {|"provenance": { "git_rev": %S, "backend": %S, "ocaml": %S, "loseq_version": %S }|}
+    (git_rev ()) backend Sys.ocaml_version Version.current
+
 (* Mean measured ops/event and measured storage of the real monitor on a
    satisfying workload. *)
 let measured ?(rounds = 20) p =
@@ -381,11 +422,132 @@ let hosted_dispatch () =
   in
   Printf.fprintf oc
     "{\n  \"benchmark\": \"hosted_dispatch\",\n  \"workload\": \"N disjoint \
-     {a_i, b_i} <<! go_i checkers, round-robin satisfying stream\",\n  \
+     {a_i, b_i} <<! go_i checkers, round-robin satisfying stream\",\n  %s,\n  \
      \"rows\": [\n%s\n  ]\n}\n"
+    (provenance_json ~backend:"compiled")
     (String.concat ",\n" (List.map row_json rows));
   close_out oc;
   Format.printf "@.written: BENCH_hosted_dispatch.json@."
+
+(* ---- Section 3b': whole-suite flat engine ------------------------------- *)
+
+(* The tentpole acceptance gate: the suite-level flat engine hosted
+   engine-direct must beat per-checker compiled hub hosting by >= 2x
+   at 64 checkers on the dispatch workload above.  Three hostings of
+   the identical stream: the routed hub over per-pattern compiled
+   backends (baseline), the same hub over flat views (shared engine,
+   per-checker closures), and Hub.host_flat stepping the engine's
+   dispatch table directly. *)
+let flat_table () =
+  section
+    "Flat suite engine: hub compiled vs flat views vs engine-direct dispatch";
+  let open Loseq_sim in
+  let open Loseq_verif in
+  let target_events = 120_000 in
+  let bench n =
+    let suite =
+      List.init n (fun i ->
+          {
+            Suite.label = Printf.sprintf "p%d" i;
+            pattern = pat (Printf.sprintf "{a%d, b%d} <<! go%d" i i i);
+            line = i + 1;
+          })
+    in
+    let names =
+      Array.init n (fun i ->
+          [|
+            Name.v (Printf.sprintf "a%d" i);
+            Name.v (Printf.sprintf "b%d" i);
+            Name.v (Printf.sprintf "go%d" i);
+          |])
+    in
+    let events = target_events / (3 * n) * 3 * n in
+    let timed attach =
+      let kernel = Kernel.create () in
+      let tap = Tap.create ~record:false kernel in
+      let hub = attach tap in
+      (* pre-bound ports: the harness should measure dispatch + step
+         cost, not per-event name hashing *)
+      let ports = Array.map (Array.map (Tap.port tap)) names in
+      let t0 = Sys.time () in
+      for j = 0 to events - 1 do
+        ports.((j / 3) mod n).(j mod 3) ()
+      done;
+      let dt = Sys.time () -. t0 in
+      (* verdict agreement across hostings: this workload satisfies
+         every checker, whichever path delivered the events *)
+      assert (Hub.all_passed hub);
+      Float.max dt 1e-6
+    in
+    let hub_compiled tap =
+      let hub = Hub.create tap in
+      List.iter
+        (fun (e : Suite.entry) -> ignore (Hub.add ~name:e.label hub e.pattern))
+        suite;
+      hub
+    in
+    let flat_views tap =
+      Suite.attach_hub ~suite_backend:Backend.flat_views tap suite
+    in
+    let flat_engine tap = fst (Suite.attach_hub_flat tap suite) in
+    (* interleaved best-of so frequency drift cancels *)
+    ignore (timed hub_compiled);
+    let hub_s = ref infinity
+    and views_s = ref infinity
+    and engine_s = ref infinity in
+    for _ = 1 to 5 do
+      hub_s := Float.min !hub_s (timed hub_compiled);
+      views_s := Float.min !views_s (timed flat_views);
+      engine_s := Float.min !engine_s (timed flat_engine)
+    done;
+    (n, events, !hub_s, !views_s, !engine_s)
+  in
+  let rows = List.map bench [ 1; 4; 16; 64 ] in
+  Format.printf "%-10s | %8s | %12s | %12s | %12s | %8s@." "checkers"
+    "events" "hub compiled" "flat views" "flat engine" "speedup";
+  List.iter
+    (fun (n, events, hub_s, views_s, engine_s) ->
+      let eps dt = float_of_int events /. dt in
+      Format.printf "%-10d | %8d | %12.3e | %12.3e | %12.3e | %7.2fx@." n
+        events (eps hub_s) (eps views_s) (eps engine_s)
+        (eps engine_s /. eps hub_s))
+    rows;
+  let at64 =
+    List.find_map
+      (fun (n, _, hub_s, _, engine_s) ->
+        if n = 64 then Some (hub_s /. engine_s) else None)
+      rows
+  in
+  (match at64 with
+  | Some s ->
+      Format.printf
+        "@.engine-direct speedup at 64 checkers: %.2fx (acceptance bound: \
+         2x)@."
+        s
+  | None -> ());
+  let oc = open_out "BENCH_flat_table.json" in
+  let row_json (n, events, hub_s, views_s, engine_s) =
+    let eps dt = float_of_int events /. dt in
+    Printf.sprintf
+      {|    { "checkers": %d, "events": %d,
+      "hub_compiled": { "seconds": %.6f, "events_per_sec": %.1f },
+      "flat_views": { "seconds": %.6f, "events_per_sec": %.1f },
+      "flat_engine": { "seconds": %.6f, "events_per_sec": %.1f },
+      "speedup_vs_compiled": %.2f }|}
+      n events hub_s (eps hub_s) views_s (eps views_s) engine_s
+      (eps engine_s)
+      (hub_s /. engine_s)
+  in
+  Printf.fprintf oc
+    "{\n  \"benchmark\": \"flat_table\",\n  \"workload\": \"N disjoint {a_i, \
+     b_i} <<! go_i checkers, round-robin satisfying stream, three \
+     hostings\",\n  %s,\n  \"meets_2x_at_64\": %b,\n  \"hosted_dispatch\": \
+     [\n%s\n  ]\n}\n"
+    (provenance_json ~backend:"flat")
+    (match at64 with Some s -> s >= 2.0 | None -> false)
+    (String.concat ",\n" (List.map row_json rows));
+  close_out oc;
+  Format.printf "@.written: BENCH_flat_table.json@."
 
 (* ---- Section 3c: ingest throughput ------------------------------------- *)
 
@@ -498,6 +660,7 @@ let ingest_throughput () =
     {|{
   "benchmark": "ingest_throughput",
   "workload": "16 disjoint {a_i, b_i} <<! go_i checkers, round-robin satisfying LSQB stream",
+  %s,
   "events": %d,
   "stream_bytes": %d,
   "hub_dispatch": { "seconds": %.6f, "events_per_sec": %.1f },
@@ -507,6 +670,7 @@ let ingest_throughput () =
   "within_2x": %b
 }
 |}
+    (provenance_json ~backend:"compiled")
     events (String.length bytes) hub_s (eps hub_s) decode_s (eps decode_s)
     e2e_s (eps e2e_s) ratio (ratio <= 2.0);
   close_out oc;
@@ -590,6 +754,7 @@ let telemetry_overhead () =
     {|{
   "benchmark": "telemetry_overhead",
   "workload": "16 disjoint {a_i, b_i} <<! go_i checkers, round-robin satisfying stream, hub-hosted",
+  %s,
   "events": %d,
   "noop": { "seconds": %.6f, "events_per_sec": %.1f },
   "live": { "seconds": %.6f, "events_per_sec": %.1f },
@@ -598,6 +763,7 @@ let telemetry_overhead () =
   "within_5pct": %b
 }
 |}
+    (provenance_json ~backend:"compiled")
     events noop_s (eps noop_s) live_s (eps live_s) dispatched overhead_pct
     (overhead_pct <= 5.0);
   close_out oc;
@@ -658,12 +824,14 @@ let race_analysis () =
     {|{
   "benchmark": "race_analysis",
   "suite": %S,
+  %s,
   "entries": [
 %s  ],
   "certificate": { "seconds": %.6f, "bound": %S, "decided": %b }
 }
 |}
     suite_path
+    (provenance_json ~backend:"analysis")
     (String.concat ""
        (List.map
           (fun (label, dt, (r : Commute.result)) ->
@@ -775,6 +943,7 @@ let sections_by_name =
     ("ablation", ablation_oracle);
     ("case-study", case_study);
     ("hosted-dispatch", hosted_dispatch);
+    ("flat-table", flat_table);
     ("ingest", ingest_throughput);
     ("obs", telemetry_overhead);
     ("races", race_analysis);

@@ -27,21 +27,38 @@ let backend_kind_arg =
   let doc =
     "Monitor backend: $(b,direct) (the paper's structural Drct \
      construction, richest diagnostics), $(b,compiled) (flat-table \
-     fast path, the default), or $(b,psl) (formula progression over \
-     the Section-5 PSL translation; rejects wide ranges and checks \
-     timed patterns without their quantitative deadline)."
+     fast path, the default), $(b,flat) (whole-suite table engine: \
+     every checker's state packed into one array, one shared \
+     dispatch — the fastest hosted path), or $(b,psl) (formula \
+     progression over the Section-5 PSL translation; rejects wide \
+     ranges and checks timed patterns without their quantitative \
+     deadline)."
   in
   Cmdliner.Arg.(
     value
     & opt
-        (enum [ ("direct", `Direct); ("compiled", `Compiled); ("psl", `Psl) ])
+        (enum
+           [
+             ("direct", `Direct);
+             ("compiled", `Compiled);
+             ("flat", `Flat);
+             ("psl", `Psl);
+           ])
         `Compiled
     & info [ "backend" ] ~docv:"BACKEND" ~doc)
 
 let factory_of = function
   | `Direct -> fun p -> Backend.direct p
   | `Compiled -> Backend.compiled
+  | `Flat -> Backend.flat
   | `Psl -> Loseq_psl.Progress.backend
+
+(* The flat backend is suite-level: given the whole suite it compiles
+   one engine and hands out per-entry views.  The other kinds host per
+   pattern. *)
+let suite_factory_of = function
+  | `Flat -> Some Backend.flat_views
+  | `Direct | `Compiled | `Psl -> None
 
 (* ---- telemetry (--stats) ---------------------------------------------- *)
 
@@ -662,7 +679,9 @@ let suite_cmd =
             with_stats stats @@ fun metrics ->
             match
               Loseq_verif.Suite.check_trace ~metrics
-                ~backend:(factory_of backend_kind) ?final_time suite trace
+                ~backend:(factory_of backend_kind)
+                ?suite_backend:(suite_factory_of backend_kind)
+                ?final_time suite trace
             with
             | results ->
                 List.iter
@@ -746,6 +765,7 @@ let serve_cmd =
         in
         Loseq_ingest.Server.serve ?metrics_addr ~stats_interval
           ~backend:(factory_of backend_kind)
+          ?suite_backend:(suite_factory_of backend_kind)
           ~lateness ~window ?checkpoint ~checkpoint_every ~resume
           ~strict_reorder ?final_time ~input suite
   in

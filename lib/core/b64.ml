@@ -1,0 +1,78 @@
+let alphabet =
+  "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/"
+
+let encode s =
+  let n = String.length s in
+  let out = Buffer.create ((n + 2) / 3 * 4) in
+  let byte i = Char.code (String.unsafe_get s i) in
+  let put k = Buffer.add_char out alphabet.[k land 63] in
+  let i = ref 0 in
+  while !i + 3 <= n do
+    let w = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) lor byte (!i + 2) in
+    put (w lsr 18);
+    put (w lsr 12);
+    put (w lsr 6);
+    put w;
+    i := !i + 3
+  done;
+  (match n - !i with
+  | 1 ->
+      let w = byte !i lsl 16 in
+      put (w lsr 18);
+      put (w lsr 12);
+      Buffer.add_string out "=="
+  | 2 ->
+      let w = (byte !i lsl 16) lor (byte (!i + 1) lsl 8) in
+      put (w lsr 18);
+      put (w lsr 12);
+      put (w lsr 6);
+      Buffer.add_char out '='
+  | _ -> ());
+  Buffer.contents out
+
+(* Decoding table: -1 = invalid, -2 = padding. *)
+let table =
+  let t = Array.make 256 (-1) in
+  String.iteri (fun i c -> t.(Char.code c) <- i) alphabet;
+  t.(Char.code '=') <- -2;
+  t
+
+let decode s =
+  let n = String.length s in
+  if n mod 4 <> 0 then
+    Error (Printf.sprintf "base64: length %d is not a multiple of 4" n)
+  else begin
+    let out = Buffer.create (n / 4 * 3) in
+    let err = ref None in
+    let i = ref 0 in
+    while !err = None && !i < n do
+      let q k = table.(Char.code s.[!i + k]) in
+      let a = q 0 and b = q 1 and c = q 2 and d = q 3 in
+      let last = !i + 4 = n in
+      if a < 0 || b < 0 then
+        err := Some (Printf.sprintf "base64: invalid character at %d" !i)
+      else if c = -2 then
+        if last && d = -2 then
+          Buffer.add_char out (Char.chr ((a lsl 2) lor (b lsr 4) land 0xff))
+        else err := Some (Printf.sprintf "base64: misplaced padding at %d" !i)
+      else if c < 0 then
+        err := Some (Printf.sprintf "base64: invalid character at %d" !i)
+      else if d = -2 then
+        if last then begin
+          let w = (a lsl 12) lor (b lsl 6) lor c in
+          Buffer.add_char out (Char.chr (w lsr 10 land 0xff));
+          Buffer.add_char out (Char.chr (w lsr 2 land 0xff))
+        end
+        else err := Some (Printf.sprintf "base64: misplaced padding at %d" !i)
+      else if d < 0 then
+        err := Some (Printf.sprintf "base64: invalid character at %d" !i)
+      else begin
+        let w = (a lsl 18) lor (b lsl 12) lor (c lsl 6) lor d in
+        Buffer.add_char out (Char.chr (w lsr 16 land 0xff));
+        Buffer.add_char out (Char.chr (w lsr 8 land 0xff));
+        Buffer.add_char out (Char.chr (w land 0xff))
+      end;
+      i := !i + 4
+    done;
+    match !err with Some m -> Error m | None -> Ok (Buffer.contents out)
+  end

@@ -1,0 +1,12 @@
+(** Minimal RFC 4648 base64, for embedding binary engine blobs in JSON
+    checkpoints.  The stdlib has no codec and the project deliberately
+    takes no external dependency for one; this is the standard alphabet
+    with [=] padding, strict decoding (no whitespace, no missing
+    padding). *)
+
+val encode : string -> string
+
+val decode : string -> (string, string) result
+(** [Error] describes the first offending position — decoding feeds
+    checkpoint restore, which must reject corruption with a message,
+    not an exception. *)

@@ -19,10 +19,12 @@ type t = {
   ops : (unit -> int) option;
   persist : (unit -> Compiled.persisted) option;
   restore : (Compiled.persisted -> unit) option;
+  engine : Flat.t option;
 }
 
 let make ~label ~pattern ?alphabet ~step ?prepare ?check_time ?next_deadline
-    ?finalize ~verdict ~reset ?states ?acceptable ?ops ?persist ?restore () =
+    ?finalize ~verdict ~reset ?states ?acceptable ?ops ?persist ?restore
+    ?engine () =
   let alphabet =
     match alphabet with Some a -> a | None -> Pattern.alpha pattern
   in
@@ -56,9 +58,11 @@ let make ~label ~pattern ?alphabet ~step ?prepare ?check_time ?next_deadline
     ops;
     persist;
     restore;
+    engine;
   }
 
 type factory = Pattern.t -> t
+type suite_factory = (string * Pattern.t) list -> t array
 
 (* ---- structural (Drct, the paper's construction) ---------------------- *)
 
@@ -118,6 +122,65 @@ let of_compiled c =
     ()
 
 let compiled pattern = of_compiled (Compiled.compile pattern)
+
+(* ---- flat (whole-suite table engine) ----------------------------------- *)
+
+let violation_of_flat eng ck ~(reason : Diag.reason) ~time ~index =
+  {
+    Diag.name = None;
+    time;
+    index;
+    fragment = max (Flat.active_fragment eng ck) 0;
+    reason;
+  }
+
+let lift_flat eng ck = function
+  | Compiled.Running -> Running
+  | Compiled.Satisfied -> Satisfied
+  | Compiled.Violated { reason; time; index } ->
+      Violated (violation_of_flat eng ck ~reason ~time ~index)
+
+(* One checker of a shared engine, behind the per-checker contract:
+   every closure indexes the engine's packed table.  Hosts that know
+   about engines ([Hub.host_flat], checkpoint blobs) recognize the
+   sharing through the [engine] capability. *)
+let flat_view eng ck =
+  let verdict () = lift_flat eng ck (Flat.verdict eng ck) in
+  make ~label:"flat"
+    ~pattern:(Flat.pattern eng ck)
+    ~alphabet:(Flat.alphabet eng ck)
+    ~step:(fun e ->
+      Flat.step_checker eng ck e;
+      if Flat.verdict_code eng ck = 0 then Running else verdict ())
+    ~prepare:(fun name ->
+      let loc = Flat.local_of_name eng ck name in
+      if loc < 0 then fun _time -> verdict ()
+      else
+        fun time ->
+          Flat.step_local eng ck loc ~time;
+          if Flat.verdict_code eng ck = 0 then Running else verdict ())
+    ~check_time:(fun ~now ->
+      Flat.check_time_checker eng ck ~now;
+      verdict ())
+    ~next_deadline:(fun () -> Flat.next_deadline_checker eng ck)
+    ~finalize:(fun ~now ->
+      Flat.check_time_checker eng ck ~now;
+      verdict ())
+    ~verdict
+    ~reset:(fun () -> Flat.reset_checker eng ck)
+    ~persist:(fun () -> Flat.persist_checker eng ck)
+    ~restore:(fun p -> Flat.restore_checker eng ck p)
+    ~engine:eng ()
+
+let flat_suite entries =
+  let eng = Flat.compile entries in
+  (eng, Array.init (Flat.size eng) (flat_view eng))
+
+let flat_views entries = snd (flat_suite entries)
+
+let flat pattern =
+  let _, views = flat_suite [ ("pattern", pattern) ] in
+  views.(0)
 
 (* ---- signature-style extension ---------------------------------------- *)
 

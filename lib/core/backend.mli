@@ -68,7 +68,13 @@ type t = {
           streaming monitors (compiled backend only). *)
   restore : (Compiled.persisted -> unit) option;
       (** Overwrite the run state with a {!t.persist}ed one (compiled
-          backend only; same-pattern monitors). *)
+          and flat backends; same-pattern monitors). *)
+  engine : Flat.t option;
+      (** The shared suite engine this backend is a view of (flat
+          backend only).  Hosts that can exploit suite-level sharing —
+          engine-direct dispatch, one-blob checkpoints — discover it
+          here; everyone else treats the view as an ordinary
+          per-checker backend. *)
 }
 
 val make :
@@ -87,6 +93,7 @@ val make :
   ?ops:(unit -> int) ->
   ?persist:(unit -> Compiled.persisted) ->
   ?restore:(Compiled.persisted -> unit) ->
+  ?engine:Flat.t ->
   unit ->
   t
 (** Build a backend, defaulting the optional operations: [alphabet]
@@ -110,6 +117,25 @@ val direct : ?mode:Monitor.mode -> factory
 
 val compiled : factory
 (** The {!Compiled} flat-table fast path — the production default. *)
+
+type suite_factory = (string * Pattern.t) list -> t array
+(** Suite-level compilation: hosts that monitor a whole labelled suite
+    hand it over in one call so the factory can share state across
+    checkers.  The returned array is in entry order. *)
+
+val flat_suite : (string * Pattern.t) list -> Flat.t * t array
+(** Compile the whole suite into one {!Flat} engine and return it with
+    one backend view per entry (label ["flat"]).  The views share the
+    engine's packed state array; each also carries it in {!t.engine}. *)
+
+val flat_views : suite_factory
+(** {!flat_suite} without the engine handle — what generic
+    [?suite_backend] host parameters take. *)
+
+val flat : factory
+(** A single-pattern flat engine (a one-entry suite) — [--backend flat]
+    on per-pattern hosts.  The suite-level entry points above are where
+    the flavor earns its keep. *)
 
 val of_monitor : Monitor.t -> t
 (** Wrap an existing structural monitor ([reset] rebuilds it in lenient

@@ -1,0 +1,155 @@
+(** The flat-table {e suite} engine: a whole pattern suite compiled
+    ahead of time into one table-driven step machine.
+
+    {!Compiled} already turns a single pattern into flat arrays, but a
+    hosted suite still steps one OCaml-heap monitor object per event
+    through a chain of per-checker closures.  This module compiles all
+    checkers of a suite together:
+
+    - every event name across the suite is interned into one dense
+      [gid] space, with a CSR (offsets + parallel arrays) dispatch
+      table mapping each [gid] to the [(checker, local-id)] pairs that
+      must step — per-name dispatch is an array slice walk, no
+      closures, no hash on the hot path;
+    - all automaton states, range counters, deadline slots and verdict
+      descriptors of every checker live in a single [Bigarray] int
+      array ({!layout}): one contiguous slab per checker, control
+      words first, then recognizer states, then counters.  The engine
+      owns no other mutable state, so a checkpoint of the whole suite
+      is one [memcpy]-shaped blob ({!save_blob}) and a future
+      multicore shard is a slice of the array;
+    - {!step_local} is a branch-minimized mirror of
+      [Compiled.step_id] (same Fig. 5 recognizer semantics, verified
+      against it property-by-property in [test_backend]).
+
+    Verdicts and persisted states are {e shared} with {!Compiled}
+    (same types), so backend lifting and the JSON checkpoint codec
+    host both engines unchanged. *)
+
+type t
+
+val compile : (string * Pattern.t) list -> t
+(** Compile a labelled suite.  Raises {!Wellformed.Ill_formed} on any
+    ill-formed pattern.  Checker indices are list order. *)
+
+(** {1 Identity} *)
+
+val size : t -> int
+(** Number of checkers. *)
+
+val label : t -> int -> string
+val pattern : t -> int -> Pattern.t
+val alphabet : t -> int -> Name.Set.t
+
+val names : t -> Name.t array
+(** The interning table: [gid -> name], in first-appearance order
+    across the suite — part of the checkpoint identity. *)
+
+val gid_of_name : t -> Name.t -> int option
+
+val local_of_name : t -> int -> Name.t -> int
+(** [local_of_name t ck nm] is the checker-local id of [nm] for [ck],
+    or [-1] when [nm] is not in that checker's alphabet — resolved
+    once by per-name-routed hosts ({!Backend.t.prepare}). *)
+
+(** {1 Stepping} *)
+
+val step_local : t -> int -> int -> time:int -> unit
+(** [step_local t ck loc ~time]: one monitor step of checker [ck] on
+    its local name [loc].  Sticky after a decided verdict.  The hot
+    path: a handful of reads in [ck]'s slab, no allocation. *)
+
+val step_name : t -> gid:int -> time:int -> unit
+(** Step every checker subscribed to [gid] (the CSR row), in suite
+    order. *)
+
+val step_event : t -> Trace.event -> unit
+(** {!step_name} after interning; foreign names are ignored. *)
+
+val step_checker : t -> int -> Trace.event -> unit
+(** Step one checker only (the per-checker backend view's [step]);
+    names outside its alphabet are ignored. *)
+
+(** {1 Verdicts and time} *)
+
+val verdict_code : t -> int -> int
+(** [0] running, [1] satisfied, [2] violated — the raw control word,
+    for allocation-free polling. *)
+
+val verdict : t -> int -> Compiled.verdict
+(** The full verdict, diagnostics reconstructed from the tables. *)
+
+val active_fragment : t -> int -> int
+val index : t -> int -> int
+val rounds_completed : t -> int -> int
+
+val steps_total : t -> int
+(** Sum of all checkers' step indices — what an observability layer
+    mirrors into [loseq_backend_steps_total{backend=flat}]. *)
+
+val check_time_checker : t -> int -> now:int -> unit
+val check_time : t -> now:int -> unit
+(** Report deadline misses at [now] (one checker / every timed
+    checker). *)
+
+val finalize : t -> now:int -> unit
+
+val next_deadline_checker : t -> int -> int option
+
+val next_deadline : t -> int option
+(** Earliest armed deadline across the suite — what a hub parks its
+    single kernel timeout at. *)
+
+val timed_checkers : t -> int array
+
+val deadline_generation : t -> int
+(** Bumped whenever any checker's armed-deadline state may have
+    changed (arming, completion, round reset, verdict, restore).  A
+    host re-settles its wheel only when this moves — the steady-state
+    step path leaves it untouched. *)
+
+val set_notify : t -> (int -> unit) option -> unit
+(** [notify ck] fires on every verdict decision (satisfied or
+    violated, including deadline checks) — how engine-level dispatch
+    still feeds checker hooks and [Obs] transition counters. *)
+
+(** {1 Reset and persistence} *)
+
+val reset_checker : t -> int -> unit
+val reset : t -> unit
+
+val persist_checker : t -> int -> Compiled.persisted
+(** Per-checker state in the {!Compiled} persisted format — the JSON
+    checkpoint fallback, and the bridge when a flat blob is restored
+    into compiled-backend checkers. *)
+
+val restore_checker : t -> int -> Compiled.persisted -> unit
+(** Raises [Invalid_argument] when the state does not fit (wrong
+    recognizer count, a diagnostic range not in the pattern). *)
+
+val blob_version : int
+
+val save_blob : t -> string
+(** The whole suite's run state as one versioned binary blob:
+    ["LSQF"], format version, slot count, then the raw slots —
+    resume cost is one array copy, independent of checker count. *)
+
+val load_blob : t -> string -> (unit, string) result
+(** Overwrite the run state from a blob.  Rejects (with a message,
+    never an exception) foreign data, an unsupported blob version, or
+    a slot count that does not match this engine's layout. *)
+
+(** {1 Introspection} *)
+
+val ctrl_slots : int
+(** Control words per checker slab (see DESIGN §3e). *)
+
+type layout = {
+  total_slots : int;  (** length of the state array *)
+  checker_base : int array;  (** slab start per checker *)
+  state_slot : int array;  (** global recognizer -> state slot *)
+  counter_slot : int array;  (** global recognizer -> counter slot *)
+}
+
+val layout : t -> layout
+(** The packing, for tests that pin it and shards that slice it. *)

@@ -2,7 +2,13 @@ open Loseq_core
 open Loseq_verif
 
 let format_name = "loseq-checkpoint"
+
+(* Version 1: per-checker JSON states (any persistable backend).
+   Version 2: one base64 engine blob + interning table (flat suite
+   engine) — resume cost no longer scales with checker count.  Both
+   are written and read: the session's hosting decides which. *)
 let format_version = 1
+let blob_format_version = 2
 
 (* ---- capture ----------------------------------------------------------- *)
 
@@ -80,58 +86,110 @@ let json_of_event (e : Trace.event) =
   Json.Obj
     [ ("name", Json.String (Name.to_string e.name)); ("time", Json.Int e.time) ]
 
-let capture session =
-  let reorder = Session.reorder session in
+(* All checkers hosted as views of one shared flat engine?  Then the
+   whole suite's run state is one blob. *)
+let shared_engine checkers =
+  match checkers with
+  | [] -> None
+  | first :: rest -> (
+      match (Checker.backend first).Backend.engine with
+      | None -> None
+      | Some eng ->
+          if
+            List.for_all
+              (fun c ->
+                match (Checker.backend c).Backend.engine with
+                | Some e -> e == eng
+                | None -> false)
+              rest
+          then Some eng
+          else None)
+
+let common_fields ~version session =
   let stats = Session.stats session in
-  let checkers =
-    List.map
-      (fun c ->
-        let backend = Checker.backend c in
-        let persisted =
-          match backend.Backend.persist with
-          | Some persist -> persist ()
-          | None ->
-              failwith
-                (Printf.sprintf
-                   "checker %S: backend %S has no persistence capability \
-                    (checkpointing requires the compiled backend)"
-                   (Checker.name c) backend.Backend.label)
-        in
-        Json.Obj
-          [
-            ("name", Json.String (Checker.name c));
-            ("events_seen", Json.Int (Checker.events_seen c));
-            ("state", json_of_persisted persisted);
+  let reorder = Session.reorder session in
+  [
+    ("format", Json.String format_name);
+    ("version", Json.Int version);
+    ("suite", Json.String (Suite.to_string (Session.suite session)));
+    ("lateness", Json.Int (Session.lateness session));
+    ("window", Json.Int (Session.window session));
+    ( "position",
+      Json.Obj
+        [
+          ("accepted", Json.Int stats.accepted);
+          ("delivered", Json.Int stats.delivered);
+          ("forced", Json.Int stats.forced);
+          ("now", Json.Int (Session.now session));
+        ] );
+    ( "reorder",
+      Json.Obj
+        [
+          ("max_seen", Json.Int (Reorder.max_seen reorder));
+          ("released", Json.Int (Reorder.released reorder));
+          ("dropped_late", Json.Int (Reorder.dropped_late reorder));
+          ("reordered", Json.Int (Reorder.reordered reorder));
+          ( "pending",
+            Json.List (List.map json_of_event (Reorder.pending reorder)) );
+        ] );
+  ]
+
+let capture session =
+  let checkers = Hub.checkers (Session.hub session) in
+  match shared_engine checkers with
+  | Some eng ->
+      (* v2: the engine's packed state array, base64, plus the
+         interning table that pins its layout.  [events_seen] is
+         checker bookkeeping, not engine state, so it rides alongside. *)
+      Json.Obj
+        (common_fields ~version:blob_format_version session
+        @ [
+            ("engine", Json.String "flat");
+            ("blob_version", Json.Int Flat.blob_version);
+            ( "names",
+              Json.List
+                (Array.to_list
+                   (Array.map
+                      (fun n -> Json.String (Name.to_string n))
+                      (Flat.names eng))) );
+            ("blob", Json.String (B64.encode (Flat.save_blob eng)));
+            ( "checkers",
+              Json.List
+                (List.map
+                   (fun c ->
+                     Json.Obj
+                       [
+                         ("name", Json.String (Checker.name c));
+                         ("events_seen", Json.Int (Checker.events_seen c));
+                       ])
+                   checkers) );
           ])
-      (Hub.checkers (Session.hub session))
-  in
-  Json.Obj
-    [
-      ("format", Json.String format_name);
-      ("version", Json.Int format_version);
-      ("suite", Json.String (Suite.to_string (Session.suite session)));
-      ("lateness", Json.Int (Session.lateness session));
-      ("window", Json.Int (Session.window session));
-      ( "position",
-        Json.Obj
-          [
-            ("accepted", Json.Int stats.accepted);
-            ("delivered", Json.Int stats.delivered);
-            ("forced", Json.Int stats.forced);
-            ("now", Json.Int (Session.now session));
-          ] );
-      ( "reorder",
-        Json.Obj
-          [
-            ("max_seen", Json.Int (Reorder.max_seen reorder));
-            ("released", Json.Int (Reorder.released reorder));
-            ("dropped_late", Json.Int (Reorder.dropped_late reorder));
-            ("reordered", Json.Int (Reorder.reordered reorder));
-            ( "pending",
-              Json.List (List.map json_of_event (Reorder.pending reorder)) );
-          ] );
-      ("checkers", Json.List checkers);
-    ]
+  | None ->
+      let checker_states =
+        List.map
+          (fun c ->
+            let backend = Checker.backend c in
+            let persisted =
+              match backend.Backend.persist with
+              | Some persist -> persist ()
+              | None ->
+                  failwith
+                    (Printf.sprintf
+                       "checker %S: backend %S has no persistence capability \
+                        (checkpointing requires the compiled or flat backend)"
+                       (Checker.name c) backend.Backend.label)
+            in
+            Json.Obj
+              [
+                ("name", Json.String (Checker.name c));
+                ("events_seen", Json.Int (Checker.events_seen c));
+                ("state", json_of_persisted persisted);
+              ])
+          checkers
+      in
+      Json.Obj
+        (common_fields ~version:format_version session
+        @ [ ("checkers", Json.List checker_states) ])
 
 (* ---- restore ----------------------------------------------------------- *)
 
@@ -232,25 +290,9 @@ let persisted_of_json json : Compiled.persisted =
 let event_of_json json : Trace.event =
   { name = Name.v (string_exn "name" json); time = int_exn "time" json }
 
-let restore_exn session json =
-  (match string_exn "format" json with
-  | s when s = format_name -> ()
-  | s -> bad "not a loseq checkpoint (format %S)" s);
-  (match int_exn "version" json with
-  | v when v = format_version -> ()
-  | v -> bad "unsupported checkpoint version %d (expected %d)" v format_version);
-  let stored_suite = string_exn "suite" json in
-  let this_suite = Suite.to_string (Session.suite session) in
-  if stored_suite <> this_suite then
-    bad "checkpoint was taken against a different suite";
-  let stats = Session.stats session in
-  if stats.accepted <> 0 || stats.delivered <> 0 || Session.now session <> 0
-  then bad "checkpoint restore requires a fresh session";
-  let position = member_exn "position" json in
-  let reorder_json = member_exn "reorder" json in
-  (* Monitor states first, then time: the hub's wheel is re-armed from
-     the restored states, and advancing a fresh session's kernel fires
-     nothing (no deadline is armed in an initial state). *)
+(* v1 body: one persisted JSON state per checker, restored through the
+   backend's restore capability. *)
+let restore_checkers_v1 session json =
   let checkers = Hub.checkers (Session.hub session) in
   List.iter
     (fun cj ->
@@ -274,7 +316,111 @@ let restore_exn session json =
       | exception Invalid_argument msg ->
           bad "checker %S: state does not fit its monitor: %s" name msg);
       Checker.restore_meta checker ~events_seen:(int_exn "events_seen" cj))
-    (list_exn "checkers" json);
+    (list_exn "checkers" json)
+
+(* v2 body: one engine blob.  A flat-hosted session loads it straight
+   into its shared engine; any other hosting decodes into a scratch
+   engine compiled from the same suite and bridges each checker through
+   the persisted form — so compiled-written checkpoints resume under
+   flat and vice versa. *)
+let restore_checkers_v2 session json =
+  (match string_exn "engine" json with
+  | "flat" -> ()
+  | e -> bad "checkpoint engine %S is not supported (expected \"flat\")" e);
+  (match int_exn "blob_version" json with
+  | v when v = Flat.blob_version -> ()
+  | v ->
+      bad "unsupported flat blob version %d (expected %d)" v Flat.blob_version);
+  let blob =
+    match B64.decode (string_exn "blob" json) with
+    | Ok b -> b
+    | Error msg -> bad "checkpoint blob: %s" msg
+  in
+  let stored_names =
+    List.map
+      (function
+        | Json.String s -> s
+        | _ -> bad "checkpoint: field \"names\" must hold strings")
+      (list_exn "names" json)
+  in
+  let events_seen_of =
+    let table =
+      List.map
+        (fun cj -> (string_exn "name" cj, int_exn "events_seen" cj))
+        (list_exn "checkers" json)
+    in
+    fun name ->
+      match List.assoc_opt name table with
+      | Some n -> n
+      | None -> bad "checkpoint has no checker record for %S" name
+  in
+  let checkers = Hub.checkers (Session.hub session) in
+  let shared = shared_engine checkers in
+  let eng =
+    match shared with
+    | Some eng -> eng
+    | None ->
+        Flat.compile
+          (List.map
+             (fun (e : Suite.entry) -> (e.label, e.pattern))
+             (Session.suite session))
+  in
+  let engine_names =
+    Array.to_list (Array.map Name.to_string (Flat.names eng))
+  in
+  if stored_names <> engine_names then
+    bad "checkpoint interning table does not match this suite's alphabet";
+  (match Flat.load_blob eng blob with
+  | Ok () -> ()
+  | Error msg -> bad "%s" msg);
+  let checker_named name =
+    match List.find_opt (fun c -> Checker.name c = name) checkers with
+    | Some c -> c
+    | None -> bad "checkpoint names checker %S, not in this suite" name
+  in
+  for ck = 0 to Flat.size eng - 1 do
+    let name = Flat.label eng ck in
+    let checker = checker_named name in
+    (match shared with
+    | Some _ -> () (* the blob load above already is this checker's state *)
+    | None -> (
+        let backend = Checker.backend checker in
+        let restore =
+          match backend.Backend.restore with
+          | Some f -> f
+          | None ->
+              bad "checker %S: backend %S has no restore capability" name
+                backend.Backend.label
+        in
+        match restore (Flat.persist_checker eng ck) with
+        | () -> ()
+        | exception Invalid_argument msg ->
+            bad "checker %S: state does not fit its monitor: %s" name msg));
+    Checker.restore_meta checker ~events_seen:(events_seen_of name)
+  done
+
+let restore_exn session json =
+  (match string_exn "format" json with
+  | s when s = format_name -> ()
+  | s -> bad "not a loseq checkpoint (format %S)" s);
+  let version = int_exn "version" json in
+  if version <> format_version && version <> blob_format_version then
+    bad "unsupported checkpoint version %d (expected %d or %d)" version
+      format_version blob_format_version;
+  let stored_suite = string_exn "suite" json in
+  let this_suite = Suite.to_string (Session.suite session) in
+  if stored_suite <> this_suite then
+    bad "checkpoint was taken against a different suite";
+  let stats = Session.stats session in
+  if stats.accepted <> 0 || stats.delivered <> 0 || Session.now session <> 0
+  then bad "checkpoint restore requires a fresh session";
+  let position = member_exn "position" json in
+  let reorder_json = member_exn "reorder" json in
+  (* Monitor states first, then time: the hub's wheel is re-armed from
+     the restored states, and advancing a fresh session's kernel fires
+     nothing (no deadline is armed in an initial state). *)
+  if version = blob_format_version then restore_checkers_v2 session json
+  else restore_checkers_v1 session json;
   (match
      Reorder.restore (Session.reorder session)
        ~max_seen:(int_exn "max_seen" reorder_json)
@@ -308,15 +454,16 @@ let save ~path session =
   match capture session with
   | exception Failure msg -> Error msg
   | json -> (
+      let data = Json.to_string json in
       let tmp = path ^ ".tmp" in
       match open_out_bin tmp with
       | exception Sys_error msg -> Error msg
       | oc -> (
-          output_string oc (Json.to_string json);
+          output_string oc data;
           output_char oc '\n';
           close_out oc;
           match Sys.rename tmp path with
-          | () -> Ok ()
+          | () -> Ok (String.length data + 1)
           | exception Sys_error msg -> Error msg))
 
 let load ~path =
@@ -335,14 +482,14 @@ let position json =
   | n -> Ok n
   | exception Bad msg -> Error msg
 
-let resume ?metrics ?backend ~path suite =
+let resume ?metrics ?backend ?suite_backend ~path suite =
   match load ~path with
   | Error _ as err -> err
   | Ok json -> (
       match
         let lateness = int_exn "lateness" json
         and window = int_exn "window" json in
-        Session.create ?metrics ?backend ~lateness ~window suite
+        Session.create ?metrics ?backend ?suite_backend ~lateness ~window suite
       with
       | exception Bad msg -> Error msg
       | session -> (

@@ -6,8 +6,19 @@
     parameters, the stream position, the reorder buffer {e as is}
     (pending events are carried, not flushed — flushing would deliver
     them earlier than the uninterrupted run would have), and the exact
-    run state of every hosted monitor (via the compiled backend's
-    persistence capability, {!Loseq_core.Backend.t.persist}).
+    run state of every hosted monitor.
+
+    Two on-disk versions coexist.  Version 1 carries one persisted
+    JSON state per checker (via the backend persistence capability,
+    {!Loseq_core.Backend.t.persist}).  Version 2 is written when every
+    hosted checker is a view of one shared {!Loseq_core.Flat} suite
+    engine: the entire suite's run state is a single base64 blob plus
+    the interning table that pins its layout, so capture/restore cost
+    stops scaling with checker count.  Restore accepts either version
+    under either hosting — a compiled-written checkpoint resumes under
+    the flat backend and vice versa (the blob is decoded into a
+    scratch engine and bridged per checker when the session is not
+    flat-hosted).
 
     The resume contract is replay-based: the producer re-sends the
     stream from the start and the consumer skips the first
@@ -21,19 +32,23 @@
 open Loseq_core
 
 val capture : Session.t -> Json.t
-(** Raises [Failure] if a hosted checker's backend lacks the
-    persistence capability (any non-compiled backend). *)
+(** Version 2 (one engine blob) when the session is flat-hosted,
+    version 1 (per-checker states) otherwise.  Raises [Failure] if a
+    hosted checker's backend lacks the persistence capability. *)
 
 val restore : Session.t -> Json.t -> (unit, string) result
 (** Overwrite a {e fresh} session (no events offered) with a captured
-    state.  Fails on schema/version mismatch, a different suite, a
+    state, either version.  Fails on schema/version mismatch
+    (including a flat blob of an unsupported [blob_version], reported
+    as a clear error, not a decode exception), a different suite, a
     non-fresh session, or a backend without the restore capability.
     On success the session's kernel is advanced to the checkpointed
     time and the hub's deadline wheel is re-armed. *)
 
-val save : path:string -> Session.t -> (unit, string) result
+val save : path:string -> Session.t -> (int, string) result
 (** {!capture} to a file, atomically (write to [path ^ ".tmp"], then
-    rename). *)
+    rename).  [Ok n] is the encoded byte size written — surfaced in
+    the server's [checkpoint] NDJSON record. *)
 
 val load : path:string -> (Json.t, string) result
 
@@ -44,9 +59,12 @@ val position : Json.t -> (int, string) result
 val resume :
   ?metrics:Loseq_obs.Metrics.t ->
   ?backend:Backend.factory ->
+  ?suite_backend:Backend.suite_factory ->
   path:string ->
   Loseq_verif.Suite.t ->
   (Session.t, string) result
 (** [load], create a session with the checkpoint's lateness/window
-    (and, like {!Session.create}, an optional live [metrics] sink),
-    [restore]. *)
+    (and, like {!Session.create}, an optional live [metrics] sink and
+    backend choice), [restore].  The checkpoint's version and the
+    session's hosting are independent: any persistable [backend] or
+    [suite_backend] resumes either version. *)

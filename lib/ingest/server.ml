@@ -312,7 +312,7 @@ let open_input = function
       Unix.close listener;
       (conn, Some (fun () -> Unix.close conn; if Sys.file_exists path then Sys.remove path))
 
-let serve ?metrics ?metrics_addr ?(stats_interval = 0) ?backend
+let serve ?metrics ?metrics_addr ?(stats_interval = 0) ?backend ?suite_backend
     ?(lateness = 0) ?(window = 1024) ?checkpoint ?(checkpoint_every = 0)
     ?(resume = false) ?(strict_reorder = false) ?final_time ?(out = stdout)
     ~input suite =
@@ -336,9 +336,12 @@ let serve ?metrics ?metrics_addr ?(stats_interval = 0) ?backend
   in
   let session_result =
     if resuming then
-      Checkpoint.resume ~metrics ?backend ~path:(Option.get checkpoint) suite
+      Checkpoint.resume ~metrics ?backend ?suite_backend
+        ~path:(Option.get checkpoint) suite
     else
-      match Session.create ~metrics ?backend ~lateness ~window suite with
+      match
+        Session.create ~metrics ?backend ?suite_backend ~lateness ~window suite
+      with
       | s -> Ok s
       | exception Wellformed.Ill_formed (p, errs) ->
           Error
@@ -362,7 +365,7 @@ let serve ?metrics ?metrics_addr ?(stats_interval = 0) ?backend
         | None -> Ok false
         | Some path -> (
             match Checkpoint.save ~path session with
-            | Ok () ->
+            | Ok bytes ->
                 (match srv_obs with Some o -> Obs.incr o.ckpt | None -> ());
                 emit_record out
                   (Json.Obj
@@ -370,6 +373,7 @@ let serve ?metrics ?metrics_addr ?(stats_interval = 0) ?backend
                        ("type", Json.String "checkpoint");
                        ("path", Json.String path);
                        ("events", Json.Int (Session.position session));
+                       ("bytes", Json.Int bytes);
                      ]);
                 Ok true
             | Error _ as err -> err)

@@ -10,8 +10,10 @@
       "fragment":.., "message":..}] the moment any property first
       fails — the monitor is {e live}, a violation does not wait for
       end of stream;
-    - [{"type":"checkpoint", "path":.., "events":..}] after each
-      periodic {!Checkpoint.save};
+    - [{"type":"checkpoint", "path":.., "events":.., "bytes":..}]
+      after each periodic {!Checkpoint.save} ([bytes] is the encoded
+      size written — the flat blob format keeps it from scaling with
+      checker count);
     - on SIGTERM/SIGINT: a final checkpoint (when configured), then
       [{"type":"interrupted", "events":..}] — exit code 0, the stream
       is expected to resume;
@@ -59,6 +61,7 @@ val serve :
   ?metrics_addr:string * int ->
   ?stats_interval:int ->
   ?backend:Loseq_core.Backend.factory ->
+  ?suite_backend:Loseq_core.Backend.suite_factory ->
   ?lateness:int ->
   ?window:int ->
   ?checkpoint:string ->

@@ -16,10 +16,11 @@ type t = {
   mutable forced : int;
 }
 
-let create ?metrics ?backend ?(lateness = 0) ?(window = 1024) suite =
+let create ?metrics ?backend ?suite_backend ?(lateness = 0) ?(window = 1024)
+    suite =
   let kernel = Kernel.create () in
   let tap = Tap.create ~record:false kernel in
-  let hub = Suite.attach_hub ?metrics ?backend tap suite in
+  let hub = Suite.attach_hub ?metrics ?backend ?suite_backend tap suite in
   {
     suite;
     kernel;

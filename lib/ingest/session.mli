@@ -28,12 +28,15 @@ type t
 val create :
   ?metrics:Loseq_obs.Metrics.t ->
   ?backend:Backend.factory ->
+  ?suite_backend:Backend.suite_factory ->
   ?lateness:int ->
   ?window:int ->
   Suite.t ->
   t
-(** [backend] defaults to {!Backend.compiled} (the only backend with
-    checkpoint support); [lateness] to [0] (strictly chronological
+(** [backend] defaults to {!Backend.compiled}; [suite_backend]
+    (e.g. {!Backend.flat_views}) overrides it with a suite-level
+    compilation whose checkers share one engine — both support
+    checkpointing; [lateness] defaults to [0] (strictly chronological
     input expected); [window] to [1024].  A live [metrics] sink (default
     noop) is threaded to the {!Loseq_verif.Hub} and the {!Reorder}
     buffer, so one session exports the full hub + reorder instrument

@@ -154,6 +154,11 @@ let restore_meta t ~events_seen =
   | Some states -> Coverage.observe_states t.coverage (states ())
   | None -> ()
 
+(* The backend was stepped outside this checker (engine-level suite
+   dispatch): re-read the verdict and report a new violation through
+   the hooks exactly once. *)
+let sync_external t = report_if_violated t
+
 let passed t = Backend.passed (t.backend.Backend.verdict ())
 let on_violation t hook = t.violation_hooks <- hook :: t.violation_hooks
 let on_transition t hook = t.transition_hook <- Some hook

@@ -54,6 +54,13 @@ val routed : t -> Name.t -> Trace.event -> unit
 val poll : t -> now:int -> unit
 (** Deadline check at time [now] (reports a miss through the hooks). *)
 
+val sync_external : t -> unit
+(** The backend was stepped {e outside} this checker — engine-level
+    suite dispatch ({!Loseq_core.Flat}) where the shared engine, not
+    the checker, executes the monitor step.  Re-reads the verdict and
+    reports a new violation through the hooks exactly once; a no-op
+    when nothing changed. *)
+
 val next_deadline : t -> int option
 
 (** {1 Results} *)

@@ -313,6 +313,103 @@ let host t checker ~strict =
   | Some o -> Obs.set o.wheel_depth t.wheel.Wheel.len
   | None -> ()
 
+(* ---- engine-direct hosting --------------------------------------------- *)
+
+(* Host a whole [Flat] engine: one tap subscription per interned name
+   steps the engine's CSR dispatch row directly — no per-checker
+   closure chain, no per-delivery checker bookkeeping.  Checker views
+   exist only for reports, finalization and hooks; verdict decisions
+   reach them through the engine's notify callback.  The deadline
+   wheel is resettled only when the engine's deadline generation
+   moves, so the steady-state event path is step + one int compare. *)
+let host_flat t eng views =
+  let module Flat = Loseq_core.Flat in
+  let checkers =
+    Array.mapi
+      (fun ck view ->
+        Checker.make ~name:(Flat.label eng ck)
+          ~now:(fun () -> Tap.now_ps t.tap)
+          view)
+      views
+  in
+  let entries =
+    Array.map (fun checker -> { checker; armed = -1 }) checkers
+  in
+  Array.iter (fun e -> t.entries_rev <- e :: t.entries_rev) entries;
+  (match t.obs with
+  | None -> ()
+  | Some o ->
+      Array.iter (observe_checker o) checkers;
+      (* The engine's own step index is the steps source — these
+         checkers never see deliveries. *)
+      let steps =
+        Obs.counter o.metrics ~name:"loseq_backend_steps_total"
+          ~help:"Monitor steps executed, by backend flavor"
+          ~labels:[ ("backend", "flat") ]
+          ()
+      in
+      let last = ref 0 in
+      Obs.on_collect o.metrics (fun () ->
+          let seen = Flat.steps_total eng in
+          Obs.add steps (seen - !last);
+          last := seen);
+      o.rebase <- (fun () -> last := Flat.steps_total eng) :: o.rebase);
+  Flat.set_notify eng
+    (Some
+       (fun ck ->
+         (match t.obs with
+         | Some o when Flat.verdict_code eng ck = 1 -> Obs.incr o.satisfied
+         | Some _ | None -> ());
+         (* violations reach the hooks (and the violated counter set up
+            by [observe_checker]) through the checker, exactly once *)
+         Checker.sync_external checkers.(ck)));
+  let timed = Flat.timed_checkers eng in
+  let last_gen = ref (-1) in
+  let resettle () =
+    Array.iter (fun ck -> rearm t entries.(ck)) timed;
+    settle t;
+    last_gen := Flat.deadline_generation eng;
+    match t.obs with
+    | Some o -> Obs.set o.wheel_depth t.wheel.Wheel.len
+    | None -> ()
+  in
+  (* With no timed checker the generation counter can never move on an
+     event, so the untimed fast path is the bare engine step. *)
+  let untimed = Array.length timed = 0 in
+  Array.iteri
+    (fun gid nm ->
+      match t.obs with
+      | None when untimed ->
+          Tap.subscribe_name t.tap nm (fun e ->
+              Flat.step_name eng ~gid ~time:e.Trace.time)
+      | None ->
+          Tap.subscribe_name t.tap nm (fun e ->
+              Flat.step_name eng ~gid ~time:e.Trace.time;
+              if Flat.deadline_generation eng <> !last_gen then resettle ())
+      | Some o ->
+          let deliveries =
+            Obs.counter o.metrics ~name:"loseq_hub_deliveries_total"
+              ~help:"Routed checker deliveries, by event name"
+              ~labels:[ ("name", Name.to_string nm) ]
+              ()
+          in
+          Tap.subscribe_name t.tap nm (fun e ->
+              Obs.incr deliveries;
+              if Obs.counter_value deliveries land 63 = 0 then begin
+                let t0 = Monotonic_clock.now () in
+                Flat.step_name eng ~gid ~time:e.Trace.time;
+                if Flat.deadline_generation eng <> !last_gen then resettle ();
+                Obs.observe o.dispatch_ns
+                  (Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0))
+              end
+              else begin
+                Flat.step_name eng ~gid ~time:e.Trace.time;
+                if Flat.deadline_generation eng <> !last_gen then resettle ()
+              end))
+    (Flat.names eng);
+  resettle ();
+  Array.to_list checkers
+
 let add ?(backend = Backend.compiled) ?mode ?name t pattern =
   let backend =
     match mode with

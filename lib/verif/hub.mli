@@ -53,6 +53,20 @@ val host : t -> Checker.t -> strict:bool -> unit
 (** Host a detached checker built with {!Checker.make} (advanced: a
     custom backend already constructed). *)
 
+val host_flat : t -> Flat.t -> Backend.t array -> Checker.t list
+(** Host a whole flat suite engine directly: one tap subscription per
+    interned name walks the engine's dispatch row ({!Loseq_core.Flat.step_name})
+    instead of one closure per (checker, alphabet-name).  [views] must
+    be the per-checker backends of {e that} engine
+    ({!Loseq_core.Backend.flat_suite}); the returned checkers (entry
+    order, also appended to {!checkers}) carry reports, finalization
+    and violation hooks — verdict decisions reach them through the
+    engine's notify callback.  These checkers never see individual
+    deliveries, so their [events_seen]/coverage stay empty; the
+    [loseq_backend_steps_total{backend=flat}] counter mirrors the
+    engine's step index instead.  The deadline wheel re-settles only
+    when the engine's deadline generation moves. *)
+
 val tap : t -> Tap.t
 val checkers : t -> Checker.t list
 (** In {!add} order. *)

@@ -87,25 +87,53 @@ let find suite label =
     (fun e -> if String.equal e.label label then Some e.pattern else None)
     suite
 
-let attach_hub ?metrics ?backend ?mode tap suite =
+let entries_of suite = List.map (fun e -> (e.label, e.pattern)) suite
+
+let attach_hub ?metrics ?backend ?suite_backend ?mode tap suite =
   let hub = Hub.create ?metrics tap in
-  List.iter
-    (fun e -> ignore (Hub.add ?backend ?mode ~name:e.label hub e.pattern))
-    suite;
+  (match (suite_backend, mode) with
+  | Some sf, None ->
+      (* Suite-level factory: one compilation over all entries, hosted
+         per checker through the ordinary routed path. *)
+      let views = sf (entries_of suite) in
+      List.iteri
+        (fun i e ->
+          let checker =
+            Checker.make ~name:e.label
+              ~now:(fun () -> Tap.now_ps tap)
+              views.(i)
+          in
+          Hub.host hub checker ~strict:false)
+        suite
+  | _ ->
+      List.iter
+        (fun e -> ignore (Hub.add ?backend ?mode ~name:e.label hub e.pattern))
+        suite);
   hub
+
+let attach_hub_flat ?metrics tap suite =
+  let eng, views = Backend.flat_suite (entries_of suite) in
+  let hub = Hub.create ?metrics tap in
+  ignore (Hub.host_flat hub eng views);
+  (hub, eng)
 
 let attach_all ?backend ?mode tap suite =
   Hub.report (attach_hub ?backend ?mode tap suite)
 
 let check_trace ?(metrics = Loseq_obs.Metrics.noop) ?(backend = Backend.compiled)
-    ?final_time suite trace =
+    ?suite_backend ?final_time suite trace =
   let instrument =
     if Loseq_obs.Metrics.is_live metrics then Backend.instrument metrics
     else Fun.id
   in
-  List.map
-    (fun e ->
-      let b = instrument (backend e.pattern) in
+  let backends =
+    match suite_backend with
+    | Some sf -> Array.to_list (sf (entries_of suite))
+    | None -> List.map (fun e -> backend e.pattern) suite
+  in
+  List.map2
+    (fun e b ->
+      let b = instrument b in
       List.iter (fun ev -> ignore (b.Backend.step ev)) trace;
       let now =
         match final_time with
@@ -113,4 +141,4 @@ let check_trace ?(metrics = Loseq_obs.Metrics.noop) ?(backend = Backend.compiled
         | None -> Trace.end_time trace
       in
       (e.label, Backend.passed (b.Backend.finalize ~now)))
-    suite
+    suite backends

@@ -40,14 +40,27 @@ val find : t -> string -> Pattern.t option
 val attach_hub :
   ?metrics:Loseq_obs.Metrics.t ->
   ?backend:Backend.factory ->
+  ?suite_backend:Backend.suite_factory ->
   ?mode:Monitor.mode ->
   Tap.t ->
   t ->
   Hub.t
 (** One {!Checker} per entry, hosted on a fresh alphabet-routed
     {!Hub} with a shared deadline wheel.  [backend] defaults to
-    {!Loseq_core.Backend.compiled}; [metrics] (default noop) is handed
-    to the hub — see {!Hub.create}. *)
+    {!Loseq_core.Backend.compiled}; [suite_backend], when given (and
+    [mode] is not), compiles the whole suite in one call
+    (e.g. {!Loseq_core.Backend.flat_views}) so checkers share state;
+    [metrics] (default noop) is handed to the hub — see
+    {!Hub.create}. *)
+
+val attach_hub_flat :
+  ?metrics:Loseq_obs.Metrics.t -> Tap.t -> t -> Hub.t * Flat.t
+(** The engine-direct flat hosting path: compile the suite into one
+    {!Loseq_core.Flat} engine and host it with {!Hub.host_flat} —
+    per-name dispatch is an index into the engine's table rather than
+    a per-checker closure chain.  Returns the hub (reports, hooks,
+    finalize as usual) and the engine (blob checkpoints, direct
+    stepping). *)
 
 val attach_all :
   ?backend:Backend.factory -> ?mode:Monitor.mode -> Tap.t -> t -> Report.t
@@ -57,6 +70,7 @@ val attach_all :
 val check_trace :
   ?metrics:Loseq_obs.Metrics.t ->
   ?backend:Backend.factory ->
+  ?suite_backend:Backend.suite_factory ->
   ?final_time:int ->
   t ->
   Trace.t ->

@@ -74,11 +74,24 @@ let emit_name t name =
   t.count <- t.count + 1;
   if t.record then t.events_rev <- event :: t.events_rev;
   subs_iter t.all event;
-  match Hashtbl.find_opt t.ids name with
-  | Some id -> subs_iter t.by_name.(id) event
-  | None -> ()
+  match Hashtbl.find t.ids name with
+  | id -> subs_iter t.by_name.(id) event
+  | exception Not_found -> ()
 
 let emit t s = emit_name t (Name.v s)
+
+(* A pre-bound emission port: the name is interned at bind time, so
+   per-event emission skips the name hash entirely.  [t.by_name] must
+   be re-read on every call — interning another name may replace the
+   backing array. *)
+let port t name =
+  let id = intern t name in
+  fun () ->
+    let event = { Trace.name; time = now_ps t } in
+    t.count <- t.count + 1;
+    if t.record then t.events_rev <- event :: t.events_rev;
+    subs_iter t.all event;
+    subs_iter t.by_name.(id) event
 let subscribe t f = subs_add t.all f
 
 let subscribe_name t name f =

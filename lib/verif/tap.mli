@@ -20,6 +20,12 @@ val emit : t -> string -> unit
 
 val emit_name : t -> Name.t -> unit
 
+val port : t -> Name.t -> unit -> unit
+(** [port t n] binds an emission port for [n] once — the SystemC idiom
+    of binding ports at elaboration time.  Calling the returned thunk
+    emits one [n] event at the current simulation time, identical to
+    {!emit_name} but without re-hashing the name per event. *)
+
 val subscribe : t -> (Trace.event -> unit) -> unit
 (** Subscribers are called synchronously, in subscription order. *)
 

@@ -19,6 +19,12 @@
 #                           overhead bound is advisory here (wall-clock
 #                           micro-benchmarks are noisy on shared CI
 #                           runners)
+#   7. flat backend:        serve --backend flat decides what the
+#                           compiled streaming run decides; at 64
+#                           checkers the flat v2 checkpoint (one
+#                           varint blob) encodes smaller than the
+#                           per-checker JSON v1; a compiled v1
+#                           checkpoint resumes into flat hosting
 #
 # Run from the repository root:  scripts/ci_ingest.sh
 set -euo pipefail
@@ -167,5 +173,57 @@ else
   echo "WARNING: BENCH_obs.json reports live-sink overhead above the 5%" \
        "target — likely CI timing noise; inspect the uploaded artifact" >&2
 fi
+
+echo "== 7. flat backend: agreement, checkpoint size, cross-resume =="
+# the suite-level flat engine decides exactly what the compiled
+# streaming run decided, record for record
+flat_status=0
+$LOSEQ serve --suite "$SUITE" --backend flat < "$WORK/ipu.lsqb" \
+  > "$WORK/flat.ndjson" || flat_status=$?
+test "$flat_status" -eq "$stream_status"
+grep '"type": *"verdict"' "$WORK/flat.ndjson" > "$WORK/flat.verdicts"
+cmp "$WORK/stream.verdicts" "$WORK/flat.verdicts"
+echo "flat streaming verdicts identical to compiled (exit $flat_status)"
+
+# 64 disjoint checkers: the flat v2 checkpoint (one varint blob) must
+# encode smaller than the per-checker JSON v1 the compiled path writes
+BIGSUITE="$WORK/big.suite"
+BIGCSV="$WORK/big.csv"
+: > "$BIGSUITE"
+printf 'time,name\n' > "$BIGCSV"
+t=0
+for i in $(seq 0 63); do
+  printf 'p%d: {a%d, b%d} <<! go%d\n' "$i" "$i" "$i" "$i" >> "$BIGSUITE"
+  for nm in a b go; do
+    printf '%d,%s%d\n' "$t" "$nm" "$i" >> "$BIGCSV"
+    t=$((t + 1))
+  done
+done
+$LOSEQ convert "$BIGCSV" -o "$WORK/big.lsqb"
+ckpt_bytes() {  # last "bytes" field in an NDJSON checkpoint record
+  grep '"type": *"checkpoint"' "$1" | grep -o '"bytes": *[0-9]*' \
+    | tail -1 | grep -o '[0-9]*$'
+}
+$LOSEQ serve --suite "$BIGSUITE" --checkpoint "$WORK/big_v1.ckpt" \
+  --checkpoint-every 64 < "$WORK/big.lsqb" > "$WORK/big_v1.ndjson"
+$LOSEQ serve --suite "$BIGSUITE" --backend flat \
+  --checkpoint "$WORK/big_v2.ckpt" --checkpoint-every 64 \
+  < "$WORK/big.lsqb" > "$WORK/big_v2.ndjson"
+V1=$(ckpt_bytes "$WORK/big_v1.ndjson")
+V2=$(ckpt_bytes "$WORK/big_v2.ndjson")
+test -n "$V1" && test -n "$V2"
+test "$V2" -lt "$V1"
+echo "flat v2 checkpoint $V2 B < per-checker v1 $V1 B at 64 checkers"
+
+# cross-backend resume: the compiled v1 checkpoint from step 3
+# restores into flat hosting and replays to the same verdicts
+xresume_status=0
+$LOSEQ serve --suite "$SUITE" --checkpoint "$CKPT" --resume --backend flat \
+  < "$WORK/ipu.lsqb" > "$WORK/flat_resumed.ndjson" || xresume_status=$?
+test "$xresume_status" -eq "$stream_status"
+grep '"type": *"verdict"' "$WORK/flat_resumed.ndjson" \
+  > "$WORK/flat_resumed.verdicts"
+cmp "$WORK/stream.verdicts" "$WORK/flat_resumed.verdicts"
+echo "compiled v1 checkpoint resumed into flat hosting, verdicts identical"
 
 echo "ingest gate: all checks passed"

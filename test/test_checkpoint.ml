@@ -26,10 +26,13 @@ let summary_of session trace =
   offer_all session trace;
   Report.summary_strings (Session.finalize session)
 
-(* Run to [cut], checkpoint through the JSON codec, resume a fresh
-   session from it, feed the rest. *)
-let resumed_summary ?lateness suite trace cut =
-  let first = Session.create ?lateness suite in
+(* Run to [cut] under [src] hosting, checkpoint through the JSON
+   codec, resume a fresh [dst]-hosted session from it, feed the rest.
+   The hostings are independent: a compiled-written (v1) checkpoint
+   must restore under the flat suite engine and a flat-written (v2)
+   blob under per-checker compiled monitors. *)
+let resumed_summary ?lateness ?src ?dst suite trace cut =
+  let first = Session.create ?lateness ?suite_backend:src suite in
   let before, after =
     List.filteri (fun i _ -> i < cut) trace,
     List.filteri (fun i _ -> i >= cut) trace
@@ -42,19 +45,19 @@ let resumed_summary ?lateness suite trace cut =
     | Ok j -> j
     | Error msg -> Alcotest.failf "checkpoint JSON invalid: %s" msg
   in
-  let second = Session.create ?lateness suite in
+  let second = Session.create ?lateness ?suite_backend:dst suite in
   (match Checkpoint.restore second json with
   | Ok () -> ()
   | Error msg -> Alcotest.failf "restore at cut %d: %s" cut msg);
   offer_all second after;
   Report.summary_strings (Session.finalize second)
 
-let check_every_prefix ?lateness suite trace =
+let check_every_prefix ?lateness ?src ?dst suite trace =
   let baseline =
     summary_of (Session.create ?lateness suite) trace
   in
   for cut = 0 to List.length trace do
-    let resumed = resumed_summary ?lateness suite trace cut in
+    let resumed = resumed_summary ?lateness ?src ?dst suite trace cut in
     Alcotest.(check (list (pair string string)))
       (Printf.sprintf "cut at %d" cut)
       baseline resumed
@@ -76,6 +79,99 @@ let failing_trace =
 
 let test_every_prefix_passing () = check_every_prefix demo_suite passing_trace
 let test_every_prefix_failing () = check_every_prefix demo_suite failing_trace
+
+let flat = Backend.flat_views
+
+(* Cross-backend resume, both directions and flat-to-flat, every cut,
+   passing and failing traces. *)
+let test_cross_backend_resume () =
+  List.iter
+    (fun trace ->
+      check_every_prefix ~src:flat ~dst:flat demo_suite trace;
+      check_every_prefix ~src:flat demo_suite trace;
+      check_every_prefix ~dst:flat demo_suite trace)
+    [ passing_trace; failing_trace ]
+
+let test_cross_backend_resume_with_pending_reorder () =
+  let disordered =
+    [
+      ev 2 "set_glAddr"; ev 0 "set_imgAddr"; ev 3 "set_glSize"; ev 10 "start";
+      ev 15 "read_img"; ev 40 "set_irq"; ev 47 "take_lock"; ev 45 "other";
+      ev 50 "release_lock"; ev 60 "bus_idle";
+    ]
+  in
+  check_every_prefix ~lateness:5 ~src:flat demo_suite disordered;
+  check_every_prefix ~lateness:5 ~dst:flat demo_suite disordered
+
+(* A flat-hosted session writes version 2: blob + interning table. *)
+let test_flat_checkpoint_is_v2 () =
+  let session = Session.create ~suite_backend:flat demo_suite in
+  offer_all session (List.filteri (fun i _ -> i < 5) passing_trace);
+  let json = Checkpoint.capture session in
+  let int_field k =
+    match Json.member k json with Some (Json.Int n) -> n | _ -> -1
+  in
+  Alcotest.(check int) "version" 2 (int_field "version");
+  Alcotest.(check int) "blob_version" Flat.blob_version
+    (int_field "blob_version");
+  (match Json.member "blob" json with
+  | Some (Json.String _) -> ()
+  | _ -> Alcotest.fail "no blob field");
+  match Json.member "names" json with
+  | Some (Json.List (_ :: _)) -> ()
+  | _ -> Alcotest.fail "no interning table"
+
+(* A tampered blob version must surface as a clear error, not a decode
+   exception. *)
+let test_blob_version_mismatch_refused () =
+  let session = Session.create ~suite_backend:flat demo_suite in
+  offer_all session (List.filteri (fun i _ -> i < 5) passing_trace);
+  let json = Checkpoint.capture session in
+  let bump = function
+    | ("blob_version", Json.Int v) -> ("blob_version", Json.Int (v + 1))
+    | kv -> kv
+  in
+  let tampered =
+    match json with
+    | Json.Obj fields -> Json.Obj (List.map bump fields)
+    | _ -> Alcotest.fail "checkpoint is not an object"
+  in
+  let fresh = Session.create ~suite_backend:flat demo_suite in
+  match Checkpoint.restore fresh tampered with
+  | Ok () -> Alcotest.fail "restored a mismatched blob version"
+  | Error msg ->
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "error names the version: %s" msg)
+        true (contains msg "version")
+
+(* At 64 checkers the single-blob checkpoint must be smaller than 64
+   per-checker JSON states. *)
+let test_v2_smaller_at_64 () =
+  let big_suite =
+    List.init 64 (fun i ->
+        entry
+          (Printf.sprintf "p%d" i)
+          (Printf.sprintf "{a%d, b%d} <<! go%d" i i i))
+  in
+  let feed session =
+    for i = 0 to 63 do
+      Session.offer_force session (ev (2 * i) (Printf.sprintf "a%d" i))
+    done
+  in
+  let size suite_backend =
+    let session = Session.create ?suite_backend big_suite in
+    feed session;
+    String.length (Json.to_string (Checkpoint.capture session))
+  in
+  let v1 = size None and v2 = size (Some flat) in
+  Alcotest.(check bool)
+    (Printf.sprintf "flat blob (%d B) < per-checker JSON (%d B)" v2 v1)
+    true (v2 < v1)
 
 let test_every_prefix_with_pending_reorder () =
   (* lateness > 0 keeps events parked in the reorder buffer: a
@@ -111,7 +207,7 @@ let test_file_roundtrip () =
   offer_all session (List.filteri (fun i _ -> i < 5) passing_trace);
   let path = Filename.temp_file "loseq" ".ckpt" in
   (match Checkpoint.save ~path session with
-  | Ok () -> ()
+  | Ok bytes -> Alcotest.(check bool) "byte count positive" true (bytes > 0)
   | Error msg -> Alcotest.fail msg);
   let resumed = Checkpoint.resume ~path demo_suite in
   Sys.remove path;
@@ -219,6 +315,19 @@ let () =
             test_every_prefix_with_pending_reorder;
           Alcotest.test_case "violation de-dup" `Quick
             test_violation_not_rereported;
+          Alcotest.test_case "cross-backend resume" `Quick
+            test_cross_backend_resume;
+          Alcotest.test_case "cross-backend resume, pending reorder" `Quick
+            test_cross_backend_resume_with_pending_reorder;
+        ] );
+      ( "blob format",
+        [
+          Alcotest.test_case "flat hosting writes v2" `Quick
+            test_flat_checkpoint_is_v2;
+          Alcotest.test_case "blob version mismatch refused" `Quick
+            test_blob_version_mismatch_refused;
+          Alcotest.test_case "v2 smaller at 64 checkers" `Quick
+            test_v2_smaller_at_64;
         ] );
       ( "files",
         [

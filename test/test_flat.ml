@@ -1,0 +1,250 @@
+(* The whole-suite flat engine: deterministic pins for the packed
+   memory layout, counter-slot overflow, deadline firing order through
+   the engine-direct hosted path, and the state-blob codec (roundtrip,
+   version rejection, wrong-suite rejection, truncation).  Cross-backend
+   verdict agreement on random inputs lives in test_backend. *)
+
+open Loseq_core
+open Loseq_sim
+open Loseq_verif
+open Loseq_testutil
+
+let ev t nm = Trace.event ~time:t (name nm)
+
+let demo_entries () =
+  [
+    ("c0", pat "{a, b} <<! go");
+    ("c1", pat "start => read[2,3] < irq within 50");
+  ]
+
+(* ---- packing layout ---------------------------------------------------- *)
+
+(* The slab is [ctrl | states | counters] per checker, checkers
+   back-to-back.  c0 ({a,b} <<! go) has 2 recognizers, c1 has 3, so
+   with 13 control slots the bases and per-recognizer slots are fully
+   determined.  These pins freeze the layout: a change here is a blob
+   format break and must bump Flat.blob_version. *)
+let test_layout_pins () =
+  let eng = Flat.compile (demo_entries ()) in
+  let l = Flat.layout eng in
+  Alcotest.(check int) "ctrl slots" 13 Flat.ctrl_slots;
+  Alcotest.(check int) "total slots" 36 l.Flat.total_slots;
+  Alcotest.(check (array int)) "checker bases" [| 0; 17 |] l.Flat.checker_base;
+  Alcotest.(check (array int))
+    "state slots" [| 13; 14; 30; 31; 32 |] l.Flat.state_slot;
+  Alcotest.(check (array int))
+    "counter slots" [| 15; 16; 33; 34; 35 |] l.Flat.counter_slot;
+  Alcotest.(check (list string))
+    "interning order" [ "a"; "b"; "go"; "irq"; "read"; "start" ]
+    (Array.to_list (Array.map Name.to_string (Flat.names eng)))
+
+let test_dispatch_table () =
+  let eng = Flat.compile (demo_entries ()) in
+  Alcotest.(check int) "size" 2 (Flat.size eng);
+  Alcotest.(check string) "label 0" "c0" (Flat.label eng 0);
+  Alcotest.(check string) "label 1" "c1" (Flat.label eng 1);
+  (* every interned name resolves; locals only where the checker listens *)
+  Array.iter
+    (fun nm ->
+      Alcotest.(check bool) "gid" true (Flat.gid_of_name eng nm <> None))
+    (Flat.names eng);
+  Alcotest.(check bool) "c0 hears a" true
+    (Flat.local_of_name eng 0 (name "a") >= 0);
+  Alcotest.(check int) "c0 does not hear irq" (-1)
+    (Flat.local_of_name eng 0 (name "irq"));
+  Alcotest.(check bool) "c1 hears irq" true
+    (Flat.local_of_name eng 1 (name "irq") >= 0)
+
+(* step_name (CSR row), step_event (per-checker resolve) and
+   step_checker must drive the same machine to the same verdicts. *)
+let test_dispatch_paths_agree () =
+  let trace =
+    [ ev 0 "a"; ev 1 "b"; ev 2 "go"; ev 3 "start"; ev 4 "read"; ev 5 "read" ]
+  in
+  let by_name = Flat.compile (demo_entries ()) in
+  List.iter
+    (fun (e : Trace.event) ->
+      match Flat.gid_of_name by_name e.name with
+      | None -> ()
+      | Some gid -> Flat.step_name by_name ~gid ~time:e.time)
+    trace;
+  let by_event = Flat.compile (demo_entries ()) in
+  List.iter (fun e -> Flat.step_event by_event e) trace;
+  for ck = 0 to 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "checker %d verdict" ck)
+      (Flat.verdict_code by_name ck)
+      (Flat.verdict_code by_event ck);
+    Alcotest.(check int)
+      (Printf.sprintf "checker %d index" ck)
+      (Flat.index by_name ck) (Flat.index by_event ck)
+  done
+
+(* ---- counter slots ----------------------------------------------------- *)
+
+let test_counter_overflow () =
+  let eng = Flat.compile [ ("p", pat "a[2,3] <<! i") ] in
+  let feed t = Flat.step_event eng (ev t "a") in
+  feed 0;
+  feed 1;
+  feed 2;
+  Alcotest.(check int) "3 repetitions still running" 0 (Flat.verdict_code eng 0);
+  feed 3;
+  Alcotest.(check int) "4th overflows" 2 (Flat.verdict_code eng 0);
+  match Flat.verdict eng 0 with
+  | Compiled.Violated { reason = Diag.Overflow r; time; index } ->
+      Alcotest.(check string) "range name" "a" (Name.to_string r.Pattern.name);
+      Alcotest.(check int) "range hi" 3 r.Pattern.hi;
+      Alcotest.(check int) "at time" 3 time;
+      Alcotest.(check int) "at index" 3 index
+  | _ -> Alcotest.fail "expected overflow"
+
+let test_counter_underflow () =
+  let eng = Flat.compile [ ("p", pat "a[2,3] <<! i") ] in
+  Flat.step_event eng (ev 0 "a");
+  Flat.step_event eng (ev 1 "i");
+  Alcotest.(check int) "1 repetition underflows at terminator" 2
+    (Flat.verdict_code eng 0);
+  match Flat.verdict eng 0 with
+  | Compiled.Violated { reason = Diag.Underflow r; _ } ->
+      Alcotest.(check int) "range lo" 2 r.Pattern.lo
+  | _ -> Alcotest.fail "expected underflow"
+
+(* ---- deadline wheel firing order --------------------------------------- *)
+
+(* Two timed checkers armed at the same instant with different
+   deadlines, nothing else ever happens: the hub's wheel (driven by
+   the engine's deadline table) must fire them earliest first, each at
+   its own deadline. *)
+let test_deadline_firing_order () =
+  let source = "fast: a => b within 10\nslow: c => d within 100\n" in
+  let suite =
+    match Suite.parse source with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "suite: %a" Suite.pp_error e
+  in
+  let kernel = Kernel.create () in
+  let tap = Tap.create kernel in
+  let hub, eng = Suite.attach_hub_flat tap suite in
+  let fired = ref [] in
+  List.iter
+    (fun c ->
+      Checker.on_violation c (fun v ->
+          fired := (Checker.name c, v.Diag.time) :: !fired))
+    (Hub.checkers hub);
+  Kernel.run ~until:(Time.ps 5) kernel;
+  Tap.emit_name tap (name "a");
+  Tap.emit_name tap (name "c");
+  Alcotest.(check (option int)) "engine's next deadline" (Some 15)
+    (Flat.next_deadline eng);
+  Kernel.run ~until:(Time.ps 1_000) kernel;
+  Alcotest.(check (list (pair string int)))
+    "earliest deadline fires first, at its own deadline"
+    [ ("fast", 15); ("slow", 105) ]
+    (List.rev !fired)
+
+(* ---- state blob -------------------------------------------------------- *)
+
+let test_blob_roundtrip () =
+  let eng = Flat.compile (demo_entries ()) in
+  List.iter
+    (fun e -> Flat.step_event eng e)
+    [ ev 0 "a"; ev 2 "go"; ev 5 "start"; ev 6 "read" ];
+  let blob = Flat.save_blob eng in
+  let fresh = Flat.compile (demo_entries ()) in
+  (match Flat.load_blob fresh blob with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg);
+  for ck = 0 to 1 do
+    Alcotest.(check int)
+      (Printf.sprintf "verdict %d" ck)
+      (Flat.verdict_code eng ck)
+      (Flat.verdict_code fresh ck);
+    Alcotest.(check int)
+      (Printf.sprintf "index %d" ck)
+      (Flat.index eng ck) (Flat.index fresh ck)
+  done;
+  Alcotest.(check (option int)) "deadline carried"
+    (Flat.next_deadline eng) (Flat.next_deadline fresh);
+  (* the loaded engine keeps running identically *)
+  Flat.step_event eng (ev 7 "read");
+  Flat.step_event fresh (ev 7 "read");
+  Alcotest.(check int) "post-load step agrees" (Flat.verdict_code eng 1)
+    (Flat.verdict_code fresh 1)
+
+let expect_error label result needle =
+  match result with
+  | Ok () -> Alcotest.failf "%s: blob accepted" label
+  | Error msg ->
+      let contains hay n =
+        let nh = String.length hay and nn = String.length n in
+        let rec at i = i + nn <= nh && (String.sub hay i nn = n || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: %S mentions %S" label msg needle)
+        true (contains msg needle)
+
+let test_blob_rejections () =
+  let eng = Flat.compile (demo_entries ()) in
+  let blob = Flat.save_blob eng in
+  (* bad magic *)
+  expect_error "magic"
+    (Flat.load_blob eng ("XXXX" ^ String.sub blob 4 (String.length blob - 4)))
+    "magic";
+  (* bumped version byte *)
+  let tampered = Bytes.of_string blob in
+  Bytes.set tampered 4 (Char.chr (Char.code (Bytes.get tampered 4) + 1));
+  expect_error "version"
+    (Flat.load_blob eng (Bytes.to_string tampered))
+    "version";
+  (* a different suite's engine: slot count mismatch *)
+  let other = Flat.compile [ ("p", pat "a << b") ] in
+  expect_error "wrong suite" (Flat.load_blob other blob) "different suite";
+  (* truncation *)
+  expect_error "truncated"
+    (Flat.load_blob eng (String.sub blob 0 (String.length blob - 1)))
+    "truncated";
+  (* and a truncated load must not have corrupted the engine *)
+  match Flat.load_blob eng blob with
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "pristine blob after failures: %s" msg
+
+let test_reset () =
+  let eng = Flat.compile [ ("p", pat "a <<! i") ] in
+  Flat.step_event eng (ev 0 "i");
+  Alcotest.(check int) "violated" 2 (Flat.verdict_code eng 0);
+  Flat.reset eng;
+  Alcotest.(check int) "running again" 0 (Flat.verdict_code eng 0);
+  Flat.step_event eng (ev 1 "a");
+  Flat.step_event eng (ev 2 "i");
+  Alcotest.(check int) "clean rerun still running" 0 (Flat.verdict_code eng 0);
+  Alcotest.(check int) "round counted" 1 (Flat.rounds_completed eng 0)
+
+let () =
+  Alcotest.run "flat"
+    [
+      ( "layout",
+        [
+          Alcotest.test_case "packing pins" `Quick test_layout_pins;
+          Alcotest.test_case "dispatch table" `Quick test_dispatch_table;
+          Alcotest.test_case "dispatch paths agree" `Quick
+            test_dispatch_paths_agree;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "overflow" `Quick test_counter_overflow;
+          Alcotest.test_case "underflow" `Quick test_counter_underflow;
+        ] );
+      ( "deadlines",
+        [
+          Alcotest.test_case "wheel firing order" `Quick
+            test_deadline_firing_order;
+        ] );
+      ( "blob",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_blob_roundtrip;
+          Alcotest.test_case "rejections" `Quick test_blob_rejections;
+          Alcotest.test_case "reset" `Quick test_reset;
+        ] );
+    ]
