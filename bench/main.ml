@@ -852,6 +852,79 @@ let race_analysis () =
   close_out oc;
   Format.printf "@.written: BENCH_races.json@."
 
+(* ---- Section 3f: mutation gate ----------------------------------------- *)
+
+(* Cost and outcome of the mutation quality gate on the case-study
+   contract: generate every first-order mutant, kill each by static
+   findings, exact product equivalence or differential replay, and
+   record the per-tier attribution the CI gate consumes. *)
+let mutation_gate () =
+  section "Mutation analysis: three-tier kill pipeline (ipu.suite)";
+  let open Loseq_analysis in
+  let suite_path =
+    List.find_opt Sys.file_exists
+      [ "examples/specs/ipu.suite"; "../examples/specs/ipu.suite" ]
+    |> Option.value ~default:"examples/specs/ipu.suite"
+  in
+  let suite =
+    match Loseq_verif.Suite.load suite_path with
+    | Ok s ->
+        List.map
+          (fun (e : Loseq_verif.Suite.entry) -> (e.label, e.pattern))
+          s
+    | Error e -> failwith (Format.asprintf "%a" Loseq_verif.Suite.pp_error e)
+  in
+  let t0 = Sys.time () in
+  let s = Mutate.run suite in
+  let dt = Sys.time () -. t0 in
+  let killed =
+    s.Mutate.killed_static + s.Mutate.killed_equivalence
+    + s.Mutate.killed_differential
+  in
+  Format.printf
+    "%d mutants in %.2fs: %d killed (static %d, equivalence %d, \
+     differential %d), %d stillborn, %d survived@."
+    s.Mutate.generated dt killed s.Mutate.killed_static
+    s.Mutate.killed_equivalence s.Mutate.killed_differential
+    s.Mutate.stillborn
+    (List.length s.Mutate.survivors);
+  Format.printf
+    "kill rate %.1f%%; %d flat/compiled lockstep replays, %d divergences@."
+    (100. *. s.Mutate.kill_rate)
+    s.Mutate.cross_checked
+    (List.length s.Mutate.divergences);
+  let oc = open_out "BENCH_mutation.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "mutation_gate",
+  "suite": %S,
+  %s,
+  "seconds": %.6f,
+  "mutants": %d,
+  "stillborn": %d,
+  "killed": { "static": %d, "equivalence": %d, "differential": %d },
+  "survivors": [%s],
+  "kill_rate": %.4f,
+  "meets_90pct": %b,
+  "cross_checked": %d,
+  "divergences": %d
+}
+|}
+    suite_path
+    (provenance_json ~backend:"analysis")
+    dt s.Mutate.generated s.Mutate.stillborn s.Mutate.killed_static
+    s.Mutate.killed_equivalence s.Mutate.killed_differential
+    (String.concat ", "
+       (List.map
+          (fun (r : Mutate.result) -> Printf.sprintf "%S" r.mutant.id)
+          s.Mutate.survivors))
+    s.Mutate.kill_rate
+    (s.Mutate.kill_rate >= 0.9)
+    s.Mutate.cross_checked
+    (List.length s.Mutate.divergences);
+  close_out oc;
+  Format.printf "@.written: BENCH_mutation.json@."
+
 (* ---- Section 4: Bechamel micro-benchmarks ------------------------------ *)
 
 let bechamel_benches () =
@@ -947,6 +1020,7 @@ let sections_by_name =
     ("ingest", ingest_throughput);
     ("obs", telemetry_overhead);
     ("races", race_analysis);
+    ("mutation", mutation_gate);
     ("bechamel", bechamel_benches);
   ]
 

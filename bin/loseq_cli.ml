@@ -1,7 +1,7 @@
 (* loseq — command-line front end.
 
-   Subcommands: check, psl, cost, gen, dfa, lint, analyze, suite, soc,
-   serve, convert, feed, stats.  Run `loseq_cli --help`. *)
+   Subcommands: check, psl, cost, gen, dfa, lint, analyze, mutate,
+   suite, soc, serve, convert, feed, stats.  Run `loseq_cli --help`. *)
 
 open Loseq_core
 
@@ -490,10 +490,49 @@ let pp_certificate ppf (cert : Loseq_analysis.Robust.certificate) =
   Format.fprintf ppf "suite certified lateness bound: %s@."
     (Loseq_analysis.Robust.bound_to_string cert.bound)
 
+(* Every readable file of a directory, parsed as a trace (tokens, CSV
+   or LSQB binary, sniffed).  Sorted by name so runs are stable. *)
+let read_traces_dir dir =
+  match Sys.readdir dir with
+  | exception Sys_error msg -> Error msg
+  | files ->
+      Array.sort compare files;
+      Array.fold_left
+        (fun acc f ->
+          match acc with
+          | Error _ -> acc
+          | Ok ts -> (
+              let path = Filename.concat dir f in
+              if Sys.is_directory path then Ok ts
+              else
+                match read_trace (Some path) with
+                | Ok t -> Ok (t :: ts)
+                | Error msg -> Error (Printf.sprintf "%s: %s" path msg)))
+        (Ok []) files
+      |> Result.map List.rev
+
+let traces_dir_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some dir) None
+    & info [ "traces" ] ~docv:"DIR"
+        ~doc:
+          "Read every file of $(docv) as a trace (tokens, CSV or LSQB \
+           binary, sniffed by content) and add them to the workload.")
+
 let analyze_cmd =
   let run positionals suites format suppressed suppress_file explain races
-      certify budget =
+      certify coverage traces_dir budget =
     match explain with
+    | Some "" ->
+        (* no code: list every registered finding code *)
+        List.iter
+          (fun (e : Loseq_analysis.Explain.entry) ->
+            Format.printf "%-22s %-8s %s@." e.code
+              (Format.asprintf "%a" Finding.pp_severity e.severity)
+              e.title)
+          Loseq_analysis.Explain.all;
+        0
     | Some code -> (
         match Loseq_analysis.Explain.find code with
         | Some entry ->
@@ -556,6 +595,30 @@ let analyze_cmd =
                         (it.label, it.pattern))
                       items
                   in
+                  if coverage then begin
+                    match
+                      match traces_dir with
+                      | None -> Ok []
+                      | Some dir -> read_traces_dir dir
+                    with
+                    | Error msg ->
+                        Format.eprintf "--traces: %s@." msg;
+                        3
+                    | Ok traces ->
+                        let reports =
+                          Loseq_analysis.Cover.suite_report ~budget labeled
+                            traces
+                        in
+                        if format = Finding.Text then
+                          List.iter
+                            (fun r ->
+                              Format.printf "%a@." Loseq_analysis.Cover.pp r)
+                            reports;
+                        render_findings format suppressed
+                          (attach_origins items
+                             (Loseq_analysis.Cover.findings reports))
+                  end
+                  else
                   match certify with
                   | Some k when k < -1 ->
                       Format.eprintf "--certify-lateness: K must be >= 0@.";
@@ -585,11 +648,23 @@ let analyze_cmd =
   let explain =
     Arg.(
       value
-      & opt (some string) None
+      & opt ~vopt:(Some "") (some string) None
       & info [ "explain" ] ~docv:"CODE"
           ~doc:
             "Print the rationale behind a finding code (with a live \
-             witness on a minimal example) instead of analyzing.")
+             witness on a minimal example) instead of analyzing; \
+             without $(docv), list every registered code.")
+  in
+  let coverage =
+    Arg.(
+      value & flag
+      & info [ "coverage" ]
+          ~doc:
+            "Reachable-coverage report: score the --traces set against \
+             each entry's reachable abstract states and transitions \
+             (the analyzer's own reachable set, not an estimate); \
+             uncovered reachable states are $(b,coverage-gap) findings \
+             with a BFS-minimal witness trace.")
   in
   let budget =
     Arg.(
@@ -654,7 +729,169 @@ let analyze_cmd =
          ])
     Term.(
       const run $ positionals $ suites_arg $ format_arg $ suppress_arg
-      $ suppress_file $ explain $ races $ certify $ budget)
+      $ suppress_file $ explain $ races $ certify $ coverage
+      $ traces_dir_arg $ budget)
+
+(* ---- mutate ----------------------------------------------------------- *)
+
+let mutate_cmd =
+  let module Mutate = Loseq_analysis.Mutate in
+  let run file traces_dir budget seed kill_floor mutant list_only weak format
+      suppressed =
+    match Loseq_verif.Suite.load file with
+    | Error e ->
+        Format.eprintf "%a@." Loseq_verif.Suite.pp_error e;
+        3
+    | Ok suite -> (
+        let entries =
+          List.map
+            (fun (e : Loseq_verif.Suite.entry) -> (e.label, e.pattern))
+            suite
+        in
+        if list_only then begin
+          List.iter
+            (fun (m : Mutate.mutant) ->
+              Format.printf "%-46s %s@." m.id m.description)
+            (List.concat_map (Mutate.mutants_of ~seed) entries);
+          0
+        end
+        else
+          match
+            match traces_dir with
+            | None -> Ok []
+            | Some dir -> read_traces_dir dir
+          with
+          | Error msg ->
+              Format.eprintf "--traces: %s@." msg;
+              3
+          | Ok traces ->
+              let s =
+                Mutate.run ~budget ~seed ~traces ~weak ?only:mutant entries
+              in
+              if s.results = [] && mutant <> None then begin
+                Format.eprintf "unknown mutant id %S (try --list)@."
+                  (Option.get mutant);
+                3
+              end
+              else begin
+                if format = Finding.Text then begin
+                  List.iter
+                    (fun (r : Mutate.result) ->
+                      let outcome, detail =
+                        match r.outcome with
+                        | Mutate.Stillborn -> ("stillborn", "")
+                        | Mutate.Killed k ->
+                            ("killed:" ^ Mutate.tier_name k.tier, "")
+                        | Mutate.Survived { undecided } ->
+                            ( "SURVIVED",
+                              if undecided then " (product budget exhausted)"
+                              else "" )
+                      in
+                      Format.printf "%-46s %s%s@." r.mutant.id outcome detail)
+                    s.results;
+                  let killed =
+                    s.killed_static + s.killed_equivalence
+                    + s.killed_differential
+                  in
+                  Format.printf
+                    "%d mutants: %d killed (static %d, equivalence %d, \
+                     differential %d), %d stillborn (pruned), %d survived@."
+                    s.generated killed s.killed_static s.killed_equivalence
+                    s.killed_differential s.stillborn
+                    (List.length s.survivors);
+                  Format.printf
+                    "kill rate %.1f%% of %d non-stillborn; %d \
+                     flat/compiled lockstep replays, %d divergences@."
+                    (100. *. s.kill_rate)
+                    (s.generated - s.stillborn)
+                    s.cross_checked
+                    (List.length s.divergences)
+                end;
+                let fs =
+                  Mutate.findings ?floor:kill_floor ~suite:file s
+                in
+                if format = Finding.Text && fs = [] then 0
+                else render_findings format suppressed fs
+              end)
+  in
+  let open Cmdliner in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some Arg.file) None
+      & info [] ~docv:"SUITE"
+          ~doc:"Property suite file ('name: pattern' per line).")
+  in
+  let budget =
+    Arg.(
+      value & opt int 200_000
+      & info [ "budget" ] ~docv:"STATES"
+          ~doc:
+            "Exact-product exploration budget per mutant for the \
+             equivalence tier; a mutant that exhausts it can be \
+             neither killed nor pruned there.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0x5eed
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:
+            "Seed for table-operator sampling and generated workload \
+             traces; mutant ids are stable per seed.")
+  in
+  let kill_floor =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "kill-floor" ] ~docv:"PCT"
+          ~doc:
+            "Fail (exit 2, $(b,mutation-kill-floor)) when the kill \
+             rate over non-stillborn mutants drops below $(docv) \
+             percent.")
+  in
+  let mutant =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutant" ] ~docv:"ID"
+          ~doc:
+            "Run a single mutant (the replay command attached to every \
+             $(b,mutant-survived) finding).")
+  in
+  let list_only =
+    Arg.(
+      value & flag
+      & info [ "list" ]
+          ~doc:"List the generated mutants without running any tier.")
+  in
+  let weak =
+    Arg.(
+      value & flag
+      & info [ "weak" ]
+          ~doc:
+            "Replace the boundary-probing differential workload by a \
+             single generated trace — demonstrates how trace quality \
+             moves the kill rate.")
+  in
+  Cmd.v
+    (Cmd.info "mutate"
+       ~doc:
+         "Mutation analysis of a property suite: seed first-order \
+          faults into every compiled monitor and kill each mutant \
+          statically, by exact product equivalence, or by differential \
+          replay (which doubles as flat-vs-compiled cross-validation)"
+       ~man:
+         [
+           `S Cmdliner.Manpage.s_exit_status;
+           `P
+             "0 when every non-stillborn mutant was killed (and no \
+              floor breached), 1 when mutants survived, 2 when the \
+              kill-rate floor was breached or the engines diverged, 3 \
+              on usage or I/O errors.";
+         ])
+    Term.(
+      const run $ file $ traces_dir_arg $ budget $ seed $ kill_floor
+      $ mutant $ list_only $ weak $ format_arg $ suppress_arg)
 
 (* ---- suite ----------------------------------------------------------- *)
 
@@ -1328,5 +1565,5 @@ let () =
     (Cmd.eval'
        (Cmd.group info
           [ check_cmd; psl_cmd; cost_cmd; gen_cmd; dfa_cmd; lint_cmd;
-            analyze_cmd; suite_cmd; soc_cmd; serve_cmd; convert_cmd;
-            feed_cmd; stats_cmd ]))
+            analyze_cmd; mutate_cmd; suite_cmd; soc_cmd; serve_cmd;
+            convert_cmd; feed_cmd; stats_cmd ]))

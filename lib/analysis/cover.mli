@@ -1,0 +1,51 @@
+(** Reachable-state coverage of a trace set, scored against the
+    analyzer's own reachable set.
+
+    {!Loseq_verif.Coverage} estimates stimulus coverage per fragment
+    kind with a closed-form state count; this module replaces the
+    estimate with ground truth: the abstract machine's reachable states
+    and transitions ({!Reach} over {!Machine}) are the denominator, and
+    every trace is replayed on a concrete monitor and projected
+    ({!Machine.project}) after each event to mark the states and
+    transitions it actually exercised.  An uncovered reachable state is
+    a monitor behaviour no trace in the set ever drives — exactly the
+    blind spot mutation analysis ({!Mutate}) exploits, which is why the
+    two reports ship together as one quality gate.
+
+    Time-level violations ([Deadline_miss] by {!Loseq_core.Compiled.check_time})
+    have no event-level edge in the abstract graph and are excluded on
+    both sides of the score. *)
+
+open Loseq_core
+
+type report = {
+  label : string;
+  pattern : Pattern.t;
+  complete : bool;  (** reachable set fully explored within budget *)
+  reachable_states : int;
+  visited_states : int;
+  reachable_edges : int;
+  visited_edges : int;
+  traces : int;  (** traces replayed *)
+  uncovered_witness : Trace.t option;
+      (** a shortest trace reaching the first uncovered state
+          (BFS-minimal), [None] at full state coverage *)
+}
+
+val report : ?budget:int -> label:string -> Pattern.t -> Trace.t list -> report
+(** Raises {!Wellformed.Ill_formed}. *)
+
+val suite_report :
+  ?budget:int -> (string * Pattern.t) list -> Trace.t list -> report list
+(** One report per entry; each monitor sees only the events in its own
+    alphabet (hub routing semantics). *)
+
+val findings : report list -> Finding.t list
+(** [coverage-gap] (warning) per entry whose trace set misses reachable
+    states, with the uncovered-state witness attached;
+    [analysis-budget] (info) when exploration was truncated. *)
+
+val pct : int -> int -> float
+
+val pp : Format.formatter -> report -> unit
+(** One aligned row per entry for the CLI table. *)

@@ -118,6 +118,46 @@ let all =
        still valid, but unreachability-based checks were skipped for \
        the pattern or pair."
       None;
+    (* ---- mutation / coverage quality gate ----------------------------- *)
+    e "mutant-survived" Finding.Warning
+      "a first-order mutant of a monitor went undetected"
+      "A single seeded fault (a retargeted or deleted transition, an \
+       off-by-one or saturated counter bound, a shifted deadline, a \
+       swapped recognizer category, an inverted verdict) produced a \
+       monitor that no tier distinguished from the original: the static \
+       findings agree, every differential trace replays to the same \
+       verdict, and the exact-counter product either exhausted its \
+       budget or found no distinguishing state.  The checker's quality \
+       gate has a blind spot exactly this wide — add a trace that \
+       exercises the mutated behaviour (the finding's witness command \
+       replays the survivor) or raise the product budget.  Mutants \
+       provably equivalent on the complete product are pruned as \
+       stillborn instead and never reported."
+      None;
+    e "mutation-kill-floor" Finding.Error "mutation kill rate below the gate"
+      "The fraction of non-stillborn mutants killed fell below the \
+       configured floor.  Each survivor is reported separately; this \
+       finding is the aggregate gate CI fails on."
+      None;
+    e "coverage-gap" Finding.Warning
+      "the trace set misses reachable monitor states"
+      "Reachable abstract states (the analyzer's own reachable set, not \
+       an estimate) exist that no trace in the set ever drives the \
+       monitor through.  Any fault whose observable behaviour lives \
+       only in the unvisited region — exactly what mutation analysis \
+       seeds — is invisible to this trace set.  The witness is a \
+       BFS-minimal trace reaching the first uncovered state; extending \
+       the suite with it (and its neighbourhood) closes the gap."
+      None;
+    e "backend-divergence" Finding.Error
+      "flat and per-monitor engines disagree on a replay"
+      "Replaying the same trace through the compiled per-monitor \
+       engine and the flat suite engine produced different verdicts.  \
+       The two engines implement one semantics; a divergence is an \
+       engine bug (or memory corruption), never a property of the \
+       trace.  Mutation runs double as this cross-validation: every \
+       pattern-level mutant is replayed on both engines in lockstep."
+      None;
     (* ---- syntactic linter -------------------------------------------- *)
     e "singleton-disjunction" Finding.Warning
       "a one-range fragment marked disjunctive"

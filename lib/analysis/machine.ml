@@ -39,8 +39,19 @@ let make ?(exact = false) pattern =
     exact;
   }
 
+let of_compiled ?(exact = false) c =
+  let s = Compiled.static c in
+  {
+    pattern = Compiled.pattern c;
+    s;
+    lo = Array.map (fun (r : Pattern.range) -> r.lo) s.rec_range;
+    hi = Array.map (fun (r : Pattern.range) -> r.hi) s.rec_range;
+    exact;
+  }
+
 let pattern t = t.pattern
 let timed t = t.s.timed
+let deadline t = t.s.deadline
 let n_ids t = Array.length t.s.names
 let name t i = t.s.names.(i)
 

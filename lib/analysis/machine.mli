@@ -72,8 +72,24 @@ val make : ?exact:bool -> Pattern.t -> t
     state space proportional to the counter bounds, so exact
     exploration relies on the {!Reach} budget.  Default: [false]. *)
 
+val of_compiled : ?exact:bool -> Compiled.t -> t
+(** Abstract machine over a monitor's {e actual} tables
+    ({!Loseq_core.Compiled.static}) rather than over a pattern.  For a
+    monitor built by {!Loseq_core.Compiled.compile} this is equivalent
+    to {!make}; for a table-patched monitor
+    ({!Loseq_core.Compiled.patched}) it is the only way to get an
+    abstraction, since the patched automaton need not be denotable as a
+    pattern.  {!pattern} then returns the pattern of the monitor the
+    patch was applied to (advisory only). *)
+
 val pattern : t -> Pattern.t
 val timed : t -> bool
+
+val deadline : t -> int
+(** The compiled deadline ([0] for untimed patterns) — products
+    comparing two timed machines need it to decide whether two armed
+    configurations violate at the same instant. *)
+
 val n_ids : t -> int
 (** Alphabet size; event ids are [0 .. n_ids-1] in {!Loseq_core.Name}
     order (the {!Loseq_core.Compiled} interning). *)

@@ -15,6 +15,12 @@ type 'a exploration = {
 
 let explore ?(budget = 200_000) sys =
   let index = Hashtbl.create 1024 in
+  (* The default polymorphic hash samples only ~10 meaningful nodes, so
+     exact-counter states differing deep inside a [recs] array collide
+     en masse and lookups degenerate to bucket scans.  Keying by a
+     deep hash (paired with the state, so equality stays structural)
+     keeps the table O(1) on counter-heavy products. *)
+  let key st = (Hashtbl.hash_param 256 256 st, st) in
   let states = ref (Array.make 1024 sys.init) in
   let pred = ref (Array.make 1024 (-1, -1)) in
   let succ = ref (Array.make 1024 []) in
@@ -33,7 +39,7 @@ let explore ?(budget = 200_000) sys =
     end
   in
   let add st pr =
-    match Hashtbl.find_opt index st with
+    match Hashtbl.find_opt index (key st) with
     | Some i -> Some i
     | None ->
         if !n >= budget then begin
@@ -44,7 +50,7 @@ let explore ?(budget = 200_000) sys =
           let i = !n in
           ensure i;
           incr n;
-          Hashtbl.replace index st i;
+          Hashtbl.replace index (key st) i;
           !states.(i) <- st;
           !pred.(i) <- pr;
           Some i
@@ -60,7 +66,7 @@ let explore ?(budget = 200_000) sys =
       for id = 0 to sys.n_ids - 1 do
         List.iter
           (fun st' ->
-            let existed = Hashtbl.mem index st' in
+            let existed = Hashtbl.mem index (key st') in
             match add st' (i, id) with
             | None -> ()
             | Some j ->

@@ -508,6 +508,114 @@ let restore (t : t) p =
   t.rounds <- p.p_rounds;
   t.verdict <- p.p_verdict
 
+(* ---- table patches ----------------------------------------------------- *)
+
+type patch = {
+  set_category : (int * int * Context.category) list;
+  set_owner : (int * int) list;
+  set_terminator : (int * bool) list;
+  set_lo : (int * int) list;
+  set_hi : (int * int) list;
+  set_deadline : int option;
+}
+
+let no_patch =
+  {
+    set_category = [];
+    set_owner = [];
+    set_terminator = [];
+    set_lo = [];
+    set_hi = [];
+    set_deadline = None;
+  }
+
+let patched (t : t) (p : patch) =
+  let n_names = Array.length t.owner in
+  let n_recs = Array.length t.lo in
+  let check_id id =
+    if id < 0 || id >= n_names then
+      invalid_arg "Compiled.patched: name id out of range"
+  in
+  let check_rec r =
+    if r < 0 || r >= n_recs then
+      invalid_arg "Compiled.patched: recognizer index out of range"
+  in
+  let owner = Array.copy t.owner in
+  let terminator = Array.copy t.terminator in
+  let category = Array.map Array.copy t.category in
+  let lo = Array.copy t.lo in
+  let hi = Array.copy t.hi in
+  let ranges = Array.copy t.ranges in
+  List.iter
+    (fun (r, id, c) ->
+      check_rec r;
+      check_id id;
+      category.(r).(id) <- category_code c)
+    p.set_category;
+  List.iter
+    (fun (id, f) ->
+      check_id id;
+      if f < -1 || f >= t.q then
+        invalid_arg "Compiled.patched: fragment index out of range";
+      owner.(id) <- f)
+    p.set_owner;
+  List.iter
+    (fun (id, b) ->
+      check_id id;
+      terminator.(id) <- b)
+    p.set_terminator;
+  List.iter
+    (fun (r, v) ->
+      check_rec r;
+      lo.(r) <- v)
+    p.set_lo;
+  List.iter
+    (fun (r, v) ->
+      check_rec r;
+      hi.(r) <- v)
+    p.set_hi;
+  (* Keep the diagnostic ranges (and hence [static]) consistent with the
+     patched bounds; [Pattern.range] re-validates 1 <= lo <= hi. *)
+  for r = 0 to n_recs - 1 do
+    if lo.(r) <> t.lo.(r) || hi.(r) <> t.hi.(r) then
+      ranges.(r) <-
+        Pattern.range ~lo:lo.(r) ~hi:hi.(r) t.ranges.(r).Pattern.name
+  done;
+  let deadline =
+    match p.set_deadline with
+    | None -> t.deadline
+    | Some d ->
+        if d < 0 then invalid_arg "Compiled.patched: negative deadline" else d
+  in
+  let m =
+    {
+      t with
+      ids = Hashtbl.copy t.ids;
+      owner;
+      terminator;
+      category;
+      lo;
+      hi;
+      disjunctive = Array.copy t.disjunctive;
+      ranges;
+      state = Array.make n_recs s_idle;
+      counter = Array.make n_recs 0;
+      frag_first = Array.copy t.frag_first;
+      frag_count = Array.copy t.frag_count;
+      deadline;
+      active = 0;
+      verdict = Running;
+      index = 0;
+      started = -1;
+      q_done = false;
+      rounds = 0;
+    }
+  in
+  for r = m.frag_first.(0) to m.frag_first.(0) + m.frag_count.(0) - 1 do
+    m.state.(r) <- s_waiting
+  done;
+  m
+
 let step t (e : Trace.event) =
   match Hashtbl.find_opt t.ids e.name with
   | Some id -> step_id t ~id ~time:e.time

@@ -132,3 +132,34 @@ val restore : t -> persisted -> unit
 (** Overwrite the run state with a previously {!persist}ed one.  The
     monitor must have been compiled from the same pattern; raises
     [Invalid_argument] on a recognizer-count mismatch. *)
+
+(** {1 Table patches}
+
+    Mutable views of the compiled tables, as fresh patched copies: the
+    mutation engine ([Loseq_analysis.Mutate]) perturbs a monitor at the
+    table level — retarget a name to another fragment, flip a
+    terminator bit, swap a recognizer's category row entry, nudge a
+    counter bound or the deadline — without needing a pattern that
+    denotes the perturbed automaton.  The original is never modified. *)
+
+type patch = {
+  set_category : (int * int * Context.category) list;
+      (** [(recognizer, id, category)] overrides *)
+  set_owner : (int * int) list;
+      (** [(id, fragment)]; [-1] = terminator-only *)
+  set_terminator : (int * bool) list;
+  set_lo : (int * int) list;  (** [(recognizer, lo)] *)
+  set_hi : (int * int) list;  (** [(recognizer, hi)] *)
+  set_deadline : int option;
+}
+
+val no_patch : patch
+(** The identity patch: [patched t no_patch] is an independent clone of
+    [t]'s tables in the initial run state. *)
+
+val patched : t -> patch -> t
+(** A fresh monitor whose tables are [t]'s with the patch applied and
+    whose run state is initial.  The [pattern] accessor still returns
+    the original pattern (a patched table need not be denotable).
+    Raises [Invalid_argument] on out-of-range indices, [lo/hi] updates
+    that break [1 <= lo <= hi], or a negative deadline. *)

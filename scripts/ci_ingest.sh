@@ -226,4 +226,14 @@ grep '"type": *"verdict"' "$WORK/flat_resumed.ndjson" \
 cmp "$WORK/stream.verdicts" "$WORK/flat_resumed.verdicts"
 echo "compiled v1 checkpoint resumed into flat hosting, verdicts identical"
 
+echo "== 8. artifact provenance =="
+# every BENCH_*.json this run produced must carry the provenance stamp
+# (git revision + toolchain) so uploaded artifacts are traceable
+for artifact in BENCH_*.json; do
+  test -s "$artifact"
+  grep -q '"provenance"' "$artifact"
+  grep -q '"git_rev"' "$artifact"
+  echo "$artifact: provenance stamp present"
+done
+
 echo "ingest gate: all checks passed"

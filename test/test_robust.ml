@@ -47,7 +47,11 @@ let passes_via (factory : Backend.factory) ?final_time p tr =
   Backend.passed (b.Backend.finalize ~now)
 
 let backends =
-  [ ("compiled", Backend.compiled); ("direct", fun p -> Backend.direct p) ]
+  [
+    ("compiled", Backend.compiled);
+    ("direct", fun p -> Backend.direct p);
+    ("flat", Backend.flat);
+  ]
 
 let name_strings (a, b) =
   List.sort compare [ Name.to_string a; Name.to_string b ]
@@ -151,6 +155,37 @@ let check_races_diverge label p =
 
 let test_witnesses_diverge () =
   List.iter (fun (label, p) -> check_races_diverge label p) (labeled racy)
+
+(* The race pairs and the lateness certificate are statements about the
+   monitored language, not about an engine: replaying every twin
+   witness must give the same verdict whichever backend hosts it, so
+   the certificate a flat deployment relies on is the same one the
+   compiled analysis produced. *)
+let test_witnesses_backend_agree () =
+  List.iter
+    (fun (label, p) ->
+      let r = Commute.analyze p in
+      let ft = Commute.final_time_for p in
+      List.iter
+        (fun (race : Commute.race) ->
+          List.iter
+            (fun tr ->
+              let verdicts =
+                List.map
+                  (fun (bname, factory) ->
+                    (bname, passes_via factory ?final_time:ft p tr))
+                  backends
+              in
+              let reference = snd (List.hd verdicts) in
+              List.iter
+                (fun (bname, v) ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s: %s agrees on the twin" label bname)
+                    reference v)
+                verdicts)
+            [ race.trace_ab; race.trace_ba ])
+        r.races)
+    (labeled racy)
 
 (* ---- qcheck ----------------------------------------------------------- *)
 
@@ -265,6 +300,11 @@ let all_emittable =
     "huge-counter";
     "state-space";
     "unbounded-trigger";
+    (* mutation / coverage quality gate (Mutate, Cover) *)
+    "mutant-survived";
+    "mutation-kill-floor";
+    "coverage-gap";
+    "backend-divergence";
   ]
 
 let test_explain_complete () =
@@ -310,6 +350,8 @@ let () =
         [
           Alcotest.test_case "committed suites diverge" `Quick
             test_witnesses_diverge;
+          Alcotest.test_case "backends agree on twins" `Quick
+            test_witnesses_backend_agree;
           test_random_witnesses;
         ] );
       ("commutation", [ test_commuting_swaps ]);
