@@ -1003,6 +1003,223 @@ let bechamel_benches () =
         (Hashtbl.find results ("fig6/" ^ row.label ^ " [compiled]")))
     workloads
 
+(* ---- Section 3g: speculative verdict latency --------------------------- *)
+
+(* The acceptance claim of the ooo engine: on a disordered stream the
+   buffered path cannot report a verdict until the watermark passes it
+   (a lag that grows with the lateness bound K), while the speculative
+   engine reports at the deciding event's arrival and the certificate
+   fast path keeps repair free on a fully certified workload.  We
+   measure verdict latency in arrival indices — how many events after
+   the deciding one arrives is the verdict first reported — for
+   K in {2, 8, 32}. *)
+let ooo_latency () =
+  section "Speculative vs buffered verdict latency (lateness sweep)";
+  let open Loseq_ingest in
+  let open Loseq_verif in
+  let module Engine = Loseq_ooo.Engine in
+  let nchk = 16 and rounds = 60 in
+  let half = nchk / 2 in
+  let suite =
+    List.init nchk (fun i ->
+        {
+          Suite.label = Printf.sprintf "chk%02d" i;
+          pattern = pat (Printf.sprintf "{a%d, b%d} <<! go%d" i i i);
+          line = i + 1;
+        })
+  in
+  (* Checkers half..nchk-1 violate once each, staggered across the run:
+     their b_i is omitted in round viol_round(i), so the deciding event
+     is that round's go_i. *)
+  let viol_round i =
+    if i < half then -1 else (i - half) * rounds / (half + 2)
+  in
+  let ev t nm = { Trace.time = t; name = Name.v nm } in
+  let chronological =
+    let t = ref (-1) in
+    let next () = incr t; !t in
+    List.concat
+      (List.concat
+         (List.init rounds (fun r ->
+              List.init nchk (fun i ->
+                  let a = ev (next ()) (Printf.sprintf "a%d" i) in
+                  let b =
+                    if r = viol_round i then []
+                    else [ ev (next ()) (Printf.sprintf "b%d" i) ]
+                  in
+                  let go = ev (next ()) (Printf.sprintf "go%d" i) in
+                  (a :: b) @ [ go ]))))
+  in
+  (* The arrival stream: every premise pair swapped — b_i arrives first,
+     a_i is one tick late.  The pair is certified commuting, so the
+     speculative engine should absorb every swap in place. *)
+  let scrambled =
+    let rec swap = function
+      | (a : Trace.event) :: b :: rest
+        when a.Trace.time + 1 = b.Trace.time
+             && (Name.to_string a.Trace.name).[0] = 'a'
+             && (Name.to_string b.Trace.name).[0] = 'b' ->
+          b :: a :: swap rest
+      | e :: rest -> e :: swap rest
+      | [] -> []
+    in
+    swap chronological
+  in
+  let scrambled_arr = Array.of_list scrambled in
+  let violating = List.filter (fun i -> viol_round i >= 0) (List.init nchk Fun.id) in
+  (* The deciding event of checker i is the go_i of its violating round:
+     find its timestamp by counting go_i occurrences along the
+     chronological trace, then look the arrival index up. *)
+  let deciding_time = Hashtbl.create 8 in
+  let go_count = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Trace.event) ->
+      let nm = Name.to_string e.Trace.name in
+      if String.length nm > 2 && String.sub nm 0 2 = "go" then begin
+        let i = int_of_string (String.sub nm 2 (String.length nm - 2)) in
+        let r = Option.value ~default:0 (Hashtbl.find_opt go_count i) in
+        Hashtbl.replace go_count i (r + 1);
+        if r = viol_round i then Hashtbl.replace deciding_time i e.Trace.time
+      end)
+    chronological;
+  let arrival_idx_of_time = Hashtbl.create 64 in
+  Array.iteri
+    (fun idx (e : Trace.event) ->
+      Hashtbl.replace arrival_idx_of_time e.Trace.time idx)
+    scrambled_arr;
+  let idx_of_checker i =
+    Hashtbl.find arrival_idx_of_time (Hashtbl.find deciding_time i)
+  in
+  let label_index lbl = Scanf.sscanf lbl "chk%d" Fun.id in
+  let median xs =
+    match List.sort compare xs with
+    | [] -> 0
+    | sorted -> List.nth sorted (List.length sorted / 2)
+  in
+  let expected = Suite.check_trace suite chronological in
+  let run_k k =
+    (* buffered: first report happens when the reorder buffer delivers
+       the deciding event — the watermark lag. *)
+    let report_idx = Hashtbl.create 8 in
+    let session = Session.create ~lateness:k suite in
+    let idx = ref 0 in
+    Session.on_violation session (fun ~name _ ->
+        let i = label_index name in
+        if not (Hashtbl.mem report_idx i) then Hashtbl.replace report_idx i !idx);
+    Array.iteri
+      (fun j e ->
+        idx := j;
+        Session.offer_force session e)
+      scrambled_arr;
+    idx := Array.length scrambled_arr;
+    let report = Session.finalize session in
+    assert (List.map (fun (l, v) -> (l, Backend.passed v)) (Report.summary report) = expected);
+    let buffered_lat =
+      List.map (fun i -> Hashtbl.find report_idx i - idx_of_checker i) violating
+    in
+    (* speculative: first (speculative) report and settlement. *)
+    let spec_idx = Hashtbl.create 8 and settle_idx = Hashtbl.create 8 in
+    let idx = ref 0 in
+    let eng =
+      Engine.create
+        ~notice:(fun n ->
+          match n with
+          | Engine.Violation { label; _ } ->
+              let i = label_index label in
+              if not (Hashtbl.mem spec_idx i) then Hashtbl.replace spec_idx i !idx
+          | Engine.Settled { label; _ } ->
+              let i = label_index label in
+              if not (Hashtbl.mem settle_idx i) then
+                Hashtbl.replace settle_idx i !idx
+          | Engine.Retracted _ -> ())
+        ~lateness:k
+        (List.map (fun (e : Suite.entry) -> (e.Suite.label, e.Suite.pattern)) suite)
+    in
+    Array.iteri
+      (fun j e ->
+        idx := j;
+        ignore (Engine.offer eng e))
+      scrambled_arr;
+    idx := Array.length scrambled_arr;
+    Engine.finalize eng;
+    assert (
+      List.map (fun (l, v) -> (l, Backend.passed v)) (Engine.report eng)
+      = expected);
+    let spec_lat =
+      List.map (fun i -> Hashtbl.find spec_idx i - idx_of_checker i) violating
+    in
+    let settle_lat =
+      List.map
+        (fun i ->
+          match Hashtbl.find_opt settle_idx i with
+          | Some s -> s - idx_of_checker i
+          | None -> Array.length scrambled_arr - idx_of_checker i)
+        violating
+    in
+    let stats = Engine.stats eng in
+    ( median buffered_lat,
+      median spec_lat,
+      median settle_lat,
+      stats )
+  in
+  let ks = [ 2; 8; 32 ] in
+  let results = List.map (fun k -> (k, run_k k)) ks in
+  Format.printf "%-10s | %18s | %20s | %16s | %12s | %9s@." "lateness"
+    "buffered median" "speculative median" "settled median" "commute hits"
+    "rollbacks";
+  List.iter
+    (fun (k, (b, s, st, stats)) ->
+      Format.printf "%-10d | %18d | %20d | %16d | %12d | %9d@." k b s st
+        stats.Engine.commute_hits stats.Engine.rollbacks)
+    results;
+  let _, (b8, s8, _, stats8) =
+    List.find (fun (k, _) -> k = 8) results
+  in
+  Format.printf
+    "@.%d checkers, %d violating, %d events; every premise pair swapped \
+     (certified@.commuting): the speculative engine reports at arrival while \
+     the buffered path@.waits out the watermark.@."
+    nchk (List.length violating)
+    (Array.length scrambled_arr);
+  let oc = open_out "BENCH_ooo.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "ooo_verdict_latency",
+  "workload": "%d disjoint {a_i, b_i} <<! go_i checkers, %d violating (staggered), every premise pair swapped in arrival order",
+  %s,
+  "events": %d,
+  "late_events_per_run": %d,
+  "sweep": [
+%s  ],
+  "acceptance": {
+    "median_latency_below_buffered_at_k8": %b,
+    "commute_hits_nonzero": %b,
+    "zero_rollbacks": %b
+  }
+}
+|}
+    nchk (List.length violating)
+    (provenance_json ~backend:"compiled")
+    (Array.length scrambled_arr)
+    stats8.Engine.late
+    (String.concat ""
+       (List.map
+          (fun (k, (b, s, st, stats)) ->
+            Printf.sprintf
+              "    { \"lateness\": %d, \"buffered_median\": %d, \
+               \"speculative_median\": %d, \"settled_median\": %d, \
+               \"commute_hits\": %d, \"rollbacks\": %d, \"replayed\": %d, \
+               \"dropped_late\": %d }%s\n"
+              k b s st stats.Engine.commute_hits stats.Engine.rollbacks
+              stats.Engine.replayed stats.Engine.dropped_late
+              (if k = List.nth ks (List.length ks - 1) then "" else ","))
+          results))
+    (s8 < b8)
+    (stats8.Engine.commute_hits > 0)
+    (stats8.Engine.rollbacks = 0);
+  close_out oc;
+  Format.printf "@.written: BENCH_ooo.json@."
+
 (* Sections are addressable from the command line so CI can run just
    one: `bench/main.exe ingest`.  No arguments runs everything. *)
 let sections_by_name =
@@ -1021,6 +1238,7 @@ let sections_by_name =
     ("obs", telemetry_overhead);
     ("races", race_analysis);
     ("mutation", mutation_gate);
+    ("ooo", ooo_latency);
     ("bechamel", bechamel_benches);
   ]
 

@@ -24,16 +24,9 @@ let pattern_arg =
 (* ---- backend selection ------------------------------------------------ *)
 
 let backend_kind_arg =
-  let doc =
-    "Monitor backend: $(b,direct) (the paper's structural Drct \
-     construction, richest diagnostics), $(b,compiled) (flat-table \
-     fast path, the default), $(b,flat) (whole-suite table engine: \
-     every checker's state packed into one array, one shared \
-     dispatch — the fastest hosted path), or $(b,psl) (formula \
-     progression over the Section-5 PSL translation; rejects wide \
-     ranges and checks timed patterns without their quantitative \
-     deadline)."
-  in
+  (* The shared description lives in [Cli_doc] so check/suite/serve
+     can't drift apart and the test suite can pin it. *)
+  let doc = Cli_doc.backend_doc in
   Cmdliner.Arg.(
     value
     & opt
@@ -983,7 +976,7 @@ let parse_addr flag s =
 
 let serve_cmd =
   let run file socket lateness window checkpoint checkpoint_every resume
-      strict_reorder final_time backend_kind metrics_addr stats_interval =
+      strict_reorder ooo final_time backend_kind metrics_addr stats_interval =
     let addr_result =
       match metrics_addr with
       | None -> Ok None
@@ -1004,7 +997,7 @@ let serve_cmd =
           ~backend:(factory_of backend_kind)
           ?suite_backend:(suite_factory_of backend_kind)
           ~lateness ~window ?checkpoint ~checkpoint_every ~resume
-          ~strict_reorder ?final_time ~input suite
+          ~strict_reorder ~ooo ?final_time ~input suite
   in
   let open Cmdliner in
   let file =
@@ -1073,6 +1066,9 @@ let serve_cmd =
              verdict.  Without this flag the mismatch is only reported \
              in the reorder-certificate record.")
   in
+  let ooo =
+    Arg.(value & flag & info [ "ooo" ] ~doc:Cli_doc.ooo_doc)
+  in
   let final_time =
     Arg.(
       value
@@ -1107,6 +1103,8 @@ let serve_cmd =
           (stdin or Unix socket, binary or CSV), NDJSON records out"
        ~man:
          [
+           `S Cmdliner.Manpage.s_description;
+           `P Cli_doc.serve_modes_doc;
            `S Cmdliner.Manpage.s_exit_status;
            `P
              "0 when every property passed (or the server was \
@@ -1115,7 +1113,7 @@ let serve_cmd =
          ])
     Term.(
       const run $ file $ socket $ lateness $ window $ checkpoint
-      $ checkpoint_every $ resume $ strict_reorder $ final_time
+      $ checkpoint_every $ resume $ strict_reorder $ ooo $ final_time
       $ backend_kind_arg $ metrics_addr $ stats_interval)
 
 let convert_cmd =

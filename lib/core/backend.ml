@@ -238,6 +238,23 @@ let instrument metrics b =
 
 let passed = function Running | Satisfied -> true | Violated _ -> false
 
+(* ---- three-valued in-flight verdicts ----------------------------------- *)
+
+type tri = Pass | Fail | Unsettled
+
+let tri_of_verdict ~settled v =
+  if not settled then Unsettled
+  else match v with Running | Satisfied -> Pass | Violated _ -> Fail
+
+let tri_to_string = function
+  | Pass -> "pass"
+  | Fail -> "fail"
+  | Unsettled -> "unsettled"
+
+let pp_tri ppf t = Format.pp_print_string ppf (tri_to_string t)
+
+let supports_rollback t = t.persist <> None && t.restore <> None
+
 let pp_verdict ppf = function
   | Running -> Format.pp_print_string ppf "pass (running)"
   | Satisfied -> Format.pp_print_string ppf "pass (satisfied)"

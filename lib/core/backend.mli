@@ -180,6 +180,30 @@ val instrument : Loseq_obs.Metrics.t -> t -> t
 val passed : verdict -> bool
 (** [true] unless [Violated]. *)
 
+(** {1 Three-valued in-flight verdicts}
+
+    A speculative host ({!Loseq_ooo.Engine}) evaluates events the
+    moment they arrive, so its per-checker verdict carries an extra
+    dimension: has the watermark passed the decision point, making it
+    definitive?  [Pass]/[Fail] are {e settled} — no admissible late
+    event can change them; [Unsettled] verdicts may still be rolled
+    back and replayed. *)
+
+type tri = Pass | Fail | Unsettled
+
+val tri_of_verdict : settled:bool -> verdict -> tri
+(** [Unsettled] unless [settled]; then [Fail] for [Violated],
+    [Pass] otherwise. *)
+
+val tri_to_string : tri -> string
+(** ["pass"], ["fail"] or ["unsettled"]. *)
+
+val pp_tri : Format.formatter -> tri -> unit
+
+val supports_rollback : t -> bool
+(** Both {!t.persist} and {!t.restore} present — the capability a
+    snapshot/rollback host requires (compiled and flat backends). *)
+
 val pp_verdict : Format.formatter -> verdict -> unit
 (** ["pass (running)"], ["pass (satisfied)"] or ["FAIL: ..."] — the
     rendering hosts print in reports. *)

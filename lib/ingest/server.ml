@@ -7,16 +7,17 @@ let emit_record out record =
   output_char out '\n';
   flush out
 
-let violation_record ~name (v : Diag.violation) =
-  Json.Obj
-    [
-      ("type", Json.String "violation");
-      ("property", Json.String name);
-      ("time", Json.Int v.time);
-      ("index", Json.Int v.index);
-      ("fragment", Json.Int v.fragment);
-      ("message", Json.String (Diag.violation_to_string v));
-    ]
+let violation_fields ~name (v : Diag.violation) =
+  [
+    ("type", Json.String "violation");
+    ("property", Json.String name);
+    ("time", Json.Int v.time);
+    ("index", Json.Int v.index);
+    ("fragment", Json.Int v.fragment);
+    ("message", Json.String (Diag.violation_to_string v));
+  ]
+
+let violation_record ~name v = Json.Obj (violation_fields ~name v)
 
 (* The flag a signal flips; the read loop checks it between chunks
    (reads are EINTR-transparent so a signal interrupts a blocking
@@ -124,12 +125,12 @@ let finish_input state ~push =
    no --strict-reorder) so plain serving pays nothing; otherwise a
    [reorder-certificate] record states what the configured window is
    certified for, and under strict mode an uncertified window refuses
-   to start. *)
-let reorder_gate ~strict_reorder ~out session =
-  let lateness = Session.lateness session in
+   to start.  [cert_thunk] defers the (possibly budgeted) analysis to
+   when it is actually consulted. *)
+let reorder_gate ~lateness ~strict_reorder ~out cert_thunk =
   if lateness = 0 && not strict_reorder then Ok ()
   else begin
-    let cert = Session.reorder_certificate session in
+    let cert : Loseq_analysis.Robust.certificate = cert_thunk () in
     let robust =
       Loseq_analysis.Robust.(compare_bound cert.bound (Finite lateness) >= 0)
     in
@@ -312,24 +313,123 @@ let open_input = function
       Unix.close listener;
       (conn, Some (fun () -> Unix.close conn; if Sys.file_exists path then Sys.remove path))
 
-let serve ?metrics ?metrics_addr ?(stats_interval = 0) ?backend ?suite_backend
-    ?(lateness = 0) ?(window = 1024) ?checkpoint ?(checkpoint_every = 0)
-    ?(resume = false) ?(strict_reorder = false) ?final_time ?(out = stdout)
-    ~input suite =
-  let metrics =
-    match metrics with
-    | Some m -> m
-    | None ->
-        (* an exposition surface with nothing behind it is useless, so
-           asking for one implies a live registry *)
-        if metrics_addr <> None || stats_interval > 0 then Obs.create ()
-        else Obs.noop
+(* ---- hosting-loop helpers ----------------------------------------------
+
+   Both hosting modes — the buffered reorder path and the speculative
+   [--ooo] path — share the same plumbing: an optional HTTP metrics
+   endpoint multiplexed into the read loop, a chunked input pump, and a
+   post-summary linger that keeps the endpoint answering until SIGTERM.
+   Extracted here so the modes differ only in what an event does. *)
+
+let with_http ~out ~metrics_addr f =
+  let http =
+    match metrics_addr with
+    | None -> None
+    | Some (host, port) ->
+        let listener = http_listen ~host ~port in
+        (* Report the bound address: with port 0 the kernel picks
+           an ephemeral port, and a scraper (or CI) learns it from
+           this record rather than guessing. *)
+        let bound_host, bound_port =
+          match Unix.getsockname listener with
+          | Unix.ADDR_INET (a, p) -> (Unix.string_of_inet_addr a, p)
+          | _ -> (host, port)
+        in
+        emit_record out
+          (Json.Obj
+             [
+               ("type", Json.String "metrics-listening");
+               ( "addr",
+                 Json.String (Printf.sprintf "%s:%d" bound_host bound_port) );
+               ("port", Json.Int bound_port);
+             ]);
+        Some listener
   in
-  let error msg =
-    emit_record out
-      (Json.Obj [ ("type", Json.String "error"); ("message", Json.String msg) ]);
-    2
+  Fun.protect
+    ~finally:(fun () ->
+      match http with
+      | Some l -> ( try Unix.close l with Unix.Unix_error _ -> ())
+      | None -> ())
+  @@ fun () -> f http
+
+let handle_http listener metrics =
+  try http_serve_one listener metrics with Unix.Unix_error _ -> ()
+
+(* Pump chunks from [fd] into [consume] until end of stream or a
+   requested stop.  With an endpoint, multiplex: the input stream and
+   the HTTP listener share one select, so a scrape is answered between
+   chunks without threads. *)
+let stream_loop ~fd ~metrics ~consume http =
+  let buf = Bytes.create 65536 in
+  let rec plain_loop () =
+    match read_chunk fd buf with
+    | None -> `Interrupted
+    | Some 0 -> `Eof
+    | Some n ->
+        consume (Bytes.sub_string buf 0 n);
+        if !stop_requested then `Interrupted else plain_loop ()
   in
+  let rec select_loop listener =
+    if !stop_requested then `Interrupted
+    else
+      match Unix.select [ fd; listener ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+          if !stop_requested then `Interrupted else select_loop listener
+      | readable, _, _ -> (
+          if List.memq listener readable then handle_http listener metrics;
+          if not (List.memq fd readable) then
+            if !stop_requested then `Interrupted else select_loop listener
+          else
+            match Unix.read fd buf 0 (Bytes.length buf) with
+            | 0 -> `Eof
+            | n ->
+                consume (Bytes.sub_string buf 0 n);
+                if !stop_requested then `Interrupted else select_loop listener
+            | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+                if !stop_requested then `Interrupted else select_loop listener)
+  in
+  match http with
+  | None -> plain_loop ()
+  | Some listener -> select_loop listener
+
+(* Keep the endpoint up after end of stream so a scraper can still
+   collect the final counters; SIGTERM/SIGINT ends the linger (and the
+   verdict-borne exit code survives it). *)
+let linger ~metrics http =
+  match http with
+  | Some listener when not !stop_requested ->
+      let rec go () =
+        if not !stop_requested then
+          match Unix.select [ listener ] [] [] (-1.0) with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+          | [], _, _ -> go ()
+          | _ :: _, _, _ ->
+              handle_http listener metrics;
+              go ()
+      in
+      go ()
+  | _ -> ()
+
+let default_metrics ~metrics ~metrics_addr ~stats_interval =
+  match metrics with
+  | Some m -> m
+  | None ->
+      (* an exposition surface with nothing behind it is useless, so
+         asking for one implies a live registry *)
+      if metrics_addr <> None || stats_interval > 0 then Obs.create ()
+      else Obs.noop
+
+let error_record out msg =
+  emit_record out
+    (Json.Obj [ ("type", Json.String "error"); ("message", Json.String msg) ]);
+  2
+
+(* ---- buffered hosting (the default mode) ------------------------------- *)
+
+let serve_buffered ~metrics ~metrics_addr ~stats_interval ?backend
+    ?suite_backend ~lateness ~window ?checkpoint ~checkpoint_every ~resume
+    ~strict_reorder ?final_time ~out ~input suite =
+  let error msg = error_record out msg in
   let resuming =
     resume
     && match checkpoint with Some p -> Sys.file_exists p | None -> false
@@ -352,7 +452,10 @@ let serve ?metrics ?metrics_addr ?(stats_interval = 0) ?backend ?suite_backend
   match session_result with
   | Error msg -> error msg
   | Ok session -> (
-      match reorder_gate ~strict_reorder ~out session with
+      match
+        reorder_gate ~lateness:(Session.lateness session) ~strict_reorder ~out
+          (fun () -> Session.reorder_certificate session)
+      with
       | Error msg -> error msg
       | Ok () -> (
       let srv_obs = make_server_obs metrics in
@@ -408,36 +511,7 @@ let serve ?metrics ?metrics_addr ?(stats_interval = 0) ?backend ?suite_backend
         end
       in
       match with_signals @@ fun () ->
-        let http =
-          match metrics_addr with
-          | None -> None
-          | Some (host, port) ->
-              let listener = http_listen ~host ~port in
-              (* Report the bound address: with port 0 the kernel picks
-                 an ephemeral port, and a scraper (or CI) learns it from
-                 this record rather than guessing. *)
-              let bound_host, bound_port =
-                match Unix.getsockname listener with
-                | Unix.ADDR_INET (a, p) -> (Unix.string_of_inet_addr a, p)
-                | _ -> (host, port)
-              in
-              emit_record out
-                (Json.Obj
-                   [
-                     ("type", Json.String "metrics-listening");
-                     ( "addr",
-                       Json.String
-                         (Printf.sprintf "%s:%d" bound_host bound_port) );
-                     ("port", Json.Int bound_port);
-                   ]);
-              Some listener
-        in
-        Fun.protect
-          ~finally:(fun () ->
-            match http with
-            | Some l -> ( try Unix.close l with Unix.Unix_error _ -> ())
-            | None -> ())
-        @@ fun () ->
+        with_http ~out ~metrics_addr @@ fun http ->
         let fd, cleanup = open_input input in
         Fun.protect ~finally:(fun () -> Option.iter (fun f -> f ()) cleanup)
         @@ fun () ->
@@ -451,52 +525,13 @@ let serve ?metrics ?metrics_addr ?(stats_interval = 0) ?backend ?suite_backend
                ("skip", Json.Int skip);
              ]);
         let state = ref (Sniffing (Buffer.create 8)) in
-        let buf = Bytes.create 65536 in
-        let consume n =
-          (match srv_obs with Some o -> Obs.add o.bytes_in n | None -> ());
-          feed_chunk state (Bytes.sub_string buf 0 n) ~push
+        let consume chunk =
+          (match srv_obs with
+          | Some o -> Obs.add o.bytes_in (String.length chunk)
+          | None -> ());
+          feed_chunk state chunk ~push
         in
-        let handle_http listener =
-          try http_serve_one listener metrics with Unix.Unix_error _ -> ()
-        in
-        let rec plain_loop () =
-          match read_chunk fd buf with
-          | None -> `Interrupted
-          | Some 0 -> `Eof
-          | Some n ->
-              consume n;
-              if !stop_requested then `Interrupted else plain_loop ()
-        in
-        (* With an endpoint, multiplex: the input stream and the HTTP
-           listener share one select, so a scrape is answered between
-           chunks without threads. *)
-        let rec select_loop listener =
-          if !stop_requested then `Interrupted
-          else
-            match Unix.select [ fd; listener ] [] [] (-1.0) with
-            | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-                if !stop_requested then `Interrupted else select_loop listener
-            | readable, _, _ -> (
-                if List.memq listener readable then handle_http listener;
-                if not (List.memq fd readable) then
-                  if !stop_requested then `Interrupted else select_loop listener
-                else
-                  match Unix.read fd buf 0 (Bytes.length buf) with
-                  | 0 -> `Eof
-                  | n ->
-                      consume n;
-                      if !stop_requested then `Interrupted
-                      else select_loop listener
-                  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-                      if !stop_requested then `Interrupted
-                      else select_loop listener)
-        in
-        let outcome =
-          match http with
-          | None -> plain_loop ()
-          | Some listener -> select_loop listener
-        in
-        match outcome with
+        match stream_loop ~fd ~metrics ~consume http with
         | `Interrupted -> `Interrupted
         | `Eof ->
             finish_input state ~push;
@@ -535,23 +570,7 @@ let serve ?metrics ?metrics_addr ?(stats_interval = 0) ?backend ?suite_backend
                    ("watermark", Json.Int snap.Reorder.watermark);
                    ("max_seen", Json.Int snap.Reorder.max_seen);
                  ]);
-            (* Keep the endpoint up after end of stream so a scraper can
-               still collect the final counters; SIGTERM/SIGINT ends the
-               linger (and the verdict-borne exit code survives it). *)
-            (match http with
-            | Some listener when not !stop_requested ->
-                let rec linger () =
-                  if not !stop_requested then
-                    match Unix.select [ listener ] [] [] (-1.0) with
-                    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
-                        linger ()
-                    | [], _, _ -> linger ()
-                    | _ :: _, _, _ ->
-                        handle_http listener;
-                        linger ()
-                in
-                linger ()
-            | _ -> ());
+            linger ~metrics http;
             `Done (if passed then 0 else 1)
       with
       | exception Input_error msg -> error msg
@@ -572,6 +591,203 @@ let serve ?metrics ?metrics_addr ?(stats_interval = 0) ?backend ?suite_backend
                    ]);
               0)
       | `Done code -> code))
+
+(* ---- speculative hosting (--ooo) ---------------------------------------
+
+   Same wire protocol as the buffered mode — start, violations,
+   verdicts, summary, the same exit codes — but events flow through
+   {!Loseq_ooo.Engine} instead of a reorder buffer: applied the moment
+   they arrive, repaired by rollback when a late one lands.  The extra
+   records are the speculative markers: violation records carry
+   ["speculative"], [retracted] records withdraw them, and [settled]
+   records mark verdicts the watermark has made definitive.  After end
+   of stream the settled verdict records are byte-identical to the
+   buffered mode's. *)
+
+module Engine = Loseq_ooo.Engine
+
+let serve_ooo ~metrics ~metrics_addr ~stats_interval ?backend ?suite_backend
+    ~lateness ~strict_reorder ?final_time ~out ~input suite =
+  let error msg = error_record out msg in
+  let rendered v = Format.asprintf "%a" Backend.pp_verdict v in
+  let srv_obs = make_server_obs metrics in
+  let notice = function
+    | Engine.Violation { label; violation; settled; _ } ->
+        emit_record out
+          (Json.Obj
+             (violation_fields ~name:label violation
+             @ [ ("speculative", Json.Bool (not settled)) ]))
+    | Engine.Retracted { label; _ } ->
+        emit_record out
+          (Json.Obj
+             [
+               ("type", Json.String "retracted");
+               ("property", Json.String label);
+             ])
+    | Engine.Settled { label; verdict; _ } ->
+        emit_record out
+          (Json.Obj
+             [
+               ("type", Json.String "settled");
+               ("property", Json.String label);
+               ("passed", Json.Bool (Backend.passed verdict));
+               ("verdict", Json.String (rendered verdict));
+             ])
+  in
+  let entries =
+    List.map (fun (e : Suite.entry) -> (e.label, e.pattern)) suite
+  in
+  let engine_result =
+    match
+      Engine.create
+        ?metrics:(if Obs.is_live metrics then Some metrics else None)
+        ?backend ?suite_backend ~notice ~lateness entries
+    with
+    | e -> Ok e
+    | exception Wellformed.Ill_formed (p, errs) ->
+        Error
+          (Format.asprintf "ill-formed pattern %a:@ %a" Pattern.pp p
+             (Format.pp_print_list Wellformed.pp_error)
+             errs)
+    | exception Invalid_argument msg -> Error msg
+  in
+  match engine_result with
+  | Error msg -> error msg
+  | Ok engine -> (
+      match
+        reorder_gate ~lateness ~strict_reorder ~out (fun () ->
+            Engine.certificate engine)
+      with
+      | Error msg -> error msg
+      | Ok () -> (
+          let offered = ref 0 in
+          let stats_record () =
+            let s = Engine.stats engine in
+            Json.Obj
+              [
+                ("type", Json.String "stats");
+                ("events", Json.Int !offered);
+                ("applied", Json.Int s.Engine.applied);
+                ("late", Json.Int s.Engine.late);
+                ("commute_hits", Json.Int s.Engine.commute_hits);
+                ("rollbacks", Json.Int s.Engine.rollbacks);
+                ("replayed", Json.Int s.Engine.replayed);
+                ("dropped_late", Json.Int s.Engine.dropped_late);
+                ("journal_depth", Json.Int (Engine.journal_depth engine));
+                ("watermark", Json.Int (Engine.watermark engine));
+                ("settled", Json.Int s.Engine.settled_events);
+              ]
+          in
+          let push e =
+            incr offered;
+            (match srv_obs with Some o -> Obs.incr o.records | None -> ());
+            ignore (Engine.offer engine e);
+            if stats_interval > 0 && !offered mod stats_interval = 0 then
+              emit_record out (stats_record ())
+          in
+          match
+            with_signals @@ fun () ->
+            with_http ~out ~metrics_addr @@ fun http ->
+            let fd, cleanup = open_input input in
+            Fun.protect ~finally:(fun () -> Option.iter (fun f -> f ()) cleanup)
+            @@ fun () ->
+            (match srv_obs with Some o -> Obs.set o.sessions 1 | None -> ());
+            emit_record out
+              (Json.Obj
+                 [
+                   ("type", Json.String "start");
+                   ("properties", Json.Int (List.length suite));
+                   ("mode", Json.String "speculative");
+                   ("lateness", Json.Int lateness);
+                 ]);
+            let state = ref (Sniffing (Buffer.create 8)) in
+            let consume chunk =
+              (match srv_obs with
+              | Some o -> Obs.add o.bytes_in (String.length chunk)
+              | None -> ());
+              feed_chunk state chunk ~push
+            in
+            match stream_loop ~fd ~metrics ~consume http with
+            | `Interrupted -> `Interrupted
+            | `Eof ->
+                finish_input state ~push;
+                Engine.finalize ?final_time engine;
+                let report = Engine.report engine in
+                List.iter2
+                  (fun (name, verdict) rendered_v ->
+                    let passed = Backend.passed verdict in
+                    (match srv_obs with
+                    | Some o -> Obs.incr (if passed then o.pass else o.fail)
+                    | None -> ());
+                    emit_record out
+                      (Json.Obj
+                         [
+                           ("type", Json.String "verdict");
+                           ("property", Json.String name);
+                           ("passed", Json.Bool passed);
+                           ("verdict", Json.String rendered_v);
+                         ]))
+                  report
+                  (Engine.report_strings engine);
+                let s = Engine.stats engine in
+                let passed =
+                  List.for_all (fun (_, v) -> Backend.passed v) report
+                in
+                (match srv_obs with Some o -> Obs.set o.sessions 0 | None -> ());
+                emit_record out
+                  (Json.Obj
+                     [
+                       ("type", Json.String "summary");
+                       ("passed", Json.Bool passed);
+                       ("events", Json.Int !offered);
+                       ("applied", Json.Int s.Engine.applied);
+                       ("late", Json.Int s.Engine.late);
+                       ("commute_hits", Json.Int s.Engine.commute_hits);
+                       ("rollbacks", Json.Int s.Engine.rollbacks);
+                       ("replayed", Json.Int s.Engine.replayed);
+                       ("dropped_late", Json.Int s.Engine.dropped_late);
+                       ("snapshots", Json.Int s.Engine.snapshots);
+                       ("max_journal", Json.Int s.Engine.max_journal);
+                       ("watermark", Json.Int (Engine.watermark engine));
+                     ]);
+                linger ~metrics http;
+                `Done (if passed then 0 else 1)
+          with
+          | exception Input_error msg -> error msg
+          | exception Unix.Unix_error (e, fn, arg) ->
+              error
+                (Printf.sprintf "%s%s: %s" fn
+                   (if arg = "" then "" else " " ^ arg)
+                   (Unix.error_message e))
+          | `Interrupted ->
+              emit_record out
+                (Json.Obj
+                   [
+                     ("type", Json.String "interrupted");
+                     ("events", Json.Int !offered);
+                   ]);
+              0
+          | `Done code -> code))
+
+(* ---- mode dispatch ------------------------------------------------------ *)
+
+let serve ?metrics ?metrics_addr ?(stats_interval = 0) ?backend ?suite_backend
+    ?(lateness = 0) ?(window = 1024) ?checkpoint ?(checkpoint_every = 0)
+    ?(resume = false) ?(strict_reorder = false) ?(ooo = false) ?final_time
+    ?(out = stdout) ~input suite =
+  let metrics = default_metrics ~metrics ~metrics_addr ~stats_interval in
+  if ooo then
+    if checkpoint <> None || resume then
+      error_record out
+        "--ooo does not support --checkpoint/--resume: speculative state \
+         (journal, snapshots, unsettled verdicts) is not checkpointable"
+    else
+      serve_ooo ~metrics ~metrics_addr ~stats_interval ?backend ?suite_backend
+        ~lateness ~strict_reorder ?final_time ~out ~input suite
+  else
+    serve_buffered ~metrics ~metrics_addr ~stats_interval ?backend
+      ?suite_backend ~lateness ~window ?checkpoint ~checkpoint_every ~resume
+      ~strict_reorder ?final_time ~out ~input suite
 
 (* ---- the producer side ------------------------------------------------- *)
 

@@ -50,6 +50,19 @@
     {e lingers} (the final counters stay scrapable) until
     SIGTERM/SIGINT; the exit code still reflects the verdicts.
 
+    With [ooo] the speculative {!Loseq_ooo.Engine} replaces the
+    session's reorder buffer: events are applied the moment they
+    arrive, violation records carry a ["speculative"] flag,
+    [{"type":"retracted", "property":..}] withdraws a speculative
+    violation a rollback disproved, and [{"type":"settled",
+    "property":.., "passed":.., "verdict":..}] marks each verdict the
+    watermark made definitive.  The [stats] and [summary] records carry
+    the engine counters instead ([applied], [late], [commute_hits],
+    [rollbacks], [replayed], [journal_depth]/[max_journal],
+    [watermark]); the final [verdict] records are byte-identical to the
+    buffered mode's.  [checkpoint]/[resume] are refused (exit [2]) —
+    speculative state is not checkpointable.
+
     Exit codes: [0] all properties passed (or interrupted), [1] some
     property failed, [2] input/setup error (including a strict-reorder
     refusal). *)
@@ -68,6 +81,7 @@ val serve :
   ?checkpoint_every:int ->
   ?resume:bool ->
   ?strict_reorder:bool ->
+  ?ooo:bool ->
   ?final_time:int ->
   ?out:out_channel ->
   input:[ `Stdin | `Socket of string ] ->

@@ -25,7 +25,13 @@
 #                           varint blob) encodes smaller than the
 #                           per-checker JSON v1; a compiled v1
 #                           checkpoint resumes into flat hosting
+#   8. speculative serve:   serve --ooo on the K-scrambled twin trace
+#                           settles verdict records byte-identical to
+#                           the buffered serve, with zero rollbacks
+#                           (the ipu suite certificate commutes every
+#                           late event) and no checkpoint support
 #
+
 # Run from the repository root:  scripts/ci_ingest.sh
 set -euo pipefail
 
@@ -226,7 +232,37 @@ grep '"type": *"verdict"' "$WORK/flat_resumed.ndjson" \
 cmp "$WORK/stream.verdicts" "$WORK/flat_resumed.verdicts"
 echo "compiled v1 checkpoint resumed into flat hosting, verdicts identical"
 
-echo "== 8. artifact provenance =="
+echo "== 8. speculative serve: settled verdicts = buffered verdicts =="
+# examples/traces/ipu_ooo.csv is a K-bounded scramble of ipu.csv whose
+# most delayed event is 75000 ticks late; both hosting modes must
+# settle on exactly the verdicts of the chronological run
+OOOTRACE=examples/traces/ipu_ooo.csv
+buf_ooo_status=0
+$LOSEQ serve --suite "$SUITE" --lateness 75000 < "$OOOTRACE" \
+  > "$WORK/buffered_ooo.ndjson" || buf_ooo_status=$?
+spec_status=0
+$LOSEQ serve --suite "$SUITE" --ooo --lateness 75000 < "$OOOTRACE" \
+  > "$WORK/spec.ndjson" || spec_status=$?
+test "$buf_ooo_status" -eq "$stream_status"
+test "$spec_status" -eq "$stream_status"
+grep '"type": *"verdict"' "$WORK/buffered_ooo.ndjson" > "$WORK/buffered_ooo.verdicts"
+grep '"type": *"verdict"' "$WORK/spec.ndjson" > "$WORK/spec.verdicts"
+cmp "$WORK/buffered_ooo.verdicts" "$WORK/spec.verdicts"
+# also identical to the chronological compiled run of step 2
+cmp "$WORK/stream.verdicts" "$WORK/spec.verdicts"
+# the certificate fast path must absorb every late event in place
+grep '"type": *"summary"' "$WORK/spec.ndjson" | grep -q '"rollbacks": *0'
+grep '"type": *"summary"' "$WORK/spec.ndjson" | grep -qv '"commute_hits": *0,'
+grep -q '"mode": *"speculative"' "$WORK/spec.ndjson"
+# speculative state is not checkpointable: the combination refuses
+ooock_status=0
+$LOSEQ serve --suite "$SUITE" --ooo --checkpoint "$WORK/ooo.ckpt" \
+  < "$OOOTRACE" > "$WORK/ooock.ndjson" || ooock_status=$?
+test "$ooock_status" -eq 2
+grep -q 'does not support' "$WORK/ooock.ndjson"
+echo "speculative settled verdicts byte-identical to buffered (exit $spec_status)"
+
+echo "== 9. artifact provenance =="
 # every BENCH_*.json this run produced must carry the provenance stamp
 # (git revision + toolchain) so uploaded artifacts are traceable
 for artifact in BENCH_*.json; do

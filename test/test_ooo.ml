@@ -1,0 +1,444 @@
+(* The speculative out-of-order engine: settled verdicts must be
+   exactly the buffered session's (and the batch checker's) on any
+   K-bounded permutation; the certificate fast path must commit
+   commuting late events in place; rollback must retract speculative
+   violations a late arrival disproves; and the twin trace
+   examples/traces/ipu_ooo.csv must stay a faithful K-scramble of
+   ipu.csv. *)
+
+open Loseq_core
+open Loseq_verif
+open Loseq_ingest
+open Loseq_testutil
+module Engine = Loseq_ooo.Engine
+module Metrics = Loseq_obs.Metrics
+
+let ev t nm = Trace.event ~time:t (name nm)
+
+let entry label src : Suite.entry =
+  { Suite.label; pattern = pat src; line = 1 }
+
+let to_engine_suite suite =
+  List.map (fun (e : Suite.entry) -> (e.Suite.label, e.Suite.pattern)) suite
+
+let passed_of summary = List.map (fun (l, v) -> (l, Backend.passed v)) summary
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+(* Locate a committed example whether the binary runs from the
+   workspace root (dune exec) or the test directory (dune runtest). *)
+let example dir name =
+  let candidates =
+    [
+      Filename.concat ("examples/" ^ dir) name;
+      Filename.concat ("../examples/" ^ dir) name;
+      Filename.concat ("../../examples/" ^ dir) name;
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some path -> path
+  | None -> List.hd candidates
+
+let load_suite path =
+  match Suite.load path with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "%a" Suite.pp_error e
+
+(* Load a CSV without the chronology validator: out-of-order rows are
+   the whole point of the twin trace. *)
+let load_csv path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec go lineno acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line -> (
+            match Trace_io.parse_csv_line ~lineno line with
+            | Ok (Some e) -> go (lineno + 1) (e :: acc)
+            | Ok None -> go (lineno + 1) acc
+            | Error msg -> Alcotest.failf "%s: %s" path msg)
+      in
+      go 1 [])
+
+let ipu_suite = load_suite (example "specs" "ipu.suite")
+let ipu_trace () = load_csv (example "traces" "ipu.csv")
+let ipu_ooo_trace () = load_csv (example "traces" "ipu_ooo.csv")
+let ipu_lateness = 75000
+
+let stable_by_time trace =
+  List.stable_sort
+    (fun (a : Trace.event) (b : Trace.event) -> compare a.Trace.time b.Trace.time)
+    trace
+
+let rows trace =
+  List.map
+    (fun (e : Trace.event) -> (e.Trace.time, Name.to_string e.Trace.name))
+    trace
+
+(* How late the most delayed event actually is: the lateness any
+   absorbing consumer needs to reconstruct the chronological trace. *)
+let required_lateness trace =
+  let max_seen = ref (-1) and need = ref 0 in
+  List.iter
+    (fun (e : Trace.event) ->
+      need := max !need (!max_seen - e.Trace.time);
+      max_seen := max !max_seen e.Trace.time)
+    trace;
+  !need
+
+(* ---- the committed twin trace ----------------------------------------- *)
+
+let test_twin_sorts_back () =
+  let original = ipu_trace () and twin = ipu_ooo_trace () in
+  Alcotest.(check int) "same cardinality" (List.length original)
+    (List.length twin);
+  Alcotest.(check (list (pair int string)))
+    "stable sort recovers ipu.csv" (rows original)
+    (rows (stable_by_time twin));
+  Alcotest.(check bool) "actually scrambled" true (rows original <> rows twin)
+
+let test_twin_required_lateness () =
+  (* The number every doc, test and CI gate quotes for ipu_ooo.csv. *)
+  Alcotest.(check int) "required lateness" ipu_lateness
+    (required_lateness (ipu_ooo_trace ()))
+
+let test_twin_engine_matches_batch () =
+  let twin = ipu_ooo_trace () in
+  let eng = Engine.create ~lateness:ipu_lateness (to_engine_suite ipu_suite) in
+  List.iter
+    (fun e ->
+      match Engine.offer eng e with
+      | `Dropped_late -> Alcotest.failf "dropped: %s" (Trace.to_string [ e ])
+      | `Applied | `Commuted | `Replayed _ -> ())
+    twin;
+  Engine.finalize eng;
+  Alcotest.(check (list (pair string bool)))
+    "settled verdicts = batch on the chronological trace"
+    (Suite.check_trace ipu_suite (ipu_trace ()))
+    (passed_of (Engine.report eng));
+  let stats = Engine.stats eng in
+  Alcotest.(check int) "late arrivals absorbed" 9 stats.Engine.late;
+  Alcotest.(check int) "all of them commuted in place" 9
+    stats.Engine.commute_hits;
+  Alcotest.(check int) "zero rollbacks" 0 stats.Engine.rollbacks;
+  Alcotest.(check int) "zero replays" 0 stats.Engine.replayed;
+  Alcotest.(check int) "nothing dropped" 0 stats.Engine.dropped_late
+
+let test_twin_engine_matches_buffered_rendering () =
+  let twin = ipu_ooo_trace () in
+  let eng = Engine.create ~lateness:ipu_lateness (to_engine_suite ipu_suite) in
+  List.iter (fun e -> ignore (Engine.offer eng e)) twin;
+  Engine.finalize eng;
+  let session = Session.create ~lateness:ipu_lateness ipu_suite in
+  List.iter (Session.offer_force session) twin;
+  let report = Session.finalize session in
+  Alcotest.(check (list string))
+    "rendered verdicts byte-identical to the buffered session"
+    (List.map snd (Report.summary_strings report))
+    (Engine.report_strings eng)
+
+(* ---- rollback and retraction ------------------------------------------ *)
+
+let test_rollback_retracts_speculative_violation () =
+  (* go@0 arms a deadline at 10; the foreign event at 100 fires it
+     speculatively (done has not been seen).  The late done@5 cannot
+     commute — the checker is timed and already (speculatively)
+     violated — so the engine must roll back, replay, and retract. *)
+  let suite = [ entry "p" "go => done within 10" ] in
+  let notices = ref [] in
+  let eng =
+    Engine.create
+      ~notice:(fun n -> notices := n :: !notices)
+      ~lateness:100 (to_engine_suite suite)
+  in
+  Alcotest.(check bool) "go applied" true (Engine.offer eng (ev 0 "go") = `Applied);
+  Alcotest.(check bool) "foreign applied" true
+    (Engine.offer eng (ev 100 "zz") = `Applied);
+  (match !notices with
+  | [ Engine.Violation { label = "p"; settled = false; _ } ] -> ()
+  | _ -> Alcotest.fail "expected one speculative violation notice");
+  (match Engine.offer eng (ev 5 "done") with
+  | `Replayed n -> Alcotest.(check int) "replayed the journal" 2 n
+  | _ -> Alcotest.fail "expected a rollback-and-replay");
+  (match !notices with
+  | Engine.Retracted { label = "p"; _ } :: _ -> ()
+  | _ -> Alcotest.fail "expected a retraction notice");
+  let stats = Engine.stats eng in
+  Alcotest.(check int) "one rollback" 1 stats.Engine.rollbacks;
+  Alcotest.(check int) "two events re-stepped" 2 stats.Engine.replayed;
+  Engine.finalize eng;
+  Alcotest.(check (list (pair string bool)))
+    "final verdict: satisfied" [ ("p", true) ]
+    (passed_of (Engine.report eng))
+
+let test_commute_fast_path_in_place () =
+  (* a and b are an unordered premise set: the certificate proves the
+     swap verdict-preserving, so the late a@0 commits with no
+     rollback. *)
+  let suite = [ entry "c" "{a, b} <<! go" ] in
+  let eng = Engine.create ~lateness:20 (to_engine_suite suite) in
+  Alcotest.(check bool) "b applied" true (Engine.offer eng (ev 10 "b") = `Applied);
+  Alcotest.(check bool) "late a commuted in place" true
+    (Engine.offer eng (ev 0 "a") = `Commuted);
+  ignore (Engine.offer eng (ev 30 "go"));
+  let stats = Engine.stats eng in
+  Alcotest.(check int) "one commute hit" 1 stats.Engine.commute_hits;
+  Alcotest.(check int) "no rollback" 0 stats.Engine.rollbacks;
+  Engine.finalize eng;
+  Alcotest.(check (list (pair string bool)))
+    "agrees with batch on the chronological trace"
+    (Suite.check_trace suite [ ev 0 "a"; ev 10 "b"; ev 30 "go" ])
+    (passed_of (Engine.report eng))
+
+let test_foreign_late_bypasses () =
+  let suite = [ entry "c" "{a, b} <<! go" ] in
+  let eng = Engine.create ~lateness:50 (to_engine_suite suite) in
+  ignore (Engine.offer eng (ev 0 "a"));
+  ignore (Engine.offer eng (ev 20 "xx"));
+  Alcotest.(check bool) "late foreign event is a plain apply" true
+    (Engine.offer eng (ev 15 "yy") = `Applied);
+  Alcotest.(check int) "counted as a commute hit" 1
+    (Engine.stats eng).Engine.commute_hits
+
+let test_dropped_late_boundary () =
+  (* Same admissibility rule as Reorder: strictly below the watermark
+     drops, exactly at the watermark is admitted. *)
+  let suite = [ entry "c" "{a, b} <<! go" ] in
+  let eng = Engine.create ~lateness:5 (to_engine_suite suite) in
+  ignore (Engine.offer eng (ev 0 "a"));
+  ignore (Engine.offer eng (ev 100 "xx"));
+  Alcotest.(check int) "watermark" 95 (Engine.watermark eng);
+  Alcotest.(check bool) "below the watermark drops" true
+    (Engine.offer eng (ev 94 "b") = `Dropped_late);
+  Alcotest.(check bool) "exactly at the watermark is admitted" true
+    (Engine.offer eng (ev 95 "b") <> `Dropped_late);
+  Alcotest.(check int) "one drop counted" 1
+    (Engine.stats eng).Engine.dropped_late
+
+(* ---- settlement ------------------------------------------------------- *)
+
+let test_settlement_follows_watermark () =
+  let suite = [ entry "c" "{a, b} <<! go" ] in
+  let settled_notices = ref 0 in
+  let eng =
+    Engine.create
+      ~notice:(function
+        | Engine.Settled { label = "c"; _ } -> incr settled_notices
+        | _ -> ())
+      ~lateness:10 (to_engine_suite suite)
+  in
+  ignore (Engine.offer eng (ev 0 "go"));
+  (* Violated at 0, but the watermark is still behind: speculative. *)
+  Alcotest.(check bool) "unsettled while retractable" true
+    ((Engine.tri eng).(0) = Backend.Unsettled);
+  Alcotest.(check int) "no settlement yet" 0 !settled_notices;
+  ignore (Engine.offer eng (ev 20 "xx"));
+  (* Watermark 10 passed the decision point 0: definitive. *)
+  Alcotest.(check int) "settled mid-stream" 1 !settled_notices;
+  Alcotest.(check bool) "tri reports Fail" true
+    ((Engine.tri eng).(0) = Backend.Fail);
+  Alcotest.(check bool) "marked settled" true (Engine.settled eng).(0);
+  Engine.finalize eng;
+  Alcotest.(check int) "settlement is emitted once" 1 !settled_notices;
+  Alcotest.(check bool) "verdict unchanged by finalize" true
+    ((Engine.tri eng).(0) = Backend.Fail)
+
+(* ---- the permutation-equivalence gate --------------------------------- *)
+
+(* A K-bounded scramble that preserves the relative order of
+   equal-timestamp events: jitter each *timestamp* (not each event) by
+   at most K and stable-sort by the jittered key.  Two events more than
+   K apart can never swap, so the scramble is always admissible; ties
+   share a key, so the buffered session's stable drain reproduces the
+   chronological trace exactly. *)
+let scramble_gen k trace =
+  QCheck2.Gen.(
+    let times =
+      List.sort_uniq compare (List.map (fun e -> e.Trace.time) trace)
+    in
+    let* jitters = list_size (return (List.length times)) (int_range 0 k) in
+    let jitter = Hashtbl.create 16 in
+    List.iter2 (fun t j -> Hashtbl.replace jitter t j) times jitters;
+    return
+      (List.stable_sort
+         (fun (a : Trace.event) (b : Trace.event) ->
+           compare
+             (a.Trace.time + Hashtbl.find jitter a.Trace.time)
+             (b.Trace.time + Hashtbl.find jitter b.Trace.time))
+         trace))
+
+let gen_equivalence_case =
+  QCheck2.Gen.(
+    let* p1 = gen_pattern in
+    let* p2 = gen_pattern in
+    let* t1 = gen_timed_trace p1 in
+    let* t2 = gen_timed_trace p2 in
+    let merged = stable_by_time (t1 @ t2) in
+    let* k = int_range 0 40 in
+    let* scrambled = scramble_gen k merged in
+    return (p1, p2, k, merged, scrambled))
+
+let print_equivalence_case (p1, p2, k, merged, scrambled) =
+  Format.asprintf "p1 = %a@.p2 = %a@.k = %d@.chronological = %s@.arrival = %s"
+    Pattern.pp p1 Pattern.pp p2 k
+    (Trace.to_string merged)
+    (Trace.to_string scrambled)
+
+let test_permutation_equivalence =
+  qtest ~count:300 "settled ooo = buffered session = batch"
+    gen_equivalence_case print_equivalence_case
+    (fun (p1, p2, k, merged, scrambled) ->
+      let suite =
+        [
+          { Suite.label = "p1"; pattern = p1; line = 1 };
+          { Suite.label = "p2"; pattern = p2; line = 2 };
+        ]
+      in
+      let batch = Suite.check_trace suite merged in
+      let session = Session.create ~lateness:k suite in
+      List.iter (Session.offer_force session) scrambled;
+      let buffered = passed_of (Report.summary (Session.finalize session)) in
+      let settled_at = Hashtbl.create 4 in
+      let eng =
+        Engine.create
+          ~notice:(function
+            | Engine.Settled { label; verdict; _ } ->
+                if not (Hashtbl.mem settled_at label) then
+                  Hashtbl.add settled_at label (Backend.passed verdict)
+            | _ -> ())
+          ~lateness:k (to_engine_suite suite)
+      in
+      let dropped = ref 0 in
+      List.iter
+        (fun e ->
+          match Engine.offer eng e with
+          | `Dropped_late -> incr dropped
+          | `Applied | `Commuted | `Replayed _ -> ())
+        scrambled;
+      Engine.finalize eng;
+      let ooo = passed_of (Engine.report eng) in
+      let settlement_stable =
+        List.for_all
+          (fun (l, p) ->
+            match Hashtbl.find_opt settled_at l with
+            | Some s -> s = p
+            | None -> true)
+          ooo
+      in
+      !dropped = 0 && batch = buffered && buffered = ooo && settlement_stable)
+
+(* ---- observability ---------------------------------------------------- *)
+
+let test_metrics_reconcile_with_stats () =
+  let metrics = Metrics.create () in
+  let eng =
+    Engine.create ~metrics ~lateness:ipu_lateness (to_engine_suite ipu_suite)
+  in
+  List.iter (fun e -> ignore (Engine.offer eng e)) (ipu_ooo_trace ());
+  Engine.finalize eng;
+  let stats = Engine.stats eng in
+  let counter n = Metrics.read_counter metrics ~name:n () in
+  let gauge n = Metrics.read_gauge metrics ~name:n () in
+  Alcotest.(check (option int))
+    "commute hits" (Some stats.Engine.commute_hits)
+    (counter "loseq_ooo_commute_hits_total");
+  Alcotest.(check (option int))
+    "late arrivals" (Some stats.Engine.late)
+    (counter "loseq_ooo_late_events_total");
+  Alcotest.(check (option int))
+    "rollbacks" (Some stats.Engine.rollbacks)
+    (counter "loseq_ooo_rollbacks_total");
+  Alcotest.(check (option int))
+    "replayed" (Some stats.Engine.replayed)
+    (counter "loseq_ooo_replayed_events_total");
+  Alcotest.(check (option int))
+    "dropped late" (Some stats.Engine.dropped_late)
+    (counter "loseq_ooo_dropped_late_total");
+  Alcotest.(check (option int))
+    "settlements" (Some stats.Engine.settled_events)
+    (counter "loseq_ooo_settled_total");
+  Alcotest.(check (option int))
+    "snapshots" (Some stats.Engine.snapshots)
+    (counter "loseq_ooo_snapshots_total");
+  Alcotest.(check (option int))
+    "journal depth gauge" (Some (Engine.journal_depth eng))
+    (gauge "loseq_ooo_journal_depth");
+  Alcotest.(check (option int))
+    "watermark gauge" (Some (Engine.watermark eng))
+    (gauge "loseq_ooo_watermark")
+
+(* ---- usage text pins (serve/check/suite --help) ----------------------- *)
+
+let test_backend_doc_covers_every_backend () =
+  Alcotest.(check (list string))
+    "the four backends" [ "direct"; "compiled"; "flat"; "psl" ]
+    Cli_doc.backend_names;
+  List.iter
+    (fun b ->
+      Alcotest.(check bool)
+        (Printf.sprintf "--backend doc mentions %s" b)
+        true
+        (contains Cli_doc.backend_doc b))
+    Cli_doc.backend_names
+
+let test_serve_modes_doc_pins_ooo () =
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "serve usage mentions %s" needle)
+        true
+        (contains Cli_doc.serve_modes_doc needle))
+    [ "--ooo"; "--lateness"; "speculative"; "settled"; "retracted" ];
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "--ooo doc mentions %s" needle)
+        true
+        (contains Cli_doc.ooo_doc needle))
+    [ "--checkpoint"; "--resume"; "rollback" ]
+
+let () =
+  Alcotest.run "ooo"
+    [
+      ( "twin-trace",
+        [
+          Alcotest.test_case "sorts back to ipu.csv" `Quick test_twin_sorts_back;
+          Alcotest.test_case "required lateness is 75000" `Quick
+            test_twin_required_lateness;
+          Alcotest.test_case "engine matches batch" `Quick
+            test_twin_engine_matches_batch;
+          Alcotest.test_case "engine matches buffered rendering" `Quick
+            test_twin_engine_matches_buffered_rendering;
+        ] );
+      ( "speculation",
+        [
+          Alcotest.test_case "rollback retracts" `Quick
+            test_rollback_retracts_speculative_violation;
+          Alcotest.test_case "commute fast path" `Quick
+            test_commute_fast_path_in_place;
+          Alcotest.test_case "foreign late bypass" `Quick
+            test_foreign_late_bypasses;
+          Alcotest.test_case "dropped-late boundary" `Quick
+            test_dropped_late_boundary;
+          Alcotest.test_case "settlement follows watermark" `Quick
+            test_settlement_follows_watermark;
+        ] );
+      ("equivalence", [ test_permutation_equivalence ]);
+      ( "observability",
+        [
+          Alcotest.test_case "metrics reconcile" `Quick
+            test_metrics_reconcile_with_stats;
+        ] );
+      ( "usage",
+        [
+          Alcotest.test_case "backend doc" `Quick
+            test_backend_doc_covers_every_backend;
+          Alcotest.test_case "serve modes doc" `Quick
+            test_serve_modes_doc_pins_ooo;
+        ] );
+    ]

@@ -158,6 +158,66 @@ let prop_chronological_release =
       Trace.is_chronological out
       && List.length out + Reorder.dropped_late b = List.length events)
 
+(* ---- watermark boundary and observability ----------------------------- *)
+
+let test_floor_exact_admission () =
+  (* The admissibility floor is inclusive: an event at exactly
+     [max_seen - lateness] is absorbed, one tick below it drops. *)
+  let b = Reorder.create ~lateness:10 () in
+  push_exn b (ev 20 "a");
+  Alcotest.(check int) "floor" 10 (Reorder.floor b);
+  Alcotest.(check bool) "exactly at the floor is queued" true
+    (Reorder.push b (ev 10 "b") = `Queued);
+  Alcotest.(check bool) "one below the floor drops" true
+    (Reorder.push b (ev 9 "c") = `Dropped_late);
+  Alcotest.(check int) "one drop counted" 1 (Reorder.dropped_late b);
+  Alcotest.(check (list int)) "the boundary event is released" [ 10; 20 ]
+    (times (flush_all b))
+
+let test_equal_timestamp_drain_stable () =
+  (* Ties released by a watermark-triggered drain keep arrival order,
+     exactly like flush does. *)
+  let b = Reorder.create ~lateness:5 () in
+  push_exn b (ev 10 "first");
+  push_exn b (ev 10 "second");
+  push_exn b (ev 10 "third");
+  Alcotest.(check (list string)) "held below the watermark" []
+    (names (drain_all b));
+  push_exn b (ev 16 "late");
+  Alcotest.(check (list string))
+    "ties drain in arrival order"
+    [ "first"; "second"; "third" ]
+    (names (drain_all b));
+  Alcotest.(check (list string)) "the advancer is still held" [ "late" ]
+    (names (flush_all b))
+
+let test_stats_reconcile_with_obs () =
+  let metrics = Loseq_obs.Metrics.create () in
+  let b = Reorder.create ~metrics ~lateness:10 () in
+  push_exn b (ev 20 "a");
+  push_exn b (ev 15 "b");
+  push_exn b (ev 40 "c");
+  (match Reorder.push b (ev 5 "too-late") with
+  | `Dropped_late -> ()
+  | _ -> Alcotest.fail "expected a drop");
+  ignore (Reorder.drain b ~emit:(fun _ -> ()));
+  let snap = Reorder.stats b in
+  let gauge n = Loseq_obs.Metrics.read_gauge metrics ~name:n () in
+  let counter n = Loseq_obs.Metrics.read_counter metrics ~name:n () in
+  Alcotest.(check (option int))
+    "occupancy gauge = snapshot" (Some snap.Reorder.occupancy)
+    (gauge "loseq_reorder_occupancy");
+  Alcotest.(check (option int))
+    "dropped counter = snapshot" (Some snap.Reorder.dropped_late)
+    (counter "loseq_reorder_dropped_late_total");
+  Alcotest.(check (option int))
+    "watermark lag gauge = max_seen - released"
+    (Some (snap.Reorder.max_seen - Reorder.released b))
+    (gauge "loseq_reorder_watermark_lag");
+  Alcotest.(check int) "snapshot watermark = max_seen - lateness"
+    (snap.Reorder.max_seen - Reorder.lateness b)
+    snap.Reorder.watermark
+
 let () =
   Alcotest.run "reorder"
     [
@@ -170,6 +230,12 @@ let () =
           Alcotest.test_case "drops beyond lateness" `Quick
             test_drops_beyond_lateness;
           Alcotest.test_case "stable ties" `Quick test_stable_on_ties;
+          Alcotest.test_case "floor-exact admission" `Quick
+            test_floor_exact_admission;
+          Alcotest.test_case "equal-timestamp drain stable" `Quick
+            test_equal_timestamp_drain_stable;
+          Alcotest.test_case "stats reconcile with obs" `Quick
+            test_stats_reconcile_with_obs;
         ] );
       ( "backpressure",
         [
