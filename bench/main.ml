@@ -1220,6 +1220,105 @@ let ooo_latency () =
   close_out oc;
   Format.printf "@.written: BENCH_ooo.json@."
 
+(* ---- Section 3h: shard planning ---------------------------------------- *)
+
+(* Cost and quality of the static shard-plan analysis on the case-study
+   contract: interference-graph construction (per-entry commutation +
+   cross-checker products), the balance of the greedy partition at
+   N = 4, and the sequential sharded replay against the unsharded
+   verdicts on the recorded trace. *)
+let shard_planning () =
+  section "Shard planning: interference graph + balanced partition (ipu.suite)";
+  let open Loseq_analysis in
+  let suite_path =
+    List.find_opt Sys.file_exists
+      [ "examples/specs/ipu.suite"; "../examples/specs/ipu.suite" ]
+    |> Option.value ~default:"examples/specs/ipu.suite"
+  in
+  let trace_path =
+    List.find_opt Sys.file_exists
+      [ "examples/traces/ipu.csv"; "../examples/traces/ipu.csv" ]
+    |> Option.value ~default:"examples/traces/ipu.csv"
+  in
+  let suite =
+    match Loseq_verif.Suite.load suite_path with
+    | Ok s -> s
+    | Error e -> failwith (Format.asprintf "%a" Loseq_verif.Suite.pp_error e)
+  in
+  let labeled = Loseq_verif.Suite.entries_of suite in
+  let n_shards = 4 in
+  Memo.reset ();
+  let t0 = Sys.time () in
+  let plan = Shard.analyze ~shards:n_shards labeled in
+  let plan_dt = Sys.time () -. t0 in
+  Format.printf "%a@." Shard.pp plan;
+  Format.printf "planned in %.4fs (%d explorations)@." plan_dt
+    (Memo.explorations_performed ());
+  let tr =
+    match Loseq_core.Trace_io.load_csv trace_path with
+    | Ok t -> t
+    | Error msg -> failwith msg
+  in
+  let t1 = Sys.time () in
+  let unsharded = Loseq_verif.Suite.check_trace suite tr in
+  let unsharded_dt = Sys.time () -. t1 in
+  let t2 = Sys.time () in
+  let sharded =
+    Loseq_verif.Sharded.run
+      ~plan:(Array.to_list plan.Shard.shards)
+      suite tr
+  in
+  let sharded_dt = Sys.time () -. t2 in
+  let agrees = sharded = unsharded in
+  Format.printf
+    "replay on %s: unsharded %.4fs, sharded %.4fs, verdicts agree %b@."
+    trace_path unsharded_dt sharded_dt agrees;
+  let balanced = plan.Shard.balance <= 1.5 in
+  let oc = open_out "BENCH_shard.json" in
+  Printf.fprintf oc
+    {|{
+  "benchmark": "shard_planning",
+  "suite": %S,
+  "trace": %S,
+  %s,
+  "shards": %d,
+  "plan_seconds": %.6f,
+  "explorations": %d,
+  "shard_costs": [%s],
+  "per_shard": [
+%s  ],
+  "balance": %.4f,
+  "certified": %b,
+  "replay": { "unsharded_seconds": %.6f, "sharded_seconds": %.6f,
+              "verdicts_agree": %b },
+  "acceptance": { "balanced_1_5x": %b, "certified": %b,
+                  "verdicts_agree": %b }
+}
+|}
+    suite_path trace_path
+    (provenance_json ~backend:"analysis")
+    n_shards plan_dt
+    (Memo.explorations_performed ())
+    (String.concat ", "
+       (List.map string_of_int (Array.to_list plan.Shard.shard_costs)))
+    (String.concat ""
+       (List.mapi
+          (fun s members ->
+            Printf.sprintf
+              "    { \"shard\": %d, \"cost\": %d, \"checkers\": [%s] }%s\n" s
+              plan.Shard.shard_costs.(s)
+              (String.concat ", "
+                 (List.map
+                    (fun ck ->
+                      Printf.sprintf "%S" (fst plan.Shard.entries.(ck)))
+                    members))
+              (if s = Array.length plan.Shard.shards - 1 then "" else ","))
+          (Array.to_list plan.Shard.shards)))
+    plan.Shard.balance plan.Shard.certified unsharded_dt sharded_dt agrees
+    balanced plan.Shard.certified agrees;
+  close_out oc;
+  Format.printf "@.written: BENCH_shard.json@."
+
 (* Sections are addressable from the command line so CI can run just
    one: `bench/main.exe ingest`.  No arguments runs everything. *)
 let sections_by_name =
@@ -1239,6 +1338,7 @@ let sections_by_name =
     ("races", race_analysis);
     ("mutation", mutation_gate);
     ("ooo", ooo_latency);
+    ("shard", shard_planning);
     ("bechamel", bechamel_benches);
   ]
 

@@ -485,24 +485,27 @@ let pp_certificate ppf (cert : Loseq_analysis.Robust.certificate) =
 
 (* Every readable file of a directory, parsed as a trace (tokens, CSV
    or LSQB binary, sniffed).  Sorted by name so runs are stable. *)
+(* A workload directory may hold files the batch analyses cannot use —
+   e.g. arrival-order captures for the speculative path, which are
+   deliberately non-chronological.  Skip those with a warning rather
+   than refusing the whole directory. *)
 let read_traces_dir dir =
   match Sys.readdir dir with
   | exception Sys_error msg -> Error msg
   | files ->
       Array.sort compare files;
       Array.fold_left
-        (fun acc f ->
-          match acc with
-          | Error _ -> acc
-          | Ok ts -> (
-              let path = Filename.concat dir f in
-              if Sys.is_directory path then Ok ts
-              else
-                match read_trace (Some path) with
-                | Ok t -> Ok (t :: ts)
-                | Error msg -> Error (Printf.sprintf "%s: %s" path msg)))
-        (Ok []) files
-      |> Result.map List.rev
+        (fun ts f ->
+          let path = Filename.concat dir f in
+          if Sys.is_directory path then ts
+          else
+            match read_trace (Some path) with
+            | Ok t -> t :: ts
+            | Error msg ->
+                Format.eprintf "warning: skipping %s: %s@." path msg;
+                ts)
+        [] files
+      |> List.rev |> Result.ok
 
 let traces_dir_arg =
   Cmdliner.Arg.(
@@ -513,9 +516,42 @@ let traces_dir_arg =
           "Read every file of $(docv) as a trace (tokens, CSV or LSQB \
            binary, sniffed by content) and add them to the workload.")
 
+(* --shard-plan: plan, render, optionally verify sharded-vs-unsharded
+   verdicts over the --traces workload.  Verification replays every
+   trace through [Verif.Sharded] (one hub per shard over the sliced
+   slab) and the unsharded [Suite.check_trace]; a mismatch on a
+   certified plan is a [shard-divergence] error finding. *)
+let shard_divergences plan suite traces =
+  List.concat
+    (List.mapi
+       (fun k trace ->
+         let sharded =
+           Loseq_verif.Sharded.run
+             ~plan:(Array.to_list plan.Loseq_analysis.Shard.shards)
+             suite trace
+         in
+         let unsharded =
+           Loseq_verif.Suite.check_trace ~suite_backend:Backend.flat_views
+             suite trace
+         in
+         List.filter_map
+           (fun ((label, sv), (label', uv)) ->
+             assert (String.equal label label');
+             if sv = uv then None
+             else
+               Some
+                 (Finding.v ~subject:label Finding.Error "shard-divergence"
+                    "trace #%d: sharded execution says %s, unsharded says \
+                     %s — the plan's independence certificate is unsound"
+                    (k + 1)
+                    (if sv then "PASS" else "FAIL")
+                    (if uv then "PASS" else "FAIL")))
+           (List.combine sharded unsharded))
+       traces)
+
 let analyze_cmd =
   let run positionals suites format suppressed suppress_file explain races
-      certify coverage traces_dir budget =
+      certify coverage shard_plan profile plan_out traces_dir budget =
     match explain with
     | Some "" ->
         (* no code: list every registered finding code *)
@@ -588,6 +624,62 @@ let analyze_cmd =
                         (it.label, it.pattern))
                       items
                   in
+                  match shard_plan with
+                  | Some n when n < 1 ->
+                      Format.eprintf "--shard-plan: N must be >= 1@.";
+                      3
+                  | Some n -> (
+                      let inputs =
+                        let profile =
+                          match profile with
+                          | None -> Ok None
+                          | Some path ->
+                              Result.map Option.some (read_trace (Some path))
+                        in
+                        let traces =
+                          match traces_dir with
+                          | None -> Ok []
+                          | Some dir -> read_traces_dir dir
+                        in
+                        match (profile, traces) with
+                        | Error msg, _ ->
+                            Error (Printf.sprintf "--profile: %s" msg)
+                        | _, Error msg ->
+                            Error (Printf.sprintf "--traces: %s" msg)
+                        | Ok p, Ok ts -> Ok (p, ts)
+                      in
+                      match inputs with
+                      | Error msg ->
+                          Format.eprintf "%s@." msg;
+                          3
+                      | Ok (profile, traces) ->
+                          let plan =
+                            Loseq_analysis.Shard.analyze ~budget ?profile
+                              ~shards:n labeled
+                          in
+                          if format = Finding.Text then
+                            Format.printf "@[<v>%a@]@."
+                              Loseq_analysis.Shard.pp plan;
+                          (match plan_out with
+                          | None -> ()
+                          | Some path ->
+                              let oc = open_out path in
+                              output_string oc
+                                (Json.to_string
+                                   (Loseq_analysis.Shard.to_json plan));
+                              output_char oc '\n';
+                              close_out oc);
+                          let suite =
+                            List.map
+                              (fun (label, pattern) ->
+                                { Loseq_verif.Suite.label; pattern; line = 0 })
+                              labeled
+                          in
+                          render_findings format suppressed
+                            (attach_origins items
+                               (Loseq_analysis.Shard.findings plan
+                               @ shard_divergences plan suite traces)))
+                  | None ->
                   if coverage then begin
                     match
                       match traces_dir with
@@ -705,6 +797,40 @@ let analyze_cmd =
              $(b,reorder-unsafe) error finding for every entry whose \
              bound is below $(docv).")
   in
+  let shard_plan =
+    Arg.(
+      value
+      & opt ~vopt:(Some 4) (some int) None
+      & info [ "shard-plan" ] ~docv:"N"
+          ~doc:
+            "Partition the suite into $(docv) shards (default 4): build \
+             the checker-interference graph (shared names, \
+             non-commuting cross-checker pairs, deadline coupling), \
+             balance a static cost model over the shards and print the \
+             certified plan.  Coupling constraints are \
+             $(b,shard-coupled) findings; a lopsided plan is \
+             $(b,shard-imbalance).  With --traces, every trace is \
+             additionally replayed sharded and unsharded — a verdict \
+             mismatch is a $(b,shard-divergence) error.")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "profile" ] ~docv:"TRACE"
+          ~doc:
+            "Weight the shard-plan cost model with alphabet frequencies \
+             from this trace (tokens, CSV or LSQB, sniffed): each \
+             checker is additionally charged the number of profile \
+             events in its alphabet.")
+  in
+  let plan_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "plan-out" ] ~docv:"FILE"
+          ~doc:"Write the shard plan's JSON artifact to $(docv).")
+  in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
@@ -722,8 +848,8 @@ let analyze_cmd =
          ])
     Term.(
       const run $ positionals $ suites_arg $ format_arg $ suppress_arg
-      $ suppress_file $ explain $ races $ certify $ coverage
-      $ traces_dir_arg $ budget)
+      $ suppress_file $ explain $ races $ certify $ coverage $ shard_plan
+      $ profile $ plan_out $ traces_dir_arg $ budget)
 
 (* ---- mutate ----------------------------------------------------------- *)
 

@@ -11,14 +11,6 @@ type report = {
   min_conclusion_events : int option;
 }
 
-let system m =
-  {
-    Reach.init = Machine.init m;
-    n_ids = Machine.n_ids m;
-    step = Machine.step m;
-    final = Machine.is_final;
-  }
-
 let witness_of m ex i = fst (Witness.concretize m (Reach.path ex i))
 
 (* A name the conclusion's alphabet does not contain, to close the
@@ -31,15 +23,13 @@ let fresh_trigger alpha =
    BFS shortest path on the automaton of [ordering << fresh]. *)
 let min_events_of_ordering ordering =
   let trigger = fresh_trigger (Pattern.alpha_ordering ordering) in
-  let m = Machine.make (Pattern.antecedent ordering ~trigger) in
-  let ex = Reach.explore (system m) in
+  let m, ex = Memo.explore ~exact:false (Pattern.antecedent ordering ~trigger) in
   match Reach.find ex (Machine.completable m) with
   | Some i -> Some (List.length (Reach.path ex i))
   | None -> None (* unreachable with a sufficient budget *)
 
 let report ?budget pattern =
-  let m = Machine.make pattern in
-  let ex = Reach.explore ?budget (system m) in
+  let m, ex = Memo.explore ?budget ~exact:false pattern in
   let violating st = Machine.is_violated st || Machine.can_time_violate m st in
   let violation_witness, time_violation =
     match Reach.find ex Machine.is_violated with

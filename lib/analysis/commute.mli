@@ -72,3 +72,56 @@ val final_time_for : Pattern.t -> int option
     [Some (deadline + 1)] for a timed pattern (witness timestamps are
     all zero, so any pending deadline has elapsed by then), [None] for
     an antecedent. *)
+
+(** {1 Cross-checker commutation}
+
+    The per-pattern analysis above decides whether {e one} checker's
+    verdict is order-sensitive.  Sharding a suite asks a different
+    question: may two {e different} checkers observe the events of a
+    shared (or interleaved) alphabet in different relative orders
+    without the {e pair} of verdicts changing?  That is commutation on
+    the synchronous product (cf. {!Suite_checks.product}) of the two
+    exact machines over the union alphabet, observed through the pair
+    of per-checker fail bits. *)
+
+type product_race = {
+  label_a : string;
+  label_b : string;  (** the two suite entries of the product *)
+  a : Name.t;
+  b : Name.t;  (** the racy unordered union-alphabet pair, [a < b] *)
+  trace_ab : Trace.t;
+  trace_ba : Trace.t;
+      (** twin traces one adjacent transposition apart, as in {!race} *)
+  ab_verdicts : bool * bool;
+      (** ([label_a] passes, [label_b] passes) on [trace_ab], each
+          entry replayed under its own {!final_time_for} *)
+  ba_verdicts : bool * bool;
+      (** the verdict pair on [trace_ba]; differs from [ab_verdicts]
+          (verified by replay) *)
+}
+
+type product_result = {
+  labels : string * string;
+  complete : bool;
+      (** product exploration within budget, refinement stabilized and
+          every cross-relevant pair decided *)
+  cross_races : product_race list;
+      (** one (shortest-prefix) witness per racy cross-relevant pair *)
+  cross_commuting : (Name.t * Name.t) list;
+      (** cross-relevant pairs certified to commute on the product
+          (empty unless [complete]) *)
+  shared : Name.t list;  (** the alphabet intersection, sorted *)
+}
+
+val analyze_product :
+  ?budget:int ->
+  ?refine_rounds:int ->
+  string * Pattern.t ->
+  string * Pattern.t ->
+  product_result
+(** [analyze_product (la, pa) (lb, pb)] runs the pairwise test on the
+    synchronous product of the two exact machines, restricted to
+    {e cross-relevant} pairs: unordered union-alphabet pairs not
+    wholly private to one checker (those belong to that checker's own
+    {!analyze}).  Budget and failure behaviour as in {!analyze}.  The
+    component machines come from the shared {!Memo} table. *)

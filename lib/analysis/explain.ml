@@ -112,6 +112,38 @@ let all =
        trusted at this window size.  Lower --lateness, fix the racy \
        entries, or accept the risk by dropping --strict-reorder."
       None;
+    (* ---- shard-plan analysis ------------------------------------------ *)
+    e "shard-coupled" Finding.Warning
+      "two checkers (or two names of one checker) must share a shard"
+      "The shard planner found an order-coupling it had to honor: \
+       either a cross-checker pair of names fails to commute on the \
+       synchronous product of the two exact monitor automata (the \
+       twin-trace witness flips one of the two verdicts under one \
+       adjacent swap), or a single checker's own racy pair pins its \
+       whole alphabet slice to in-order delivery.  The named entries \
+       are co-located in one shard; splitting them across domains \
+       would require a synchronized event order between the shards."
+      None;
+    e "shard-imbalance" Finding.Warning
+      "the shard plan's static cost balance exceeds the threshold"
+      "After contracting every coupled pair, the heaviest shard's \
+       static cost (flat-slab slots + abstract reachable states + \
+       optional profile-weighted event counts) exceeds the mean over \
+       non-empty shards by more than the threshold (default 1.5x): \
+       the partition would not speed anything up, because the \
+       heaviest shard dominates wall-clock.  Usually one cluster of \
+       coupled checkers is simply too big — fix the races that glue \
+       it together, or accept fewer shards."
+      None;
+    e "shard-divergence" Finding.Error
+      "sharded execution disagrees with the unsharded suite"
+      "Replaying a trace through the sharded harness (one hub per \
+       shard over the name-filtered trace, verdicts merged at the \
+       sequencer) produced a verdict different from the unsharded \
+       suite on the same trace.  On a certified plan this is a \
+       soundness bug in the planner or the harness, never a property \
+       of the trace — report it."
+      None;
     e "analysis-budget" Finding.Info "state budget exhausted"
       "The abstract state space exceeded the exploration budget; \
        existential results (witnesses found before the cut-off) are \

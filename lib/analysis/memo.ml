@@ -1,0 +1,40 @@
+open Loseq_core
+
+let default_budget = 200_000
+
+(* Patterns are pure data (names, ints, lists), so the polymorphic
+   hash/equality of Hashtbl are sound on them; a structural miss on
+   two different builds of an equal pattern only costs a duplicate
+   exploration, never a wrong answer. *)
+type key = { pattern : Pattern.t; exact : bool; budget : int }
+
+let table : (key, Machine.t * Machine.state Reach.exploration) Hashtbl.t =
+  Hashtbl.create 64
+
+let misses = ref 0
+
+let system m =
+  {
+    Reach.init = Machine.init m;
+    n_ids = Machine.n_ids m;
+    step = Machine.step m;
+    final = Machine.is_final;
+  }
+
+let explore ?budget ~exact pattern =
+  let budget = Option.value budget ~default:default_budget in
+  let key = { pattern; exact; budget } in
+  match Hashtbl.find_opt table key with
+  | Some hit -> hit
+  | None ->
+      let m = Machine.make ~exact pattern in
+      let ex = Reach.explore ~budget (system m) in
+      incr misses;
+      Hashtbl.replace table key (m, ex);
+      (m, ex)
+
+let explorations_performed () = !misses
+
+let reset () =
+  Hashtbl.reset table;
+  misses := 0

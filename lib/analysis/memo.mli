@@ -1,0 +1,39 @@
+(** Per-entry memoization of abstract-machine explorations.
+
+    Every analysis pass re-derives the same object: the reachable
+    state space of one pattern's abstract machine ({!Machine.make},
+    exact or interval, explored by {!Reach.explore}).  A combined run
+    such as [analyze --races --certify-lateness --shard-plan] used to
+    explore the same entry once per pass; this table makes the
+    exploration a per-(pattern, exactness, budget) singleton shared by
+    {!Checks}, {!Commute}, {!Robust} (through the former two) and
+    {!Shard}.
+
+    The cache key includes the effective budget, so a pass asking for
+    a larger budget never receives a truncated exploration computed
+    under a smaller one.  Product explorations (pairs of machines) are
+    keyed by state tuples of {e this} process's machines and are not
+    cached here.
+
+    The table is process-global and unbounded — the analyzer is a
+    batch tool whose working set is the suites named on one command
+    line. *)
+
+open Loseq_core
+
+val explore :
+  ?budget:int ->
+  exact:bool ->
+  Pattern.t ->
+  Machine.t * Machine.state Reach.exploration
+(** The machine and its (possibly budget-truncated) exploration for
+    this pattern, computed at most once per (pattern, exact, budget).
+    Raises {!Loseq_core.Wellformed.Ill_formed} like {!Machine.make}. *)
+
+val explorations_performed : unit -> int
+(** Number of actual {!Reach.explore} runs this table has paid for —
+    cache misses since start-up (or the last {!reset}).  Tests assert
+    that repeated passes stop moving this counter. *)
+
+val reset : unit -> unit
+(** Drop every cached exploration and zero the miss counter. *)

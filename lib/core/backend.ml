@@ -178,6 +178,8 @@ let flat_suite entries =
 
 let flat_views entries = snd (flat_suite entries)
 
+let flat_engine_views eng = Array.init (Flat.size eng) (flat_view eng)
+
 let flat pattern =
   let _, views = flat_suite [ ("pattern", pattern) ] in
   views.(0)

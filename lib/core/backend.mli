@@ -132,6 +132,11 @@ val flat_views : suite_factory
 (** {!flat_suite} without the engine handle — what generic
     [?suite_backend] host parameters take. *)
 
+val flat_engine_views : Flat.t -> t array
+(** Backend views over an {e existing} engine — e.g. one produced by
+    {!Flat.slice}, so a sharded host can lift each shard's sub-engine
+    without recompiling the suite. *)
+
 val flat : factory
 (** A single-pattern flat engine (a one-entry suite) — [--backend flat]
     on per-pattern hosts.  The suite-level entry points above are where

@@ -1024,3 +1024,21 @@ let layout t =
     state_slot = Array.copy t.rec_sslot;
     counter_slot = Array.copy t.rec_cslot;
   }
+
+let checker_slots t ck =
+  if ck < 0 || ck >= Array.length t.labels then
+    invalid_arg "Flat.checker_slots: checker out of range";
+  ctrl_slots + (2 * t.ck_nrecs.(ck))
+
+let slice t cks =
+  let n = size t in
+  let seen = Array.make n false in
+  List.iter
+    (fun ck ->
+      if ck < 0 || ck >= n then invalid_arg "Flat.slice: checker out of range";
+      if seen.(ck) then invalid_arg "Flat.slice: duplicate checker";
+      seen.(ck) <- true)
+    cks;
+  let sliced = compile (List.map (fun ck -> (label t ck, pattern t ck)) cks) in
+  List.iteri (fun i ck -> restore_checker sliced i (persist_checker t ck)) cks;
+  sliced

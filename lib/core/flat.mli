@@ -153,3 +153,18 @@ type layout = {
 
 val layout : t -> layout
 (** The packing, for tests that pin it and shards that slice it. *)
+
+val checker_slots : t -> int -> int
+(** Slab width of one checker: {!ctrl_slots} control words plus a
+    state and a counter slot per recognizer — the static footprint a
+    shard planner's cost model charges per checker.  Raises
+    [Invalid_argument] on an out-of-range checker. *)
+
+val slice : t -> int list -> t
+(** [slice t cks] is a fresh engine hosting exactly the checkers
+    [cks] (new indices are list order; labels, patterns and run state
+    carry over via {!persist_checker}/{!restore_checker}).  The slice
+    re-interns its own gid space over the sub-suite's names — the
+    flat-slab shape a single shard of a partitioned suite runs with.
+    Raises [Invalid_argument] on an out-of-range or duplicate
+    checker. *)

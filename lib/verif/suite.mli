@@ -37,6 +37,10 @@ val to_string : t -> string
 
 val find : t -> string -> Pattern.t option
 
+val entries_of : t -> (string * Pattern.t) list
+(** The labelled patterns in entry order — what suite-level factories
+    and the analysis passes consume. *)
+
 val attach_hub :
   ?metrics:Loseq_obs.Metrics.t ->
   ?backend:Backend.factory ->

@@ -1,35 +1,38 @@
 #!/usr/bin/env bash
-# Live-ingestion end-to-end gate:
-#   1. convert round-trip:  CSV -> LSQB binary -> CSV is byte-identical
-#   2. streaming = batch:   serve over stdin decides what `suite` decides
-#   3. crash recovery:      kill -TERM mid-stream writes a checkpoint;
-#                           --resume with a full replay yields verdicts
-#                           identical to the uninterrupted streaming run
-#   4. throughput artifact: bench ingest section writes BENCH_ingest.json
-#   5. strict reorder:      --strict-reorder refuses (exit 2) a lateness
-#                           window larger than the suite's certified
-#                           lateness-robustness bound, and still serves
-#                           at a certified window
-#   6. telemetry:           serve --metrics-addr (ephemeral port,
-#                           discovered from the metrics-listening
-#                           record) answers /metrics with
-#                           loseq_events_dispatched_total equal to the
-#                           number of events fed; the bench obs section
-#                           writes BENCH_obs.json, whose 5% live-vs-noop
-#                           overhead bound is advisory here (wall-clock
-#                           micro-benchmarks are noisy on shared CI
-#                           runners)
-#   7. flat backend:        serve --backend flat decides what the
-#                           compiled streaming run decides; at 64
-#                           checkers the flat v2 checkpoint (one
-#                           varint blob) encodes smaller than the
-#                           per-checker JSON v1; a compiled v1
-#                           checkpoint resumes into flat hosting
-#   8. speculative serve:   serve --ooo on the K-scrambled twin trace
-#                           settles verdict records byte-identical to
-#                           the buffered serve, with zero rollbacks
-#                           (the ipu suite certificate commutes every
-#                           late event) and no checkpoint support
+# Live-ingestion end-to-end gate.  Each check is a named gate (grep the
+# name in the CI log to find it):
+#   convert-roundtrip     CSV -> LSQB binary -> CSV is byte-identical
+#   stream-batch-agreement  serve over stdin decides what `suite` decides
+#   crash-recovery        kill -TERM mid-stream writes a checkpoint;
+#                         --resume with a full replay yields verdicts
+#                         identical to the uninterrupted streaming run
+#   ingest-throughput     bench ingest section writes BENCH_ingest.json
+#   strict-reorder        --strict-reorder refuses (exit 2) a lateness
+#                         window larger than the suite's certified
+#                         lateness-robustness bound, and still serves
+#                         at a certified window
+#   telemetry             serve --metrics-addr (ephemeral port,
+#                         discovered from the metrics-listening record)
+#                         answers /metrics with
+#                         loseq_events_dispatched_total equal to the
+#                         number of events fed; the bench obs section
+#                         writes BENCH_obs.json, whose 5% live-vs-noop
+#                         overhead bound is advisory here (wall-clock
+#                         micro-benchmarks are noisy on shared CI
+#                         runners)
+#   flat-agreement        serve --backend flat decides what the
+#                         compiled streaming run decides; at 64
+#                         checkers the flat v2 checkpoint (one varint
+#                         blob) encodes smaller than the per-checker
+#                         JSON v1; a compiled v1 checkpoint resumes
+#                         into flat hosting
+#   speculative-serve     serve --ooo on the K-scrambled twin trace
+#                         settles verdict records byte-identical to
+#                         the buffered serve, with zero rollbacks (the
+#                         ipu suite certificate commutes every late
+#                         event) and no checkpoint support
+#   artifact-provenance   every BENCH_*.json carries the provenance
+#                         stamp (git revision + toolchain)
 #
 
 # Run from the repository root:  scripts/ci_ingest.sh
@@ -43,13 +46,17 @@ trap 'rm -rf "$WORK"; jobs -p | xargs -r kill 2>/dev/null || true' EXIT
 
 dune build bin/loseq_cli.exe bench/main.exe
 
-echo "== 1. convert round-trip =="
+# Named gates: one banner per check so a red CI log reads as
+# "gate NAME failed", not a bare line number.
+gate() { echo; echo "== gate: $1 =="; }
+
+gate "convert-roundtrip"
 $LOSEQ convert "$TRACE" -o "$WORK/ipu.lsqb"
 $LOSEQ convert "$WORK/ipu.lsqb" -o "$WORK/ipu.back.csv"
 cmp "$TRACE" "$WORK/ipu.back.csv"
 echo "round-trip OK ($(wc -c < "$WORK/ipu.lsqb") bytes binary)"
 
-echo "== 2. streaming verdicts = batch verdicts =="
+gate "stream-batch-agreement"
 # the example trace genuinely violates one property, so both exit 1
 batch_status=0
 $LOSEQ suite "$SUITE" -f "$TRACE" > "$WORK/batch.out" || batch_status=$?
@@ -69,7 +76,7 @@ while read -r line; do
 done < "$WORK/stream.verdicts"
 echo "verdicts agree (exit $batch_status)"
 
-echo "== 3. kill mid-stream, checkpoint, resume =="
+gate "crash-recovery"
 SOCK="$WORK/loseq.sock"
 CKPT="$WORK/loseq.ckpt"
 $LOSEQ serve --suite "$SUITE" --socket "$SOCK" \
@@ -100,13 +107,13 @@ grep '"type": *"verdict"' "$WORK/resumed.ndjson" > "$WORK/resumed.verdicts"
 cmp "$WORK/stream.verdicts" "$WORK/resumed.verdicts"
 echo "resumed verdicts identical to the uninterrupted run"
 
-echo "== 4. ingest throughput artifact =="
+gate "ingest-throughput"
 dune exec --no-build bench/main.exe -- ingest
 test -s BENCH_ingest.json
 grep -q '"within_2x": *true' BENCH_ingest.json
 echo "BENCH_ingest.json written, within the 2x bound"
 
-echo "== 5. strict reorder gate =="
+gate "strict-reorder"
 # ipu.suite certifies lateness 0, so hosting it with --lateness 64
 # under --strict-reorder must refuse before reading any event ...
 strict_status=0
@@ -125,7 +132,7 @@ test "$ok_status" -eq "$stream_status"
 grep -q '"robust": *true' "$WORK/strict_ok.ndjson"
 echo "strict-reorder refuses lateness 64 (exit 2), serves at lateness 0"
 
-echo "== 6. telemetry endpoint + overhead artifact =="
+gate "telemetry"
 # fed count = CSV data lines (the header row is not an event)
 EVENTS=$(( $(wc -l < "$TRACE") - 1 ))
 MSOCK="$WORK/metrics.sock"
@@ -180,7 +187,7 @@ else
        "target — likely CI timing noise; inspect the uploaded artifact" >&2
 fi
 
-echo "== 7. flat backend: agreement, checkpoint size, cross-resume =="
+gate "flat-agreement"
 # the suite-level flat engine decides exactly what the compiled
 # streaming run decided, record for record
 flat_status=0
@@ -232,7 +239,7 @@ grep '"type": *"verdict"' "$WORK/flat_resumed.ndjson" \
 cmp "$WORK/stream.verdicts" "$WORK/flat_resumed.verdicts"
 echo "compiled v1 checkpoint resumed into flat hosting, verdicts identical"
 
-echo "== 8. speculative serve: settled verdicts = buffered verdicts =="
+gate "speculative-serve"
 # examples/traces/ipu_ooo.csv is a K-bounded scramble of ipu.csv whose
 # most delayed event is 75000 ticks late; both hosting modes must
 # settle on exactly the verdicts of the chronological run
@@ -262,7 +269,7 @@ test "$ooock_status" -eq 2
 grep -q 'does not support' "$WORK/ooock.ndjson"
 echo "speculative settled verdicts byte-identical to buffered (exit $spec_status)"
 
-echo "== 9. artifact provenance =="
+gate "artifact-provenance"
 # every BENCH_*.json this run produced must carry the provenance stamp
 # (git revision + toolchain) so uploaded artifacts are traceable
 for artifact in BENCH_*.json; do
