@@ -1,7 +1,8 @@
 (* loseq — command-line front end.
 
    Subcommands: check, psl, cost, gen, dfa, lint, analyze, mutate,
-   suite, soc, serve, convert, feed, stats.  Run `loseq_cli --help`. *)
+   suite, soc, serve, convert, feed, stats, trace, explain-verdict.
+   Run `loseq_cli --help`. *)
 
 open Loseq_core
 
@@ -630,11 +631,29 @@ let analyze_cmd =
                       3
                   | Some n -> (
                       let inputs =
+                        (* --profile accepts either a loseq-profile/1
+                           artifact (measured per-checker load from a
+                           live run) or a raw trace to re-derive the
+                           alphabet frequencies from. *)
                         let profile =
                           match profile with
-                          | None -> Ok None
-                          | Some path ->
-                              Result.map Option.some (read_trace (Some path))
+                          | None -> Ok (None, [])
+                          | Some path -> (
+                              match open_in_bin path with
+                              | exception Sys_error msg -> Error msg
+                              | ic -> (
+                                  let data = read_all ic in
+                                  close_in ic;
+                                  match Json.of_string data with
+                                  | Ok json ->
+                                      Result.map
+                                        (fun measured -> (None, measured))
+                                        (Loseq_analysis.Shard.profile_of_json
+                                           json)
+                                  | Error _ ->
+                                      Result.map
+                                        (fun tr -> (Some tr, []))
+                                        (parse_sniffed data)))
                         in
                         let traces =
                           match traces_dir with
@@ -652,10 +671,10 @@ let analyze_cmd =
                       | Error msg ->
                           Format.eprintf "%s@." msg;
                           3
-                      | Ok (profile, traces) ->
+                      | Ok ((profile, measured), traces) ->
                           let plan =
                             Loseq_analysis.Shard.analyze ~budget ?profile
-                              ~shards:n labeled
+                              ~measured ~shards:n labeled
                           in
                           if format = Finding.Text then
                             Format.printf "@[<v>%a@]@."
@@ -817,11 +836,13 @@ let analyze_cmd =
     Arg.(
       value
       & opt (some file) None
-      & info [ "profile" ] ~docv:"TRACE"
+      & info [ "profile" ] ~docv:"TRACE|PROFILE"
           ~doc:
-            "Weight the shard-plan cost model with alphabet frequencies \
-             from this trace (tokens, CSV or LSQB, sniffed): each \
-             checker is additionally charged the number of profile \
+            "Weight the shard-plan cost model with measured load.  A \
+             loseq-profile/1 JSON artifact (from $(b,loseq serve \
+             --profile-out) or $(b,loseq trace)) charges each checker \
+             its measured alphabet-event count; a raw trace (tokens, \
+             CSV or LSQB, sniffed) charges the number of profile \
              events in its alphabet.")
   in
   let plan_out =
@@ -1102,7 +1123,8 @@ let parse_addr flag s =
 
 let serve_cmd =
   let run file socket lateness window checkpoint checkpoint_every resume
-      strict_reorder ooo final_time backend_kind metrics_addr stats_interval =
+      strict_reorder ooo final_time backend_kind metrics_addr stats_interval
+      trace_out profile_out latency_sample_rate =
     let addr_result =
       match metrics_addr with
       | None -> Ok None
@@ -1123,7 +1145,8 @@ let serve_cmd =
           ~backend:(factory_of backend_kind)
           ?suite_backend:(suite_factory_of backend_kind)
           ~lateness ~window ?checkpoint ~checkpoint_every ~resume
-          ~strict_reorder ~ooo ?final_time ~input suite
+          ~strict_reorder ~ooo ?final_time ?trace_out ?profile_out
+          ?latency_sample_rate ~input suite
   in
   let open Cmdliner in
   let file =
@@ -1222,6 +1245,40 @@ let serve_cmd =
             "Emit a {\"type\":\"stats\",...} NDJSON record every \
              $(docv) accepted events (0 disables).")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record a flight-recorder trace of the run (dispatch spans, \
+             deadline firings, admission/backpressure/checkpoint spans, \
+             speculation records under --ooo) and write it to $(docv) on \
+             end of stream or interruption: NDJSON when $(docv) ends in \
+             .ndjson, Chrome trace-event JSON (Perfetto-loadable) \
+             otherwise.")
+  in
+  let profile_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a loseq-profile/1 artifact on exit: measured \
+             per-checker event counts and the dispatch-latency \
+             histogram.  $(b,loseq analyze --shard-plan N --profile \
+             FILE) consumes it as measured load.")
+  in
+  let latency_sample_rate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "latency-sample-rate" ] ~docv:"N"
+          ~doc:
+            "Sample one dispatch in $(docv) for the latency histogram \
+             and trace spans (default 64; rounded up to a power of \
+             two).  1 samples every dispatch.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1240,7 +1297,8 @@ let serve_cmd =
     Term.(
       const run $ file $ socket $ lateness $ window $ checkpoint
       $ checkpoint_every $ resume $ strict_reorder $ ooo $ final_time
-      $ backend_kind_arg $ metrics_addr $ stats_interval)
+      $ backend_kind_arg $ metrics_addr $ stats_interval $ trace_out
+      $ profile_out $ latency_sample_rate)
 
 let convert_cmd =
   let run input output to_format =
@@ -1485,9 +1543,26 @@ let pp_stats_body ppf json =
       let cell = name ^ labels in
       match str "type" with
       | Some "histogram" ->
-          Format.fprintf ppf "%-44s count=%d sum=%d@." cell
-            (Option.value ~default:0 (int "count"))
-            (Option.value ~default:0 (int "sum"))
+          let count = Option.value ~default:0 (int "count") in
+          Format.fprintf ppf "%-44s count=%d sum=%d@." cell count
+            (Option.value ~default:0 (int "sum"));
+          (* quantiles from the cumulative buckets the payload already
+             carries — same estimator as the server-side --stats dump *)
+          let buckets =
+            Option.value ~default:[]
+              (Option.bind (Json.member "buckets" m) Json.to_list_opt)
+            |> List.filter_map (fun b ->
+                   match (Json.member "le" b, Json.member "count" b) with
+                   | Some (Json.Int le), Some (Json.Int c) -> Some (le, c)
+                   | _ -> None)
+            |> Array.of_list
+          in
+          if count > 0 && Array.length buckets > 0 then
+            Format.fprintf ppf "  %-42s p50 %.1f  p90 %.1f  p99 %.1f@."
+              "quantiles"
+              (Loseq_obs.Profile.quantile ~count ~buckets 0.5)
+              (Loseq_obs.Profile.quantile ~count ~buckets 0.9)
+              (Loseq_obs.Profile.quantile ~count ~buckets 0.99)
       | _ ->
           Format.fprintf ppf "%-44s %d@." cell
             (Option.value ~default:0 (int "value")))
@@ -1549,6 +1624,335 @@ let stats_cmd =
          "Query a live serve's metrics endpoint and print the counters \
           (a curl-free /stats.json client)")
     Term.(const run $ addr $ prometheus $ raw)
+
+(* ---- trace ------------------------------------------------------------ *)
+
+(* Offline flight recording: replay a recorded trace through a hosted
+   session with the recorder live, then export the ring — the whole
+   serve-side instrumentation without a server. *)
+
+let trace_cmd =
+  let module Tr = Loseq_obs.Trace in
+  let run file trace_file out profile_out lateness backend_kind
+      latency_sample_rate final_time =
+    match (Loseq_verif.Suite.load file, read_trace trace_file) with
+    | Error e, _ ->
+        Format.eprintf "%a@." Loseq_verif.Suite.pp_error e;
+        2
+    | _, Error msg ->
+        Format.eprintf "trace error: %s@." msg;
+        2
+    | Ok suite, Ok events -> (
+        let metrics = Obs.create () in
+        let tr = Tr.create () in
+        match
+          Loseq_ingest.Session.create ~metrics ~trace:tr
+            ~backend:(factory_of backend_kind)
+            ?suite_backend:(suite_factory_of backend_kind)
+            ?latency_sample_rate ~lateness suite
+        with
+        | exception Wellformed.Ill_formed (p, errs) ->
+            Format.eprintf "ill-formed pattern %a:@ %a@." Pattern.pp p
+              (Format.pp_print_list Wellformed.pp_error)
+              errs;
+            2
+        | exception Invalid_argument msg ->
+            Format.eprintf "trace: %s@." msg;
+            2
+        | session -> (
+            let prov =
+              Loseq_verif.Provenance.create
+                (Loseq_verif.Hub.tap (Loseq_ingest.Session.hub session))
+                suite
+            in
+            List.iter (Loseq_ingest.Session.offer_force session) events;
+            let report =
+              Loseq_ingest.Session.finalize ?final_time session
+            in
+            let ndjson = Filename.check_suffix out ".ndjson" in
+            let write path data =
+              let oc = open_out path in
+              output_string oc data;
+              close_out oc
+            in
+            match
+              write out (if ndjson then Tr.to_ndjson tr else Tr.to_chrome tr)
+            with
+            | exception Sys_error msg ->
+                Format.eprintf "trace: %s@." msg;
+                2
+            | () -> (
+                Format.printf
+                  "%s: %d records (%d dropped) over %d events, %s@." out
+                  (Tr.length tr) (Tr.dropped tr) (List.length events)
+                  (if ndjson then "NDJSON" else "Chrome trace-event JSON");
+                match profile_out with
+                | None ->
+                    if Loseq_verif.Report.all_passed report then 0 else 1
+                | Some path -> (
+                    match
+                      write path
+                        (Loseq_obs.Profile.render ~metrics
+                           ~checkers:(Loseq_verif.Provenance.seen prov)
+                           ())
+                    with
+                    | exception Sys_error msg ->
+                        Format.eprintf "trace: %s@." msg;
+                        2
+                    | () ->
+                        Format.printf "%s: loseq-profile/1 (%d checkers)@."
+                          path (List.length suite);
+                        if Loseq_verif.Report.all_passed report then 0
+                        else 1))))
+  in
+  let open Cmdliner in
+  let file =
+    Arg.(
+      required
+      & opt (some Arg.file) None
+      & info [ "suite" ] ~docv:"FILE"
+          ~doc:"Property suite to host during the replay.")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Recorded trace (tokens, CSV or LSQB, sniffed); $(b,-) or \
+             absent reads stdin.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt string "loseq-trace.json"
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:
+            "Flight-recorder export: NDJSON when $(docv) ends in \
+             .ndjson, Chrome trace-event JSON otherwise.")
+  in
+  let profile_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-out" ] ~docv:"FILE"
+          ~doc:
+            "Also write a loseq-profile/1 artifact (measured \
+             per-checker load + dispatch-latency histogram) for \
+             $(b,loseq analyze --shard-plan --profile).")
+  in
+  let lateness =
+    Arg.(
+      value & opt int 0
+      & info [ "lateness" ] ~docv:"K"
+          ~doc:"Reorder window for the hosting session (default 0).")
+  in
+  let latency_sample_rate =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "latency-sample-rate" ] ~docv:"N"
+          ~doc:
+            "Sample one dispatch in $(docv) (default 64; 1 samples \
+             every dispatch).")
+  in
+  let final_time =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "final-time" ] ~docv:"T"
+          ~doc:"Observation end time for the final deadline check.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay a recorded trace through a hosted suite with the \
+          flight recorder live and export the ring (plus an optional \
+          measured profile)"
+       ~man:
+         [
+           `S Cmdliner.Manpage.s_exit_status;
+           `P
+             "0 when every property passed, 1 when some failed, 2 on \
+              input or setup errors.";
+         ])
+    Term.(
+      const run $ file $ trace_file $ out $ profile_out $ lateness
+      $ backend_kind_arg $ latency_sample_rate $ final_time)
+
+(* ---- explain-verdict --------------------------------------------------- *)
+
+(* Standalone verdict provenance: reproduce a Fail from a recorded
+   trace, minimize its causal chain, and prove the chain self-contained
+   by replaying it on both the compiled and the flat backend. *)
+
+let explain_verdict_cmd =
+  let module Prov = Loseq_verif.Provenance in
+  let run file property trace_file final_time format =
+    match (Loseq_verif.Suite.load file, read_trace trace_file) with
+    | Error e, _ ->
+        Format.eprintf "%a@." Loseq_verif.Suite.pp_error e;
+        2
+    | _, Error msg ->
+        Format.eprintf "trace error: %s@." msg;
+        2
+    | Ok suite, Ok events -> (
+        match
+          List.find_opt
+            (fun (e : Loseq_verif.Suite.entry) -> e.label = property)
+            suite
+        with
+        | None ->
+            Format.eprintf "explain-verdict: no property %S in %s@."
+              property file;
+            2
+        | Some entry -> (
+            match Loseq_ingest.Session.create suite with
+            | exception Wellformed.Ill_formed (p, errs) ->
+                Format.eprintf "ill-formed pattern %a:@ %a@." Pattern.pp p
+                  (Format.pp_print_list Wellformed.pp_error)
+                  errs;
+                2
+            | session ->
+                let prov =
+                  Prov.create
+                    (Loseq_verif.Hub.tap (Loseq_ingest.Session.hub session))
+                    suite
+                in
+                Loseq_ingest.Session.on_violation session (fun ~name v ->
+                    Prov.note_violation prov ~label:name v);
+                List.iter (Loseq_ingest.Session.offer_force session) events;
+                let report =
+                  Loseq_ingest.Session.finalize ?final_time session
+                in
+                let passed =
+                  match
+                    List.assoc_opt property
+                      (Loseq_verif.Report.summary report)
+                  with
+                  | Some v -> Backend.passed v
+                  | None -> true
+                in
+                if passed then begin
+                  Format.eprintf
+                    "explain-verdict: %S passed on this trace — nothing \
+                     to explain@."
+                    property;
+                  1
+                end
+                else begin
+                  let ft = Loseq_ingest.Session.now session in
+                  let chain =
+                    Prov.minimize ~final_time:ft ~label:property
+                      entry.pattern
+                      (Prov.captured prov property)
+                  in
+                  (* the chain must be self-contained: replaying it
+                     alone reproduces the Fail on both hosting kinds *)
+                  let compiled_fails =
+                    not
+                      (Prov.replay ~final_time:ft ~label:property
+                         entry.pattern chain)
+                  in
+                  let flat_fails =
+                    not
+                      (Prov.replay ~backend:Backend.flat ~final_time:ft
+                         ~label:property entry.pattern chain)
+                  in
+                  let json =
+                    Json.Obj
+                      [
+                        ("property", Json.String property);
+                        ("final_time", Json.Int ft);
+                        ( "provenance",
+                          Prov.chain_json
+                            ?violation:(Prov.violation_of prov property)
+                            chain );
+                        ( "replays",
+                          Json.Obj
+                            [
+                              ("compiled_fails", Json.Bool compiled_fails);
+                              ("flat_fails", Json.Bool flat_fails);
+                            ] );
+                      ]
+                  in
+                  (match format with
+                  | `Json -> Format.printf "%a@." Json.pp json
+                  | `Text ->
+                      Format.printf "%s: Fail at %d — %d-event causal \
+                                     chain@."
+                        property ft (List.length chain);
+                      List.iter
+                        (fun (l : Prov.link) ->
+                          Format.printf "  %6d  %s@." l.time
+                            (Name.to_string l.name))
+                        chain;
+                      (match Prov.violation_of prov property with
+                      | Some v ->
+                          Format.printf "  %s@."
+                            (Diag.violation_to_string v)
+                      | None -> ());
+                      Format.printf
+                        "replay: compiled %s, flat %s@."
+                        (if compiled_fails then "Fail" else "PASS")
+                        (if flat_fails then "Fail" else "PASS"));
+                  if compiled_fails && flat_fails then 0 else 2
+                end))
+  in
+  let open Cmdliner in
+  let file =
+    Arg.(
+      required
+      & opt (some Arg.file) None
+      & info [ "suite" ] ~docv:"FILE" ~doc:"Property suite file.")
+  in
+  let property =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "property" ] ~docv:"LABEL"
+          ~doc:"The suite entry whose Fail to explain.")
+  in
+  let trace_file =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TRACE"
+          ~doc:
+            "Recorded trace (tokens, CSV or LSQB, sniffed); $(b,-) or \
+             absent reads stdin.")
+  in
+  let final_time =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "final-time" ] ~docv:"T"
+          ~doc:"Observation end time for the final deadline check.")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:"Output format: $(b,text) or $(b,json).")
+  in
+  Cmd.v
+    (Cmd.info "explain-verdict"
+       ~doc:
+         "Reproduce a property's Fail from a recorded trace and print \
+          the minimal causal chain behind it (delta-debugged verdict \
+          provenance, replay-checked on the compiled and flat backends)"
+       ~man:
+         [
+           `S Cmdliner.Manpage.s_exit_status;
+           `P
+             "0 when the property fails and its minimized chain \
+              reproduces the Fail on both backends, 1 when the \
+              property passes on the trace, 2 on input errors or a \
+              replay disagreement.";
+         ])
+    Term.(
+      const run $ file $ property $ trace_file $ final_time $ format)
 
 (* ---- dfa ------------------------------------------------------------- *)
 
@@ -1690,4 +2094,5 @@ let () =
        (Cmd.group info
           [ check_cmd; psl_cmd; cost_cmd; gen_cmd; dfa_cmd; lint_cmd;
             analyze_cmd; mutate_cmd; suite_cmd; soc_cmd; serve_cmd;
-            convert_cmd; feed_cmd; stats_cmd ]))
+            convert_cmd; feed_cmd; stats_cmd; trace_cmd;
+            explain_verdict_cmd ]))

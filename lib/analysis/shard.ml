@@ -18,22 +18,59 @@ let bits n =
   let rec go acc n = if n = 0 then acc else go (acc + 1) (n lsr 1) in
   go 0 n
 
-let cost_of ?budget ~eng ~profile ck (_, p) =
+let cost_of ?budget ~eng ~profile ~measured ck (label, p) =
   let slab_slots = Flat.checker_slots eng ck in
   let _, ex = Memo.explore ?budget ~exact:false p in
   let reach_states = Array.length ex.Reach.states in
   let profile_steps =
-    match profile with
-    | None -> 0
-    | Some tr ->
-        let alpha = Pattern.alpha p in
-        List.fold_left
-          (fun n (e : Trace.event) ->
-            if Name.Set.mem e.name alpha then n + 1 else n)
-          0 tr
+    (* Measured per-checker step counts (a [loseq-profile/1] artifact
+       produced by a live run) take precedence over re-deriving the
+       load from a raw profile trace. *)
+    match List.assoc_opt label measured with
+    | Some steps -> max 0 steps
+    | None -> (
+        match profile with
+        | None -> 0
+        | Some tr ->
+            let alpha = Pattern.alpha p in
+            List.fold_left
+              (fun n (e : Trace.event) ->
+                if Name.Set.mem e.name alpha then n + 1 else n)
+              0 tr)
   in
   let total = slab_slots + bits reach_states + profile_steps in
   { slab_slots; reach_states; profile_steps; total }
+
+(* ---- measured profiles ------------------------------------------------- *)
+
+(* Parse a [loseq-profile/1] artifact (what a live run's [--profile-out]
+   or [loseq trace] emits) into the [measured] association list
+   [analyze] consumes.  Strict on the schema tag so a shard plan never
+   silently ingests the wrong artifact family. *)
+let profile_of_json json =
+  match Json.member "schema" json with
+  | Some (Json.String "loseq-profile/1") -> (
+      match Option.bind (Json.member "checkers" json) Json.to_list_opt with
+      | None -> Error "loseq-profile/1: missing \"checkers\" array"
+      | Some entries ->
+          let rec go acc = function
+            | [] -> Ok (List.rev acc)
+            | e :: rest -> (
+                match
+                  ( Option.bind (Json.member "label" e) Json.to_string_opt,
+                    Json.member "steps" e )
+                with
+                | Some label, Some (Json.Int steps) ->
+                    go ((label, steps) :: acc) rest
+                | _ ->
+                    Error
+                      "loseq-profile/1: checker entry needs \"label\" \
+                       (string) and \"steps\" (int)")
+          in
+          go [] entries)
+  | Some (Json.String other) ->
+      Error (Printf.sprintf "unsupported profile schema %S" other)
+  | Some _ | None -> Error "not a loseq-profile/1 artifact (no schema tag)"
 
 (* ---- interference graph ------------------------------------------------ *)
 
@@ -127,12 +164,12 @@ let union uf i j =
   let ri = find uf i and rj = find uf j in
   if ri <> rj then uf.(max ri rj) <- min ri rj
 
-let analyze ?budget ?profile ~shards:n_shards entries =
+let analyze ?budget ?profile ?(measured = []) ~shards:n_shards entries =
   if n_shards < 1 then invalid_arg "Shard.analyze: shards must be >= 1";
   let entries = Array.of_list entries in
   let n = Array.length entries in
   let eng = Flat.compile (Array.to_list entries) in
-  let costs = Array.mapi (cost_of ?budget ~eng ~profile) entries in
+  let costs = Array.mapi (cost_of ?budget ~eng ~profile ~measured) entries in
   let edges = edges_of ?budget entries in
   let internal_races =
     List.concat

@@ -37,8 +37,9 @@ type cost = {
   reach_states : int;
       (** abstract (interval) reachable states, budget-capped *)
   profile_steps : int;
-      (** events of the profile trace in this checker's alphabet;
-          [0] without a profile *)
+      (** measured steps from a [loseq-profile/1] artifact when one was
+          supplied, else events of the profile trace in this checker's
+          alphabet; [0] without either *)
   total : int;
       (** the scalar the partitioner balances:
           [slab_slots + bits reach_states + profile_steps].  A
@@ -106,14 +107,24 @@ type plan = {
 val analyze :
   ?budget:int ->
   ?profile:Trace.t ->
+  ?measured:(string * int) list ->
   shards:int ->
   (string * Pattern.t) list ->
   plan
 (** Build the interference graph and partition the suite into
     [shards >= 1] shards ([Invalid_argument] otherwise).  [budget]
     bounds every exploration (default 200000 states), [profile] adds
-    alphabet-frequency weights to the cost model.  Raises
-    {!Loseq_core.Wellformed.Ill_formed} on an ill-formed pattern. *)
+    alphabet-frequency weights to the cost model, and [measured] —
+    per-label step counts from a live [loseq-profile/1] artifact (see
+    {!profile_of_json}) — overrides the profile term for the labels it
+    names.  Raises {!Loseq_core.Wellformed.Ill_formed} on an ill-formed
+    pattern. *)
+
+val profile_of_json : Json.t -> ((string * int) list, string) result
+(** Parse a [loseq-profile/1] artifact (emitted by [loseq serve
+    --profile-out] or [loseq trace]) into the [measured] list
+    {!analyze} consumes: each checker's label and its measured
+    alphabet-event count.  Rejects other schema tags. *)
 
 val shard_alphabet : plan -> int -> Name.Set.t
 (** The alphabet slice of one shard — the names its event filter

@@ -482,14 +482,16 @@ let position json =
   | n -> Ok n
   | exception Bad msg -> Error msg
 
-let resume ?metrics ?backend ?suite_backend ~path suite =
+let resume ?metrics ?trace ?backend ?suite_backend ?latency_sample_rate ~path
+    suite =
   match load ~path with
   | Error _ as err -> err
   | Ok json -> (
       match
         let lateness = int_exn "lateness" json
         and window = int_exn "window" json in
-        Session.create ?metrics ?backend ?suite_backend ~lateness ~window suite
+        Session.create ?metrics ?trace ?backend ?suite_backend
+          ?latency_sample_rate ~lateness ~window suite
       with
       | exception Bad msg -> Error msg
       | session -> (

@@ -58,13 +58,16 @@ val position : Json.t -> (int, string) result
 
 val resume :
   ?metrics:Loseq_obs.Metrics.t ->
+  ?trace:Loseq_obs.Trace.t ->
   ?backend:Backend.factory ->
   ?suite_backend:Backend.suite_factory ->
+  ?latency_sample_rate:int ->
   path:string ->
   Loseq_verif.Suite.t ->
   (Session.t, string) result
 (** [load], create a session with the checkpoint's lateness/window
-    (and, like {!Session.create}, an optional live [metrics] sink and
-    backend choice), [restore].  The checkpoint's version and the
+    (and, like {!Session.create}, an optional live [metrics] sink,
+    [trace] flight recorder, sampling rate, and backend choice),
+    [restore].  The checkpoint's version and the
     session's hosting are independent: any persistable [backend] or
     [suite_backend] resumes either version. *)

@@ -6,6 +6,7 @@ open Loseq_core
 type item = { time : int; seq : int; event : Trace.event }
 
 module Obs = Loseq_obs.Metrics
+module Tr = Loseq_obs.Trace
 
 (* Live-sink instruments; [None] on the default noop path, so an
    uninstrumented buffer pays one branch per mutation. *)
@@ -14,6 +15,15 @@ type obs = {
   lag : Obs.gauge;
   dropped : Obs.counter;
   full : Obs.counter;
+}
+
+(* Flight-recorder categories on the ingest track: one instant per
+   admission anomaly, stamped with the event's simulation time as the
+   argument. *)
+type trc = {
+  tr : Tr.t;
+  tr_dropped : Tr.cat;
+  tr_full : Tr.cat;
 }
 
 type t = {
@@ -27,9 +37,11 @@ type t = {
   mutable dropped_late : int;
   mutable reordered : int;
   obs : obs option;
+  trc : trc option;
 }
 
-let create ?(metrics = Obs.noop) ?(capacity = 1024) ~lateness () =
+let create ?(metrics = Obs.noop) ?(trace = Tr.noop) ?(capacity = 1024)
+    ~lateness () =
   if lateness < 0 then invalid_arg "Reorder.create: negative lateness";
   if capacity <= 0 then invalid_arg "Reorder.create: capacity must be positive";
   let obs =
@@ -53,6 +65,16 @@ let create ?(metrics = Obs.noop) ?(capacity = 1024) ~lateness () =
         }
     else None
   in
+  let trc =
+    if Tr.is_live trace then
+      Some
+        {
+          tr = trace;
+          tr_dropped = Tr.intern trace ~track:"ingest" "dropped_late";
+          tr_full = Tr.intern trace ~track:"ingest" "window_full";
+        }
+    else None
+  in
   {
     lateness;
     cap = capacity;
@@ -64,6 +86,7 @@ let create ?(metrics = Obs.noop) ?(capacity = 1024) ~lateness () =
     dropped_late = 0;
     reordered = 0;
     obs;
+    trc;
   }
 
 (* Refresh the gauges after any mutation of len/max_seen/released. *)
@@ -138,10 +161,16 @@ let push t (e : Trace.event) : push_result =
   if e.time < floor t then begin
     t.dropped_late <- t.dropped_late + 1;
     (match t.obs with Some o -> Obs.incr o.dropped | None -> ());
+    (match t.trc with
+    | Some c -> Tr.emit c.tr c.tr_dropped Tr.Instant e.time
+    | None -> ());
     `Dropped_late
   end
   else if t.len >= t.cap then begin
     (match t.obs with Some o -> Obs.incr o.full | None -> ());
+    (match t.trc with
+    | Some c -> Tr.emit c.tr c.tr_full Tr.Instant e.time
+    | None -> ());
     `Full
   end
   else begin

@@ -22,13 +22,20 @@ open Loseq_core
 type t
 
 val create :
-  ?metrics:Loseq_obs.Metrics.t -> ?capacity:int -> lateness:int -> unit -> t
+  ?metrics:Loseq_obs.Metrics.t ->
+  ?trace:Loseq_obs.Trace.t ->
+  ?capacity:int ->
+  lateness:int ->
+  unit ->
+  t
 (** [capacity] bounds the number of buffered events (the backpressure
     window; default [1024]); [lateness] is the absorption bound K in
     ticks.  Raises [Invalid_argument] if either is negative or
     [capacity] is zero.  A live [metrics] sink (default noop) maintains
     [loseq_reorder_occupancy], [loseq_reorder_watermark_lag],
-    [loseq_reorder_dropped_late_total] and [loseq_reorder_full_total]. *)
+    [loseq_reorder_dropped_late_total] and [loseq_reorder_full_total];
+    a live [trace] ring records [dropped_late] / [window_full] instants
+    on the ["ingest"] track (argument: the event's timestamp). *)
 
 val lateness : t -> int
 val capacity : t -> int

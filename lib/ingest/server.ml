@@ -1,6 +1,7 @@
 open Loseq_core
 open Loseq_verif
 module Obs = Loseq_obs.Metrics
+module Tr = Loseq_obs.Trace
 
 let emit_record out record =
   output_string out (Json.to_string record);
@@ -410,13 +411,15 @@ let linger ~metrics http =
       go ()
   | _ -> ()
 
-let default_metrics ~metrics ~metrics_addr ~stats_interval =
+let default_metrics ~metrics ~metrics_addr ~stats_interval ~profile_out =
   match metrics with
   | Some m -> m
   | None ->
       (* an exposition surface with nothing behind it is useless, so
-         asking for one implies a live registry *)
-      if metrics_addr <> None || stats_interval > 0 then Obs.create ()
+         asking for one implies a live registry; likewise a profile
+         artifact, whose dispatch histogram lives in the registry *)
+      if metrics_addr <> None || stats_interval > 0 || profile_out <> None
+      then Obs.create ()
       else Obs.noop
 
 let error_record out msg =
@@ -424,11 +427,74 @@ let error_record out msg =
     (Json.Obj [ ("type", Json.String "error"); ("message", Json.String msg) ]);
   2
 
+(* ---- flight-recorder artifacts ------------------------------------------ *)
+
+let write_file path data =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+  output_string oc data
+
+(* Export format by extension: [.ndjson] gets the line-oriented record
+   dump, anything else the Chrome trace-event JSON Perfetto loads. *)
+let write_trace_artifact ~out trace path =
+  let ndjson = Filename.check_suffix path ".ndjson" in
+  write_file path (if ndjson then Tr.to_ndjson trace else Tr.to_chrome trace);
+  emit_record out
+    (Json.Obj
+       [
+         ("type", Json.String "trace");
+         ("path", Json.String path);
+         ("format", Json.String (if ndjson then "ndjson" else "chrome"));
+         ("records", Json.Int (Tr.length trace));
+         ("dropped", Json.Int (Tr.dropped trace));
+       ])
+
+let write_profile_artifact ~out ~metrics ~checkers path =
+  write_file path (Loseq_obs.Profile.render ~metrics ~checkers ());
+  emit_record out
+    (Json.Obj
+       [
+         ("type", Json.String "profile");
+         ("path", Json.String path);
+         ("checkers", Json.Int (List.length checkers));
+       ])
+
+(* Written on BOTH exits — end of stream and interruption — so a
+   monitor cut down by SIGTERM still leaves its artifacts behind. *)
+let write_artifacts ~out ~metrics ~trace ~trace_out ~profile_out ~checkers =
+  (match trace_out with
+  | Some path when Tr.is_live trace -> write_trace_artifact ~out trace path
+  | Some _ | None -> ());
+  match profile_out with
+  | Some path -> write_profile_artifact ~out ~metrics ~checkers path
+  | None -> ()
+
+(* The minimal causal chain behind a failed verdict, attached to its
+   NDJSON record: the frozen provenance ring, delta-debugged down to
+   1-minimality against the entry's own pattern. *)
+let provenance_field ?backend ~prov ~final_time ~pattern_of name passed =
+  if passed then []
+  else
+    match pattern_of name with
+    | None -> []
+    | Some pattern ->
+        let chain =
+          Provenance.minimize ?backend ~final_time ~label:name pattern
+            (Provenance.captured prov name)
+        in
+        [
+          ( "provenance",
+            Provenance.chain_json
+              ?violation:(Provenance.violation_of prov name)
+              chain );
+        ]
+
 (* ---- buffered hosting (the default mode) ------------------------------- *)
 
 let serve_buffered ~metrics ~metrics_addr ~stats_interval ?backend
     ?suite_backend ~lateness ~window ?checkpoint ~checkpoint_every ~resume
-    ~strict_reorder ?final_time ~out ~input suite =
+    ~strict_reorder ?final_time ~trace ~trace_out ~profile_out
+    ?latency_sample_rate ~out ~input suite =
   let error msg = error_record out msg in
   let resuming =
     resume
@@ -436,11 +502,12 @@ let serve_buffered ~metrics ~metrics_addr ~stats_interval ?backend
   in
   let session_result =
     if resuming then
-      Checkpoint.resume ~metrics ?backend ?suite_backend
-        ~path:(Option.get checkpoint) suite
+      Checkpoint.resume ~metrics ~trace ?backend ?suite_backend
+        ?latency_sample_rate ~path:(Option.get checkpoint) suite
     else
       match
-        Session.create ~metrics ?backend ?suite_backend ~lateness ~window suite
+        Session.create ~metrics ~trace ?backend ?suite_backend
+          ?latency_sample_rate ~lateness ~window suite
       with
       | s -> Ok s
       | exception Wellformed.Ill_formed (p, errs) ->
@@ -459,16 +526,42 @@ let serve_buffered ~metrics ~metrics_addr ~stats_interval ?backend
       | Error msg -> error msg
       | Ok () -> (
       let srv_obs = make_server_obs metrics in
+      (* Always-on verdict provenance: tap-level capture is one bounded
+         ring push per alphabet event, and pays for itself the first
+         time a Fail needs explaining. *)
+      let prov = Provenance.create (Hub.tap (Session.hub session)) suite in
+      let pattern_of name =
+        List.find_map
+          (fun (e : Suite.entry) ->
+            if String.equal e.label name then Some e.pattern else None)
+          suite
+      in
+      (* Server-track flight-recorder categories: the admission span
+         around each input chunk and the checkpoint-write span. *)
+      let trc =
+        if Tr.is_live trace then
+          Some
+            ( Tr.intern trace ~track:"ingest" "admit",
+              Tr.intern trace ~track:"ingest" "checkpoint" )
+        else None
+      in
       let skip = Session.position session in
       Session.on_violation session (fun ~name v ->
+          Provenance.note_violation prov ~label:name v;
           emit_record out (violation_record ~name v));
       let offered = ref 0 in
       let save_checkpoint () =
         match checkpoint with
         | None -> Ok false
         | Some path -> (
+            (match trc with
+            | Some (_, ckpt) -> Tr.emit trace ckpt Tr.Span_begin 0
+            | None -> ());
             match Checkpoint.save ~path session with
             | Ok bytes ->
+                (match trc with
+                | Some (_, ckpt) -> Tr.emit trace ckpt Tr.Span_end bytes
+                | None -> ());
                 (match srv_obs with Some o -> Obs.incr o.ckpt | None -> ());
                 emit_record out
                   (Json.Obj
@@ -479,7 +572,11 @@ let serve_buffered ~metrics ~metrics_addr ~stats_interval ?backend
                        ("bytes", Json.Int bytes);
                      ]);
                 Ok true
-            | Error _ as err -> err)
+            | Error _ as err ->
+                (match trc with
+                | Some (_, ckpt) -> Tr.emit trace ckpt Tr.Span_end 0
+                | None -> ());
+                err)
       in
       let stats_record () =
         let s = Session.stats session in
@@ -529,13 +626,19 @@ let serve_buffered ~metrics ~metrics_addr ~stats_interval ?backend
           (match srv_obs with
           | Some o -> Obs.add o.bytes_in (String.length chunk)
           | None -> ());
-          feed_chunk state chunk ~push
+          match trc with
+          | None -> feed_chunk state chunk ~push
+          | Some (admit, _) ->
+              Tr.emit trace admit Tr.Span_begin 0;
+              feed_chunk state chunk ~push;
+              Tr.emit trace admit Tr.Span_end (String.length chunk)
         in
         match stream_loop ~fd ~metrics ~consume http with
         | `Interrupted -> `Interrupted
         | `Eof ->
             finish_input state ~push;
             let report = Session.finalize ?final_time session in
+            let ft = Session.now session in
             List.iter2
               (fun (name, verdict) (_, rendered) ->
                 let passed = Backend.passed verdict in
@@ -544,12 +647,14 @@ let serve_buffered ~metrics ~metrics_addr ~stats_interval ?backend
                 | None -> ());
                 emit_record out
                   (Json.Obj
-                     [
-                       ("type", Json.String "verdict");
-                       ("property", Json.String name);
-                       ("passed", Json.Bool passed);
-                       ("verdict", Json.String rendered);
-                     ]))
+                     ([
+                        ("type", Json.String "verdict");
+                        ("property", Json.String name);
+                        ("passed", Json.Bool passed);
+                        ("verdict", Json.String rendered);
+                      ]
+                     @ provenance_field ?backend ~prov ~final_time:ft
+                         ~pattern_of name passed)))
               (Report.summary report)
               (Report.summary_strings report);
             let stats = Session.stats session in
@@ -570,6 +675,8 @@ let serve_buffered ~metrics ~metrics_addr ~stats_interval ?backend
                    ("watermark", Json.Int snap.Reorder.watermark);
                    ("max_seen", Json.Int snap.Reorder.max_seen);
                  ]);
+            write_artifacts ~out ~metrics ~trace ~trace_out ~profile_out
+              ~checkers:(Provenance.seen prov);
             linger ~metrics http;
             `Done (if passed then 0 else 1)
       with
@@ -589,6 +696,8 @@ let serve_buffered ~metrics ~metrics_addr ~stats_interval ?backend
                      ("type", Json.String "interrupted");
                      ("events", Json.Int (Session.position session));
                    ]);
+              write_artifacts ~out ~metrics ~trace ~trace_out ~profile_out
+                ~checkers:(Provenance.seen prov);
               0)
       | `Done code -> code))
 
@@ -607,17 +716,24 @@ let serve_buffered ~metrics ~metrics_addr ~stats_interval ?backend
 module Engine = Loseq_ooo.Engine
 
 let serve_ooo ~metrics ~metrics_addr ~stats_interval ?backend ?suite_backend
-    ~lateness ~strict_reorder ?final_time ~out ~input suite =
+    ~lateness ~strict_reorder ?final_time ~trace ~trace_out ~profile_out ~out
+    ~input suite =
   let error msg = error_record out msg in
   let rendered v = Format.asprintf "%a" Backend.pp_verdict v in
   let srv_obs = make_server_obs metrics in
+  (* The speculative engine routes no tap, so the provenance recorder
+     is detached and fed from the arrival stream; retractions unfreeze
+     the ring again. *)
+  let prov = Provenance.create_detached suite in
   let notice = function
     | Engine.Violation { label; violation; settled; _ } ->
+        Provenance.note_violation prov ~label violation;
         emit_record out
           (Json.Obj
              (violation_fields ~name:label violation
              @ [ ("speculative", Json.Bool (not settled)) ]))
     | Engine.Retracted { label; _ } ->
+        Provenance.clear_violation prov ~label;
         emit_record out
           (Json.Obj
              [
@@ -641,7 +757,7 @@ let serve_ooo ~metrics ~metrics_addr ~stats_interval ?backend ?suite_backend
     match
       Engine.create
         ?metrics:(if Obs.is_live metrics then Some metrics else None)
-        ?backend ?suite_backend ~notice ~lateness entries
+        ~trace ?backend ?suite_backend ~notice ~lateness entries
     with
     | e -> Ok e
     | exception Wellformed.Ill_formed (p, errs) ->
@@ -681,9 +797,17 @@ let serve_ooo ~metrics ~metrics_addr ~stats_interval ?backend ?suite_backend
           let push e =
             incr offered;
             (match srv_obs with Some o -> Obs.incr o.records | None -> ());
+            (* Ring first, offer second: a violation the offer raises
+               synchronously must find its deciding event captured. *)
+            Provenance.record prov ~time:e.Trace.time e.Trace.name;
             ignore (Engine.offer engine e);
             if stats_interval > 0 && !offered mod stats_interval = 0 then
               emit_record out (stats_record ())
+          in
+          let trc =
+            if Tr.is_live trace then
+              Some (Tr.intern trace ~track:"ingest" "admit")
+            else None
           in
           match
             with_signals @@ fun () ->
@@ -705,7 +829,12 @@ let serve_ooo ~metrics ~metrics_addr ~stats_interval ?backend ?suite_backend
               (match srv_obs with
               | Some o -> Obs.add o.bytes_in (String.length chunk)
               | None -> ());
-              feed_chunk state chunk ~push
+              match trc with
+              | None -> feed_chunk state chunk ~push
+              | Some admit ->
+                  Tr.emit trace admit Tr.Span_begin 0;
+                  feed_chunk state chunk ~push;
+                  Tr.emit trace admit Tr.Span_end (String.length chunk)
             in
             match stream_loop ~fd ~metrics ~consume http with
             | `Interrupted -> `Interrupted
@@ -713,6 +842,12 @@ let serve_ooo ~metrics ~metrics_addr ~stats_interval ?backend ?suite_backend
                 finish_input state ~push;
                 Engine.finalize ?final_time engine;
                 let report = Engine.report engine in
+                let ft =
+                  max 0
+                    (max (Engine.max_seen engine)
+                       (Option.value final_time ~default:0))
+                in
+                let pattern_of name = List.assoc_opt name entries in
                 List.iter2
                   (fun (name, verdict) rendered_v ->
                     let passed = Backend.passed verdict in
@@ -721,12 +856,14 @@ let serve_ooo ~metrics ~metrics_addr ~stats_interval ?backend ?suite_backend
                     | None -> ());
                     emit_record out
                       (Json.Obj
-                         [
-                           ("type", Json.String "verdict");
-                           ("property", Json.String name);
-                           ("passed", Json.Bool passed);
-                           ("verdict", Json.String rendered_v);
-                         ]))
+                         ([
+                            ("type", Json.String "verdict");
+                            ("property", Json.String name);
+                            ("passed", Json.Bool passed);
+                            ("verdict", Json.String rendered_v);
+                          ]
+                         @ provenance_field ?backend ~prov ~final_time:ft
+                             ~pattern_of name passed)))
                   report
                   (Engine.report_strings engine);
                 let s = Engine.stats engine in
@@ -750,6 +887,8 @@ let serve_ooo ~metrics ~metrics_addr ~stats_interval ?backend ?suite_backend
                        ("max_journal", Json.Int s.Engine.max_journal);
                        ("watermark", Json.Int (Engine.watermark engine));
                      ]);
+                write_artifacts ~out ~metrics ~trace ~trace_out ~profile_out
+                  ~checkers:(Provenance.seen prov);
                 linger ~metrics http;
                 `Done (if passed then 0 else 1)
           with
@@ -766,6 +905,8 @@ let serve_ooo ~metrics ~metrics_addr ~stats_interval ?backend ?suite_backend
                      ("type", Json.String "interrupted");
                      ("events", Json.Int !offered);
                    ]);
+              write_artifacts ~out ~metrics ~trace ~trace_out ~profile_out
+                ~checkers:(Provenance.seen prov);
               0
           | `Done code -> code))
 
@@ -774,8 +915,14 @@ let serve_ooo ~metrics ~metrics_addr ~stats_interval ?backend ?suite_backend
 let serve ?metrics ?metrics_addr ?(stats_interval = 0) ?backend ?suite_backend
     ?(lateness = 0) ?(window = 1024) ?checkpoint ?(checkpoint_every = 0)
     ?(resume = false) ?(strict_reorder = false) ?(ooo = false) ?final_time
-    ?(out = stdout) ~input suite =
-  let metrics = default_metrics ~metrics ~metrics_addr ~stats_interval in
+    ?trace_out ?profile_out ?latency_sample_rate ?(out = stdout) ~input suite =
+  let metrics =
+    default_metrics ~metrics ~metrics_addr ~stats_interval ~profile_out
+  in
+  (* The flight recorder exists exactly when someone will read it: the
+     noop ring keeps every instrumented hot path on its one-branch
+     fast path. *)
+  let trace = if trace_out <> None then Tr.create () else Tr.noop in
   if ooo then
     if checkpoint <> None || resume then
       error_record out
@@ -783,11 +930,13 @@ let serve ?metrics ?metrics_addr ?(stats_interval = 0) ?backend ?suite_backend
          (journal, snapshots, unsettled verdicts) is not checkpointable"
     else
       serve_ooo ~metrics ~metrics_addr ~stats_interval ?backend ?suite_backend
-        ~lateness ~strict_reorder ?final_time ~out ~input suite
+        ~lateness ~strict_reorder ?final_time ~trace ~trace_out ~profile_out
+        ~out ~input suite
   else
     serve_buffered ~metrics ~metrics_addr ~stats_interval ?backend
       ?suite_backend ~lateness ~window ?checkpoint ~checkpoint_every ~resume
-      ~strict_reorder ?final_time ~out ~input suite
+      ~strict_reorder ?final_time ~trace ~trace_out ~profile_out
+      ?latency_sample_rate ~out ~input suite
 
 (* ---- the producer side ------------------------------------------------- *)
 

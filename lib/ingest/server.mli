@@ -60,7 +60,8 @@
     the engine counters instead ([applied], [late], [commute_hits],
     [rollbacks], [replayed], [journal_depth]/[max_journal],
     [watermark]); the final [verdict] records are byte-identical to the
-    buffered mode's.  [checkpoint]/[resume] are refused (exit [2]) —
+    buffered mode's up to the ["provenance"] chains (capture is
+    arrival-order, so the 1-minimal witness may differ).  [checkpoint]/[resume] are refused (exit [2]) —
     speculative state is not checkpointable.
 
     Exit codes: [0] all properties passed (or interrupted), [1] some
@@ -83,6 +84,9 @@ val serve :
   ?strict_reorder:bool ->
   ?ooo:bool ->
   ?final_time:int ->
+  ?trace_out:string ->
+  ?profile_out:string ->
+  ?latency_sample_rate:int ->
   ?out:out_channel ->
   input:[ `Stdin | `Socket of string ] ->
   Suite.t ->
@@ -100,9 +104,35 @@ val serve :
     and reorder buffer, and additionally feeds the server-level
     instruments [loseq_bytes_in_total], [loseq_records_decoded_total],
     [loseq_sessions_live], [loseq_verdicts_total{verdict=..}] and
-    [loseq_checkpoint_writes_total].  Passing [metrics_addr] or a
-    positive [stats_interval] without an explicit [metrics] creates a
-    live registry automatically. *)
+    [loseq_checkpoint_writes_total].  Passing [metrics_addr], a
+    positive [stats_interval] or [profile_out] without an explicit
+    [metrics] creates a live registry automatically.
+
+    Failed [verdict] records carry a ["provenance"] member — the
+    minimal causal chain behind the Fail ({!Loseq_verif.Provenance}):
+    the events that advanced the recognizer, delta-debugged to
+    1-minimality, plus the firing deadline for deadline misses.
+    Capture is always on (one bounded ring push per alphabet event) in
+    both hosting modes; [loseq explain-verdict] replays the chain
+    standalone.
+
+    With [trace_out FILE] a flight recorder ({!Loseq_obs.Trace}) is
+    live for the whole run — hub dispatch spans and deadline instants,
+    reorder admission instants, backpressure stall spans, input
+    admission and checkpoint-write spans, and (under [ooo]) the
+    engine's speculation records — and the ring is exported to [FILE]
+    on end of stream {e and} on interruption: NDJSON when [FILE] ends
+    in [.ndjson], Chrome trace-event JSON (Perfetto-loadable)
+    otherwise.  A [{"type":"trace", "path":.., "format":..,
+    "records":.., "dropped":..}] record reports the export.
+
+    With [profile_out FILE] a [loseq-profile/1] artifact
+    ({!Loseq_obs.Profile}) is written alongside — measured per-checker
+    alphabet-event counts and the dispatch-latency histogram — which
+    [loseq analyze --shard-plan N --profile FILE] consumes as measured
+    load; a [{"type":"profile", "path":.., "checkers":..}] record
+    reports it.  [latency_sample_rate] (default 64, buffered mode)
+    tunes the hub's dispatch-latency sampling. *)
 
 val feed : ?timeout:float -> path:string -> in_channel -> (int, string) result
 (** Copy [in_channel] to the Unix-domain socket at [path] (connecting

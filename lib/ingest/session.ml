@@ -2,6 +2,12 @@ open Loseq_core
 open Loseq_verif
 module Kernel = Loseq_sim.Kernel
 module Time = Loseq_sim.Time
+module Tr = Loseq_obs.Trace
+
+(* Session-level flight-recorder category: the backpressure stall span
+   around a forced drain (argument of the end record: events forced
+   out to admit the blocked one). *)
+type trc = { tr : Tr.t; tr_stall : Tr.cat }
 
 type t = {
   suite : Suite.t;
@@ -11,24 +17,32 @@ type t = {
   reorder : Reorder.t;
   lateness : int;
   window : int;
+  trc : trc option;
   mutable accepted : int;
   mutable delivered : int;
   mutable forced : int;
 }
 
-let create ?metrics ?backend ?suite_backend ?(lateness = 0) ?(window = 1024)
-    suite =
+let create ?metrics ?(trace = Tr.noop) ?backend ?suite_backend
+    ?latency_sample_rate ?(lateness = 0) ?(window = 1024) suite =
   let kernel = Kernel.create () in
   let tap = Tap.create ~record:false kernel in
-  let hub = Suite.attach_hub ?metrics ?backend ?suite_backend tap suite in
+  let hub =
+    Suite.attach_hub ?metrics ~trace ?backend ?suite_backend
+      ?latency_sample_rate tap suite
+  in
   {
     suite;
     kernel;
     tap;
     hub;
-    reorder = Reorder.create ?metrics ~capacity:window ~lateness ();
+    reorder = Reorder.create ?metrics ~trace ~capacity:window ~lateness ();
     lateness;
     window;
+    trc =
+      (if Tr.is_live trace then
+         Some { tr = trace; tr_stall = Tr.intern trace ~track:"ingest" "stall" }
+       else None);
     accepted = 0;
     delivered = 0;
     forced = 0;
@@ -76,12 +90,28 @@ let force_drain t =
       true
   | None -> false
 
-let rec offer_force t e =
+let offer_force t e =
   match offer t e with
   | `Accepted -> ()
   | `Blocked ->
-      ignore (force_drain t);
-      offer_force t e
+      (* Backpressure stall: drain by force until the event fits.  The
+         whole stall is one span — opened when the block was detected
+         (so anything the drain emits nests inside it), closed when
+         admission succeeded, argument the number of events forced
+         out. *)
+      (match t.trc with
+      | Some c -> Tr.emit c.tr c.tr_stall Tr.Span_begin 0
+      | None -> ());
+      let drained = ref 0 in
+      let rec force () =
+        ignore (force_drain t);
+        incr drained;
+        match offer t e with `Accepted -> () | `Blocked -> force ()
+      in
+      force ();
+      (match t.trc with
+      | Some c -> Tr.emit c.tr c.tr_stall Tr.Span_end !drained
+      | None -> ())
 
 let flush t = ignore (Reorder.flush t.reorder ~emit:(deliver t))
 

@@ -27,8 +27,10 @@ type t
 
 val create :
   ?metrics:Loseq_obs.Metrics.t ->
+  ?trace:Loseq_obs.Trace.t ->
   ?backend:Backend.factory ->
   ?suite_backend:Backend.suite_factory ->
+  ?latency_sample_rate:int ->
   ?lateness:int ->
   ?window:int ->
   Suite.t ->
@@ -40,8 +42,13 @@ val create :
     input expected); [window] to [1024].  A live [metrics] sink (default
     noop) is threaded to the {!Loseq_verif.Hub} and the {!Reorder}
     buffer, so one session exports the full hub + reorder instrument
-    set.  Raises {!Loseq_core.Wellformed.Ill_formed} and whatever the
-    factory raises. *)
+    set; a live [trace] flight recorder (default noop) likewise — hub
+    dispatch spans and deadline instants, reorder admission instants,
+    plus a [stall] span on the ["ingest"] track around every
+    backpressure force-drain.  [latency_sample_rate] tunes the hub's
+    dispatch-latency sampling (default 64).  Raises
+    {!Loseq_core.Wellformed.Ill_formed} and whatever the factory
+    raises. *)
 
 val offer : t -> Trace.event -> [ `Accepted | `Blocked ]
 (** Feed one event.  [`Accepted]: consumed — delivered now, buffered,

@@ -3,8 +3,12 @@
    on demand and never touch the instruments' hot cells other than to
    read them. *)
 
-(* Prometheus label values: backslash, double-quote and newline must be
-   escaped.  JSON strings additionally escape control characters. *)
+(* Text format 0.0.4 prescribes two distinct escaping rules, and they
+   really differ: label values escape backslash, double-quote and
+   newline; HELP text escapes only backslash and newline — a quote in
+   HELP is passed through verbatim, escaping it would make scrapers
+   render a spurious backslash.  JSON strings additionally escape
+   control characters. *)
 let escape ~json s =
   let buf = Buffer.create (String.length s + 8) in
   String.iter
@@ -21,6 +25,19 @@ let escape ~json s =
     s;
   Buffer.contents buf
 
+let escape_label_value s = escape ~json:false s
+
+let escape_help s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
 let label_block labels =
   match labels with
   | [] -> ""
@@ -28,7 +45,7 @@ let label_block labels =
       "{"
       ^ String.concat ","
           (List.map
-             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape ~json:false v))
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
              labels)
       ^ "}"
 
@@ -52,8 +69,7 @@ let prometheus t =
       if not (Hashtbl.mem seen_header name) then begin
         Hashtbl.add seen_header name ();
         Buffer.add_string buf
-          (Printf.sprintf "# HELP %s %s\n" name
-             (escape ~json:false s.sample_help));
+          (Printf.sprintf "# HELP %s %s\n" name (escape_help s.sample_help));
         Buffer.add_string buf
           (Printf.sprintf "# TYPE %s %s\n" name (prometheus_type s.value))
       end;
@@ -145,6 +161,12 @@ let pp_human ppf t =
               count sum
               (if count = 0 then ""
                else Printf.sprintf ", mean %.1f" (float_of_int sum /. float_of_int count));
+            if count > 0 then
+              Format.fprintf ppf "  %-42s p50 %.1f  p90 %.1f  p99 %.1f@."
+                "quantiles"
+                (Profile.quantile ~count ~buckets 0.5)
+                (Profile.quantile ~count ~buckets 0.9)
+                (Profile.quantile ~count ~buckets 0.99);
             Array.iter
               (fun (bound, cum) ->
                 Format.fprintf ppf "  %-42s %12d@."

@@ -17,4 +17,5 @@ val json : Metrics.t -> string
 
 val pp_human : Format.formatter -> Metrics.t -> unit
 (** The [--stats] pretty-printer: one aligned line per instrument,
-    histograms expanded per bucket. *)
+    histograms expanded per bucket with an interpolated
+    p50/p90/p99 line ({!Profile.quantile}). *)

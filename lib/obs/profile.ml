@@ -1,0 +1,80 @@
+(* The loseq-profile/1 renderer and the shared quantile estimator. *)
+
+let quantile ~count ~(buckets : (int * int) array) q =
+  if count <= 0 then 0.
+  else begin
+    let rank = q *. float_of_int count in
+    let n = Array.length buckets in
+    let rec go i prev_bound prev_cum =
+      if i >= n then float_of_int prev_bound
+        (* mass beyond the last finite bound: clamp (the +Inf bucket
+           has no upper edge to interpolate towards) *)
+      else
+        let bound, cum = buckets.(i) in
+        if float_of_int cum >= rank then
+          let in_bucket = cum - prev_cum in
+          if in_bucket <= 0 then float_of_int bound
+          else
+            float_of_int prev_bound
+            +. (float_of_int (bound - prev_bound)
+               *. (rank -. float_of_int prev_cum)
+               /. float_of_int in_bucket)
+        else go (i + 1) bound cum
+    in
+    go 0 0 0
+  end
+
+(* Same hand-rolled escaping as Trace/Expo: no Json below lib/core. *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 8) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let hist_json ~count ~sum ~buckets =
+  Printf.sprintf
+    "{\"count\":%d,\"sum\":%d,\"p50\":%.1f,\"p90\":%.1f,\"p99\":%.1f,\
+     \"buckets\":[%s]}"
+    count sum
+    (quantile ~count ~buckets 0.5)
+    (quantile ~count ~buckets 0.9)
+    (quantile ~count ~buckets 0.99)
+    (String.concat ","
+       (Array.to_list
+          (Array.map
+             (fun (bound, cum) ->
+               Printf.sprintf "{\"le\":%d,\"count\":%d}" bound cum)
+             buckets)))
+
+let render ?(dispatch_hist = "loseq_hub_dispatch_ns") ~metrics ~checkers () =
+  let dispatch =
+    List.find_map
+      (fun (s : Metrics.sample) ->
+        match s.value with
+        | Metrics.Histogram_v { sum; count; buckets }
+          when s.sample_name = dispatch_hist ->
+            Some (hist_json ~count ~sum ~buckets)
+        | _ -> None)
+      (Metrics.samples metrics)
+  in
+  Printf.sprintf
+    "{\"schema\":\"loseq-profile/1\",\"checkers\":[%s],\"dispatch_ns\":%s}"
+    (String.concat ","
+       (List.map
+          (fun (label, steps) ->
+            Printf.sprintf "{\"label\":%s,\"steps\":%d}" (json_string label)
+              steps)
+          checkers))
+    (Option.value ~default:"null" dispatch)

@@ -1,0 +1,32 @@
+(** Live load profiles: the [loseq-profile/1] artifact.
+
+    A profile turns one run's telemetry into the measured-load input
+    the shard planner wants: per-checker step counts (how many events
+    each checker actually consumed) plus the dispatch-latency
+    histogram with interpolated quantiles.  [analyze --shard-plan
+    --profile] consumes the artifact directly, so plans balance on
+    measured load instead of the static cost model.
+
+    This module only {e renders} — lib/obs sits below lib/core, so the
+    JSON is assembled by hand and parsing lives downstream
+    ({!Loseq_analysis.Shard.profile_of_json}). *)
+
+val quantile : count:int -> buckets:(int * int) array -> float -> float
+(** [quantile ~count ~buckets q] estimates the [q]-th quantile
+    ([0 < q < 1]) of a histogram from its cumulative
+    [(upper bound, count)] buckets by linear interpolation within the
+    containing bucket.  Mass beyond the last finite bound clamps to
+    that bound; [0.] when [count] is [0]. *)
+
+val render :
+  ?dispatch_hist:string ->
+  metrics:Metrics.t ->
+  checkers:(string * int) list ->
+  unit ->
+  string
+(** The artifact: [{"schema":"loseq-profile/1","checkers":[{"label":..,
+    "steps":..},..],"dispatch_ns":{..}}].  [checkers] carries each
+    suite entry's measured step count; the dispatch histogram (family
+    [dispatch_hist], default ["loseq_hub_dispatch_ns"]) is looked up
+    in [metrics] and rendered with its buckets and p50/p90/p99, or
+    [null] when absent. *)

@@ -1,0 +1,253 @@
+(* The flight recorder.  Three parallel int arrays form the ring; a
+   record is one slot in each: the monotonic timestamp, a packed
+   kind+category code, and a free-form argument.  [total] only ever
+   grows — the write index is [total land mask], so wrap-around
+   overwrites the oldest slot and the drop count is derived, never
+   stored. *)
+
+type kind = Span_begin | Span_end | Instant | Count
+
+let kind_code = function
+  | Span_begin -> 0
+  | Span_end -> 1
+  | Instant -> 2
+  | Count -> 3
+
+let kind_of_code = function
+  | 0 -> Span_begin
+  | 1 -> Span_end
+  | 2 -> Instant
+  | _ -> Count
+
+let kind_to_string = function
+  | Span_begin -> "span_begin"
+  | Span_end -> "span_end"
+  | Instant -> "instant"
+  | Count -> "count"
+
+type cat = int
+
+type t = {
+  cap : int;  (* power of two; 0 for the noop sink *)
+  mask : int;
+  ts : int array;
+  code : int array;  (* kind lor (cat lsl 2) *)
+  arg : int array;
+  mutable total : int;
+  (* interning tables: a category is (track id, name); the track id is
+     the Chrome tid. *)
+  mutable cat_names : string array;
+  mutable cat_tracks : int array;
+  mutable ncats : int;
+  cat_index : (string, cat) Hashtbl.t;  (* "track\x00name" -> cat *)
+  mutable tracks : string array;
+  mutable ntracks : int;
+  track_index : (string, int) Hashtbl.t;
+}
+
+let make cap =
+  {
+    cap;
+    mask = cap - 1;
+    ts = Array.make (max cap 1) 0;
+    code = Array.make (max cap 1) 0;
+    arg = Array.make (max cap 1) 0;
+    total = 0;
+    cat_names = Array.make 8 "";
+    cat_tracks = Array.make 8 0;
+    ncats = 0;
+    cat_index = Hashtbl.create 16;
+    tracks = Array.make 4 "";
+    ntracks = 0;
+    track_index = Hashtbl.create 8;
+  }
+
+let noop = make 0
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  make (pow2 capacity 1)
+
+let is_live t = t.cap > 0
+let capacity t = t.cap
+
+let intern_track t track =
+  match Hashtbl.find_opt t.track_index track with
+  | Some id -> id
+  | None ->
+      if t.ntracks = Array.length t.tracks then begin
+        let grown = Array.make (2 * t.ntracks) "" in
+        Array.blit t.tracks 0 grown 0 t.ntracks;
+        t.tracks <- grown
+      end;
+      let id = t.ntracks in
+      t.tracks.(id) <- track;
+      t.ntracks <- id + 1;
+      Hashtbl.add t.track_index track id;
+      id
+
+let intern t ?(track = "main") name =
+  if t.cap = 0 then 0
+  else begin
+    let key = track ^ "\x00" ^ name in
+    match Hashtbl.find_opt t.cat_index key with
+    | Some c -> c
+    | None ->
+        if t.ncats = Array.length t.cat_names then begin
+          let grown = Array.make (2 * t.ncats) "" in
+          Array.blit t.cat_names 0 grown 0 t.ncats;
+          t.cat_names <- grown;
+          let grown = Array.make (2 * t.ncats) 0 in
+          Array.blit t.cat_tracks 0 grown 0 t.ncats;
+          t.cat_tracks <- grown
+        end;
+        let c = t.ncats in
+        t.cat_names.(c) <- name;
+        t.cat_tracks.(c) <- intern_track t track;
+        t.ncats <- c + 1;
+        Hashtbl.add t.cat_index key c;
+        c
+  end
+
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let emit_at t ~ts_ns c k arg =
+  if t.cap > 0 then begin
+    let i = t.total land t.mask in
+    t.ts.(i) <- ts_ns;
+    t.code.(i) <- kind_code k lor (c lsl 2);
+    t.arg.(i) <- arg;
+    t.total <- t.total + 1
+  end
+
+let emit t c k arg = if t.cap > 0 then emit_at t ~ts_ns:(now_ns ()) c k arg
+
+let length t = min t.total t.cap
+let total t = t.total
+let dropped t = max 0 (t.total - t.cap)
+
+type record = {
+  ts_ns : int;
+  track : string;
+  name : string;
+  kind : kind;
+  arg : int;
+}
+
+let iter_slots t f =
+  let len = length t in
+  for k = t.total - len to t.total - 1 do
+    let i = k land t.mask in
+    f ~ts_ns:t.ts.(i) ~code:t.code.(i) ~arg:t.arg.(i)
+  done
+
+let records t =
+  let acc = ref [] in
+  iter_slots t (fun ~ts_ns ~code ~arg ->
+      let c = code lsr 2 in
+      acc :=
+        {
+          ts_ns;
+          track = t.tracks.(t.cat_tracks.(c));
+          name = t.cat_names.(c);
+          kind = kind_of_code (code land 3);
+          arg;
+        }
+        :: !acc);
+  List.rev !acc
+
+(* ---- exports ------------------------------------------------------------ *)
+
+(* lib/obs sits below lib/core, so no [Json] here: strings are escaped
+   and assembled by hand, exactly as [Expo] does. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_string s = "\"" ^ json_escape s ^ "\""
+
+let oldest_ts t =
+  if length t = 0 then 0
+  else t.ts.((t.total - length t) land t.mask)
+
+let to_chrome t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let add s =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf s
+  in
+  for tid = 0 to t.ntracks - 1 do
+    add
+      (Printf.sprintf
+         "{\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"name\":\"thread_name\",\
+          \"args\":{\"name\":%s}}"
+         tid
+         (json_string t.tracks.(tid)))
+  done;
+  let t0 = oldest_ts t in
+  iter_slots t (fun ~ts_ns ~code ~arg ->
+      let c = code lsr 2 in
+      let tid = t.cat_tracks.(c) in
+      let name = json_string t.cat_names.(c) in
+      let us = float_of_int (ts_ns - t0) /. 1_000. in
+      match kind_of_code (code land 3) with
+      | Span_begin ->
+          add
+            (Printf.sprintf
+               "{\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":%s,\
+                \"args\":{\"arg\":%d}}"
+               tid us name arg)
+      | Span_end ->
+          add
+            (Printf.sprintf
+               "{\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":%s,\
+                \"args\":{\"arg\":%d}}"
+               tid us name arg)
+      | Instant ->
+          add
+            (Printf.sprintf
+               "{\"ph\":\"i\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":%s,\
+                \"s\":\"t\",\"args\":{\"arg\":%d}}"
+               tid us name arg)
+      | Count ->
+          add
+            (Printf.sprintf
+               "{\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"name\":%s,\
+                \"args\":{\"value\":%d}}"
+               tid us name arg));
+  Buffer.add_string buf
+    (Printf.sprintf "],\"displayTimeUnit\":\"ns\",\"otherData\":{\
+                     \"dropped\":%d,\"total\":%d}}"
+       (dropped t) t.total);
+  Buffer.contents buf
+
+let to_ndjson t =
+  let buf = Buffer.create 4096 in
+  iter_slots t (fun ~ts_ns ~code ~arg ->
+      let c = code lsr 2 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"ts_ns\":%d,\"track\":%s,\"name\":%s,\"kind\":\"%s\",\
+            \"arg\":%d}\n"
+           ts_ns
+           (json_string t.tracks.(t.cat_tracks.(c)))
+           (json_string t.cat_names.(c))
+           (kind_to_string (kind_of_code (code land 3)))
+           arg));
+  Buffer.contents buf

@@ -1,0 +1,110 @@
+(** Flight recorder: a fixed-capacity ring of packed trace records.
+
+    Where {!Metrics} answers "how much, in aggregate", the trace ring
+    answers "what happened, when": span begin/end pairs around units of
+    work (a sampled dispatch, a rollback-and-replay), instants for
+    point occurrences (a deadline firing, a retraction) and counter
+    samples for evolving quantities (wheel depth).  Records are packed
+    into three parallel [int] arrays — timestamp, category/kind code,
+    argument — so recording is three stores and an increment; no
+    allocation, no formatting on the hot path.  When the ring is full
+    the oldest record is overwritten and a drop counter advances, so a
+    long run keeps the most recent window and remembers exactly how
+    much history it lost.
+
+    Categories are interned once at instrumentation time and carry a
+    {e track}: the lane (Chrome "thread") the record renders on, so
+    hub dispatch, ingest admission and engine rollback each get their
+    own swim-lane in a viewer.
+
+    Exports are cold paths: {!to_chrome} renders the Chrome
+    trace-event JSON array (loadable in Perfetto / [chrome://tracing]),
+    {!to_ndjson} one JSON object per record for line-oriented
+    tooling. *)
+
+type t
+
+val noop : t
+(** The shared do-nothing sink (the default everywhere): emissions are
+    discarded, interning hands back a dummy category.  Costs one
+    branch per emission attempt. *)
+
+val create : ?capacity:int -> unit -> t
+(** A live ring holding the most recent [capacity] records (rounded up
+    to a power of two, default [65536]).  Raises [Invalid_argument]
+    when [capacity <= 0]. *)
+
+val is_live : t -> bool
+(** [false] exactly for {!noop} — the test instrumented components use
+    to gate clock reads the dead store cannot model. *)
+
+val capacity : t -> int
+
+(** {1 Categories} *)
+
+type cat
+(** An interned category: a record name plus the track it renders
+    on.  Interning the same (track, name) pair twice returns the same
+    category. *)
+
+val intern : t -> ?track:string -> string -> cat
+(** [intern t ~track name] registers a category once, at
+    component-creation time (default track ["main"]). *)
+
+(** {1 Recording} *)
+
+type kind = Span_begin | Span_end | Instant | Count
+
+val now_ns : unit -> int
+(** CLOCK_MONOTONIC, nanoseconds — immune to NTP steps. *)
+
+val emit : t -> cat -> kind -> int -> unit
+(** [emit t c k arg] records one event stamped {!now_ns}.  A no-op on
+    {!noop}. *)
+
+val emit_at : t -> ts_ns:int -> cat -> kind -> int -> unit
+(** Like {!emit} with an explicit timestamp — for span ends that reuse
+    a clock value already read for a latency sample, so tracing adds
+    no clock reads to an already-sampled path. *)
+
+(** {1 Reading back} *)
+
+val length : t -> int
+(** Records currently retained ([<= capacity]). *)
+
+val total : t -> int
+(** Records ever emitted. *)
+
+val dropped : t -> int
+(** Records overwritten after the ring wrapped:
+    [total - length]. *)
+
+type record = {
+  ts_ns : int;
+  track : string;
+  name : string;
+  kind : kind;
+  arg : int;
+}
+
+val records : t -> record list
+(** Retained records, oldest first (emission order — timestamps are
+    non-decreasing). *)
+
+(** {1 Exports} *)
+
+val to_chrome : t -> string
+(** Chrome trace-event JSON: [{"traceEvents":[...]}] with one
+    [thread_name] metadata record per track, spans as ["B"]/["E"]
+    pairs, instants as ["i"], counter samples as ["C"]; [ts] is
+    microseconds relative to the oldest retained record, [pid] 1,
+    [tid] the track's intern index.  The drop count rides in
+    ["otherData"]. *)
+
+val to_ndjson : t -> string
+(** One compact JSON object per line:
+    [{"ts_ns":..,"track":..,"name":..,"kind":..,"arg":..}]. *)
+
+val kind_to_string : kind -> string
+(** ["span_begin"], ["span_end"], ["instant"], ["count"] — the [kind]
+    strings {!to_ndjson} uses. *)

@@ -1,5 +1,6 @@
 open Loseq_core
 module Obs = Loseq_obs.Metrics
+module Tr = Loseq_obs.Trace
 module Robust = Loseq_analysis.Robust
 
 type notice =
@@ -51,6 +52,19 @@ type chk = {
    them across snapshots (the delta encoding). *)
 type snap = { states : Compiled.persisted array; decided : int array }
 
+(* Flight-recorder categories on the ooo track: the rollback-and-replay
+   span (end argument: journalled events re-stepped), plus instants for
+   certificate commute hits (arg: event time), speculative-violation
+   retractions (arg: checker index) and snapshots (arg: journal
+   depth). *)
+type trc = {
+  tr : Tr.t;
+  tr_replay : Tr.cat;
+  tr_commute : Tr.cat;
+  tr_retract : Tr.cat;
+  tr_snapshot : Tr.cat;
+}
+
 type t = {
   k : int;
   chks : chk array;
@@ -59,6 +73,7 @@ type t = {
   journal : snap Journal.t;
   snapshot_every : int;
   cert : Robust.certificate;
+  trc : trc option;
   notice : notice -> unit;
   cache : Compiled.persisted array;
       (* freshest persisted blob per checker; [chk.dirty] says the live
@@ -123,7 +138,10 @@ let take_snapshot t =
       states = Array.copy t.cache;
       decided = Array.map (fun c -> c.decided_at) t.chks;
     };
-  t.snapshots <- t.snapshots + 1
+  t.snapshots <- t.snapshots + 1;
+  match t.trc with
+  | Some c -> Tr.emit c.tr c.tr_snapshot Tr.Instant (Journal.length t.journal)
+  | None -> ()
 
 let maybe_snapshot t =
   if Journal.since_snapshot t.journal >= t.snapshot_every then take_snapshot t
@@ -140,7 +158,11 @@ let notify_scan t =
       let v = c.b.Backend.verdict () in
       if v <> c.notified then begin
         (match c.notified with
-        | Backend.Violated _ -> t.notice (Retracted { index = i; label = c.label })
+        | Backend.Violated _ ->
+            (match t.trc with
+            | Some tc -> Tr.emit tc.tr tc.tr_retract Tr.Instant i
+            | None -> ());
+            t.notice (Retracted { index = i; label = c.label })
         | Backend.Running | Backend.Satisfied -> ());
         (match v with
         | Backend.Violated d ->
@@ -174,8 +196,8 @@ let settle_scan t =
 
 let pair a b = if Name.compare a b <= 0 then (a, b) else (b, a)
 
-let create ?metrics ?backend ?suite_backend ?(cert_budget = 20_000)
-    ?(snapshot_every = 32) ?notice ~lateness entries =
+let create ?metrics ?(trace = Tr.noop) ?backend ?suite_backend
+    ?(cert_budget = 20_000) ?(snapshot_every = 32) ?notice ~lateness entries =
   if lateness < 0 then invalid_arg "Loseq_ooo.Engine.create: negative lateness";
   if snapshot_every < 1 then
     invalid_arg "Loseq_ooo.Engine.create: snapshot_every < 1";
@@ -248,6 +270,17 @@ let create ?metrics ?backend ?suite_backend ?(cert_budget = 20_000)
       journal = Journal.create ();
       snapshot_every;
       cert;
+      trc =
+        (if Tr.is_live trace then
+           Some
+             {
+               tr = trace;
+               tr_replay = Tr.intern trace ~track:"ooo" "rollback_replay";
+               tr_commute = Tr.intern trace ~track:"ooo" "commute_hit";
+               tr_retract = Tr.intern trace ~track:"ooo" "retraction";
+               tr_snapshot = Tr.intern trace ~track:"ooo" "snapshot";
+             }
+         else None);
       notice = Option.value notice ~default:(fun _ -> ());
       cache = Array.map (fun c -> c.persist ()) chks;
       max_seen = -1;
@@ -354,6 +387,9 @@ let offer_late t (e : Trace.event) =
        (deadline firing is driven by timestamps already covered by
        max_seen, not by the event itself). *)
     t.commute_hits <- t.commute_hits + 1;
+    (match t.trc with
+    | Some c -> Tr.emit c.tr c.tr_commute Tr.Instant e.Trace.time
+    | None -> ());
     `Applied
   end
   else begin
@@ -372,6 +408,9 @@ let offer_late t (e : Trace.event) =
         Journal.insert t.journal ~at:q e;
         note_journal_depth t;
         t.commute_hits <- t.commute_hits + 1;
+        (match t.trc with
+        | Some c -> Tr.emit c.tr c.tr_commute Tr.Instant e.Trace.time
+        | None -> ());
         `Commuted
     | affected -> (
         match Journal.restore_point t.journal ~at:q ~time:e.Trace.time with
@@ -379,6 +418,12 @@ let offer_late t (e : Trace.event) =
             (* The base snapshot always qualifies — see [create]. *)
             assert false
         | Some r ->
+            (* The whole repair is one span on the ooo track: restore,
+               re-step, catch-up.  Opened before the restore so the
+               nested snapshot instants stay time-ordered. *)
+            (match t.trc with
+            | Some c -> Tr.emit c.tr c.tr_replay Tr.Span_begin (List.length affected)
+            | None -> ());
             let rpos = r.Journal.pos in
             List.iter
               (fun i ->
@@ -414,6 +459,9 @@ let offer_late t (e : Trace.event) =
             List.iter (fun ci -> fire_chk t.chks.(ci) ~upto:t.max_seen) affected;
             t.rollbacks <- t.rollbacks + 1;
             t.replayed <- t.replayed + count;
+            (match t.trc with
+            | Some c -> Tr.emit c.tr c.tr_replay Tr.Span_end count
+            | None -> ());
             `Replayed count)
   end
 

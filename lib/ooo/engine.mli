@@ -77,6 +77,7 @@ type notice =
 
 val create :
   ?metrics:Loseq_obs.Metrics.t ->
+  ?trace:Loseq_obs.Trace.t ->
   ?backend:Backend.factory ->
   ?suite_backend:Backend.suite_factory ->
   ?cert_budget:int ->
@@ -91,7 +92,12 @@ val create :
     elementary operations) and take the base snapshot.  A snapshot is
     recorded every [snapshot_every] (default [32]) journalled events.
     With [?metrics], backends are instrumented and the engine registers
-    [loseq_ooo_*] counters and gauges on the registry.
+    [loseq_ooo_*] counters and gauges on the registry.  A live [trace]
+    flight recorder (default noop) records the engine's speculation
+    traffic on the ["ooo"] track: a [rollback_replay] span per repair
+    (begin argument: checkers restored; end argument: journalled events
+    re-stepped), plus [commute_hit], [retraction] and [snapshot]
+    instants.
 
     Raises [Invalid_argument] if [lateness < 0] or a chosen backend
     does not {!Backend.supports_rollback} (the [direct] and [psl]

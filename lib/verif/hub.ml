@@ -84,6 +84,36 @@ end
    delivery.  Dispatch latency is sampled (one delivery in 64) so the
    clock reads stay far below the paper's per-event monitor cost. *)
 module Obs = Loseq_obs.Metrics
+module Tr = Loseq_obs.Trace
+
+(* Flight-recorder categories, interned once at hub creation.  Dispatch
+   spans ride the latency-sampled path and reuse its two clock reads
+   (emit_at with the already-read stamps), so tracing adds zero clock
+   reads to the event path; deadline firings and wheel-depth samples
+   are rare enough to stamp directly. *)
+type trc = {
+  tr : Tr.t;
+  tr_dispatch : Tr.cat;
+  tr_firing : Tr.cat;
+  tr_wheel : Tr.cat;
+}
+
+let make_trc trace =
+  {
+    tr = trace;
+    tr_dispatch = Tr.intern trace ~track:"hub" "dispatch";
+    tr_firing = Tr.intern trace ~track:"hub" "deadline_fire";
+    tr_wheel = Tr.intern trace ~track:"hub" "wheel_depth";
+  }
+
+(* The sampling mask: 1-in-[rate] with [rate] rounded up to a power of
+   two, so the phase test stays one [land]. *)
+let sample_mask rate =
+  if rate < 1 then invalid_arg "Hub: latency_sample_rate must be >= 1";
+  let rec up k = if k >= rate then k else up (k * 2) in
+  up 1 - 1
+
+let default_sample_rate = 64
 
 type obs = {
   metrics : Obs.t;
@@ -143,15 +173,17 @@ type t = {
   mutable scheduled : (int * Kernel.handle) option;
       (* deadline the kernel timeout is parked at *)
   obs : obs option;
+  trc : trc option;
 }
 
-let create ?(metrics = Obs.noop) tap =
+let create ?(metrics = Obs.noop) ?(trace = Tr.noop) tap =
   {
     tap;
     entries_rev = [];
     wheel = Wheel.create ();
     scheduled = None;
     obs = (if Obs.is_live metrics then Some (make_obs metrics tap) else None);
+    trc = (if Tr.is_live trace then Some (make_trc trace) else None);
   }
 
 let tap t = t.tap
@@ -203,6 +235,9 @@ and expire t =
           (match t.obs with
           | Some o -> Obs.incr o.firings
           | None -> ());
+          (match t.trc with
+          | Some c -> Tr.emit c.tr c.tr_firing Tr.Instant d
+          | None -> ());
           Checker.poll entry.checker ~now;
           rearm t entry;
           drain ()
@@ -214,6 +249,9 @@ and fire t =
   t.scheduled <- None;
   expire t;
   settle t;
+  (match t.trc with
+  | Some c -> Tr.emit c.tr c.tr_wheel Tr.Count t.wheel.Wheel.len
+  | None -> ());
   match t.obs with
   | Some o -> Obs.set o.wheel_depth t.wheel.Wheel.len
   | None -> ()
@@ -242,7 +280,8 @@ let observe_checker o checker =
       | _, (Backend.Running | Backend.Satisfied | Backend.Violated _) -> ());
   Checker.on_violation checker (fun _ -> Obs.incr o.violated)
 
-let host t checker ~strict =
+let host ?(latency_sample_rate = default_sample_rate) t checker ~strict =
+  let mask = sample_mask latency_sample_rate in
   let entry = { checker; armed = -1 } in
   t.entries_rev <- entry :: t.entries_rev;
   let backend = Checker.backend checker in
@@ -277,31 +316,62 @@ let host t checker ~strict =
     Name.Set.iter
       (fun n ->
         let handler = Checker.routed checker n in
-        match t.obs with
-        | None ->
+        match (t.obs, t.trc) with
+        | None, None ->
             Tap.subscribe_name t.tap n (fun e ->
                 handler e;
                 after_delivery t entry)
-        | Some o ->
-            let deliveries =
-              Obs.counter o.metrics ~name:"loseq_hub_deliveries_total"
-                ~help:"Routed checker deliveries, by event name"
-                ~labels:[ ("name", Name.to_string n) ]
-                ()
+        | obs, trc ->
+            (* The just-bumped deliveries count doubles as the 1-in-N
+               latency sampling phase — no separate phase cell (a local
+               cell stands in when only the flight recorder is live).
+               The clock is CLOCK_MONOTONIC in nanoseconds (immune to
+               NTP steps, fine enough for the sub-microsecond
+               buckets). *)
+            let sampled =
+              match obs with
+              | Some o ->
+                  let deliveries =
+                    Obs.counter o.metrics ~name:"loseq_hub_deliveries_total"
+                      ~help:"Routed checker deliveries, by event name"
+                      ~labels:[ ("name", Name.to_string n) ]
+                      ()
+                  in
+                  fun () ->
+                    Obs.incr deliveries;
+                    Obs.counter_value deliveries land mask = 0
+              | None ->
+                  let phase = ref 0 in
+                  fun () ->
+                    incr phase;
+                    !phase land mask = 0
             in
-            (* The just-bumped deliveries count doubles as the 1-in-64
-               latency sampling phase — no separate phase cell.  The
-               clock is CLOCK_MONOTONIC in nanoseconds (immune to NTP
-               steps, fine enough for the sub-microsecond buckets). *)
             Tap.subscribe_name t.tap n (fun e ->
-                Obs.incr deliveries;
-                if Obs.counter_value deliveries land 63 = 0 then begin
+                if sampled () then begin
                   let t0 = Monotonic_clock.now () in
+                  (* span begin goes in before the work so records the
+                     handler emits (deadline firings) nest inside it in
+                     ring order — the ring must stay time-sorted *)
+                  (match trc with
+                  | Some c ->
+                      Tr.emit_at c.tr ~ts_ns:(Int64.to_int t0) c.tr_dispatch
+                        Tr.Span_begin 0
+                  | None -> ());
                   handler e;
                   after_delivery t entry;
-                  Obs.set o.wheel_depth t.wheel.Wheel.len;
-                  Obs.observe o.dispatch_ns
-                    (Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0))
+                  let t1 = Monotonic_clock.now () in
+                  (match obs with
+                  | Some o ->
+                      Obs.set o.wheel_depth t.wheel.Wheel.len;
+                      Obs.observe o.dispatch_ns
+                        (Int64.to_int (Int64.sub t1 t0))
+                  | None -> ());
+                  match trc with
+                  | Some c ->
+                      Tr.emit_at c.tr ~ts_ns:(Int64.to_int t1) c.tr_dispatch
+                        Tr.Span_end
+                        (Int64.to_int (Int64.sub t1 t0))
+                  | None -> ()
                 end
                 else begin
                   handler e;
@@ -322,7 +392,8 @@ let host t checker ~strict =
    reach them through the engine's notify callback.  The deadline
    wheel is resettled only when the engine's deadline generation
    moves, so the steady-state event path is step + one int compare. *)
-let host_flat t eng views =
+let host_flat ?(latency_sample_rate = default_sample_rate) t eng views =
+  let mask = sample_mask latency_sample_rate in
   let module Flat = Loseq_core.Flat in
   let checkers =
     Array.mapi
@@ -369,6 +440,9 @@ let host_flat t eng views =
     Array.iter (fun ck -> rearm t entries.(ck)) timed;
     settle t;
     last_gen := Flat.deadline_generation eng;
+    (match t.trc with
+    | Some c -> Tr.emit c.tr c.tr_wheel Tr.Count t.wheel.Wheel.len
+    | None -> ());
     match t.obs with
     | Some o -> Obs.set o.wheel_depth t.wheel.Wheel.len
     | None -> ()
@@ -378,29 +452,55 @@ let host_flat t eng views =
   let untimed = Array.length timed = 0 in
   Array.iteri
     (fun gid nm ->
-      match t.obs with
-      | None when untimed ->
+      match (t.obs, t.trc) with
+      | None, None when untimed ->
           Tap.subscribe_name t.tap nm (fun e ->
               Flat.step_name eng ~gid ~time:e.Trace.time)
-      | None ->
+      | None, None ->
           Tap.subscribe_name t.tap nm (fun e ->
               Flat.step_name eng ~gid ~time:e.Trace.time;
               if Flat.deadline_generation eng <> !last_gen then resettle ())
-      | Some o ->
-          let deliveries =
-            Obs.counter o.metrics ~name:"loseq_hub_deliveries_total"
-              ~help:"Routed checker deliveries, by event name"
-              ~labels:[ ("name", Name.to_string nm) ]
-              ()
+      | obs, trc ->
+          let sampled =
+            match obs with
+            | Some o ->
+                let deliveries =
+                  Obs.counter o.metrics ~name:"loseq_hub_deliveries_total"
+                    ~help:"Routed checker deliveries, by event name"
+                    ~labels:[ ("name", Name.to_string nm) ]
+                    ()
+                in
+                fun () ->
+                  Obs.incr deliveries;
+                  Obs.counter_value deliveries land mask = 0
+            | None ->
+                let phase = ref 0 in
+                fun () ->
+                  incr phase;
+                  !phase land mask = 0
           in
           Tap.subscribe_name t.tap nm (fun e ->
-              Obs.incr deliveries;
-              if Obs.counter_value deliveries land 63 = 0 then begin
+              if sampled () then begin
                 let t0 = Monotonic_clock.now () in
+                (match trc with
+                | Some c ->
+                    Tr.emit_at c.tr ~ts_ns:(Int64.to_int t0) c.tr_dispatch
+                      Tr.Span_begin 0
+                | None -> ());
                 Flat.step_name eng ~gid ~time:e.Trace.time;
                 if Flat.deadline_generation eng <> !last_gen then resettle ();
-                Obs.observe o.dispatch_ns
-                  (Int64.to_int (Int64.sub (Monotonic_clock.now ()) t0))
+                let t1 = Monotonic_clock.now () in
+                (match obs with
+                | Some o ->
+                    Obs.observe o.dispatch_ns
+                      (Int64.to_int (Int64.sub t1 t0))
+                | None -> ());
+                match trc with
+                | Some c ->
+                    Tr.emit_at c.tr ~ts_ns:(Int64.to_int t1) c.tr_dispatch
+                      Tr.Span_end
+                      (Int64.to_int (Int64.sub t1 t0))
+                | None -> ()
               end
               else begin
                 Flat.step_name eng ~gid ~time:e.Trace.time;
@@ -410,7 +510,8 @@ let host_flat t eng views =
   resettle ();
   Array.to_list checkers
 
-let add ?(backend = Backend.compiled) ?mode ?name t pattern =
+let add ?(backend = Backend.compiled) ?mode ?name ?latency_sample_rate t
+    pattern =
   let backend =
     match mode with
     | Some m -> Backend.direct ~mode:m pattern
@@ -419,7 +520,7 @@ let add ?(backend = Backend.compiled) ?mode ?name t pattern =
   let checker =
     Checker.make ?name ~now:(fun () -> Tap.now_ps t.tap) backend
   in
-  host t checker ~strict:(mode = Some Monitor.Strict);
+  host ?latency_sample_rate t checker ~strict:(mode = Some Monitor.Strict);
   checker
 
 let on_violation t hook =

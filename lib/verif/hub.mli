@@ -24,7 +24,7 @@ open Loseq_core
 
 type t
 
-val create : ?metrics:Loseq_obs.Metrics.t -> Tap.t -> t
+val create : ?metrics:Loseq_obs.Metrics.t -> ?trace:Loseq_obs.Trace.t -> Tap.t -> t
 (** [metrics] (default {!Loseq_obs.Metrics.noop}) attaches runtime
     telemetry when live: [loseq_events_dispatched_total] (one per tap
     emission), [loseq_hub_deliveries_total{name=..}] (routed checker
@@ -34,26 +34,36 @@ val create : ?metrics:Loseq_obs.Metrics.t -> Tap.t -> t
     sampled [loseq_hub_dispatch_ns] latency histogram; hosted backends
     additionally count [loseq_backend_steps_total{backend=..}].  With
     the noop default none of this is registered or subscribed — the
-    dispatch path is unchanged. *)
+    dispatch path is unchanged.
+
+    [trace] (default {!Loseq_obs.Trace.noop}) attaches the flight
+    recorder when live, on the ["hub"] track: [dispatch] spans on the
+    latency-sampled path (reusing its clock reads, so tracing adds no
+    clock reads of its own), [deadline_fire] instants (argument: the
+    missed deadline) and [wheel_depth] counter samples. *)
 
 val add :
   ?backend:Backend.factory ->
   ?mode:Monitor.mode ->
   ?name:string ->
+  ?latency_sample_rate:int ->
   t ->
   Pattern.t ->
   Checker.t
 (** Host one property.  [backend] defaults to {!Backend.compiled};
     [mode], when given, overrides [backend] with the structural monitor
     in that mode (strict mode disables routing for that checker).
-    Raises {!Wellformed.Ill_formed} (and whatever the factory
-    raises). *)
+    [latency_sample_rate] (default 64, rounded up to a power of two)
+    samples one delivery in N into [loseq_hub_dispatch_ns] and the
+    dispatch spans; [Invalid_argument] when [< 1].  Raises
+    {!Wellformed.Ill_formed} (and whatever the factory raises). *)
 
-val host : t -> Checker.t -> strict:bool -> unit
+val host : ?latency_sample_rate:int -> t -> Checker.t -> strict:bool -> unit
 (** Host a detached checker built with {!Checker.make} (advanced: a
     custom backend already constructed). *)
 
-val host_flat : t -> Flat.t -> Backend.t array -> Checker.t list
+val host_flat :
+  ?latency_sample_rate:int -> t -> Flat.t -> Backend.t array -> Checker.t list
 (** Host a whole flat suite engine directly: one tap subscription per
     interned name walks the engine's dispatch row ({!Loseq_core.Flat.step_name})
     instead of one closure per (checker, alphabet-name).  [views] must

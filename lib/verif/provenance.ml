@@ -1,0 +1,244 @@
+open Loseq_core
+
+type link = { time : int; name : Name.t }
+
+(* Per-entry bounded ring of recent alphabet events.  Like the
+   flight-recorder ring, the write index is [total land mask] so the
+   oldest slot is overwritten and nothing is shifted. *)
+type ring = {
+  label : string;
+  pattern : Pattern.t;
+  alpha : Name.Set.t;
+  times : int array;
+  names : Name.t array;
+  mask : int;
+  mutable total : int;
+  mutable freeze_time : int option;
+      (* first-violation time: later events no longer enter the ring *)
+  mutable violation : Diag.violation option;
+}
+
+type t = {
+  rings : ring array;
+  by_label : (string, int) Hashtbl.t;
+  route : int list Name.Map.t;  (* name -> rings listening, for {!record} *)
+}
+
+let rec pow2 n k = if k >= n then k else pow2 n (k * 2)
+
+let snapshot r =
+  let len = min r.total (Array.length r.times) in
+  let rec collect k acc =
+    if k < r.total - len then acc
+    else
+      let i = k land r.mask in
+      collect (k - 1) ({ time = r.times.(i); name = r.names.(i) } :: acc)
+  in
+  (* arrival order; sort makes the chain chronological even when fed
+     out of order (the speculative engine's arrival stream) *)
+  List.stable_sort
+    (fun a b -> compare a.time b.time)
+    (collect (r.total - 1) [])
+
+(* The violation hook fires synchronously {e inside} the offending
+   event's delivery; when the recorder's tap subscription runs after
+   the checker's (subscription order), the deciding event reaches the
+   ring only after {!note_violation}.  So freezing is by time, not by
+   snapshot: pushes at or before the violation instant still land, and
+   the chain is cut at read time. *)
+let push r ~time name =
+  match r.freeze_time with
+  | Some ft when time > ft -> ()
+  | _ ->
+      let i = r.total land r.mask in
+      r.times.(i) <- time;
+      r.names.(i) <- name;
+      r.total <- r.total + 1
+
+let make_rings depth suite =
+  let depth = pow2 (max depth 1) 1 in
+  let dummy = Name.v "_" in
+  let rings =
+    Array.of_list
+      (List.map
+         (fun (e : Suite.entry) ->
+           {
+             label = e.label;
+             pattern = e.pattern;
+             alpha = Pattern.alpha e.pattern;
+             times = Array.make depth 0;
+             names = Array.make depth dummy;
+             mask = depth - 1;
+             total = 0;
+             freeze_time = None;
+             violation = None;
+           })
+         suite)
+  in
+  let by_label = Hashtbl.create (Array.length rings) in
+  Array.iteri (fun i r -> Hashtbl.replace by_label r.label i) rings;
+  let route = ref Name.Map.empty in
+  Array.iteri
+    (fun i r ->
+      Name.Set.iter
+        (fun n ->
+          route :=
+            Name.Map.update n
+              (fun l -> Some (i :: Option.value ~default:[] l))
+              !route)
+        r.alpha)
+    rings;
+  { rings; by_label; route = !route }
+
+let create_detached ?(depth = 64) suite = make_rings depth suite
+
+let create ?(depth = 64) tap suite =
+  let t = make_rings depth suite in
+  Array.iter
+    (fun r ->
+      Name.Set.iter
+        (fun n ->
+          Tap.subscribe_name tap n (fun (e : Trace.event) ->
+              push r ~time:e.time e.name))
+        r.alpha)
+    t.rings;
+  t
+
+let record t ~time name =
+  match Name.Map.find_opt name t.route with
+  | None -> ()
+  | Some ring_ids ->
+      List.iter (fun i -> push t.rings.(i) ~time name) ring_ids
+
+let seen t =
+  Array.to_list (Array.map (fun r -> (r.label, r.total)) t.rings)
+
+let note_violation t ~label (v : Diag.violation) =
+  match Hashtbl.find_opt t.by_label label with
+  | None -> ()
+  | Some i ->
+      let r = t.rings.(i) in
+      if r.freeze_time = None then begin
+        r.freeze_time <- Some v.time;
+        r.violation <- Some v
+      end
+
+let clear_violation t ~label =
+  match Hashtbl.find_opt t.by_label label with
+  | None -> ()
+  | Some i ->
+      let r = t.rings.(i) in
+      r.freeze_time <- None;
+      r.violation <- None
+
+let violation_of t label =
+  match Hashtbl.find_opt t.by_label label with
+  | None -> None
+  | Some i -> t.rings.(i).violation
+
+let captured t label =
+  match Hashtbl.find_opt t.by_label label with
+  | None -> []
+  | Some i -> snapshot t.rings.(i)
+
+(* ---- minimization ------------------------------------------------------- *)
+
+let to_trace chain =
+  List.map
+    (fun l -> { Trace.name = l.name; time = l.time })
+    (List.stable_sort (fun a b -> compare a.time b.time) chain)
+
+let replay ?backend ~final_time ~label pattern chain =
+  let suite = [ { Suite.label; pattern; line = 0 } ] in
+  match Suite.check_trace ?backend ~final_time suite (to_trace chain) with
+  | [ (_, passed) ] -> passed
+  | _ -> true
+
+let minimize ?backend ~final_time ~label pattern chain =
+  let fails c = not (replay ?backend ~final_time ~label pattern c) in
+  if not (fails chain) then chain
+  else begin
+    (* Greedy delta-debugging, one event at a time.  Walking from the
+       front drops prefix noise (events of completed rounds) first. *)
+    let keep = ref [] in
+    let rec go = function
+      | [] -> ()
+      | e :: rest ->
+          if fails (List.rev_append !keep rest) then go rest
+          else begin
+            keep := e :: !keep;
+            go rest
+          end
+    in
+    go chain;
+    List.rev !keep
+  end
+
+(* ---- rendering ---------------------------------------------------------- *)
+
+let chain_json ?violation chain =
+  let chain_field =
+    ( "chain",
+      Json.List
+        (List.map
+           (fun l ->
+             Json.Obj
+               [
+                 ("time", Json.Int l.time);
+                 ("name", Json.String (Name.to_string l.name));
+               ])
+           chain) )
+  in
+  match violation with
+  | None -> Json.Obj [ chain_field ]
+  | Some (v : Diag.violation) ->
+      let deadline =
+        match v.reason with
+        | Diag.Deadline_miss { started; deadline; now } ->
+            [
+              ( "deadline",
+                Json.Obj
+                  [
+                    ("started", Json.Int started);
+                    ("deadline", Json.Int deadline);
+                    ("now", Json.Int now);
+                  ] );
+            ]
+        | _ -> []
+      in
+      Json.Obj
+        ([
+           chain_field;
+           ("violation_time", Json.Int v.time);
+           ("reason", Json.String (Diag.violation_to_string v));
+         ]
+        @ deadline)
+
+let chain_of_json json =
+  let json =
+    match Json.member "provenance" json with Some p -> p | None -> json
+  in
+  match Json.member "chain" json with
+  | None -> Error "no \"chain\" array"
+  | Some c -> (
+      match Json.to_list_opt c with
+      | None -> Error "\"chain\" is not an array"
+      | Some items ->
+          let link item =
+            match
+              ( Option.bind (Json.member "time" item) (function
+                  | Json.Int i -> Some i
+                  | _ -> None),
+                Option.bind (Json.member "name" item) Json.to_string_opt )
+            with
+            | Some time, Some name -> Ok { time; name = Name.v name }
+            | _ -> Error "chain element needs \"time\" and \"name\""
+          in
+          List.fold_left
+            (fun acc item ->
+              match (acc, link item) with
+              | Error _, _ -> acc
+              | _, (Error _ as e) -> e
+              | Ok links, Ok l -> Ok (l :: links))
+            (Ok []) items
+          |> Result.map List.rev)

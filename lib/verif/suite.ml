@@ -89,8 +89,9 @@ let find suite label =
 
 let entries_of suite = List.map (fun e -> (e.label, e.pattern)) suite
 
-let attach_hub ?metrics ?backend ?suite_backend ?mode tap suite =
-  let hub = Hub.create ?metrics tap in
+let attach_hub ?metrics ?trace ?backend ?suite_backend ?mode
+    ?latency_sample_rate tap suite =
+  let hub = Hub.create ?metrics ?trace tap in
   (match (suite_backend, mode) with
   | Some sf, None ->
       (* Suite-level factory: one compilation over all entries, hosted
@@ -103,18 +104,21 @@ let attach_hub ?metrics ?backend ?suite_backend ?mode tap suite =
               ~now:(fun () -> Tap.now_ps tap)
               views.(i)
           in
-          Hub.host hub checker ~strict:false)
+          Hub.host ?latency_sample_rate hub checker ~strict:false)
         suite
   | _ ->
       List.iter
-        (fun e -> ignore (Hub.add ?backend ?mode ~name:e.label hub e.pattern))
+        (fun e ->
+          ignore
+            (Hub.add ?backend ?mode ?latency_sample_rate ~name:e.label hub
+               e.pattern))
         suite);
   hub
 
-let attach_hub_flat ?metrics tap suite =
+let attach_hub_flat ?metrics ?trace ?latency_sample_rate tap suite =
   let eng, views = Backend.flat_suite (entries_of suite) in
-  let hub = Hub.create ?metrics tap in
-  ignore (Hub.host_flat hub eng views);
+  let hub = Hub.create ?metrics ?trace tap in
+  ignore (Hub.host_flat ?latency_sample_rate hub eng views);
   (hub, eng)
 
 let attach_all ?backend ?mode tap suite =

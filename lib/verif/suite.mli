@@ -43,9 +43,11 @@ val entries_of : t -> (string * Pattern.t) list
 
 val attach_hub :
   ?metrics:Loseq_obs.Metrics.t ->
+  ?trace:Loseq_obs.Trace.t ->
   ?backend:Backend.factory ->
   ?suite_backend:Backend.suite_factory ->
   ?mode:Monitor.mode ->
+  ?latency_sample_rate:int ->
   Tap.t ->
   t ->
   Hub.t
@@ -54,11 +56,16 @@ val attach_hub :
     {!Loseq_core.Backend.compiled}; [suite_backend], when given (and
     [mode] is not), compiles the whole suite in one call
     (e.g. {!Loseq_core.Backend.flat_views}) so checkers share state;
-    [metrics] (default noop) is handed to the hub — see
-    {!Hub.create}. *)
+    [metrics], [trace] and [latency_sample_rate] (defaults noop, noop,
+    64) are handed to the hub — see {!Hub.create} and {!Hub.add}. *)
 
 val attach_hub_flat :
-  ?metrics:Loseq_obs.Metrics.t -> Tap.t -> t -> Hub.t * Flat.t
+  ?metrics:Loseq_obs.Metrics.t ->
+  ?trace:Loseq_obs.Trace.t ->
+  ?latency_sample_rate:int ->
+  Tap.t ->
+  t ->
+  Hub.t * Flat.t
 (** The engine-direct flat hosting path: compile the suite into one
     {!Loseq_core.Flat} engine and host it with {!Hub.host_flat} —
     per-name dispatch is an index into the engine's table rather than

@@ -31,6 +31,10 @@
 #                         the buffered serve, with zero rollbacks (the
 #                         ipu suite certificate commutes every late
 #                         event) and no checkpoint support
+#   verdict-provenance    failed serve verdicts carry a provenance
+#                         chain, and explain-verdict replays the
+#                         minimized chain to the same Fail on the
+#                         compiled and flat backends
 #   artifact-provenance   every BENCH_*.json carries the provenance
 #                         stamp (git revision + toolchain)
 #
@@ -49,6 +53,13 @@ dune build bin/loseq_cli.exe bench/main.exe
 # Named gates: one banner per check so a red CI log reads as
 # "gate NAME failed", not a bare line number.
 gate() { echo; echo "== gate: $1 =="; }
+
+# Verdict records carry a "provenance" chain since 1.9.0: a 1-minimal
+# failure witness whose events depend on capture order (arrival order,
+# checkpoint cut-off), so runs that agree on every verdict may carry
+# different witnesses.  Agreement checks compare modulo the member; it
+# is appended last, so stripping it restores the closing brace.
+strip_prov() { sed 's/,"provenance":.*$/}/' "$1"; }
 
 gate "convert-roundtrip"
 $LOSEQ convert "$TRACE" -o "$WORK/ipu.lsqb"
@@ -104,7 +115,7 @@ $LOSEQ serve --suite "$SUITE" --checkpoint "$CKPT" --resume \
   < "$WORK/ipu.lsqb" > "$WORK/resumed.ndjson" || resume_status=$?
 test "$resume_status" -eq "$stream_status"
 grep '"type": *"verdict"' "$WORK/resumed.ndjson" > "$WORK/resumed.verdicts"
-cmp "$WORK/stream.verdicts" "$WORK/resumed.verdicts"
+cmp <(strip_prov "$WORK/stream.verdicts") <(strip_prov "$WORK/resumed.verdicts")
 echo "resumed verdicts identical to the uninterrupted run"
 
 gate "ingest-throughput"
@@ -236,13 +247,14 @@ $LOSEQ serve --suite "$SUITE" --checkpoint "$CKPT" --resume --backend flat \
 test "$xresume_status" -eq "$stream_status"
 grep '"type": *"verdict"' "$WORK/flat_resumed.ndjson" \
   > "$WORK/flat_resumed.verdicts"
-cmp "$WORK/stream.verdicts" "$WORK/flat_resumed.verdicts"
+cmp <(strip_prov "$WORK/stream.verdicts") <(strip_prov "$WORK/flat_resumed.verdicts")
 echo "compiled v1 checkpoint resumed into flat hosting, verdicts identical"
 
 gate "speculative-serve"
 # examples/traces/ipu_ooo.csv is a K-bounded scramble of ipu.csv whose
 # most delayed event is 75000 ticks late; both hosting modes must
-# settle on exactly the verdicts of the chronological run
+# settle on exactly the verdicts of the chronological run (modulo the
+# provenance witness, which is arrival-order)
 OOOTRACE=examples/traces/ipu_ooo.csv
 buf_ooo_status=0
 $LOSEQ serve --suite "$SUITE" --lateness 75000 < "$OOOTRACE" \
@@ -252,11 +264,14 @@ $LOSEQ serve --suite "$SUITE" --ooo --lateness 75000 < "$OOOTRACE" \
   > "$WORK/spec.ndjson" || spec_status=$?
 test "$buf_ooo_status" -eq "$stream_status"
 test "$spec_status" -eq "$stream_status"
+# verdicts must agree byte-for-byte up to the provenance chains: both
+# modes capture a valid 1-minimal witness, but capture is arrival-order
+# so the witness events may differ
 grep '"type": *"verdict"' "$WORK/buffered_ooo.ndjson" > "$WORK/buffered_ooo.verdicts"
 grep '"type": *"verdict"' "$WORK/spec.ndjson" > "$WORK/spec.verdicts"
-cmp "$WORK/buffered_ooo.verdicts" "$WORK/spec.verdicts"
+cmp <(strip_prov "$WORK/buffered_ooo.verdicts") <(strip_prov "$WORK/spec.verdicts")
 # also identical to the chronological compiled run of step 2
-cmp "$WORK/stream.verdicts" "$WORK/spec.verdicts"
+cmp <(strip_prov "$WORK/stream.verdicts") <(strip_prov "$WORK/spec.verdicts")
 # the certificate fast path must absorb every late event in place
 grep '"type": *"summary"' "$WORK/spec.ndjson" | grep -q '"rollbacks": *0'
 grep '"type": *"summary"' "$WORK/spec.ndjson" | grep -qv '"commute_hits": *0,'
@@ -268,6 +283,25 @@ $LOSEQ serve --suite "$SUITE" --ooo --checkpoint "$WORK/ooo.ckpt" \
 test "$ooock_status" -eq 2
 grep -q 'does not support' "$WORK/ooock.ndjson"
 echo "speculative settled verdicts byte-identical to buffered (exit $spec_status)"
+
+gate "verdict-provenance"
+# every failed verdict must carry a provenance chain that replays to
+# the same Fail standalone — checked by explain-verdict, which
+# minimizes and replays on the compiled AND flat backends (exit 0
+# exactly when both reproduce the Fail).  The served chain above and
+# the explain-verdict chain come from the same recorder, so the gate
+# holds the NDJSON member and the replay tool together.
+grep '"passed":false' "$WORK/stream.verdicts" | grep -q '"provenance"'
+$LOSEQ explain-verdict --suite "$SUITE" --property recognition_bounded \
+  --format json "$TRACE" > "$WORK/explain.json"
+grep -q '"compiled_fails": *true' "$WORK/explain.json"
+grep -q '"flat_fails": *true' "$WORK/explain.json"
+# a passing property has nothing to explain (exit 1, no chain)
+explain_pass=0
+$LOSEQ explain-verdict --suite "$SUITE" --property lock_protocol \
+  "$TRACE" > /dev/null 2>&1 || explain_pass=$?
+test "$explain_pass" -eq 1
+echo "failed verdicts carry chains; chain replays to the same Fail on both backends"
 
 gate "artifact-provenance"
 # every BENCH_*.json this run produced must carry the provenance stamp
